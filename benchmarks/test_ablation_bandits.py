@@ -1,0 +1,148 @@
+"""Ablation: bandit topK vs greedy under a feedback loop.
+
+Paper Section 5 ("Bandits and Multiple Models"): a greedy recommender
+"that only plays the current Top40 songs will never receive feedback
+from users indicating that other songs are preferable"; contextual
+bandits escape the loop by recommending the item with the best
+*potential* score. This ablation simulates that exact trap: every user's
+truly-best items start with a pessimistic-looking model score, so pure
+exploitation never tries them, while exploring policies discover them.
+
+Protocol: the catalog contains hidden gems the deployed model rates
+*below* everything else (the model has never seen feedback on them, and
+its prior is wrong there — the paper's "New Potato Caboose" case). Item
+features are one-hot, so only direct observation of an item can fix its
+score: exactly the memorization regime where greedy's feedback loop is
+inescapable. Each round, the policy picks top-1 from a random candidate
+slate; the environment returns the planted rating as feedback (an online
+update). We track cumulative regret against the slate-best item and the
+fraction of the catalog each policy ever serves.
+
+Shape assertions: LinUCB serves the hidden gems (higher catalog
+coverage including the gem set) and ends with lower per-round regret in
+the final quarter of the run, while greedy never escapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Velox, VeloxConfig
+from repro.core.bandits import (
+    EpsilonGreedyPolicy,
+    GreedyPolicy,
+    LinUcbPolicy,
+    ThompsonSamplingPolicy,
+)
+from repro.core.models import MatrixFactorizationModel
+
+from conftest import write_result
+
+NUM_ITEMS = 40
+NUM_USERS = 8
+NUM_GEMS = 8
+ROUNDS = 1200
+SLATE = 10
+
+
+def make_environment(seed: int = 17):
+    """One-hot item features, a misleading prior on the gem set.
+
+    True ratings: gems are great (4.8), everything else mediocre (3.0).
+    The deployed model predicts 3.8 for a decoy set, 3.2 for ordinary
+    items, and 2.0 for the gems — so pure exploitation will cycle
+    through decoys and ordinary items forever and never learn the truth
+    about a gem.
+    """
+    rng = np.random.default_rng(seed)
+    gems = set(rng.choice(NUM_ITEMS, NUM_GEMS, replace=False).tolist())
+    decoys = set(
+        rng.choice(
+            [i for i in range(NUM_ITEMS) if i not in gems], NUM_GEMS, replace=False
+        ).tolist()
+    )
+
+    def oracle(uid: int, item: int) -> float:
+        base = 4.8 if item in gems else 3.0
+        noise = float(np.random.default_rng((uid, item, seed)).normal(0, 0.1))
+        return float(np.clip(base + noise, 0.5, 5.0))
+
+    # One-hot item factors: observing item i only informs weight slot i.
+    model = MatrixFactorizationModel(
+        "bandit", np.eye(NUM_ITEMS), global_mean=3.0
+    )
+    prior_scores = np.full(NUM_ITEMS, 0.2)  # predicted 3.2
+    for item in decoys:
+        prior_scores[item] = 0.8  # predicted 3.8
+    for item in gems:
+        prior_scores[item] = -1.0  # predicted 2.0 — the trap
+    weights = {
+        uid: model.pack_user_weights(prior_scores.copy(), 0.0)
+        for uid in range(NUM_USERS)
+    }
+    # Light regularization: the bandit's value comes from fast per-item
+    # learning once an item is finally tried.
+    velox = Velox.deploy(
+        VeloxConfig(num_nodes=1, regularization=0.3), auto_retrain=False
+    )
+    velox.add_model(model, initial_user_weights=weights)
+    return velox, oracle
+
+
+def run_policy(policy, seed: int = 17) -> dict[str, float]:
+    velox, oracle = make_environment(seed)
+    rng = np.random.default_rng(seed + 1)
+    served: set[int] = set()
+    regrets: list[float] = []
+    for round_index in range(ROUNDS):
+        uid = int(rng.integers(NUM_USERS))
+        slate = rng.choice(NUM_ITEMS, size=SLATE, replace=False)
+        chosen = velox.top_k(None, uid, [int(i) for i in slate], k=1, policy=policy)
+        item = int(chosen[0][0])
+        served.add(item)
+        reward = oracle(uid, item)
+        best = max(oracle(uid, int(i)) for i in slate)
+        regrets.append(best - reward)
+        velox.observe(uid=uid, x=item, y=reward)
+    tail = regrets[3 * ROUNDS // 4 :]
+    return {
+        "coverage": len(served) / NUM_ITEMS,
+        "cumulative_regret": float(np.sum(regrets)),
+        "tail_regret_per_round": float(np.mean(tail)),
+    }
+
+
+POLICIES = {
+    "greedy": lambda: GreedyPolicy(),
+    "epsilon_greedy": lambda: EpsilonGreedyPolicy(epsilon=0.1, rng=3),
+    "linucb": lambda: LinUcbPolicy(alpha=2.0),
+    "thompson": lambda: ThompsonSamplingPolicy(scale=1.5, rng=4),
+}
+
+
+@pytest.mark.parametrize("name", list(POLICIES))
+def test_bandit_policy_run(benchmark, name):
+    benchmark.pedantic(run_policy, args=(POLICIES[name](),), rounds=1, iterations=1)
+
+
+def test_bandit_summary(benchmark):
+    results = {name: run_policy(factory()) for name, factory in POLICIES.items()}
+    lines = ["policy          coverage  cumulative_regret  tail_regret_per_round"]
+    for name, row in results.items():
+        lines.append(
+            f"{name:<16}{row['coverage']:<10.3f}"
+            f"{row['cumulative_regret']:<19.1f}{row['tail_regret_per_round']:.3f}"
+        )
+    write_result("ablation_bandits", lines)
+
+    greedy = results["greedy"]
+    linucb = results["linucb"]
+    # Shape: exploration covers more of the catalog than exploitation
+    # (greedy never serves the trapped gem set).
+    assert linucb["coverage"] > greedy["coverage"]
+    # Shape: having discovered the gems, LinUCB's late-run regret is
+    # well below greedy's, and its whole-run regret is lower too.
+    assert linucb["tail_regret_per_round"] < greedy["tail_regret_per_round"]
+    assert linucb["cumulative_regret"] < greedy["cumulative_regret"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+"""Ablation: uid-partitioned routing as a load balancer.
+
+Section 5: partitioning W by uid "provides a natural load-balancing
+scheme for distributing both serving load and the computational cost of
+online updates." This ablation drives an identical mixed workload at
+several cluster sizes and reports per-node load spread and how serving
+work scales out.
+
+Shape assertions: per-node load is balanced (max/mean close to 1) at
+every cluster size, and each node's share of requests shrinks
+proportionally as nodes are added.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import ObserveRequest, ZipfItemSampler, generate_request_stream
+
+from conftest import build_mf_serving, write_result
+
+NUM_USERS = 240
+REQUESTS = 4800
+NODE_COUNTS = [1, 2, 4, 8]
+
+
+def run_cluster(num_nodes: int) -> dict[str, float]:
+    velox = build_mf_serving(
+        dimension=34, num_items=400, num_users=NUM_USERS, num_nodes=num_nodes
+    )
+    sampler = ZipfItemSampler(400, 0.8, rng=5)
+    stream = generate_request_stream(
+        REQUESTS, NUM_USERS, sampler, observe_fraction=0.2, rng=6
+    )
+    for request in stream:
+        if isinstance(request, ObserveRequest):
+            velox.observe(uid=request.uid, x=request.item_id, y=request.label)
+        else:
+            velox.predict(None, request.uid, request.item_id)
+    loads = np.array(
+        [
+            node.stats.requests_served + node.stats.observations_applied
+            for node in velox.cluster.nodes
+        ],
+        dtype=float,
+    )
+    return {
+        "mean_load": float(loads.mean()),
+        "max_load": float(loads.max()),
+        "imbalance": float(loads.max() / loads.mean()),
+    }
+
+
+@pytest.mark.parametrize("num_nodes", NODE_COUNTS)
+def test_load_balance_cluster(benchmark, num_nodes):
+    benchmark.pedantic(run_cluster, args=(num_nodes,), rounds=1, iterations=1)
+
+
+def test_load_balance_summary(benchmark):
+    results = {n: run_cluster(n) for n in NODE_COUNTS}
+    lines = ["nodes  mean_load  max_load  imbalance(max/mean)"]
+    for n in NODE_COUNTS:
+        row = results[n]
+        lines.append(
+            f"{n:<7d}{row['mean_load']:<11.0f}{row['max_load']:<10.0f}"
+            f"{row['imbalance']:.3f}"
+        )
+    write_result("ablation_load_balance", lines)
+
+    # Shape: per-node work scales down ~linearly with cluster size.
+    assert results[8]["mean_load"] == pytest.approx(
+        results[1]["mean_load"] / 8, rel=0.01
+    )
+    # Shape: uid partitioning keeps the hottest node near the mean.
+    for n in NODE_COUNTS:
+        assert results[n]["imbalance"] < 1.25, (n, results[n])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

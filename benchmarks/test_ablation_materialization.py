@@ -1,0 +1,132 @@
+"""Ablation: prediction materialization strategies (paper Section 2.1).
+
+The paper's straw-man analysis: pre-materializing every (user, item)
+prediction "has the disadvantage of materializing potentially billions
+of predictions when only a small fraction will likely be required,"
+while computing everything online repeats work for hot pairs. Velox's
+answer is hybrid caching. This ablation serves an identical Zipfian
+query stream through all three strategies and reports build cost,
+storage footprint, per-query latency, and on-demand compute counts.
+
+Shape assertions:
+* full pre-materialization has the largest build cost and footprint,
+  almost all of it never queried,
+* online computation recomputes every query,
+* hybrid caching approaches full-materialization latency with a
+  fraction of the footprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.materialization import (
+    FullPrematerialization,
+    HybridCaching,
+    OnlineComputation,
+)
+from repro.core.models import MatrixFactorizationModel
+from repro.metrics import LatencyRecorder, Timer
+from repro.workloads import ZipfItemSampler
+
+from conftest import write_result
+
+NUM_ITEMS = 800
+NUM_USERS = 120
+ACTIVE_USERS = 16  # queries come from a hot subset, as in real services
+RANK = 128  # large enough that recomputing a score visibly costs more
+QUERIES = 10_000
+CACHE_CAPACITY = 6000  # ~6% of the full user x item cross product
+
+
+def make_population(seed: int = 5):
+    rng = np.random.default_rng(seed)
+    model = MatrixFactorizationModel(
+        "mat",
+        rng.normal(0, 0.3, (NUM_ITEMS, RANK)),
+        rng.normal(0, 0.2, NUM_ITEMS),
+        3.5,
+    )
+    weights = {
+        uid: model.pack_user_weights(
+            rng.normal(0, 0.3, RANK), float(rng.normal(0, 0.2))
+        )
+        for uid in range(NUM_USERS)
+    }
+    return model, weights
+
+
+def make_queries(seed: int = 6) -> list[tuple[int, int]]:
+    rng = np.random.default_rng(seed)
+    sampler = ZipfItemSampler(NUM_ITEMS, 1.2, rng=seed)
+    items = sampler.sample(size=QUERIES)
+    users = rng.integers(0, ACTIVE_USERS, size=QUERIES)
+    return list(zip(users.tolist(), items.tolist()))
+
+
+def build_strategy(name: str):
+    model, weights = make_population()
+    if name == "full_prematerialization":
+        return FullPrematerialization(weights, model, NUM_ITEMS)
+    if name == "online_computation":
+        return OnlineComputation(weights, model)
+    return HybridCaching(weights, model, cache_capacity=CACHE_CAPACITY)
+
+
+STRATEGIES = ["full_prematerialization", "online_computation", "hybrid_caching"]
+
+
+def run_strategy(name: str) -> dict[str, float]:
+    strategy = build_strategy(name)
+    with Timer() as build_timer:
+        strategy.build()
+    queries = make_queries()
+    recorder = LatencyRecorder()
+    for uid, item in queries:
+        with recorder.time():
+            strategy.serve(uid, item)
+    report = strategy.report()
+    return {
+        "build_s": build_timer.elapsed,
+        "storage_entries": report.storage_entries,
+        "mean_query_s": recorder.summary().mean,
+        "computed_on_demand": report.computed_on_demand,
+        "queries": report.queries,
+    }
+
+
+@pytest.mark.parametrize("name", STRATEGIES)
+def test_materialization_strategy(benchmark, name):
+    benchmark.pedantic(run_strategy, args=(name,), rounds=1, iterations=1)
+
+
+def test_materialization_summary(benchmark):
+    results = {name: run_strategy(name) for name in STRATEGIES}
+    lines = [
+        "strategy                 build_s   storage   mean_query_s  computed_on_demand"
+    ]
+    for name, row in results.items():
+        lines.append(
+            f"{name:<25}{row['build_s']:<10.3f}{row['storage_entries']:<10d}"
+            f"{row['mean_query_s']:<14.7f}{row['computed_on_demand']:d}"
+        )
+    write_result("ablation_materialization", lines)
+
+    full = results["full_prematerialization"]
+    online = results["online_computation"]
+    hybrid = results["hybrid_caching"]
+
+    # Full materialization: biggest build + footprint; most entries wasted.
+    assert full["storage_entries"] == NUM_USERS * NUM_ITEMS
+    assert full["build_s"] > 10 * hybrid["build_s"] + 1e-9
+    distinct_queried = len(set(make_queries()))
+    assert distinct_queried < 0.2 * full["storage_entries"]
+    # Online: recomputes everything.
+    assert online["computed_on_demand"] == QUERIES
+    assert online["storage_entries"] == 0
+    # Hybrid: bounded footprint, mostly cache-served under Zipf.
+    assert hybrid["storage_entries"] <= CACHE_CAPACITY
+    assert hybrid["computed_on_demand"] < 0.5 * QUERIES
+    assert hybrid["mean_query_s"] < online["mean_query_s"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

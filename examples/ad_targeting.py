@@ -1,0 +1,114 @@
+"""Targeted advertising: multiple models over the same user base.
+
+The paper's model-lifecycle motivation (Section 2.1): "an advertising
+service may run a series of ad campaigns, each with separate models over
+the same set of users." This example deploys one Velox instance hosting
+several campaign models side by side — each a *computed*-feature model
+over ad-creative feature vectors rather than a materialized item table:
+
+* campaign "spring_sale" uses a personalized linear model over raw
+  creative features,
+* campaign "brand_awareness" uses random-Fourier (RBF) features,
+* campaign "winback" uses an ensemble-of-SVMs feature function
+  (the Section 6 worked example).
+
+Click-through feedback flows into per-campaign observation logs; each
+campaign's health is tracked independently, underperformers are
+retrained without touching the others, and a bad deploy is rolled back.
+
+Run:  python examples/ad_targeting.py
+"""
+
+import numpy as np
+
+from repro import Velox, VeloxConfig
+from repro.core.models import (
+    EnsembleSvmModel,
+    PersonalizedLinearModel,
+    RandomFourierModel,
+)
+
+NUM_USERS = 80
+CREATIVE_DIM = 6
+
+
+def make_environment(seed: int = 7):
+    """Planted per-user click propensities for each campaign."""
+    rng = np.random.default_rng(seed)
+    campaign_user_tastes = {
+        "spring_sale": rng.normal(0, 1, (NUM_USERS, CREATIVE_DIM)),
+        "brand_awareness": rng.normal(0, 1, (NUM_USERS, CREATIVE_DIM)),
+        "winback": rng.normal(0, 1, (NUM_USERS, CREATIVE_DIM)),
+    }
+
+    def click_score(campaign: str, uid: int, creative: np.ndarray) -> float:
+        taste = campaign_user_tastes[campaign][uid]
+        return float(np.tanh(taste @ creative) * 2 + 3)  # roughly [1, 5]
+
+    return click_score
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    click_score = make_environment()
+
+    velox = Velox.deploy(VeloxConfig(num_nodes=4), auto_retrain=False)
+    velox.add_model(PersonalizedLinearModel("spring_sale", CREATIVE_DIM))
+    velox.add_model(
+        RandomFourierModel("brand_awareness", CREATIVE_DIM, num_features=32, seed=1)
+    )
+    velox.add_model(
+        EnsembleSvmModel.untrained("winback", CREATIVE_DIM, num_svms=8, seed=2)
+    )
+    print(f"deployed campaigns: {velox.registry.names()}")
+
+    # -- phase 1: collect click feedback per campaign ------------------------
+    print("\nsimulating 400 impressions per campaign ...")
+    for campaign in velox.registry.names():
+        for __ in range(400):
+            uid = int(rng.integers(NUM_USERS))
+            creative = rng.normal(0, 1, CREATIVE_DIM)
+            label = click_score(campaign, uid, creative)
+            velox.observe(uid=uid, x=creative, y=label, model_name=campaign)
+
+    for campaign in velox.registry.names():
+        health = velox.health(campaign)
+        print(
+            f"  {campaign:<16} observations={health.observations:<5d} "
+            f"recent loss={health.recent.mean:.3f}"
+        )
+
+    # -- phase 2: choose the best creative per user (topK) -------------------
+    uid = 11
+    creatives = [rng.normal(0, 1, CREATIVE_DIM) for __ in range(8)]
+    print(f"\nbest creatives for user {uid}:")
+    for campaign in velox.registry.names():
+        best = velox.top_k(campaign, uid, creatives, k=1)[0]
+        print(f"  {campaign:<16} predicted engagement {best[1]:.3f}")
+
+    # -- phase 3: retrain the underperformer only -----------------------------
+    losses = {
+        campaign: velox.health(campaign).recent.mean
+        for campaign in velox.registry.names()
+    }
+    worst = max(losses, key=losses.get)
+    print(f"\nretraining the weakest campaign: {worst!r} "
+          f"(recent loss {losses[worst]:.3f})")
+    event = velox.retrain(worst, reason="campaign underperforming")
+    print(f"  {worst} now at v{event.new_version} "
+          f"({event.observations_used} observations)")
+    untouched = [c for c in velox.registry.names() if c != worst]
+    print(f"  untouched campaigns remain at v0: "
+          f"{[f'{c}=v{velox.model(c).version}' for c in untouched]}")
+
+    # -- phase 4: roll the deploy back (maybe legal pulled the creatives) ----
+    revived = velox.rollback(version=0, model_name=worst)
+    print(f"\nrolled {worst!r} back to the v0 parameters "
+          f"(now served as v{revived.version})")
+    print("\nversion history for", worst)
+    for record in velox.registry.history(worst):
+        print(f"  v{record.version}: {record.note}")
+
+
+if __name__ == "__main__":
+    main()

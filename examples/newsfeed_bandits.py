@@ -1,0 +1,119 @@
+"""Personalized news: escaping the filter bubble with bandit serving.
+
+The paper's adaptive-feedback motivation (Section 2.1): "a
+recommendation system that only recommends sports articles may not
+collect enough information to learn about a user's preferences for
+articles on politics." This example builds a news feed where every
+reader secretly loves a topic the initial model underrates, and compares
+greedy serving against LinUCB / epsilon-greedy / Thompson policies on:
+
+* how much of the catalog each policy ever shows,
+* how quickly each policy discovers the reader's hidden favourite topic,
+* cumulative engagement (the business metric).
+
+Run:  python examples/newsfeed_bandits.py
+"""
+
+import numpy as np
+
+from repro import Velox, VeloxConfig
+from repro.core.bandits import (
+    EpsilonGreedyPolicy,
+    GreedyPolicy,
+    LinUcbPolicy,
+    ThompsonSamplingPolicy,
+)
+from repro.core.models import MatrixFactorizationModel
+
+TOPICS = ["sports", "politics", "science", "arts", "business", "travel"]
+ARTICLES_PER_TOPIC = 25
+NUM_READERS = 30
+SESSIONS = 600
+SLATE_SIZE = 10
+RANK = len(TOPICS)
+
+
+def build_world(seed: int = 23):
+    """Articles embed their topic; each reader has a hidden favourite
+    topic the initial model knows nothing about."""
+    rng = np.random.default_rng(seed)
+    num_articles = len(TOPICS) * ARTICLES_PER_TOPIC
+    article_topic = np.repeat(np.arange(len(TOPICS)), ARTICLES_PER_TOPIC)
+    # Item factors: topic one-hot plus a little noise.
+    item_factors = np.eye(len(TOPICS))[article_topic] + rng.normal(
+        0, 0.05, (num_articles, RANK)
+    )
+    hidden_favourite = rng.integers(0, len(TOPICS), NUM_READERS)
+
+    def engagement(uid: int, article: int) -> float:
+        base = 2.5
+        if article_topic[article] == hidden_favourite[uid]:
+            base = 4.5
+        return float(np.clip(base + rng.normal(0, 0.3), 0.5, 5.0))
+
+    model = MatrixFactorizationModel("news", item_factors, global_mean=2.5)
+    # Initial weights: mild preference for sports for everyone — the
+    # editorial prior that creates the filter bubble.
+    sports_vector = np.zeros(RANK)
+    sports_vector[0] = 0.8
+    weights = {
+        uid: model.pack_user_weights(sports_vector.copy(), 0.0)
+        for uid in range(NUM_READERS)
+    }
+    return model, weights, engagement, hidden_favourite, article_topic
+
+
+def run_policy(name: str, policy) -> dict:
+    model, weights, engagement, hidden_favourite, article_topic = build_world()
+    velox = Velox.deploy(VeloxConfig(num_nodes=2), auto_retrain=False)
+    velox.add_model(model, initial_user_weights=weights)
+    rng = np.random.default_rng(5)
+    num_articles = len(article_topic)
+
+    shown: set[int] = set()
+    total_engagement = 0.0
+    discovered: set[int] = set()  # readers whose favourite topic got served
+    for __ in range(SESSIONS):
+        uid = int(rng.integers(NUM_READERS))
+        slate = [int(a) for a in rng.choice(num_articles, SLATE_SIZE, replace=False)]
+        choice = velox.top_k(None, uid, slate, k=1, policy=policy)[0]
+        article = int(choice[0])
+        shown.add(article)
+        reward = engagement(uid, article)
+        total_engagement += reward
+        if article_topic[article] == hidden_favourite[uid]:
+            discovered.add(uid)
+        velox.observe(uid=uid, x=article, y=reward)
+    return {
+        "catalog_coverage": len(shown) / num_articles,
+        "readers_discovered": len(discovered) / NUM_READERS,
+        "avg_engagement": total_engagement / SESSIONS,
+    }
+
+
+def main() -> None:
+    policies = {
+        "greedy": GreedyPolicy(),
+        "epsilon_greedy(0.1)": EpsilonGreedyPolicy(epsilon=0.1, rng=1),
+        "linucb(a=1.0)": LinUcbPolicy(alpha=1.0),
+        "thompson": ThompsonSamplingPolicy(scale=1.0, rng=2),
+    }
+    print(f"{SESSIONS} sessions, {NUM_READERS} readers, "
+          f"{len(TOPICS) * ARTICLES_PER_TOPIC} articles\n")
+    print(f"{'policy':<22}{'coverage':<12}{'readers_found':<16}{'avg_engagement'}")
+    for name, policy in policies.items():
+        result = run_policy(name, policy)
+        print(
+            f"{name:<22}{result['catalog_coverage']:<12.2f}"
+            f"{result['readers_discovered']:<16.2f}"
+            f"{result['avg_engagement']:.3f}"
+        )
+    print(
+        "\nGreedy stays inside the sports bubble; exploring policies show\n"
+        "more of the catalog, find each reader's hidden favourite topic,\n"
+        "and convert that knowledge into higher engagement."
+    )
+
+
+if __name__ == "__main__":
+    main()

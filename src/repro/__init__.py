@@ -1,0 +1,38 @@
+"""repro: a from-scratch reproduction of Velox (CIDR 2015).
+
+Velox is the model management and serving layer of the Berkeley Data
+Analytics Stack: low-latency personalized predictions, online model
+maintenance, automatic quality monitoring and retraining, and
+bandit-based feedback control — layered over a distributed in-memory
+store (here :mod:`repro.store`) and a batch compute framework (here
+:mod:`repro.batch`), both also built from scratch in this package.
+
+Quickstart::
+
+    from repro import Velox, VeloxConfig
+    from repro.core.models import MatrixFactorizationModel
+
+    velox = Velox.deploy(VeloxConfig(num_nodes=4))
+    velox.add_model(model, initial_user_weights=weights)
+    item, score = velox.predict("songs", uid=7, x=42)
+    velox.observe(uid=7, x=42, y=4.5)
+"""
+
+from repro.common import VeloxConfig
+from repro.core import Velox
+from repro.core.model import VeloxModel, ModelRegistry
+from repro.core.prediction import PredictionService, PredictionResult
+from repro.core.manager import ModelManager
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Velox",
+    "VeloxConfig",
+    "VeloxModel",
+    "ModelRegistry",
+    "PredictionService",
+    "PredictionResult",
+    "ModelManager",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""sparklite: a miniature Spark-like batch compute framework.
+
+Velox delegates offline model retraining to "the batch analytics system"
+— Spark, driven through opaque UDFs. This subpackage is that substrate,
+built from scratch:
+
+* :class:`BatchContext` — the driver entry point (``parallelize``,
+  ``from_table``, ``range``),
+* :class:`Dataset` — a lazy, partitioned, immutable collection with
+  narrow transformations (map, filter, flat_map, map_partitions, union,
+  sample, zip_with_index) and wide transformations (reduce_by_key,
+  group_by_key, join, cogroup, distinct, repartition, sort_by),
+* a DAG scheduler that splits jobs into stages at shuffle boundaries,
+  executes tasks per partition (optionally on a thread pool), retries
+  failed tasks by lineage recomputation, and supports failure injection
+  for the fault-tolerance tests.
+"""
+
+from repro.batch.context import BatchContext
+from repro.batch.dataset import Dataset
+from repro.batch.scheduler import DAGScheduler, FailureInjector, JobMetrics
+from repro.batch.shared import Accumulator, Broadcast
+
+__all__ = [
+    "BatchContext",
+    "Dataset",
+    "DAGScheduler",
+    "FailureInjector",
+    "JobMetrics",
+    "Accumulator",
+    "Broadcast",
+]

@@ -1,0 +1,119 @@
+"""BatchContext: the sparklite driver entry point (SparkContext analogue)."""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Callable, Iterator
+
+from repro.batch.dataset import (
+    Dataset,
+    ParallelCollectionDataset,
+    RangeDataset,
+    TableScanDataset,
+)
+from repro.batch.scheduler import DAGScheduler, FailureInjector
+from repro.batch.shared import Accumulator, Broadcast
+
+
+class BatchContext:
+    """Creates datasets and owns the scheduler that executes them.
+
+    ``default_parallelism`` sets both the default partition count for new
+    datasets and the scheduler's thread-pool width (1 = inline, fully
+    deterministic execution).
+    """
+
+    def __init__(
+        self,
+        default_parallelism: int = 4,
+        max_task_attempts: int = 4,
+        injector: FailureInjector | None = None,
+    ):
+        if default_parallelism < 1:
+            raise ValueError(
+                f"default_parallelism must be >= 1, got {default_parallelism}"
+            )
+        self.default_parallelism = default_parallelism
+        self.scheduler = DAGScheduler(
+            parallelism=default_parallelism,
+            max_task_attempts=max_task_attempts,
+            injector=injector,
+        )
+        self._dataset_ids = count()
+        self._shuffle_ids = count()
+        self._broadcast_ids = count()
+        self._accumulator_ids = count()
+
+    # -- id allocation (used by Dataset/ShuffleDependency) ----------------
+
+    def new_dataset_id(self) -> int:
+        """Allocate a unique dataset id."""
+        return next(self._dataset_ids)
+
+    def new_shuffle_id(self) -> int:
+        """Allocate a unique shuffle id."""
+        return next(self._shuffle_ids)
+
+    # -- dataset constructors ----------------------------------------------
+
+    def parallelize(self, data, num_partitions: int | None = None) -> Dataset:
+        """Distribute a local collection."""
+        data = list(data)
+        if num_partitions is None:
+            num_partitions = min(self.default_parallelism, max(1, len(data)))
+        return ParallelCollectionDataset(self, data, num_partitions)
+
+    def range(
+        self,
+        start: int,
+        stop: int | None = None,
+        step: int = 1,
+        num_partitions: int | None = None,
+    ) -> Dataset:
+        """A lazily generated integer range dataset."""
+        if stop is None:
+            start, stop = 0, start
+        n = num_partitions or self.default_parallelism
+        return RangeDataset(self, start, stop, step, n)
+
+    def from_table(self, table) -> Dataset:
+        """Scan a veloxstore table, one partition per storage partition."""
+        return TableScanDataset(self, table)
+
+    # -- shared state ----------------------------------------------------------
+
+    def broadcast(self, value) -> Broadcast:
+        """Share a read-only value with every task (e.g. the frozen
+        factor matrix each ALS half-iteration solves against)."""
+        return Broadcast(next(self._broadcast_ids), value)
+
+    def accumulator(self, zero=0, merge_fn=None) -> Accumulator:
+        """A task-writable, driver-readable aggregate."""
+        return Accumulator(next(self._accumulator_ids), zero, merge_fn)
+
+    def checkpoint(self, dataset: Dataset) -> Dataset:
+        """Materialize a dataset and sever its lineage.
+
+        Long lineage chains (e.g. iterative ALS reusing the previous
+        iteration's output) are cut by computing the data once and
+        re-parallelizing it, exactly like Spark's checkpointing.
+        """
+        partitions = self.run_job(dataset, list)
+        data = [record for part in partitions for record in part]
+        return ParallelCollectionDataset(self, data, dataset.num_partitions)
+
+    # -- execution -----------------------------------------------------------
+
+    def run_job(
+        self,
+        dataset: Dataset,
+        result_fn: Callable[[Iterator], object],
+        partitions: list[int] | None = None,
+    ) -> list:
+        """Execute ``result_fn`` over the dataset's partitions."""
+        return self.scheduler.run_job(dataset, result_fn, partitions)
+
+    @property
+    def metrics(self):
+        """The scheduler's job/task counters."""
+        return self.scheduler.metrics

@@ -1,0 +1,662 @@
+"""Lazy, partitioned datasets — sparklite's RDD analogue.
+
+A :class:`Dataset` is an immutable description of a partitioned
+collection plus the lineage needed to compute it. Transformations build
+new datasets without executing anything; actions (``collect``, ``count``,
+``reduce``, ...) hand the lineage graph to the context's DAG scheduler.
+
+Narrow transformations (map, filter, ...) pipeline within a task; wide
+transformations (reduce_by_key, join, sort_by, ...) introduce a
+:class:`ShuffleDependency`, which the scheduler materializes as a
+separate stage.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.common.errors import BatchExecutionError
+from repro.batch.shuffle import hash_partitioner
+
+
+class Dependency:
+    """Base class for lineage edges."""
+
+    def __init__(self, parent: "Dataset"):
+        self.parent = parent
+
+
+class NarrowDependency(Dependency):
+    """Child partition i is computed from parent partition(s) locally."""
+
+
+class ShuffleDependency(Dependency):
+    """Child partitions are computed from shuffled parent output.
+
+    ``partition_for(key)`` maps a record key to a reduce partition;
+    ``aggregator`` optionally combines values per key (map-side and
+    reduce-side); ``num_partitions`` is the reduce-side width.
+    """
+
+    def __init__(
+        self,
+        parent: "Dataset",
+        num_partitions: int,
+        partition_for: Callable[[object], int],
+        aggregator: "Aggregator | None" = None,
+    ):
+        super().__init__(parent)
+        self.num_partitions = num_partitions
+        self.partition_for = partition_for
+        self.aggregator = aggregator
+        self.shuffle_id = parent.context.new_shuffle_id()
+
+
+class Aggregator:
+    """Combiner spec for shuffles: how per-key values merge."""
+
+    def __init__(self, create_combiner, merge_value, merge_combiners):
+        self.create_combiner = create_combiner
+        self.merge_value = merge_value
+        self.merge_combiners = merge_combiners
+
+
+class TaskContext:
+    """Per-task handle passed through ``compute``: shuffle access + metrics."""
+
+    def __init__(self, shuffle_store, metrics=None):
+        self.shuffle_store = shuffle_store
+        self.metrics = metrics
+
+
+class Dataset:
+    """Abstract partitioned collection; subclasses define ``compute``."""
+
+    def __init__(self, context, num_partitions: int, dependencies: list[Dependency]):
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.context = context
+        self.num_partitions = num_partitions
+        self.dependencies = dependencies
+        self.dataset_id = context.new_dataset_id()
+        self._cached_partitions: dict[int, list] | None = None
+
+    # -- execution ----------------------------------------------------------
+
+    def compute(self, split: int, ctx: TaskContext) -> Iterable:
+        """Produce the records of partition ``split``. Subclasses override."""
+        raise NotImplementedError
+
+    def iterator(self, split: int, ctx: TaskContext) -> list:
+        """Compute (or fetch from cache) one partition as a list."""
+        if not 0 <= split < self.num_partitions:
+            raise BatchExecutionError(
+                f"dataset {self.dataset_id} has no partition {split}"
+            )
+        if self._cached_partitions is not None:
+            hit = self._cached_partitions.get(split)
+            if hit is not None:
+                return hit
+        records = list(self.compute(split, ctx))
+        if self._cached_partitions is not None:
+            self._cached_partitions[split] = records
+        return records
+
+    def cache(self) -> "Dataset":
+        """Memoize computed partitions for reuse across jobs (e.g. the
+        ratings dataset reused by every ALS iteration)."""
+        if self._cached_partitions is None:
+            self._cached_partitions = {}
+        return self
+
+    def unpersist(self) -> "Dataset":
+        """Drop the memoized partitions; next job recomputes."""
+        self._cached_partitions = None
+        return self
+
+    # -- narrow transformations ------------------------------------------------
+
+    def map_partitions(
+        self, fn: Callable[[int, Iterator], Iterable], preserves_partitioning: bool = False
+    ) -> "Dataset":
+        """Apply ``fn(partition_index, iterator)`` to each partition."""
+        return MapPartitionsDataset(self, fn)
+
+    def map(self, fn: Callable) -> "Dataset":
+        """Record-wise transformation (narrow)."""
+        return self.map_partitions(lambda _i, it: (fn(x) for x in it))
+
+    def filter(self, predicate: Callable) -> "Dataset":
+        """Keep records satisfying ``predicate`` (narrow)."""
+        return self.map_partitions(lambda _i, it: (x for x in it if predicate(x)))
+
+    def flat_map(self, fn: Callable) -> "Dataset":
+        """Record-wise one-to-many expansion (narrow)."""
+        return self.map_partitions(
+            lambda _i, it: (y for x in it for y in fn(x))
+        )
+
+    def key_by(self, fn: Callable) -> "Dataset":
+        """Pair each record with ``fn(record)`` as its key."""
+        return self.map(lambda x: (fn(x), x))
+
+    def map_values(self, fn: Callable) -> "Dataset":
+        """Transform the value of each (key, value) pair."""
+        return self.map_partitions(
+            lambda _i, it: ((k, fn(v)) for k, v in it)
+        )
+
+    def flat_map_values(self, fn: Callable) -> "Dataset":
+        """Expand each pair's value into zero or more pairs."""
+        return self.map_partitions(
+            lambda _i, it: ((k, y) for k, v in it for y in fn(v))
+        )
+
+    def keys(self) -> "Dataset":
+        """The keys of a pair-dataset."""
+        return self.map_partitions(lambda _i, it: (k for k, _v in it))
+
+    def values(self) -> "Dataset":
+        """The values of a pair-dataset."""
+        return self.map_partitions(lambda _i, it: (v for _k, v in it))
+
+    def union(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets (partitions of both, in order)."""
+        return UnionDataset(self.context, [self, other])
+
+    def sample(self, fraction: float, seed: int = 0) -> "Dataset":
+        """Bernoulli sample of each record (deterministic per partition)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+
+        def sampler(index: int, it: Iterator) -> Iterable:
+            """Per-partition deterministic Bernoulli sampling."""
+            rng = np.random.default_rng((seed, index))
+            return (x for x in it if rng.random() < fraction)
+
+        return self.map_partitions(sampler)
+
+    def zip_with_index(self) -> "Dataset":
+        """Pair each record with a global dense index.
+
+        Runs one counting job to learn per-partition sizes, then a narrow
+        pass assigning offsets (the two-pass strategy Spark uses).
+        """
+        counts = self.context.run_job(self, lambda it: sum(1 for _ in it))
+        offsets = [0]
+        for c in counts[:-1]:
+            offsets.append(offsets[-1] + c)
+
+        def indexer(index: int, it: Iterator) -> Iterable:
+            """Assign global dense indices using partition offsets."""
+            base = offsets[index]
+            return ((x, base + j) for j, x in enumerate(it))
+
+        return self.map_partitions(indexer)
+
+    # -- wide transformations ---------------------------------------------------
+
+    def _pairs_check(self):
+        """Wide key-value ops assume (key, value) records; checked lazily
+        at execution time inside the shuffle writer."""
+
+    def combine_by_key(
+        self,
+        create_combiner: Callable,
+        merge_value: Callable,
+        merge_combiners: Callable,
+        num_partitions: int | None = None,
+    ) -> "Dataset":
+        """Shuffle + merge values per key with a custom combiner."""
+        n = num_partitions or self.num_partitions
+        aggregator = Aggregator(create_combiner, merge_value, merge_combiners)
+        return ShuffledDataset(self, n, hash_partitioner(n), aggregator)
+
+    def reduce_by_key(self, fn: Callable, num_partitions: int | None = None) -> "Dataset":
+        """Merge values per key with an associative function."""
+        return self.combine_by_key(lambda v: v, fn, fn, num_partitions)
+
+    def group_by_key(self, num_partitions: int | None = None) -> "Dataset":
+        """Collect all values per key into a list (wide)."""
+        def create(v):
+            """Start a combiner from the first value."""
+            return [v]
+
+        def merge_value(acc, v):
+            """Fold one more value into a combiner."""
+            acc.append(v)
+            return acc
+
+        def merge_combiners(a, b):
+            """Merge two combiners from different partitions."""
+            a.extend(b)
+            return a
+
+        return self.combine_by_key(create, merge_value, merge_combiners, num_partitions)
+
+    def aggregate_by_key(
+        self,
+        zero,
+        seq_fn: Callable,
+        comb_fn: Callable,
+        num_partitions: int | None = None,
+    ) -> "Dataset":
+        """Per-key aggregation with a zero value and two merge fns."""
+        import copy
+
+        return self.combine_by_key(
+            lambda v: seq_fn(copy.deepcopy(zero), v), seq_fn, comb_fn, num_partitions
+        )
+
+    def distinct(self, num_partitions: int | None = None) -> "Dataset":
+        """Remove duplicate records (one shuffle)."""
+        return (
+            self.map(lambda x: (x, None))
+            .reduce_by_key(lambda a, _b: a, num_partitions)
+            .keys()
+        )
+
+    def repartition(self, num_partitions: int) -> "Dataset":
+        """Redistribute records evenly via a round-robin shuffle."""
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+
+        def tag(index: int, it: Iterator) -> Iterable:
+            return ((index + j, x) for j, x in enumerate(it))
+
+        tagged = self.map_partitions(tag)
+        shuffled = ShuffledDataset(
+            tagged,
+            num_partitions,
+            lambda key: key % num_partitions,
+            aggregator=None,
+        )
+        return shuffled.values()
+
+    def cogroup(self, other: "Dataset", num_partitions: int | None = None) -> "Dataset":
+        """Group both pair-datasets by key: (k, ([self vs], [other vs]))."""
+        n = num_partitions or max(self.num_partitions, other.num_partitions)
+        left = self.map_values(lambda v: (0, v))
+        right = other.map_values(lambda v: (1, v))
+        grouped = left.union(right).group_by_key(n)
+
+        def split_tags(tagged: list) -> tuple[list, list]:
+            lefts = [v for tag, v in tagged if tag == 0]
+            rights = [v for tag, v in tagged if tag == 1]
+            return (lefts, rights)
+
+        return grouped.map_values(split_tags)
+
+    def join(self, other: "Dataset", num_partitions: int | None = None) -> "Dataset":
+        """Inner join on key: (k, (v_self, v_other))."""
+        return self.cogroup(other, num_partitions).flat_map_values(
+            lambda pair: [(a, b) for a in pair[0] for b in pair[1]]
+        )
+
+    def left_outer_join(
+        self, other: "Dataset", num_partitions: int | None = None
+    ) -> "Dataset":
+        """Left join: (k, (v_self, v_other | None))."""
+
+        def expand(pair):
+            lefts, rights = pair
+            if not rights:
+                return [(a, None) for a in lefts]
+            return [(a, b) for a in lefts for b in rights]
+
+        return self.cogroup(other, num_partitions).flat_map_values(expand)
+
+    def right_outer_join(
+        self, other: "Dataset", num_partitions: int | None = None
+    ) -> "Dataset":
+        """Right join: (k, (v_self | None, v_other))."""
+
+        def expand(pair):
+            lefts, rights = pair
+            if not lefts:
+                return [(None, b) for b in rights]
+            return [(a, b) for a in lefts for b in rights]
+
+        return self.cogroup(other, num_partitions).flat_map_values(expand)
+
+    def full_outer_join(
+        self, other: "Dataset", num_partitions: int | None = None
+    ) -> "Dataset":
+        """Full join: (k, (v_self | None, v_other | None))."""
+
+        def expand(pair):
+            lefts, rights = pair
+            if not lefts:
+                return [(None, b) for b in rights]
+            if not rights:
+                return [(a, None) for a in lefts]
+            return [(a, b) for a in lefts for b in rights]
+
+        return self.cogroup(other, num_partitions).flat_map_values(expand)
+
+    def sort_by(
+        self,
+        key_fn: Callable,
+        ascending: bool = True,
+        num_partitions: int | None = None,
+    ) -> "Dataset":
+        """Globally sort via sampled range partitioning."""
+        n = num_partitions or self.num_partitions
+        keyed = self.map(lambda x: (key_fn(x), x))
+        # Sample keys to pick (n - 1) range boundaries.
+        all_keys = keyed.keys().collect()
+        if not all_keys or n == 1:
+            boundaries: list = []
+        else:
+            sorted_keys = sorted(all_keys)
+            boundaries = [
+                sorted_keys[int(len(sorted_keys) * (i + 1) / n) - 1]
+                for i in range(n - 1)
+            ]
+
+        def range_partition(key: object) -> int:
+            idx = bisect.bisect_right(boundaries, key)
+            if not ascending:
+                return n - 1 - idx
+            return idx
+
+        shuffled = ShuffledDataset(keyed, n, range_partition, aggregator=None)
+
+        def sort_partition(_i: int, it: Iterator) -> Iterable:
+            records = sorted(it, key=lambda kv: kv[0], reverse=not ascending)
+            return (v for _k, v in records)
+
+        return shuffled.map_partitions(sort_partition)
+
+    # -- actions ---------------------------------------------------------------
+
+    def collect(self) -> list:
+        """Action: materialize every record on the driver, in order."""
+        results = self.context.run_job(self, list)
+        out: list = []
+        for part in results:
+            out.extend(part)
+        return out
+
+    def collect_partitions(self) -> list[list]:
+        """Action: per-partition record lists on the driver."""
+        return self.context.run_job(self, list)
+
+    def count(self) -> int:
+        """Action: number of records."""
+        return sum(self.context.run_job(self, lambda it: sum(1 for _ in it)))
+
+    def take(self, n: int) -> list:
+        """First ``n`` records in partition order (computes lazily per
+        partition until satisfied)."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        out: list = []
+        for split in range(self.num_partitions):
+            if len(out) >= n:
+                break
+            part = self.context.run_job(self, list, partitions=[split])[0]
+            out.extend(part[: n - len(out)])
+        return out
+
+    def first(self):
+        """Action: the first record; raises on an empty dataset."""
+        result = self.take(1)
+        if not result:
+            raise BatchExecutionError("first() on an empty dataset")
+        return result[0]
+
+    def reduce(self, fn: Callable):
+        """Action: fold all records with an associative function."""
+        def reduce_partition(it: Iterator):
+            acc = _SENTINEL
+            for x in it:
+                acc = x if acc is _SENTINEL else fn(acc, x)
+            return acc
+
+        parts = [
+            p
+            for p in self.context.run_job(self, reduce_partition)
+            if p is not _SENTINEL
+        ]
+        if not parts:
+            raise BatchExecutionError("reduce() on an empty dataset")
+        acc = parts[0]
+        for p in parts[1:]:
+            acc = fn(acc, p)
+        return acc
+
+    def fold(self, zero, fn: Callable):
+        """Action: like reduce but with a zero of the element type."""
+        import copy
+
+        def fold_partition(it: Iterator):
+            acc = copy.deepcopy(zero)
+            for x in it:
+                acc = fn(acc, x)
+            return acc
+
+        acc = copy.deepcopy(zero)
+        for part in self.context.run_job(self, fold_partition):
+            acc = fn(acc, part)
+        return acc
+
+    def aggregate(self, zero, seq_fn: Callable, comb_fn: Callable):
+        """Action: fold into an accumulator of a different type."""
+        import copy
+
+        def agg_partition(it: Iterator):
+            acc = copy.deepcopy(zero)
+            for x in it:
+                acc = seq_fn(acc, x)
+            return acc
+
+        acc = copy.deepcopy(zero)
+        for part in self.context.run_job(self, agg_partition):
+            acc = comb_fn(acc, part)
+        return acc
+
+    def sum(self):
+        """Action: sum of all records."""
+        return self.fold(0, lambda a, b: a + b)
+
+    def mean(self) -> float:
+        """Action: arithmetic mean; raises on an empty dataset."""
+        total, count = self.aggregate(
+            (0.0, 0),
+            lambda acc, x: (acc[0] + x, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        if count == 0:
+            raise BatchExecutionError("mean() on an empty dataset")
+        return total / count
+
+    def max(self):
+        """Action: largest record."""
+        return self.reduce(lambda a, b: a if a >= b else b)
+
+    def min(self):
+        """Action: smallest record."""
+        return self.reduce(lambda a, b: a if a <= b else b)
+
+    def count_by_key(self) -> dict:
+        """Action: records per key, as a dict."""
+        counts: dict = {}
+        for k, _v in self.collect():
+            counts[k] = counts.get(k, 0) + 1
+        return counts
+
+    def collect_as_map(self) -> dict:
+        """Action: pairs as a dict (last write per key wins)."""
+        return dict(self.collect())
+
+    def lookup(self, key: object) -> list:
+        """Action: every value stored under ``key``."""
+        return [v for k, v in self.collect() if k == key]
+
+    def foreach(self, fn: Callable) -> None:
+        """Action: run ``fn`` on every record for its side effects."""
+        def run(it: Iterator):
+            for x in it:
+                fn(x)
+            return None
+
+        self.context.run_job(self, run)
+
+    def save_to_table(self, table) -> int:
+        """Write a pair-dataset into a veloxstore table; returns count.
+
+        The batch→storage leg of the paper's architecture: offline jobs
+        (retrained weights, recomputed features) land in the store the
+        serving tier reads. Writes go through ``table.put`` so they are
+        journaled like any other mutation. Under the threaded scheduler,
+        concurrent writers are safe for *distinct* keys (CPython's GIL
+        makes each put's dict/journal mutation atomic); duplicate keys
+        across partitions land in last-writer-wins order.
+        """
+        written = self.context.accumulator(0)
+
+        def write(record):
+            key, value = record
+            table.put(key, value)
+            written.add(1)
+
+        self.foreach(write)
+        return written.value
+
+
+_SENTINEL = object()
+
+
+class ParallelCollectionDataset(Dataset):
+    """A driver-side list sliced into roughly equal partitions."""
+
+    def __init__(self, context, data: list, num_partitions: int):
+        super().__init__(context, num_partitions, dependencies=[])
+        self._slices = _slice(data, num_partitions)
+
+    def compute(self, split: int, ctx: TaskContext) -> Iterable:
+        """Produce this partition's records (see Dataset.compute)."""
+        return self._slices[split]
+
+
+class RangeDataset(Dataset):
+    """Lazily generated integer range."""
+
+    def __init__(self, context, start: int, stop: int, step: int, num_partitions: int):
+        if step == 0:
+            raise ValueError("step must be non-zero")
+        super().__init__(context, num_partitions, dependencies=[])
+        self._values = range(start, stop, step)
+
+    def compute(self, split: int, ctx: TaskContext) -> Iterable:
+        """Produce this partition's records (see Dataset.compute)."""
+        total = len(self._values)
+        lo = total * split // self.num_partitions
+        hi = total * (split + 1) // self.num_partitions
+        return self._values[lo:hi]
+
+
+class TableScanDataset(Dataset):
+    """Reads a veloxstore table, one dataset partition per table partition.
+
+    This is the path offline retraining uses to consume user weights and
+    item features "from the storage layer" (paper Section 3).
+    """
+
+    def __init__(self, context, table):
+        super().__init__(context, table.num_partitions, dependencies=[])
+        self._table = table
+
+    def compute(self, split: int, ctx: TaskContext) -> Iterable:
+        """Produce this partition's records (see Dataset.compute)."""
+        return self._table.scan_partition(split)
+
+
+class MapPartitionsDataset(Dataset):
+    """Narrow transformation: fn(partition_index, parent_iterator)."""
+
+    def __init__(self, parent: Dataset, fn: Callable[[int, Iterator], Iterable]):
+        super().__init__(
+            parent.context, parent.num_partitions, [NarrowDependency(parent)]
+        )
+        self._parent = parent
+        self._fn = fn
+
+    def compute(self, split: int, ctx: TaskContext) -> Iterable:
+        """Produce this partition's records (see Dataset.compute)."""
+        return self._fn(split, iter(self._parent.iterator(split, ctx)))
+
+
+class UnionDataset(Dataset):
+    """Concatenation: partitions of all parents, in order."""
+
+    def __init__(self, context, parents: list[Dataset]):
+        if not parents:
+            raise ValueError("union requires at least one parent")
+        total = sum(p.num_partitions for p in parents)
+        super().__init__(context, total, [NarrowDependency(p) for p in parents])
+        self._parents = parents
+
+    def compute(self, split: int, ctx: TaskContext) -> Iterable:
+        """Produce this partition's records (see Dataset.compute)."""
+        offset = split
+        for parent in self._parents:
+            if offset < parent.num_partitions:
+                return parent.iterator(offset, ctx)
+            offset -= parent.num_partitions
+        raise BatchExecutionError(f"union has no partition {split}")
+
+
+class ShuffledDataset(Dataset):
+    """Reduce side of a shuffle: fetches buckets from every map output.
+
+    With an aggregator, values are merged per key and records are
+    ``(key, combiner)``. Without one, records pass through unmerged as
+    ``(key, value)``.
+    """
+
+    def __init__(
+        self,
+        parent: Dataset,
+        num_partitions: int,
+        partition_for: Callable[[object], int],
+        aggregator: Aggregator | None,
+    ):
+        dep = ShuffleDependency(parent, num_partitions, partition_for, aggregator)
+        super().__init__(parent.context, num_partitions, [dep])
+        self.shuffle_dependency = dep
+
+    def compute(self, split: int, ctx: TaskContext) -> Iterable:
+        """Produce this partition's records (see Dataset.compute)."""
+        dep = self.shuffle_dependency
+        if dep.aggregator is None:
+            out: list = []
+            for map_partition in range(dep.parent.num_partitions):
+                out.extend(
+                    ctx.shuffle_store.fetch(dep.shuffle_id, map_partition, split)
+                )
+            return out
+        combined: dict = {}
+        agg = dep.aggregator
+        for map_partition in range(dep.parent.num_partitions):
+            bucket = ctx.shuffle_store.fetch(dep.shuffle_id, map_partition, split)
+            for key, combiner in bucket:
+                if key in combined:
+                    combined[key] = agg.merge_combiners(combined[key], combiner)
+                else:
+                    combined[key] = combiner
+        return list(combined.items())
+
+
+def _slice(data: list, num_partitions: int) -> list[list]:
+    """Split ``data`` into ``num_partitions`` contiguous, balanced slices."""
+    data = list(data)
+    total = len(data)
+    return [
+        data[total * i // num_partitions : total * (i + 1) // num_partitions]
+        for i in range(num_partitions)
+    ]

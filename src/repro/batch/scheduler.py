@@ -1,0 +1,303 @@
+"""The sparklite DAG scheduler.
+
+Given a target dataset and a per-partition result function, the scheduler:
+
+1. walks the lineage graph and finds every :class:`ShuffleDependency`
+   reachable through narrow edges (each is a shuffle-map *stage*),
+2. materializes shuffles bottom-up — map tasks compute parent partitions,
+   bucket records by the shuffle's partitioner (with optional map-side
+   combining), and write buckets to the shuffle store,
+3. runs result tasks for the requested partitions.
+
+Fault tolerance mirrors Spark's lineage model: a failed task is retried
+up to ``max_task_attempts`` times, recomputing its inputs; a reduce task
+that hits a missing map output (:class:`ShuffleFetchError`) triggers
+recomputation of just that map task before the retry. A
+:class:`FailureInjector` deterministically provokes both failure modes
+for the fault-tolerance tests.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from threading import RLock
+from typing import Callable, Iterator
+
+from repro.common.errors import TaskFailedError
+from repro.batch.dataset import (
+    Dataset,
+    ShuffleDependency,
+    TaskContext,
+)
+from repro.batch.shuffle import ShuffleFetchError, ShuffleStore
+
+
+@dataclass
+class JobMetrics:
+    """Counters for one scheduler lifetime (reset with ``reset()``)."""
+
+    jobs: int = 0
+    stages: int = 0
+    map_tasks: int = 0
+    result_tasks: int = 0
+    task_retries: int = 0
+    fetch_failures: int = 0
+    injected_failures: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.jobs = 0
+        self.stages = 0
+        self.map_tasks = 0
+        self.result_tasks = 0
+        self.task_retries = 0
+        self.fetch_failures = 0
+        self.injected_failures = 0
+
+
+class InjectedFailure(RuntimeError):
+    """Raised by a :class:`FailureInjector` inside a task."""
+
+
+@dataclass
+class FailureInjector:
+    """Deterministic fault injection for scheduler tests.
+
+    ``map_failures`` maps ``(shuffle_id, partition)`` to how many times
+    that map task should fail before succeeding; ``result_failures`` maps
+    result-task partition index similarly. ``lost_outputs`` lists
+    ``(shuffle_id, map_partition)`` outputs to silently drop after they
+    are first written, forcing a fetch failure downstream.
+    """
+
+    map_failures: dict = field(default_factory=dict)
+    result_failures: dict = field(default_factory=dict)
+    lost_outputs: set = field(default_factory=set)
+    _lock: RLock = field(default_factory=RLock, repr=False)
+
+    def maybe_fail_map(self, shuffle_id: int, partition: int) -> None:
+        """Raise an injected failure if one is configured."""
+        with self._lock:
+            key = (shuffle_id, partition)
+            remaining = self.map_failures.get(key, 0)
+            if remaining > 0:
+                self.map_failures[key] = remaining - 1
+                raise InjectedFailure(f"injected map failure at {key}")
+
+    def maybe_fail_result(self, partition: int) -> None:
+        """Raise an injected failure if one is configured."""
+        with self._lock:
+            remaining = self.result_failures.get(partition, 0)
+            if remaining > 0:
+                self.result_failures[partition] = remaining - 1
+                raise InjectedFailure(
+                    f"injected result failure at partition {partition}"
+                )
+
+    def consume_lost_output(self, shuffle_id: int, map_partition: int) -> bool:
+        """True exactly once per configured lost output."""
+        with self._lock:
+            key = (shuffle_id, map_partition)
+            if key in self.lost_outputs:
+                self.lost_outputs.discard(key)
+                return True
+            return False
+
+
+class DAGScheduler:
+    """Executes dataset lineage graphs.
+
+    ``parallelism`` > 1 runs the tasks of each stage on a thread pool;
+    1 runs them inline (deterministic, easiest to debug, and what the
+    latency benchmarks use).
+    """
+
+    def __init__(
+        self,
+        parallelism: int = 1,
+        max_task_attempts: int = 4,
+        injector: FailureInjector | None = None,
+    ):
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        if max_task_attempts < 1:
+            raise ValueError(
+                f"max_task_attempts must be >= 1, got {max_task_attempts}"
+            )
+        self.parallelism = parallelism
+        self.max_task_attempts = max_task_attempts
+        self.injector = injector
+        self.shuffle_store = ShuffleStore()
+        self.metrics = JobMetrics()
+        self._materialized_shuffles: set[int] = set()
+        self._shuffle_registry: dict[int, ShuffleDependency] = {}
+
+    # -- public API -------------------------------------------------------
+
+    def run_job(
+        self,
+        dataset: Dataset,
+        result_fn: Callable[[Iterator], object],
+        partitions: list[int] | None = None,
+    ) -> list:
+        """Compute ``result_fn(iter(partition))`` for each requested
+        partition of ``dataset``; returns results in partition order."""
+        self.metrics.jobs += 1
+        self._ensure_shuffles(dataset)
+        targets = list(range(dataset.num_partitions)) if partitions is None else partitions
+        ctx = TaskContext(self.shuffle_store, self.metrics)
+        self.metrics.stages += 1
+
+        def result_task(split: int):
+            """Run one result task with retry."""
+            return self._run_with_retry(
+                lambda: self._execute_result(dataset, split, result_fn, ctx),
+                stage=-1,
+                partition=split,
+                is_map=False,
+            )
+
+        return self._run_tasks(result_task, targets)
+
+    def invalidate_shuffle(self, shuffle_id: int) -> None:
+        """Forget a materialized shuffle (tests / memory reclamation)."""
+        self._materialized_shuffles.discard(shuffle_id)
+        self.shuffle_store.drop_shuffle(shuffle_id)
+
+    # -- stage construction --------------------------------------------------
+
+    def _collect_shuffle_deps(self, dataset: Dataset) -> list[ShuffleDependency]:
+        """Shuffle dependencies directly upstream of ``dataset`` (crossing
+        only narrow edges)."""
+        found: list[ShuffleDependency] = []
+        seen: set[int] = set()
+        stack = [dataset]
+        while stack:
+            current = stack.pop()
+            if current.dataset_id in seen:
+                continue
+            seen.add(current.dataset_id)
+            for dep in current.dependencies:
+                if isinstance(dep, ShuffleDependency):
+                    found.append(dep)
+                else:
+                    stack.append(dep.parent)
+        return found
+
+    def _ensure_shuffles(self, dataset: Dataset) -> None:
+        """Materialize every shuffle upstream of ``dataset``, bottom-up."""
+        for dep in self._collect_shuffle_deps(dataset):
+            if dep.shuffle_id in self._materialized_shuffles:
+                continue
+            self._ensure_shuffles(dep.parent)
+            self._run_shuffle_map_stage(dep)
+            self._materialized_shuffles.add(dep.shuffle_id)
+
+    def _run_shuffle_map_stage(self, dep: ShuffleDependency) -> None:
+        self.metrics.stages += 1
+        ctx = TaskContext(self.shuffle_store, self.metrics)
+
+        def map_task(split: int):
+            """Run one shuffle-map task with retry."""
+            return self._run_with_retry(
+                lambda: self._execute_map(dep, split, ctx),
+                stage=dep.shuffle_id,
+                partition=split,
+                is_map=True,
+            )
+
+        self._run_tasks(map_task, list(range(dep.parent.num_partitions)))
+
+    # -- task execution ----------------------------------------------------------
+
+    def _run_tasks(self, task: Callable[[int], object], partitions: list[int]) -> list:
+        if self.parallelism == 1 or len(partitions) <= 1:
+            return [task(p) for p in partitions]
+        with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
+            return list(pool.map(task, partitions))
+
+    def _run_with_retry(
+        self, body: Callable[[], object], stage: int, partition: int, is_map: bool
+    ) -> object:
+        last_error: BaseException | None = None
+        for attempt in range(1, self.max_task_attempts + 1):
+            try:
+                return body()
+            except ShuffleFetchError as err:
+                # Lost map output: recompute just that map task, then retry.
+                self.metrics.fetch_failures += 1
+                self.metrics.task_retries += 1
+                last_error = err
+                self._recompute_map_output(err.shuffle_id, err.map_partition)
+            except InjectedFailure as err:
+                self.metrics.injected_failures += 1
+                self.metrics.task_retries += 1
+                last_error = err
+            except Exception as err:  # genuine task failure: retry via lineage
+                self.metrics.task_retries += 1
+                last_error = err
+        raise TaskFailedError(stage, partition, self.max_task_attempts, last_error)
+
+    def _recompute_map_output(self, shuffle_id: int, map_partition: int) -> None:
+        dep = self._find_dependency(shuffle_id)
+        ctx = TaskContext(self.shuffle_store, self.metrics)
+        self._execute_map(dep, map_partition, ctx, allow_loss=False)
+
+    def _find_dependency(self, shuffle_id: int) -> ShuffleDependency:
+        dep = self._shuffle_registry.get(shuffle_id)
+        if dep is None:
+            raise TaskFailedError(
+                shuffle_id,
+                -1,
+                0,
+                RuntimeError(f"unknown shuffle {shuffle_id} during recovery"),
+            )
+        return dep
+
+    def _execute_map(
+        self,
+        dep: ShuffleDependency,
+        split: int,
+        ctx: TaskContext,
+        allow_loss: bool = True,
+    ) -> None:
+        self._shuffle_registry[dep.shuffle_id] = dep
+        self.metrics.map_tasks += 1
+        if self.injector is not None:
+            self.injector.maybe_fail_map(dep.shuffle_id, split)
+        buckets: list[list] = [[] for _ in range(dep.num_partitions)]
+        records = dep.parent.iterator(split, ctx)
+        if dep.aggregator is None:
+            for key, value in records:
+                buckets[dep.partition_for(key)].append((key, value))
+        else:
+            agg = dep.aggregator
+            # Map-side combine: merge values per key before writing.
+            combined: dict = {}
+            for key, value in records:
+                if key in combined:
+                    combined[key] = agg.merge_value(combined[key], value)
+                else:
+                    combined[key] = agg.create_combiner(value)
+            for key, combiner in combined.items():
+                buckets[dep.partition_for(key)].append((key, combiner))
+        self.shuffle_store.write(dep.shuffle_id, split, buckets)
+        if (
+            allow_loss
+            and self.injector is not None
+            and self.injector.consume_lost_output(dep.shuffle_id, split)
+        ):
+            self.shuffle_store.drop(dep.shuffle_id, split)
+
+    def _execute_result(
+        self,
+        dataset: Dataset,
+        split: int,
+        result_fn: Callable[[Iterator], object],
+        ctx: TaskContext,
+    ) -> object:
+        self.metrics.result_tasks += 1
+        if self.injector is not None:
+            self.injector.maybe_fail_result(split)
+        return result_fn(iter(dataset.iterator(split, ctx)))

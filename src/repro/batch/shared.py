@@ -1,0 +1,69 @@
+"""Driver-shared state for sparklite jobs: broadcasts and accumulators.
+
+Spark programs ship large read-only values to tasks as *broadcast
+variables* and aggregate side-channel statistics through *accumulators*;
+the ALS driver uses both patterns (frozen factor matrices per
+half-iteration; solver diagnostics). In-process these are thin wrappers,
+but they make the intent explicit, catch use-after-unpersist bugs, and
+keep job closures free of accidental mutable capture.
+"""
+
+from __future__ import annotations
+
+from threading import RLock
+
+from repro.common.errors import BatchExecutionError
+
+
+class Broadcast:
+    """A read-only value shared with every task.
+
+    ``unpersist()`` releases the value; any later access raises, which
+    surfaces the classic use-after-free of broadcast handles eagerly.
+    """
+
+    _MISSING = object()
+
+    def __init__(self, broadcast_id: int, value: object):
+        self.broadcast_id = broadcast_id
+        self._value = value
+
+    @property
+    def value(self) -> object:
+        """The broadcast value / current accumulator total."""
+        if self._value is Broadcast._MISSING:
+            raise BatchExecutionError(
+                f"broadcast {self.broadcast_id} was unpersisted"
+            )
+        return self._value
+
+    def unpersist(self) -> None:
+        """Release the value; later access raises."""
+        self._value = Broadcast._MISSING
+
+
+class Accumulator:
+    """A write-only-from-tasks, read-from-driver counter.
+
+    Tasks call ``add``; only the driver should read ``value``. Additions
+    are serialized, so accumulators are safe under the threaded
+    scheduler. ``merge_fn`` defaults to ``+`` (sums), but any
+    associative, commutative function works.
+    """
+
+    def __init__(self, accumulator_id: int, zero, merge_fn=None):
+        self.accumulator_id = accumulator_id
+        self._value = zero
+        self._merge = merge_fn if merge_fn is not None else (lambda a, b: a + b)
+        self._lock = RLock()
+
+    def add(self, amount) -> None:
+        """Merge one contribution (called from tasks)."""
+        with self._lock:
+            self._value = self._merge(self._value, amount)
+
+    @property
+    def value(self):
+        """The broadcast value / current accumulator total."""
+        with self._lock:
+            return self._value

@@ -1,0 +1,91 @@
+"""Shuffle machinery for sparklite.
+
+A shuffle moves key-value records from the M partitions of a map-side
+dataset into the R partitions of a reduce-side dataset. Map tasks write
+one bucket per reduce partition into the :class:`ShuffleStore`; reduce
+tasks fetch their bucket from every map output. A missing map output at
+fetch time raises :class:`ShuffleFetchError`, which the DAG scheduler
+handles by recomputing the lost map task — sparklite's version of
+Spark's lineage-based fault tolerance.
+"""
+
+from __future__ import annotations
+
+from threading import RLock
+
+from repro.common.errors import BatchExecutionError
+from repro.common.rng import stable_hash
+
+
+class ShuffleFetchError(BatchExecutionError):
+    """A reduce task could not find a map task's shuffle output."""
+
+    def __init__(self, shuffle_id: int, map_partition: int):
+        self.shuffle_id = shuffle_id
+        self.map_partition = map_partition
+        super().__init__(
+            f"shuffle {shuffle_id}: output of map partition "
+            f"{map_partition} is missing"
+        )
+
+
+def hash_partitioner(num_partitions: int):
+    """Default shuffle partitioner: stable hash of the key."""
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+
+    def partition_for(key: object) -> int:
+        return stable_hash(key) % num_partitions
+
+    return partition_for
+
+
+class ShuffleStore:
+    """In-memory shuffle output storage, keyed by (shuffle_id, map_partition).
+
+    Each entry is a list of R buckets, bucket r holding the (key, value)
+    records destined for reduce partition r.
+    """
+
+    def __init__(self):
+        self._outputs: dict[tuple[int, int], list[list]] = {}
+        self._lock = RLock()
+        self.records_written = 0
+
+    def write(self, shuffle_id: int, map_partition: int, buckets: list[list]) -> None:
+        """Store one map task's buckets."""
+        with self._lock:
+            self._outputs[(shuffle_id, map_partition)] = buckets
+            self.records_written += sum(len(b) for b in buckets)
+
+    def has_output(self, shuffle_id: int, map_partition: int) -> bool:
+        """Whether a map task's output is present."""
+        with self._lock:
+            return (shuffle_id, map_partition) in self._outputs
+
+    def fetch(self, shuffle_id: int, map_partition: int, reduce_partition: int) -> list:
+        """One reduce partition's bucket from one map output."""
+        with self._lock:
+            try:
+                buckets = self._outputs[(shuffle_id, map_partition)]
+            except KeyError:
+                raise ShuffleFetchError(shuffle_id, map_partition) from None
+            return buckets[reduce_partition]
+
+    def drop(self, shuffle_id: int, map_partition: int) -> bool:
+        """Discard one map output (used by fault-injection tests)."""
+        with self._lock:
+            return self._outputs.pop((shuffle_id, map_partition), None) is not None
+
+    def drop_shuffle(self, shuffle_id: int) -> int:
+        """Discard every output of one shuffle; returns count dropped."""
+        with self._lock:
+            doomed = [k for k in self._outputs if k[0] == shuffle_id]
+            for k in doomed:
+                del self._outputs[k]
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every shuffle output."""
+        with self._lock:
+            self._outputs.clear()

@@ -1,0 +1,42 @@
+"""Cluster simulation: nodes, partition placement, routing, network costs.
+
+Velox deploys a co-located (model manager, model predictor) pair with
+each Tachyon worker and routes each user's requests to the node owning
+that user's weight-vector partition, so user-weight reads and writes are
+always local (paper Section 5). This subpackage models that fabric inside
+one process:
+
+* :class:`Partitioner` implementations map keys to partitions,
+* :class:`Node` represents one worker with its local shards,
+* :class:`Router` policies map a request's uid to a serving node —
+  :class:`UserAwareRouter` (the paper's design) vs
+  :class:`RandomRouter` (the ablation baseline),
+* :class:`NetworkModel` charges modeled latency/bytes for remote
+  accesses on a virtual clock, giving deterministic locality metrics.
+"""
+
+from repro.cluster.partitioner import (
+    Partitioner,
+    HashPartitioner,
+    ModuloPartitioner,
+    RangePartitioner,
+)
+from repro.cluster.network import NetworkModel, NetworkStats
+from repro.cluster.node import Node
+from repro.cluster.router import Router, UserAwareRouter, RandomRouter, RoundRobinRouter
+from repro.cluster.cluster import VeloxCluster
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "ModuloPartitioner",
+    "RangePartitioner",
+    "NetworkModel",
+    "NetworkStats",
+    "Node",
+    "Router",
+    "UserAwareRouter",
+    "RandomRouter",
+    "RoundRobinRouter",
+    "VeloxCluster",
+]

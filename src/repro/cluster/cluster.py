@@ -1,0 +1,86 @@
+"""VeloxCluster: wires nodes, storage, routing, and the network model.
+
+One cluster owns a :class:`~repro.store.VeloxStore` sharded across its
+nodes, a router, and a :class:`NetworkModel`. The serving tier asks the
+cluster two questions: *which node serves this uid* (routing) and *what
+does it cost this node to read that key* (locality accounting).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import RoutingError
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import Node
+from repro.cluster.partitioner import HashPartitioner, ModuloPartitioner, Partitioner
+from repro.cluster.router import Router, UserAwareRouter
+from repro.store import VeloxStore
+
+
+class VeloxCluster:
+    """A simulated deployment of ``num_nodes`` co-located worker pairs."""
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        router_factory=None,
+        network: NetworkModel | None = None,
+    ):
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.nodes = [Node(i) for i in range(num_nodes)]
+        self.store = VeloxStore(default_partitions=num_nodes)
+        self.user_partitioner: Partitioner = ModuloPartitioner(num_nodes)
+        self.item_partitioner: Partitioner = HashPartitioner(num_nodes)
+        if router_factory is None:
+            self.router: Router = UserAwareRouter(self.nodes, self.user_partitioner)
+        else:
+            self.router = router_factory(self.nodes)
+        self.network = network if network is not None else NetworkModel()
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the cluster."""
+        return len(self.nodes)
+
+    # -- placement queries ---------------------------------------------------
+
+    def owner_of_user(self, uid: int) -> int:
+        """The node/partition owning this uid's weights."""
+        return self.user_partitioner.partition(uid)
+
+    def owner_of_item(self, item_id: object) -> int:
+        """The node/partition owning this item's features."""
+        return self.item_partitioner.partition(item_id)
+
+    # -- access accounting -----------------------------------------------------
+
+    def charge_user_access(self, serving_node: int, uid: int, size_bytes: int) -> float:
+        """Record a user-weight read/write from ``serving_node``; returns
+        modeled latency (0 when the serving node owns the user)."""
+        return self.network.access(serving_node, self.owner_of_user(uid), size_bytes)
+
+    def charge_item_access(
+        self, serving_node: int, item_id: object, size_bytes: int
+    ) -> float:
+        """Record an item-feature read from ``serving_node``."""
+        return self.network.access(serving_node, self.owner_of_item(item_id), size_bytes)
+
+    # -- failure hooks ------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Take a node down: marks it dead and drops its volatile shards."""
+        self._node(node_id).fail()
+        self.store.fail_node(node_id)
+
+    def restart_node(self, node_id: int) -> int:
+        """Bring a node back: recovers its shards from journals; returns
+        the number of journal records replayed."""
+        node = self._node(node_id)
+        replayed = self.store.recover_node(node_id)
+        node.restart()
+        return replayed
+
+    def _node(self, node_id: int) -> Node:
+        if not 0 <= node_id < len(self.nodes):
+            raise RoutingError(f"no node {node_id} in a {len(self.nodes)}-node cluster")
+        return self.nodes[node_id]

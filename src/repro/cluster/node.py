@@ -1,0 +1,43 @@
+"""A simulated cluster node.
+
+Each node co-hosts one shard of every table (its ``node_id`` doubles as
+the partition index, mirroring the paper's "manager and predictor are
+co-located with each Tachyon worker"). The node tracks liveness and the
+per-node serving counters the ablation benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NodeStats:
+    """Per-node serving counters."""
+    requests_served: int = 0
+    observations_applied: int = 0
+    remote_feature_fetches: int = 0
+
+
+@dataclass
+class Node:
+    """One worker: an id, liveness, and serving counters.
+
+    The heavyweight state (table shards) lives in the shared
+    :class:`~repro.store.VeloxStore`, addressed by this node's id as the
+    partition index — exactly how co-location works in the paper's
+    deployment.
+    """
+
+    node_id: int
+    alive: bool = True
+    stats: NodeStats = field(default_factory=NodeStats)
+
+    def fail(self) -> None:
+        """Mark the node dead (router will skip it)."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Mark the node alive again with fresh counters."""
+        self.alive = True
+        self.stats = NodeStats()

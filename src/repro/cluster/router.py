@@ -1,0 +1,87 @@
+"""Request routing policies.
+
+The paper's design routes each incoming request to the node owning that
+user's weight partition, making all user-weight reads and writes local
+and load-balancing both serving and online updates. The alternatives
+here (random, round-robin) are the baselines the routing ablation
+benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import count
+
+import numpy as np
+
+from repro.common.errors import RoutingError
+from repro.common.rng import as_generator
+from repro.cluster.node import Node
+from repro.cluster.partitioner import Partitioner
+
+
+class Router(ABC):
+    """Chooses the serving node for a request identified by uid."""
+
+    def __init__(self, nodes: list[Node]):
+        if not nodes:
+            raise RoutingError("router requires at least one node")
+        self.nodes = nodes
+
+    def _alive(self) -> list[Node]:
+        alive = [n for n in self.nodes if n.alive]
+        if not alive:
+            raise RoutingError("no alive nodes to route to")
+        return alive
+
+    @abstractmethod
+    def route(self, uid: int) -> Node:
+        """The node that should serve this user's request."""
+
+
+class UserAwareRouter(Router):
+    """Route to the node owning the user's weight partition (the paper's
+    policy). Falls over to the next alive node when the owner is down."""
+
+    def __init__(self, nodes: list[Node], partitioner: Partitioner):
+        super().__init__(nodes)
+        if partitioner.num_partitions != len(nodes):
+            raise RoutingError(
+                f"partitioner has {partitioner.num_partitions} partitions "
+                f"but the cluster has {len(nodes)} nodes"
+            )
+        self.partitioner = partitioner
+
+    def route(self, uid: int) -> Node:
+        """The node that should serve this user's request."""
+        owner = self.nodes[self.partitioner.partition(uid)]
+        if owner.alive:
+            return owner
+        alive = self._alive()
+        return alive[self.partitioner.partition(uid) % len(alive)]
+
+
+class RandomRouter(Router):
+    """Uniform random routing — the locality-oblivious baseline."""
+
+    def __init__(self, nodes: list[Node], rng: np.random.Generator | int | None = None):
+        super().__init__(nodes)
+        self._rng = as_generator(rng)
+
+    def route(self, uid: int) -> Node:
+        """The node that should serve this user's request."""
+        alive = self._alive()
+        return alive[int(self._rng.integers(len(alive)))]
+
+
+class RoundRobinRouter(Router):
+    """Cycle through alive nodes — even load, no locality."""
+
+    def __init__(self, nodes: list[Node]):
+        super().__init__(nodes)
+        self._counter = count()
+
+    def route(self, uid: int) -> Node:
+        """The node that should serve this user's request."""
+        alive = self._alive()
+        return alive[next(self._counter) % len(alive)]

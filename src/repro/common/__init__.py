@@ -1,0 +1,51 @@
+"""Shared infrastructure: errors, configuration, RNG plumbing, clocks.
+
+Everything in :mod:`repro` that needs a random stream takes an explicit
+``numpy.random.Generator`` (or a seed) so experiments are reproducible;
+everything that needs time takes a :class:`Clock` so simulated components
+can run on virtual time while benchmarks run on wall-clock time.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    ModelNotFoundError,
+    UserNotFoundError,
+    ItemNotFoundError,
+    StorageError,
+    KeyNotFoundError,
+    PartitionError,
+    VersionConflictError,
+    BatchExecutionError,
+    TaskFailedError,
+    RoutingError,
+    StaleModelError,
+    ValidationError,
+)
+from repro.common.rng import as_generator, spawn_generators, stable_hash
+from repro.common.clock import Clock, SystemClock, SimulatedClock
+from repro.common.config import VeloxConfig
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "ModelNotFoundError",
+    "UserNotFoundError",
+    "ItemNotFoundError",
+    "StorageError",
+    "KeyNotFoundError",
+    "PartitionError",
+    "VersionConflictError",
+    "BatchExecutionError",
+    "TaskFailedError",
+    "RoutingError",
+    "StaleModelError",
+    "ValidationError",
+    "as_generator",
+    "spawn_generators",
+    "stable_hash",
+    "Clock",
+    "SystemClock",
+    "SimulatedClock",
+    "VeloxConfig",
+]

@@ -1,0 +1,55 @@
+"""Clock abstraction: wall-clock for benchmarks, virtual time for simulation.
+
+The cluster network model charges virtual latency for remote operations;
+those charges accumulate on a :class:`SimulatedClock` so experiments can
+report modeled latency deterministically. Real compute latency (Figures 3
+and 4) is measured against :class:`SystemClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Minimal clock interface: read time and advance/sleep."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (monotonic within one clock instance)."""
+
+    @abstractmethod
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds`` (sleep or virtual jump)."""
+
+
+class SystemClock(Clock):
+    """Wall-clock time backed by ``time.perf_counter``."""
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        return time.perf_counter()
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"cannot sleep a negative duration: {seconds}")
+        time.sleep(seconds)
+
+
+class SimulatedClock(Clock):
+    """Deterministic virtual clock; ``advance`` is free and instantaneous."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards: {seconds}")
+        self._now += seconds

@@ -1,0 +1,113 @@
+"""Exception hierarchy for the Velox reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subsystems raise the most specific subclass available;
+nothing in the library raises bare ``Exception`` or returns sentinel
+``None`` values for error cases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class ModelNotFoundError(ReproError):
+    """The requested model name (or version) is not registered."""
+
+    def __init__(self, name: str, version: int | None = None):
+        self.name = name
+        self.version = version
+        if version is None:
+            super().__init__(f"model {name!r} is not registered")
+        else:
+            super().__init__(f"model {name!r} has no version {version}")
+
+
+class UserNotFoundError(ReproError):
+    """The requested user has no weight vector and bootstrapping is off."""
+
+    def __init__(self, uid: int):
+        self.uid = uid
+        super().__init__(f"user {uid} has no weight vector")
+
+
+class ItemNotFoundError(ReproError):
+    """The requested item has no materialized features."""
+
+    def __init__(self, item_id: int):
+        self.item_id = item_id
+        super().__init__(f"item {item_id} has no materialized features")
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class KeyNotFoundError(StorageError, KeyError):
+    """A key was not present in the table.
+
+    Also derives from ``KeyError`` so ``store[key]``-style access behaves
+    like a mapping for callers that expect it.
+    """
+
+    def __init__(self, table: str, key: object):
+        self.table = table
+        self.key = key
+        StorageError.__init__(self, f"key {key!r} not found in table {table!r}")
+
+    def __str__(self) -> str:  # KeyError.__str__ repr-quotes its arg
+        return f"key {self.key!r} not found in table {self.table!r}"
+
+
+class PartitionError(StorageError):
+    """A partition is unavailable, lost, or misaddressed."""
+
+
+class VersionConflictError(StorageError):
+    """An optimistic-concurrency write observed a newer version."""
+
+    def __init__(self, table: str, key: object, expected: int, actual: int):
+        self.table = table
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"version conflict on {table!r}[{key!r}]: "
+            f"expected {expected}, found {actual}"
+        )
+
+
+class BatchExecutionError(ReproError):
+    """A batch (sparklite) job failed after exhausting retries."""
+
+
+class TaskFailedError(BatchExecutionError):
+    """A single task failed; carries the partition and attempt count."""
+
+    def __init__(self, stage: int, partition: int, attempts: int, cause: BaseException):
+        self.stage = stage
+        self.partition = partition
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"task for stage {stage} partition {partition} failed "
+            f"after {attempts} attempt(s): {cause!r}"
+        )
+
+
+class RoutingError(ReproError):
+    """A request could not be routed to an owning node."""
+
+
+class StaleModelError(ReproError):
+    """An operation referenced a model version that has been retired."""
+
+
+class ValidationError(ReproError):
+    """User-supplied data failed validation (bad shape, NaN, wrong dtype)."""

@@ -1,0 +1,47 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component accepts either a seed or a ready-made
+``numpy.random.Generator``. :func:`as_generator` normalizes the two, and
+:func:`spawn_generators` derives independent child streams so parallel
+tasks do not share state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+DEFAULT_SEED = 0x5EED
+
+
+def as_generator(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``Generator`` for a seed, an existing generator, or ``None``.
+
+    ``None`` maps to a fixed library-wide default seed (not OS entropy) so
+    that "I forgot to pass a seed" still yields reproducible runs.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if seed_or_rng is None:
+        return np.random.default_rng(DEFAULT_SEED)
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_generators(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
+
+
+def stable_hash(value: object) -> int:
+    """A process-stable 64-bit hash for partitioning.
+
+    Python's built-in ``hash`` is randomized per process for ``str`` and
+    ``bytes``, which would make partition maps non-deterministic across
+    runs. This uses blake2b over the repr, which is stable for the key
+    types the store supports (ints, strings, tuples thereof).
+    """
+    digest = hashlib.blake2b(repr(value).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")

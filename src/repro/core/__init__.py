@@ -1,0 +1,89 @@
+"""Velox core: the paper's primary contribution.
+
+The pieces map one-to-one onto the paper's architecture (Figure 2):
+
+* :mod:`repro.core.model` — the ``VeloxModel`` interface (Listing 2),
+* :mod:`repro.core.models` — concrete feature functions (matrix
+  factorization, personalized linear, ensemble-of-SVMs, random Fourier
+  features, a small MLP),
+* :mod:`repro.core.online` — per-user online learning (Eq. 2: normal
+  equations; Sherman–Morrison rank-one updates; SGD),
+* :mod:`repro.core.offline` — offline (re)training on the sparklite
+  batch substrate, including ALS for the factor models,
+* :mod:`repro.core.prediction` — the model predictor: ``predict`` /
+  ``top_k`` with feature and prediction caches,
+* :mod:`repro.core.manager` — the model manager: ``observe`` ingestion,
+  quality evaluation, staleness detection, retraining, versioning,
+* :mod:`repro.core.bandits` — contextual-bandit topK policies,
+* :mod:`repro.core.bootstrap` — new-user priors,
+* :mod:`repro.core.materialization` — prediction materialization
+  strategies (the Section 2.1 straw-men plus Velox's hybrid),
+* :mod:`repro.core.velox` — the deployment facade tying it together.
+"""
+
+from repro.core.model import VeloxModel, ModelRegistry, ModelVersion
+from repro.core.online import (
+    UserModelState,
+    NormalEquationsUpdater,
+    ShermanMorrisonUpdater,
+    SgdUpdater,
+    make_updater,
+)
+from repro.core.prediction import PredictionService, PredictionResult
+from repro.core.manager import ModelManager, ModelHealth
+from repro.core.bandits import (
+    BanditPolicy,
+    GreedyPolicy,
+    EpsilonGreedyPolicy,
+    LinUcbPolicy,
+    ThompsonSamplingPolicy,
+)
+from repro.core.bootstrap import UserWeightAverager
+from repro.core.selection import (
+    HedgeSelector,
+    Exp3Selector,
+    EpsilonGreedySelector,
+    SelectorScope,
+    EnsembleRouter,
+)
+from repro.core.topk import NaiveTopK, BlockedMatrixTopK, ThresholdTopK
+from repro.core.shadow import ShadowEvaluator, ShadowReport
+from repro.core.udf_inspect import UdfReport, check_retrain_udf, inspect_udf
+from repro.core.maintenance import MaintenanceScheduler
+from repro.core.velox import Velox
+
+__all__ = [
+    "VeloxModel",
+    "ModelRegistry",
+    "ModelVersion",
+    "UserModelState",
+    "NormalEquationsUpdater",
+    "ShermanMorrisonUpdater",
+    "SgdUpdater",
+    "make_updater",
+    "PredictionService",
+    "PredictionResult",
+    "ModelManager",
+    "ModelHealth",
+    "BanditPolicy",
+    "GreedyPolicy",
+    "EpsilonGreedyPolicy",
+    "LinUcbPolicy",
+    "ThompsonSamplingPolicy",
+    "UserWeightAverager",
+    "HedgeSelector",
+    "Exp3Selector",
+    "EpsilonGreedySelector",
+    "SelectorScope",
+    "EnsembleRouter",
+    "NaiveTopK",
+    "BlockedMatrixTopK",
+    "ThresholdTopK",
+    "ShadowEvaluator",
+    "ShadowReport",
+    "UdfReport",
+    "inspect_udf",
+    "check_retrain_udf",
+    "MaintenanceScheduler",
+    "Velox",
+]

@@ -1,0 +1,133 @@
+"""Contextual-bandit policies for topK serving (paper Section 5).
+
+Model serving influences the data collected for future training; a
+greedy topK can lock into a feedback loop (the "Top 40 forever"
+problem). These policies implement the paper's escape hatch: rank items
+by *potential* score — predicted score plus an uncertainty bonus — so
+the system occasionally serves items whose value it is unsure about,
+and each resulting observation shrinks that uncertainty the most.
+
+The uncertainty is ``sqrt(f^T A_u^{-1} f)`` from the per-user covariance
+that the Sherman–Morrison online learner already maintains — LinUCB's
+confidence width falls out of the serving state for free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import as_generator
+
+
+class BanditPolicy(ABC):
+    """Maps (predicted score, uncertainty) to a selection score.
+
+    ``top_k`` ranks candidates by ``selection_score``; the true predicted
+    score is always reported to the caller unchanged.
+    """
+
+    @abstractmethod
+    def selection_score(self, score: float, uncertainty: float) -> float:
+        """The ranking value for one candidate."""
+
+
+class GreedyPolicy(BanditPolicy):
+    """Pure exploitation: rank by predicted score (the baseline that
+    falls into feedback loops)."""
+
+    def selection_score(self, score: float, uncertainty: float) -> float:
+        """Ranking value for one candidate (see BanditPolicy)."""
+        return score
+
+
+class LinUcbPolicy(BanditPolicy):
+    """Optimism in the face of uncertainty: ``score + alpha * width``.
+
+    This is the contextual-bandit form the paper cites [Li et al., WWW
+    2010], with the confidence width supplied by the online learner's
+    ``A^{-1}``.
+    """
+
+    def __init__(self, alpha: float = 0.5):
+        if alpha < 0:
+            raise ConfigError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+
+    def selection_score(self, score: float, uncertainty: float) -> float:
+        """Ranking value for one candidate (see BanditPolicy)."""
+        return score + self.alpha * uncertainty
+
+
+class EpsilonGreedyPolicy(BanditPolicy):
+    """With probability epsilon, randomize the ranking; otherwise greedy.
+
+    Randomization is implemented by adding uniform noise large enough to
+    shuffle the candidate order, which keeps the policy stateless with
+    respect to the candidate set.
+    """
+
+    def __init__(self, epsilon: float = 0.1, rng=None, noise_scale: float = 100.0):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigError(f"epsilon must be in [0, 1], got {epsilon}")
+        if noise_scale <= 0:
+            raise ConfigError(f"noise_scale must be > 0, got {noise_scale}")
+        self.epsilon = epsilon
+        self.noise_scale = noise_scale
+        self._rng = as_generator(rng)
+
+    def selection_score(self, score: float, uncertainty: float) -> float:
+        """Ranking value for one candidate (see BanditPolicy)."""
+        if self._rng.random() < self.epsilon:
+            return float(self._rng.uniform(0.0, self.noise_scale))
+        return score
+
+
+class ThompsonSamplingPolicy(BanditPolicy):
+    """Posterior sampling: perturb the score by a draw from its
+    (approximate) posterior, ``N(score, (scale * uncertainty)^2)``.
+
+    With the ridge posterior ``w ~ N(w_hat, sigma^2 A^{-1})``, the
+    predictive distribution of ``w^T f`` has standard deviation
+    proportional to the LinUCB width — so sampling in score space is
+    equivalent to sampling weights and scoring.
+    """
+
+    def __init__(self, scale: float = 1.0, rng=None):
+        if scale < 0:
+            raise ConfigError(f"scale must be >= 0, got {scale}")
+        self.scale = scale
+        self._rng = as_generator(rng)
+
+    def selection_score(self, score: float, uncertainty: float) -> float:
+        """Ranking value for one candidate (see BanditPolicy)."""
+        if uncertainty == 0.0:
+            return score
+        return float(self._rng.normal(score, self.scale * uncertainty))
+
+
+def make_policy(name: str, exploration: float = 0.5, rng=None) -> BanditPolicy:
+    """Factory keyed by policy name (used by config/front-end layers)."""
+    if name == "greedy":
+        return GreedyPolicy()
+    if name == "linucb":
+        return LinUcbPolicy(alpha=exploration)
+    if name == "epsilon_greedy":
+        return EpsilonGreedyPolicy(epsilon=min(1.0, exploration), rng=rng)
+    if name == "thompson":
+        return ThompsonSamplingPolicy(scale=exploration, rng=rng)
+    raise ConfigError(f"unknown bandit policy {name!r}")
+
+
+def expected_uncertainty_reduction(a_inv: np.ndarray, features: np.ndarray) -> float:
+    """How much total posterior variance an observation of ``features``
+    would remove — the quantity bandit selection implicitly maximizes.
+
+    Computed as ``trace(A^{-1}) - trace(A'^{-1})`` after a rank-one
+    Sherman–Morrison update with ``features``.
+    """
+    a_inv_f = a_inv @ features
+    denom = 1.0 + float(features @ a_inv_f)
+    return float(a_inv_f @ a_inv_f) / denom

@@ -1,0 +1,62 @@
+"""New-user bootstrapping (paper Section 5).
+
+New users are assigned "a recent estimate of the average of the existing
+user weight vectors", which corresponds to predicting the average score
+over all users. :class:`UserWeightAverager` maintains that average
+incrementally: each user's latest weight vector contributes once, and
+re-writes replace the previous contribution, so the mean always reflects
+current weights in O(d) per update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+class UserWeightAverager:
+    """Exact running mean of every user's current weight vector."""
+
+    def __init__(self, dimension: int):
+        if dimension < 1:
+            raise ValidationError(f"dimension must be >= 1, got {dimension}")
+        self.dimension = dimension
+        self._sum = np.zeros(dimension)
+        self._contributions: dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._contributions)
+
+    def update(self, uid: int, weights: np.ndarray) -> None:
+        """Record ``uid``'s current weights (replacing any previous ones)."""
+        arr = np.asarray(weights, dtype=float)
+        if arr.shape != (self.dimension,):
+            raise ValidationError(
+                f"weights must have shape ({self.dimension},), got {arr.shape}"
+            )
+        previous = self._contributions.get(uid)
+        if previous is not None:
+            self._sum -= previous
+        contribution = arr.copy()
+        self._contributions[uid] = contribution
+        self._sum += contribution
+
+    def remove(self, uid: int) -> bool:
+        """Forget a user; returns whether they were known."""
+        previous = self._contributions.pop(uid, None)
+        if previous is None:
+            return False
+        self._sum -= previous
+        return True
+
+    def mean(self) -> np.ndarray:
+        """The bootstrap weight vector w-bar for new users."""
+        if not self._contributions:
+            raise ValidationError("no user weights to average yet")
+        return self._sum / len(self._contributions)
+
+    def reset(self) -> None:
+        """Forget every contribution."""
+        self._sum = np.zeros(self.dimension)
+        self._contributions.clear()

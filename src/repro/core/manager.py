@@ -1,0 +1,570 @@
+"""The Velox model manager: lifecycle orchestration (paper Section 4).
+
+Responsibilities, mapping to the paper's list:
+
+* **Feedback and data collection (4.1)** — ``observe`` appends to the
+  durable observation log and triggers the online update.
+* **Offline + online learning (4.2)** — online per-user updates through
+  the configured updater; offline retraining of θ delegated to the
+  batch substrate via ``VeloxModel.retrain``, followed by cache
+  repopulation.
+* **Model evaluation (4.3)** — per-model health tracking (running loss
+  aggregates, a recent-loss window, progressive cross-validation, and a
+  bandit-collected validation pool); staleness detection triggers
+  retraining automatically.
+* **Lifecycle** — version history, rollback, and retrain event records.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from threading import RLock
+
+import numpy as np
+
+from repro.common.config import VeloxConfig
+from repro.common.errors import ValidationError
+from repro.core.model import ModelRegistry, VeloxModel
+from repro.core.online import UserModelState, make_updater
+from repro.core.bootstrap import UserWeightAverager
+from repro.metrics.streaming import StreamingMeanVar, WindowedMean
+from repro.store.oblog import Observation
+
+
+@dataclass
+class ModelHealth:
+    """Quality-monitoring state for one deployed model.
+
+    ``baseline`` freezes over the first ``window`` losses after each
+    (re)deployment; ``recent`` is a sliding window. The model is stale
+    when the recent mean exceeds ``staleness_loss_ratio`` times the
+    frozen baseline (and enough observations have been seen).
+    """
+
+    window: int
+    baseline: StreamingMeanVar = field(default_factory=StreamingMeanVar)
+    recent: WindowedMean = None
+    cross_validation: StreamingMeanVar = field(default_factory=StreamingMeanVar)
+    validation_pool: list = field(default_factory=list)
+    validation_loss: StreamingMeanVar = field(default_factory=StreamingMeanVar)
+    observations: int = 0
+
+    def __post_init__(self):
+        if self.recent is None:
+            self.recent = WindowedMean(self.window)
+
+    def record(self, loss: float) -> None:
+        """Fold one loss into the baseline/recent trackers."""
+        self.observations += 1
+        self.cross_validation.update(loss)
+        if self.baseline.count < self.window:
+            self.baseline.update(loss)
+        self.recent.update(loss)
+
+    def record_validation_example(self, uid: int, item: object, label: float, loss: float) -> None:
+        """Add a bandit-collected example to the validation pool."""
+        self.validation_pool.append((uid, item, label, loss))
+        self.validation_loss.update(loss)
+
+    def is_stale(self, ratio: float, min_observations: int) -> bool:
+        """Whether recent loss exceeds ``ratio`` times the baseline."""
+        if self.observations < min_observations:
+            return False
+        if self.baseline.count < self.window or not self.recent.full:
+            return False
+        baseline_mean = max(self.baseline.mean, 1e-12)
+        return self.recent.mean > ratio * baseline_mean
+
+    def reset_after_retrain(self) -> None:
+        """New model, new baseline; the validation pool is retained (it
+        is model-independent data)."""
+        self.baseline = StreamingMeanVar()
+        self.recent = WindowedMean(self.window)
+        self.observations = 0
+
+
+@dataclass(frozen=True)
+class _RetrainSnapshot:
+    """Everything the offline phase consumes, captured at trigger time."""
+
+    model: object
+    offset: int
+    observations: list
+    weights: dict
+    hot_features: list
+    hot_predictions: list
+
+
+class RetrainHandle:
+    """Tracks one background retrain (see ``retrain_async``)."""
+
+    def __init__(self, model_name: str):
+        self.model_name = model_name
+        self._done = threading.Event()
+        self._event: "RetrainEvent | None" = None
+        self._error: BaseException | None = None
+
+    def _finish(self, event, error) -> None:
+        self._event = event
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        """Whether the background retrain has finished (either way)."""
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> "RetrainEvent":
+        """Block until the retrain completes; re-raises its failure."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"background retrain of {self.model_name!r} still running"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._event
+
+
+@dataclass(frozen=True)
+class RetrainEvent:
+    """One completed offline retrain."""
+
+    model_name: str
+    new_version: int
+    observations_used: int
+    reason: str
+    caches_repopulated: int
+    #: observations actually trained on when the sampling engine was
+    #: used (None = full log).
+    sampled_observations: int | None = None
+
+
+@dataclass(frozen=True)
+class ObserveResult:
+    """What one ``observe`` call did."""
+
+    loss: float
+    prediction_before_update: float
+    retrained: bool
+    node_id: int
+
+
+class ModelManager:
+    """Orchestrates models' online updates, evaluation, and retraining."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        cluster,
+        service,
+        batch_context,
+        config: VeloxConfig,
+        auto_retrain: bool = True,
+    ):
+        self.registry = registry
+        self.cluster = cluster
+        self.service = service
+        self.batch_context = batch_context
+        self.config = config
+        self.auto_retrain = auto_retrain
+        self.updater = make_updater(config.online_update_method)
+        self.health: dict[str, ModelHealth] = {}
+        self.averagers: dict[str, UserWeightAverager] = {}
+        self.udf_warnings: dict[str, list[str]] = {}
+        self.retrain_events: list[RetrainEvent] = []
+        self._retraining = False
+        self._async_retraining: set[str] = set()
+        # Serializes the read-modify-write of user state and the model
+        # swap: the front-end server is threaded, and two concurrent
+        # observes for the same user must not lose an update. Predictions
+        # stay lock-free (they only read).
+        self._write_lock = RLock()
+
+    # -- deployment -------------------------------------------------------
+
+    def add_model(
+        self,
+        model: VeloxModel,
+        initial_user_weights: dict[int, np.ndarray] | None = None,
+        seed_observations: list[Observation] | None = None,
+        note: str = "initial deployment",
+    ) -> None:
+        """Deploy a model: register it, create its user-state table and
+        observation log, and install any offline-trained user weights.
+
+        ``seed_observations`` writes the historical training data into the
+        model's observation log, so later offline retraining sees "all the
+        available training data" (paper Section 4.2) rather than only the
+        feedback collected since deployment.
+        """
+        self.registry.register(model, note=note)
+        # Advisory UDF inspection (paper Section 6): flag retrain
+        # procedures that look nondeterministic or stateful.
+        from repro.core.udf_inspect import check_retrain_udf
+
+        self.udf_warnings[model.name] = check_retrain_udf(model.retrain)
+        store = self.cluster.store
+        table = store.create_table(
+            self._state_table_name(model.name),
+            num_partitions=self.cluster.num_nodes,
+            partitioner=self.cluster.user_partitioner,
+        )
+        log = store.create_log(self._log_name(model.name))
+        self.health[model.name] = ModelHealth(window=self.config.staleness_window)
+        averager = UserWeightAverager(model.dimension)
+        self.averagers[model.name] = averager
+        if initial_user_weights:
+            for uid, weights in initial_user_weights.items():
+                state = self._make_state(model, np.asarray(weights, float))
+                table.put(uid, state)
+                averager.update(uid, state.weights)
+        if seed_observations:
+            for observation in seed_observations:
+                log.append(observation)
+
+    def user_state_table(self, model_name: str):
+        """The store table holding this model's per-user states."""
+        return self.cluster.store.table(self._state_table_name(model_name))
+
+    def observation_log(self, model_name: str):
+        """The durable observation log for this model."""
+        return self.cluster.store.log(self._log_name(model_name))
+
+    def averager(self, model_name: str) -> UserWeightAverager:
+        """The bootstrap weight averager for this model."""
+        return self.averagers[model_name]
+
+    # -- feedback ingestion (Listing 1's observe) ------------------------------
+
+    def observe(
+        self,
+        model_name: str,
+        uid: int,
+        x: object,
+        y: float,
+        validation: bool = False,
+    ) -> ObserveResult:
+        """Ingest one labelled observation.
+
+        Appends to the durable observation log, applies the online
+        user-weight update on the owning node, updates quality metrics,
+        and (when ``auto_retrain``) triggers offline retraining if the
+        model has gone stale. ``validation=True`` marks observations
+        collected through bandit exploration — they update the model but
+        also land in the unbiased validation pool (paper Section 4.3).
+        """
+        if not np.isfinite(y):
+            raise ValidationError(f"label must be finite, got {y}")
+        with self._write_lock:
+            return self._observe_locked(model_name, uid, x, y, validation)
+
+    def _observe_locked(
+        self, model_name: str, uid: int, x: object, y: float, validation: bool
+    ) -> ObserveResult:
+        model = self.registry.get(model_name)
+        node = self.cluster.router.route(uid)
+        node.stats.observations_applied += 1
+        table = self.user_state_table(model_name)
+        log = self.observation_log(model_name)
+
+        # Durable append before the in-memory update (recovery replays it).
+        log.append(
+            Observation(
+                uid=uid,
+                item_id=self._observation_item_id(x),
+                label=float(y),
+                item_data=x,
+                timestamp=float(len(log)),
+            )
+        )
+
+        features, _hit, _latency = self.service.get_features(model, x, node.node_id)
+        self.cluster.charge_user_access(node.node_id, uid, model.dimension * 8)
+
+        state = table.get_or_default(uid)
+        if state is None:
+            state = self._bootstrap_state(model, model_name)
+        prediction_before = state.predict(features)
+        loss = model.loss(y, prediction_before, x, uid)
+
+        health = self.health[model_name]
+        health.record(loss)
+        if validation:
+            health.record_validation_example(uid, x, y, loss)
+
+        self.updater.update(state, features, float(y))
+        state.weight_version += 1
+        table.put(uid, state)
+        self.averagers[model_name].update(uid, state.weights)
+
+        retrained = False
+        if (
+            self.auto_retrain
+            and not self._retraining
+            and health.is_stale(
+                self.config.staleness_loss_ratio,
+                self.config.min_observations_for_staleness,
+            )
+        ):
+            self.retrain_now(model_name, reason="staleness threshold exceeded")
+            retrained = True
+        return ObserveResult(
+            loss=loss,
+            prediction_before_update=prediction_before,
+            retrained=retrained,
+            node_id=node.node_id,
+        )
+
+    # -- retraining --------------------------------------------------------------
+
+    def retrain_now(
+        self,
+        model_name: str,
+        reason: str = "manual",
+        sample_fraction: float | None = None,
+        min_per_user: int = 3,
+    ) -> RetrainEvent:
+        """Offline retrain on all logged data, then swap + repopulate.
+
+        Follows Section 4.2: the batch job consumes the observation log
+        snapshot and current user weights, produces new feature
+        parameters and user weights, and the previously-hot cache
+        entries are recomputed under the new model before the swap
+        completes.
+
+        ``sample_fraction`` routes the snapshot through the sampling
+        engine first (stratified by uid, keeping at least
+        ``min_per_user`` observations per user): an approximate retrain
+        that trades a little accuracy for a much cheaper batch job.
+        """
+        with self._write_lock:
+            self._retraining = True
+            try:
+                snapshot = self._snapshot_for_retrain(model_name)
+                training_set, sampled = self._training_set(
+                    snapshot, sample_fraction, min_per_user
+                )
+                new_model, new_user_weights = snapshot.model.retrain(
+                    self.batch_context, training_set, snapshot.weights
+                )
+                return self._swap_retrained(
+                    model_name, snapshot, new_model, new_user_weights, reason,
+                    sampled_observations=sampled,
+                )
+            finally:
+                self._retraining = False
+
+    def _training_set(
+        self, snapshot: "_RetrainSnapshot", sample_fraction, min_per_user
+    ) -> tuple[list, int | None]:
+        if sample_fraction is None:
+            return snapshot.observations, None
+        from repro.sampling import sample_observations
+
+        sampled = sample_observations(
+            snapshot.observations, sample_fraction, min_per_user=min_per_user
+        )
+        return sampled, len(sampled)
+
+    def retrain_async(self, model_name: str, reason: str = "background") -> "RetrainHandle":
+        """Offline retrain in a background thread; serving continues.
+
+        The observation log and user weights are snapshotted now; the
+        batch job trains outside the write lock (the paper's offline
+        phase runs on the cluster compute framework while the serving
+        tier keeps answering queries); the swap + cache repopulation
+        acquire the lock only at completion. Online updates that land
+        during training adapt the *old* states and are superseded at the
+        swap — the same drift the paper accepts between trigger time and
+        swap time. One background retrain per model at a time.
+        """
+        with self._write_lock:
+            if model_name in self._async_retraining:
+                raise ValidationError(
+                    f"a background retrain for {model_name!r} is already running"
+                )
+            snapshot = self._snapshot_for_retrain(model_name)
+            self._async_retraining.add(model_name)
+        handle = RetrainHandle(model_name)
+
+        def run() -> None:
+            """The background retrain body (train, then locked swap)."""
+            try:
+                new_model, new_user_weights = snapshot.model.retrain(
+                    self.batch_context, snapshot.observations, snapshot.weights
+                )
+                with self._write_lock:
+                    event = self._swap_retrained(
+                        model_name, snapshot, new_model, new_user_weights, reason
+                    )
+                handle._finish(event, None)
+            except BaseException as err:  # surfaced via handle.wait()
+                handle._finish(None, err)
+            finally:
+                with self._write_lock:
+                    self._async_retraining.discard(model_name)
+
+        thread = threading.Thread(
+            target=run, name=f"retrain-{model_name}", daemon=True
+        )
+        thread.start()
+        return handle
+
+    def _snapshot_for_retrain(self, model_name: str) -> "_RetrainSnapshot":
+        """Capture everything the offline phase needs, under the lock."""
+        model = self.registry.get(model_name)
+        log = self.observation_log(model_name)
+        offset = log.snapshot_offset()
+        table = self.user_state_table(model_name)
+        return _RetrainSnapshot(
+            model=model,
+            offset=offset,
+            observations=log.read_range(0, offset),
+            weights={uid: table.get(uid).weights.copy() for uid in table.keys()},
+            hot_features=self.service.cached_feature_items(model_name),
+            hot_predictions=self.service.cached_predictions(model_name),
+        )
+
+    def _swap_retrained(
+        self,
+        model_name: str,
+        snapshot: "_RetrainSnapshot",
+        new_model,
+        new_user_weights: dict,
+        reason: str,
+        sampled_observations: int | None = None,
+    ) -> RetrainEvent:
+        """Publish the retrained model and repopulate caches (locked)."""
+        current = self.registry.get(model_name)
+        if new_model.version <= current.version:
+            new_model = new_model.with_version(current.version + 1)
+        self.registry.publish(
+            new_model, trained_on_observations=snapshot.offset, note=reason
+        )
+
+        # Install fresh user states; the retrained weights become the
+        # prior so subsequent online updates adapt from them.
+        table = self.user_state_table(model_name)
+        averager = UserWeightAverager(new_model.dimension)
+        self.averagers[model_name] = averager
+        for uid, weights in new_user_weights.items():
+            state = self._make_state(new_model, np.asarray(weights, float))
+            table.put(uid, state)
+            averager.update(uid, state.weights)
+
+        repopulated = self._repopulate_caches(
+            new_model, snapshot.hot_features, snapshot.hot_predictions, table
+        )
+        self.health[model_name].reset_after_retrain()
+        event = RetrainEvent(
+            model_name=model_name,
+            new_version=new_model.version,
+            observations_used=snapshot.offset,
+            reason=reason,
+            caches_repopulated=repopulated,
+            sampled_observations=sampled_observations,
+        )
+        self.retrain_events.append(event)
+        return event
+
+    def _repopulate_caches(self, model, hot_features, hot_predictions, table) -> int:
+        """Recompute previously-cached entries under the new model.
+
+        Computed-feature cache keys are content digests whose raw inputs
+        are gone, so only materialized (item-id-keyed) entries can be
+        rebuilt — the same practical limit the paper notes when
+        discussing hot-set drift after retraining.
+        """
+        self.service.invalidate_model(model.name)
+        repopulated = 0
+        for node_id, item_key in hot_features:
+            if isinstance(item_key, (int, np.integer)) and model.materialized:
+                if 0 <= int(item_key) < getattr(model, "num_items", 0):
+                    self.service.warm_feature_cache(node_id, model, int(item_key))
+                    repopulated += 1
+        for node_id, uid, item_key in hot_predictions:
+            if not (isinstance(item_key, (int, np.integer)) and model.materialized):
+                continue
+            if not 0 <= int(item_key) < getattr(model, "num_items", 0):
+                continue
+            state = table.get_or_default(uid)
+            if state is None:
+                continue
+            features = model.features(int(item_key))
+            score = float(state.weights @ features)
+            self.service.warm_prediction_cache(
+                node_id,
+                model,
+                uid,
+                state.weight_version,
+                int(item_key),
+                score,
+                uncertainty=state.uncertainty(features),
+            )
+            repopulated += 1
+        return repopulated
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def rollback(self, model_name: str, version: int) -> VeloxModel:
+        """Revive a historical version (as a new version) and reset
+        health tracking; user states are kept (their weights continue to
+        adapt online against the revived feature parameters)."""
+        revived = self.registry.rollback(model_name, version)
+        self.service.invalidate_model(model_name)
+        self.health[model_name].reset_after_retrain()
+        return revived
+
+    def health_report(self, model_name: str) -> ModelHealth:
+        """The live ModelHealth tracker for this model."""
+        return self.health[model_name]
+
+    def user_generalization(self, model_name: str, uid: int) -> float:
+        """Per-user generalization estimate (paper Section 4.3).
+
+        Exact leave-one-out mean squared error of the user's current
+        ridge fit, available when the deployment keeps observation
+        history (the normal-equations updater). History-free updaters
+        fall back to the user's progressive-validation mean.
+        """
+        from repro.core.online import cross_validation_score
+
+        state = self.user_state_table(model_name).get(uid)
+        if state.feature_history:
+            return cross_validation_score(state)
+        if state.progressive_loss.count:
+            return state.progressive_loss.mean
+        raise ValidationError(
+            f"user {uid} has no observations to estimate generalization from"
+        )
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _state_table_name(self, model_name: str) -> str:
+        return f"user_state:{model_name}"
+
+    def _log_name(self, model_name: str) -> str:
+        return f"observations:{model_name}"
+
+    def _make_state(self, model: VeloxModel, weights: np.ndarray) -> UserModelState:
+        state = UserModelState(
+            dimension=model.dimension,
+            regularization=self.config.regularization,
+            prior_mean=weights,
+        )
+        return state
+
+    def _bootstrap_state(self, model: VeloxModel, model_name: str) -> UserModelState:
+        averager = self.averagers[model_name]
+        if len(averager):
+            weights = averager.mean()
+        else:
+            weights = model.initial_user_weights()
+        return self._make_state(model, weights)
+
+    def _observation_item_id(self, x: object) -> int:
+        """Best-effort integer item id for the log (non-id inputs get -1;
+        the raw input is preserved in ``item_data``)."""
+        if isinstance(x, (int, np.integer)):
+            return int(x)
+        return -1

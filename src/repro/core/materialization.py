@@ -1,0 +1,175 @@
+"""Prediction materialization strategies (paper Section 2.1).
+
+The paper's straw-man analysis contrasts two ways to serve a trained
+model — pre-compute *every* (user, item) prediction into a low-latency
+store, or compute predictions online in the application tier — and
+Velox's answer is a hybrid: compute online, cache aggressively. These
+strategy objects make the trade-off measurable: each serves the same
+(uid, item) queries and reports its build cost, storage footprint, and
+per-query work, which the materialization ablation benchmark compares.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.store.lru import LRUCache
+
+
+@dataclass(frozen=True)
+class MaterializationReport:
+    """Costs of one strategy over one workload."""
+
+    strategy: str
+    build_entries: int
+    storage_entries: int
+    queries: int
+    computed_on_demand: int
+
+
+class MaterializationStrategy(ABC):
+    """Serves w_u^T f(i) for a fixed population of users and items."""
+
+    name = "abstract"
+
+    def __init__(self, user_weights: dict[int, np.ndarray], model):
+        if not user_weights:
+            raise ValidationError("strategy needs at least one user")
+        self.user_weights = user_weights
+        self.model = model
+        self.queries = 0
+        self.computed_on_demand = 0
+
+    @abstractmethod
+    def build(self) -> int:
+        """Precompute whatever the strategy materializes; returns the
+        number of entries built."""
+
+    @abstractmethod
+    def serve(self, uid: int, item_id: int) -> float:
+        """Answer one prediction query."""
+
+    @abstractmethod
+    def storage_entries(self) -> int:
+        """Number of stored scalars/vectors the strategy holds."""
+
+    def report(self) -> MaterializationReport:
+        """Accumulated cost/usage counters for this strategy."""
+        return MaterializationReport(
+            strategy=self.name,
+            build_entries=self._built,
+            storage_entries=self.storage_entries(),
+            queries=self.queries,
+            computed_on_demand=self.computed_on_demand,
+        )
+
+    _built = 0
+
+    def _score(self, uid: int, item_id: int) -> float:
+        weights = self.user_weights.get(uid)
+        if weights is None:
+            raise ValidationError(f"unknown user {uid}")
+        return float(weights @ self.model.features(item_id))
+
+
+class FullPrematerialization(MaterializationStrategy):
+    """Precompute all |users| x |items| predictions (the first straw man).
+
+    Serving is a dict lookup; the cost is the enormous build time and
+    footprint, almost all of it for pairs never queried.
+    """
+
+    name = "full_prematerialization"
+
+    def __init__(self, user_weights, model, num_items: int):
+        super().__init__(user_weights, model)
+        self.num_items = num_items
+        self._table: dict[tuple[int, int], float] = {}
+
+    def build(self) -> int:
+        """Precompute whatever this strategy materializes."""
+        for uid in self.user_weights:
+            for item_id in range(self.num_items):
+                self._table[(uid, item_id)] = self._score(uid, item_id)
+        self._built = len(self._table)
+        return self._built
+
+    def serve(self, uid: int, item_id: int) -> float:
+        """Answer one (uid, item) prediction query."""
+        self.queries += 1
+        try:
+            return self._table[(uid, item_id)]
+        except KeyError:
+            # Pairs outside the materialized population (e.g. new users)
+            # fall back to online computation.
+            self.computed_on_demand += 1
+            return self._score(uid, item_id)
+
+    def storage_entries(self) -> int:
+        """Number of stored entries the strategy holds."""
+        return len(self._table)
+
+
+class OnlineComputation(MaterializationStrategy):
+    """Compute every prediction on demand (the second straw man):
+    zero build cost and footprint, full compute on every query."""
+
+    name = "online_computation"
+
+    def build(self) -> int:
+        """Precompute whatever this strategy materializes."""
+        self._built = 0
+        return 0
+
+    def serve(self, uid: int, item_id: int) -> float:
+        """Answer one (uid, item) prediction query."""
+        self.queries += 1
+        self.computed_on_demand += 1
+        return self._score(uid, item_id)
+
+    def storage_entries(self) -> int:
+        """Number of stored entries the strategy holds."""
+        return 0
+
+
+class HybridCaching(MaterializationStrategy):
+    """Velox's approach: compute online through an LRU prediction cache.
+
+    Build cost zero; footprint bounded by the cache capacity; per-query
+    compute only on cache misses — which Zipfian workloads make rare.
+    """
+
+    name = "hybrid_caching"
+
+    def __init__(self, user_weights, model, cache_capacity: int = 10_000):
+        super().__init__(user_weights, model)
+        self._cache: LRUCache = LRUCache(cache_capacity)
+
+    def build(self) -> int:
+        """Precompute whatever this strategy materializes."""
+        self._built = 0
+        return 0
+
+    def serve(self, uid: int, item_id: int) -> float:
+        """Answer one (uid, item) prediction query."""
+        self.queries += 1
+        cached = self._cache.get((uid, item_id))
+        if cached is not None:
+            return cached
+        self.computed_on_demand += 1
+        score = self._score(uid, item_id)
+        self._cache.put((uid, item_id), score)
+        return score
+
+    def storage_entries(self) -> int:
+        """Number of stored entries the strategy holds."""
+        return len(self._cache)
+
+    @property
+    def cache(self) -> LRUCache:
+        """The underlying LRU cache (for inspection in tests/benches)."""
+        return self._cache

@@ -1,0 +1,211 @@
+"""The VeloxModel interface (paper Listing 2) and the model registry.
+
+A ``VeloxModel`` bundles the feature transformation function ``f`` with
+its global parameters θ (``state``), a retraining procedure expressed
+against the batch substrate, and a loss for quality evaluation. Models
+are versioned: retraining produces a new instance with ``version + 1``,
+and the registry keeps the history for diagnostics and rollback
+(paper Section 2.1, "model lifecycle management").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ModelNotFoundError, ValidationError
+
+
+class VeloxModel(ABC):
+    """A named, versioned feature-transformation model.
+
+    Subclasses set :attr:`materialized` — ``True`` when ``features`` is a
+    table lookup over precomputed vectors (e.g. latent factors), ``False``
+    when it is a computation over raw input (e.g. basis functions, a
+    neural network). The serving tier uses this flag to choose between
+    caching table reads and caching computed results (paper Section 5).
+    """
+
+    #: Whether features come from a materialized table (True) or are
+    #: computed from raw input (False).
+    materialized: bool = False
+
+    def __init__(self, name: str, dimension: int, version: int = 0):
+        if not name:
+            raise ValidationError("model name must be non-empty")
+        if dimension < 1:
+            raise ValidationError(f"dimension must be >= 1, got {dimension}")
+        if version < 0:
+            raise ValidationError(f"version must be >= 0, got {version}")
+        self.name = name
+        self.dimension = dimension
+        self.version = version
+
+    # -- the Listing 2 surface ------------------------------------------------
+
+    @abstractmethod
+    def features(self, x: object) -> np.ndarray:
+        """Map input ``x`` into the d-dimensional feature space.
+
+        For materialized models ``x`` is an item id; for computed models
+        it is the raw input object. Must return a 1-D float array of
+        length :attr:`dimension`.
+        """
+
+    @abstractmethod
+    def retrain(self, batch_context, observations, user_weights: dict):
+        """Produce a retrained ``(new_model, new_user_weights)`` pair.
+
+        ``batch_context`` is the sparklite :class:`BatchContext` (the
+        paper defines retraining as an opaque Spark UDF); ``observations``
+        is the list of :class:`~repro.store.Observation` records read
+        from the storage layer; ``user_weights`` maps uid to the current
+        weight vectors. Implementations must not mutate their inputs.
+        """
+
+    def loss(self, y: float, y_predict: float, x: object, uid: int) -> float:
+        """Per-observation quality loss; squared error by default
+        (the prototype's configured error function, Section 4.2)."""
+        diff = y - y_predict
+        return diff * diff
+
+    # -- shared helpers -------------------------------------------------------
+
+    def initial_user_weights(self) -> np.ndarray:
+        """Weights assigned to a brand-new user before any bootstrap
+        information exists. Zeros by default; models whose feature space
+        embeds an intercept slot override this (see the MF model)."""
+        return np.zeros(self.dimension)
+
+    def prior_mean(self) -> np.ndarray:
+        """The ridge prior w0 toward which online updates regularize.
+
+        Plain L2 regularization (``w0 = 0``) matches Eq. 2 exactly;
+        models with structural slots (e.g. a fixed intercept multiplier)
+        shift the prior so regularization does not fight the structure.
+        """
+        return np.zeros(self.dimension)
+
+    def with_version(self, version: int) -> "VeloxModel":
+        """A shallow copy of this model stamped with a new version
+        (used for rollbacks and by retrain implementations)."""
+        import copy
+
+        if version < 0:
+            raise ValidationError(f"version must be >= 0, got {version}")
+        clone = copy.copy(self)
+        clone.version = version
+        return clone
+
+    def validate_features(self, vector: np.ndarray) -> np.ndarray:
+        """Shape/NaN-check a feature vector before serving it."""
+        arr = np.asarray(vector, dtype=float)
+        if arr.ndim != 1 or arr.shape[0] != self.dimension:
+            raise ValidationError(
+                f"model {self.name!r} expects feature vectors of length "
+                f"{self.dimension}, got shape {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ValidationError(
+                f"model {self.name!r} produced non-finite features"
+            )
+        return arr
+
+    def __repr__(self) -> str:
+        kind = "materialized" if self.materialized else "computed"
+        return (
+            f"{type(self).__name__}(name={self.name!r}, d={self.dimension}, "
+            f"v{self.version}, {kind})"
+        )
+
+
+@dataclass
+class ModelVersion:
+    """One entry in a model's version history."""
+
+    version: int
+    model: VeloxModel
+    trained_on_observations: int = 0
+    note: str = ""
+
+
+@dataclass
+class _ModelEntry:
+    current: VeloxModel
+    history: list[ModelVersion] = field(default_factory=list)
+
+
+class ModelRegistry:
+    """Holds the current version and history of every deployed model."""
+
+    def __init__(self):
+        self._entries: dict[str, _ModelEntry] = {}
+
+    def register(self, model: VeloxModel, note: str = "initial deployment") -> None:
+        """Deploy a new model name; raises if the name exists."""
+        if model.name in self._entries:
+            raise ValidationError(
+                f"model {model.name!r} is already registered; use "
+                "publish() to deploy a new version"
+            )
+        entry = _ModelEntry(current=model)
+        entry.history.append(ModelVersion(model.version, model, note=note))
+        self._entries[model.name] = entry
+
+    def publish(
+        self, model: VeloxModel, trained_on_observations: int = 0, note: str = ""
+    ) -> None:
+        """Swap in a retrained model; its version must strictly increase."""
+        entry = self._entry(model.name)
+        if model.version <= entry.current.version:
+            raise ValidationError(
+                f"new version {model.version} must exceed current "
+                f"{entry.current.version} for model {model.name!r}"
+            )
+        entry.history.append(
+            ModelVersion(model.version, model, trained_on_observations, note)
+        )
+        entry.current = model
+
+    def get(self, name: str) -> VeloxModel:
+        """The currently serving version of a model."""
+        return self._entry(name).current
+
+    def get_version(self, name: str, version: int) -> VeloxModel:
+        """A specific historical version."""
+        for record in self._entry(name).history:
+            if record.version == version:
+                return record.model
+        raise ModelNotFoundError(name, version)
+
+    def rollback(self, name: str, version: int) -> VeloxModel:
+        """Make a historical version current again (as a *new* version,
+        so the version counter keeps moving forward and caches based on
+        (name, version) keys invalidate correctly)."""
+        entry = self._entry(name)
+        old = self.get_version(name, version)
+        revived = old.with_version(entry.current.version + 1)
+        entry.history.append(
+            ModelVersion(revived.version, revived, note=f"rollback to v{version}")
+        )
+        entry.current = revived
+        return revived
+
+    def history(self, name: str) -> list[ModelVersion]:
+        """Every recorded version of a model, oldest first."""
+        return list(self._entry(name).history)
+
+    def names(self) -> list[str]:
+        """Sorted names of all registered models."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def _entry(self, name: str) -> _ModelEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ModelNotFoundError(name) from None

@@ -1,0 +1,31 @@
+"""Concrete VeloxModel implementations.
+
+The paper's generalized personalized linear family (Section 3) covers a
+wide range of models by swapping the feature function ``f(x, θ)``:
+
+* :class:`MatrixFactorizationModel` — materialized latent-factor lookup
+  (the running song-recommendation example),
+* :class:`PersonalizedLinearModel` — raw/identity features, the simplest
+  member of the family,
+* :class:`EnsembleSvmModel` — an ensemble of offline-trained linear SVMs
+  whose margins are the features (Section 6's worked example),
+* :class:`RandomFourierModel` — RBF-kernel basis functions,
+* :class:`MlpFeatureModel` — a small feed-forward network as the feature
+  computation (the "deep neural network" case of Section 5's caching
+  discussion).
+"""
+
+from repro.core.models.matrix_factorization import MatrixFactorizationModel
+from repro.core.models.linear import PersonalizedLinearModel
+from repro.core.models.svm_ensemble import EnsembleSvmModel, LinearSvm
+from repro.core.models.rbf import RandomFourierModel
+from repro.core.models.mlp import MlpFeatureModel
+
+__all__ = [
+    "MatrixFactorizationModel",
+    "PersonalizedLinearModel",
+    "EnsembleSvmModel",
+    "LinearSvm",
+    "RandomFourierModel",
+    "MlpFeatureModel",
+]

@@ -1,0 +1,60 @@
+"""Personalized linear model over raw (or caller-supplied) features.
+
+The simplest member of the generalized linear family: ``f`` is the
+identity (plus an intercept slot), so each user's model is a personal
+ridge regression over the input features. Retraining re-estimates
+nothing global — θ is empty — but recomputes every user's weights from
+the full log in one batch job, which is still valuable after the online
+phase has only seen each observation once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.core.model import VeloxModel
+
+
+class PersonalizedLinearModel(VeloxModel):
+    """Identity features with an intercept: f(x) = [x, 1]."""
+
+    materialized = False
+
+    def __init__(self, name: str, input_dimension: int, version: int = 0):
+        if input_dimension < 1:
+            raise ValidationError(
+                f"input_dimension must be >= 1, got {input_dimension}"
+            )
+        super().__init__(name, dimension=input_dimension + 1, version=version)
+        self.input_dimension = input_dimension
+
+    def features(self, x: object) -> np.ndarray:
+        """Identity features with an appended intercept."""
+        arr = np.asarray(x, dtype=float)
+        if arr.shape != (self.input_dimension,):
+            raise ValidationError(
+                f"model {self.name!r} expects inputs of shape "
+                f"({self.input_dimension},), got {arr.shape}"
+            )
+        return np.concatenate([arr, [1.0]])
+
+    def retrain(self, batch_context, observations, user_weights: dict):
+        """Batch re-solve of every user's ridge regression on the full log."""
+        from repro.core.offline import solve_user_weights
+
+        if not observations:
+            raise ValidationError(
+                f"cannot retrain model {self.name!r} with no observations"
+            )
+        solved = solve_user_weights(
+            batch_context, observations, self.features, self.dimension
+        )
+        new_model = PersonalizedLinearModel(
+            self.name, self.input_dimension, version=self.version + 1
+        )
+        # Identity features: the space is unchanged, so users absent
+        # from the log keep their current weights.
+        new_weights = dict(user_weights)
+        new_weights.update(solved)
+        return new_model, new_weights

@@ -1,0 +1,171 @@
+"""Matrix factorization as a Velox model (the paper's running example).
+
+The latent-factor model of Section 2 is expressed in the generalized
+linear family by materializing each item's feature vector:
+
+    f(i, θ) = [ x_i , b_i , 1.0 ]
+
+where ``x_i`` is item i's latent factor and ``b_i`` its bias. A user's
+weight vector has the shape ``w_u = [ latent weights , item-bias
+multiplier ~ 1 , (mu + b_u) ]`` so ``w_u^T f(i)`` reproduces
+``mu + b_u + b_i + w_u . x_i``. The global mean ``mu`` rides in the
+user-bias slot's prior rather than in the features: keeping the feature
+entries zero-centered keeps the per-user online ridge well conditioned
+(a ``mu + b_i`` feature would be nearly collinear with the constant
+slot), and the prior pins the bias-multiplier at 1 so L2 regularization
+does not fight the structure.
+
+``features`` is a **materialized** lookup (θ is the item-feature table);
+retraining recomputes θ and the user weights with ALS on the batch
+substrate (paper Section 4.2's offline phase).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ItemNotFoundError, ValidationError
+from repro.core.model import VeloxModel
+
+
+class MatrixFactorizationModel(VeloxModel):
+    """Personalized latent-factor model with materialized item features.
+
+    Args:
+        name: Registry name.
+        item_factors: ``(num_items, rank)`` latent factor matrix.
+        item_bias: ``(num_items,)`` per-item bias.
+        global_mean: The corpus mean rating ``mu``.
+        version: Model version (bumped by retraining).
+
+    The feature dimension is ``rank + 2`` (factors, intercept slot,
+    user-bias slot).
+    """
+
+    materialized = True
+
+    def __init__(
+        self,
+        name: str,
+        item_factors: np.ndarray,
+        item_bias: np.ndarray | None = None,
+        global_mean: float = 0.0,
+        version: int = 0,
+    ):
+        factors = np.asarray(item_factors, dtype=float)
+        if factors.ndim != 2:
+            raise ValidationError(
+                f"item_factors must be 2-D (num_items, rank), got {factors.shape}"
+            )
+        num_items, rank = factors.shape
+        bias = (
+            np.zeros(num_items) if item_bias is None else np.asarray(item_bias, float)
+        )
+        if bias.shape != (num_items,):
+            raise ValidationError(
+                f"item_bias must have shape ({num_items},), got {bias.shape}"
+            )
+        super().__init__(name, dimension=rank + 2, version=version)
+        self.item_factors = factors
+        self.item_bias = bias
+        self.global_mean = float(global_mean)
+        self.rank = rank
+        self.num_items = num_items
+
+    # -- feature function ---------------------------------------------------
+
+    def features(self, x: object) -> np.ndarray:
+        """Materialized lookup: ``x`` is an item id."""
+        item_id = self._check_item(x)
+        return np.concatenate(
+            [
+                self.item_factors[item_id],
+                [self.item_bias[item_id]],
+                [1.0],
+            ]
+        )
+
+    def _check_item(self, x: object) -> int:
+        if not isinstance(x, (int, np.integer)):
+            raise ValidationError(
+                f"materialized model {self.name!r} expects item ids, got {x!r}"
+            )
+        item_id = int(x)
+        if not 0 <= item_id < self.num_items:
+            raise ItemNotFoundError(item_id)
+        return item_id
+
+    # -- priors ---------------------------------------------------------------
+
+    def prior_mean(self) -> np.ndarray:
+        """Pin the item-bias multiplier at 1 and the user-bias slot at
+        the global mean; latent weights default to 0."""
+        prior = np.zeros(self.dimension)
+        prior[self.rank] = 1.0
+        prior[self.rank + 1] = self.global_mean
+        return prior
+
+    def initial_user_weights(self) -> np.ndarray:
+        """New users start at the prior: predict the global/item mean."""
+        return self.prior_mean()
+
+    # -- retraining -------------------------------------------------------------
+
+    def retrain(self, batch_context, observations, user_weights: dict):
+        """Full offline retrain with ALS on the batch substrate.
+
+        Returns ``(new_model, new_user_weights)`` where the new model has
+        ``version + 1`` and new user weights are in this model's weight
+        layout (latent weights, intercept multiplier, user bias).
+        """
+        from repro.core.offline import als_train
+
+        ratings = [(ob.uid, ob.item_id, ob.label) for ob in observations]
+        if not ratings:
+            raise ValidationError(
+                f"cannot retrain model {self.name!r} with no observations"
+            )
+        result = als_train(
+            batch_context,
+            ratings,
+            rank=self.rank,
+            num_items=self.num_items,
+        )
+        new_model = MatrixFactorizationModel(
+            name=self.name,
+            item_factors=result.item_factors,
+            item_bias=result.item_bias,
+            global_mean=result.global_mean,
+            version=self.version + 1,
+        )
+        new_user_weights = {
+            uid: new_model.pack_user_weights(result.user_factors[uid], result.user_bias[uid])
+            for uid in result.user_factors
+        }
+        return new_model, new_user_weights
+
+    # -- weight layout helpers ------------------------------------------------
+
+    def pack_user_weights(self, latent: np.ndarray, user_bias: float) -> np.ndarray:
+        """Assemble a serving weight vector from ALS outputs."""
+        latent = np.asarray(latent, dtype=float)
+        if latent.shape != (self.rank,):
+            raise ValidationError(
+                f"latent weights must have shape ({self.rank},), got {latent.shape}"
+            )
+        return np.concatenate(
+            [latent, [1.0], [self.global_mean + float(user_bias)]]
+        )
+
+    def unpack_user_weights(self, weights: np.ndarray) -> tuple[np.ndarray, float]:
+        """Split a serving weight vector into (latent factors, user bias)."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.dimension,):
+            raise ValidationError(
+                f"weights must have shape ({self.dimension},), got {weights.shape}"
+            )
+        return weights[: self.rank].copy(), float(weights[-1] - self.global_mean)
+
+    def score(self, weights: np.ndarray, item_id: int) -> float:
+        """Convenience: ``w^T f(item)``."""
+        return float(np.asarray(weights, float) @ self.features(item_id))

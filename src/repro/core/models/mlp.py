@@ -1,0 +1,146 @@
+"""A small feed-forward network as the feature function.
+
+The paper's "computational feature function (e.g., a deep neural
+network)" case: θ is the network's weights, trained offline; serving
+evaluates the forward pass (expensive relative to a table lookup, which
+is exactly why the feature cache matters), and the last hidden layer is
+the d-dimensional embedding over which users learn linear weights.
+
+Implemented in pure numpy: tanh hidden layers, squared-error output
+head used only during offline training to shape the representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import as_generator
+from repro.core.model import VeloxModel
+
+
+class MlpFeatureModel(VeloxModel):
+    """Two-layer tanh MLP whose hidden activations are the features."""
+
+    materialized = False
+
+    def __init__(
+        self,
+        name: str,
+        input_dimension: int,
+        hidden_dimension: int = 32,
+        seed: int = 0,
+        version: int = 0,
+        layers: list[tuple[np.ndarray, np.ndarray]] | None = None,
+    ):
+        if input_dimension < 1:
+            raise ValidationError(
+                f"input_dimension must be >= 1, got {input_dimension}"
+            )
+        if hidden_dimension < 1:
+            raise ValidationError(
+                f"hidden_dimension must be >= 1, got {hidden_dimension}"
+            )
+        super().__init__(name, dimension=hidden_dimension + 1, version=version)
+        self.input_dimension = input_dimension
+        self.hidden_dimension = hidden_dimension
+        self.seed = seed
+        if layers is None:
+            rng = as_generator(seed)
+            scale1 = 1.0 / np.sqrt(input_dimension)
+            scale2 = 1.0 / np.sqrt(hidden_dimension)
+            layers = [
+                (rng.normal(0, scale1, (hidden_dimension, input_dimension)),
+                 np.zeros(hidden_dimension)),
+                (rng.normal(0, scale2, (hidden_dimension, hidden_dimension)),
+                 np.zeros(hidden_dimension)),
+            ]
+        if len(layers) != 2:
+            raise ValidationError("MlpFeatureModel expects exactly two layers")
+        self.layers = layers
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        h = x
+        for weights, bias in self.layers:
+            h = np.tanh(weights @ h + bias)
+        return h
+
+    def features(self, x: object) -> np.ndarray:
+        """The network's final hidden activations, plus intercept."""
+        arr = np.asarray(x, dtype=float)
+        if arr.shape != (self.input_dimension,):
+            raise ValidationError(
+                f"model {self.name!r} expects inputs of shape "
+                f"({self.input_dimension},), got {arr.shape}"
+            )
+        return np.concatenate([self._forward(arr), [1.0]])
+
+    def retrain(self, batch_context, observations, user_weights: dict):
+        """Offline representation learning: SGD on a shared linear head.
+
+        Trains the network (with one global output head) to regress the
+        logged labels, then discards the head — users keep their own
+        linear models over the improved embedding. Minibatch SGD is
+        inherently sequential, so this UDF runs on the driver; the batch
+        context is part of the retrain contract but unused here.
+        """
+        if not observations:
+            raise ValidationError(
+                f"cannot retrain model {self.name!r} with no observations"
+            )
+        inputs = np.vstack(
+            [np.asarray(ob.item_data, dtype=float) for ob in observations]
+        )
+        labels = np.asarray([ob.label for ob in observations], dtype=float)
+        rng = as_generator(self.seed + self.version + 1)
+
+        w1, b1 = (layer.copy() for layer in self.layers[0])
+        w2, b2 = (layer.copy() for layer in self.layers[1])
+        head = rng.normal(0, 0.1, self.hidden_dimension)
+        head_bias = float(labels.mean())
+        rate = 0.01
+
+        for _epoch in range(20):
+            order = rng.permutation(len(labels))
+            for start in range(0, len(order), 32):
+                rows = order[start : start + 32]
+                x = inputs[rows]
+                y = labels[rows]
+                h1 = np.tanh(x @ w1.T + b1)
+                h2 = np.tanh(h1 @ w2.T + b2)
+                pred = h2 @ head + head_bias
+                err = (pred - y) / len(rows)
+                grad_head = h2.T @ err
+                grad_h2 = np.outer(err, head) * (1 - h2 * h2)
+                grad_w2 = grad_h2.T @ h1
+                grad_b2 = grad_h2.sum(axis=0)
+                grad_h1 = (grad_h2 @ w2) * (1 - h1 * h1)
+                grad_w1 = grad_h1.T @ x
+                grad_b1 = grad_h1.sum(axis=0)
+                head -= rate * grad_head
+                head_bias -= rate * float(err.sum())
+                w2 -= rate * grad_w2
+                b2 -= rate * grad_b2
+                w1 -= rate * grad_w1
+                b1 -= rate * grad_b1
+
+        new_model = MlpFeatureModel(
+            self.name,
+            self.input_dimension,
+            hidden_dimension=self.hidden_dimension,
+            seed=self.seed,
+            version=self.version + 1,
+            layers=[(w1, b1), (w2, b2)],
+        )
+        # The embedding changed: re-solve every user's linear weights
+        # over the new hidden representation.
+        from repro.core.offline import solve_user_weights
+
+        solved = solve_user_weights(
+            batch_context, observations, new_model.features, new_model.dimension
+        )
+        new_weights = {
+            uid: solved.get(uid, new_model.initial_user_weights())
+            for uid in set(user_weights) | set(solved)
+        }
+        return new_model, new_weights

@@ -1,0 +1,106 @@
+"""Random Fourier features: an RBF-kernel basis as the feature function.
+
+Approximates an RBF kernel machine inside the generalized linear family
+(Rahimi & Recht's random features): θ is a fixed random projection
+``(W, b)`` and
+
+    f(x) = sqrt(2 / d) * cos(W x + b),  plus an intercept slot.
+
+A purely *computed* feature function — the case where caching feature
+evaluations (not table lookups) is the serving win (paper Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import as_generator
+from repro.core.model import VeloxModel
+
+
+class RandomFourierModel(VeloxModel):
+    """RBF random-feature model with bandwidth ``gamma``."""
+
+    materialized = False
+
+    def __init__(
+        self,
+        name: str,
+        input_dimension: int,
+        num_features: int = 64,
+        gamma: float = 1.0,
+        seed: int = 0,
+        version: int = 0,
+        projection: np.ndarray | None = None,
+        offsets: np.ndarray | None = None,
+    ):
+        if input_dimension < 1:
+            raise ValidationError(
+                f"input_dimension must be >= 1, got {input_dimension}"
+            )
+        if num_features < 1:
+            raise ValidationError(f"num_features must be >= 1, got {num_features}")
+        if gamma <= 0:
+            raise ValidationError(f"gamma must be > 0, got {gamma}")
+        super().__init__(name, dimension=num_features + 1, version=version)
+        self.input_dimension = input_dimension
+        self.num_features = num_features
+        self.gamma = gamma
+        self.seed = seed
+        rng = as_generator(seed)
+        if projection is None:
+            projection = rng.normal(
+                0.0, np.sqrt(2.0 * gamma), (num_features, input_dimension)
+            )
+        if offsets is None:
+            offsets = rng.uniform(0.0, 2.0 * np.pi, num_features)
+        if projection.shape != (num_features, input_dimension):
+            raise ValidationError(
+                f"projection must have shape ({num_features}, {input_dimension})"
+            )
+        if offsets.shape != (num_features,):
+            raise ValidationError(f"offsets must have shape ({num_features},)")
+        self.projection = projection
+        self.offsets = offsets
+
+    def features(self, x: object) -> np.ndarray:
+        """Random Fourier basis of the input, plus intercept."""
+        arr = np.asarray(x, dtype=float)
+        if arr.shape != (self.input_dimension,):
+            raise ValidationError(
+                f"model {self.name!r} expects inputs of shape "
+                f"({self.input_dimension},), got {arr.shape}"
+            )
+        basis = np.sqrt(2.0 / self.num_features) * np.cos(
+            self.projection @ arr + self.offsets
+        )
+        return np.concatenate([basis, [1.0]])
+
+    def retrain(self, batch_context, observations, user_weights: dict):
+        """Resample the random basis with a fresh seed and re-solve every
+        user's ridge regression against it in one batch job."""
+        from repro.core.offline import solve_user_weights
+
+        if not observations:
+            raise ValidationError(
+                f"cannot retrain model {self.name!r} with no observations"
+            )
+        new_model = RandomFourierModel(
+            self.name,
+            self.input_dimension,
+            num_features=self.num_features,
+            gamma=self.gamma,
+            seed=self.seed + self.version + 1,
+            version=self.version + 1,
+        )
+        solved = solve_user_weights(
+            batch_context, observations, new_model.features, new_model.dimension
+        )
+        # The basis changed: users absent from the log cannot keep their
+        # old-space weights and restart from zero.
+        new_weights = {
+            uid: solved.get(uid, np.zeros(new_model.dimension))
+            for uid in set(user_weights) | set(solved)
+        }
+        return new_model, new_weights

@@ -1,0 +1,173 @@
+"""Ensemble-of-SVMs feature function (the paper's Section 6 example).
+
+The shared state θ is a set of linear SVMs trained offline; the feature
+transformation evaluates every SVM's margin on the input, producing a
+d-dimensional embedding over which each user learns a personal linear
+model. Retraining refits the SVMs on the full observation log (labels
+are binarized around their median) using Pegasos-style SGD — the kind
+of opaque batch UDF the paper envisions handing to Spark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import as_generator
+from repro.core.model import VeloxModel
+
+
+@dataclass(frozen=True)
+class LinearSvm:
+    """One linear SVM: margin(x) = w . x + b."""
+
+    weights: np.ndarray
+    bias: float
+
+    def margin(self, x: np.ndarray) -> float:
+        """The SVM's signed margin for an input."""
+        return float(self.weights @ x + self.bias)
+
+
+def train_linear_svm(
+    features: np.ndarray,
+    labels: np.ndarray,
+    regularization: float = 0.01,
+    epochs: int = 5,
+    seed: int = 0,
+) -> LinearSvm:
+    """Pegasos (primal SGD) for a hinge-loss linear SVM.
+
+    ``labels`` must be in {-1, +1}. Deterministic given the seed.
+    """
+    samples, dim = features.shape
+    if labels.shape != (samples,):
+        raise ValidationError(
+            f"labels must have shape ({samples},), got {labels.shape}"
+        )
+    if not np.all(np.isin(labels, (-1.0, 1.0))):
+        raise ValidationError("SVM labels must be -1 or +1")
+    rng = as_generator(seed)
+    weights = np.zeros(dim)
+    bias = 0.0
+    step = 0
+    for _epoch in range(epochs):
+        for index in rng.permutation(samples):
+            step += 1
+            rate = 1.0 / (regularization * step)
+            x, y = features[index], labels[index]
+            if y * (weights @ x + bias) < 1.0:
+                weights = (1 - rate * regularization) * weights + rate * y * x
+                bias += rate * y
+            else:
+                weights = (1 - rate * regularization) * weights
+    return LinearSvm(weights=weights, bias=bias)
+
+
+class EnsembleSvmModel(VeloxModel):
+    """Computed features: the margins of ``num_svms`` linear SVMs.
+
+    The SVMs are differentiated by bootstrap resampling of the training
+    data plus random label thresholds, so their margins form a useful
+    (if simple) embedding.
+    """
+
+    materialized = False
+
+    def __init__(
+        self,
+        name: str,
+        svms: list[LinearSvm],
+        input_dimension: int,
+        version: int = 0,
+    ):
+        if not svms:
+            raise ValidationError("EnsembleSvmModel needs at least one SVM")
+        for svm in svms:
+            if svm.weights.shape != (input_dimension,):
+                raise ValidationError(
+                    f"every SVM must have weights of shape ({input_dimension},), "
+                    f"got {svm.weights.shape}"
+                )
+        super().__init__(name, dimension=len(svms) + 1, version=version)
+        self.svms = list(svms)
+        self.input_dimension = input_dimension
+
+    @classmethod
+    def untrained(
+        cls,
+        name: str,
+        input_dimension: int,
+        num_svms: int = 8,
+        seed: int = 0,
+    ) -> "EnsembleSvmModel":
+        """Random-projection SVMs (pre-training placeholder)."""
+        rng = as_generator(seed)
+        svms = [
+            LinearSvm(rng.normal(0, 1, input_dimension), float(rng.normal()))
+            for _ in range(num_svms)
+        ]
+        return cls(name, svms, input_dimension)
+
+    def features(self, x: object) -> np.ndarray:
+        """Margins of every SVM plus an intercept slot."""
+        arr = np.asarray(x, dtype=float)
+        if arr.shape != (self.input_dimension,):
+            raise ValidationError(
+                f"model {self.name!r} expects inputs of shape "
+                f"({self.input_dimension},), got {arr.shape}"
+            )
+        margins = [svm.margin(arr) for svm in self.svms]
+        return np.asarray(margins + [1.0])
+
+    def retrain(self, batch_context, observations, user_weights: dict):
+        """Refit every SVM on the full log as parallel batch tasks.
+
+        Each SVM sees a bootstrap resample with labels binarized around
+        a per-SVM quantile of the label distribution, giving a diverse
+        ensemble from one scalar-labelled log.
+        """
+        if not observations:
+            raise ValidationError(
+                f"cannot retrain model {self.name!r} with no observations"
+            )
+        inputs = np.vstack(
+            [np.asarray(ob.item_data, dtype=float) for ob in observations]
+        )
+        raw_labels = np.asarray([ob.label for ob in observations], dtype=float)
+        num_svms = len(self.svms)
+        quantiles = np.linspace(0.25, 0.75, num_svms)
+
+        def fit_one(index: int) -> tuple[int, LinearSvm]:
+            """Train one ensemble member on a bootstrap resample."""
+            rng = as_generator((index, 1234))
+            rows = rng.integers(0, len(raw_labels), size=len(raw_labels))
+            threshold = float(np.quantile(raw_labels, quantiles[index]))
+            labels = np.where(raw_labels[rows] > threshold, 1.0, -1.0)
+            if len(set(labels.tolist())) < 2:  # degenerate resample
+                labels[0] = -labels[0]
+            return index, train_linear_svm(inputs[rows], labels, seed=index)
+
+        fitted = dict(
+            batch_context.parallelize(list(range(num_svms)), num_svms)
+            .map(fit_one)
+            .collect()
+        )
+        new_svms = [fitted[i] for i in range(num_svms)]
+        new_model = EnsembleSvmModel(
+            self.name, new_svms, self.input_dimension, version=self.version + 1
+        )
+        # The feature space changed, so every user's weights must be
+        # re-solved against the new margins.
+        from repro.core.offline import solve_user_weights
+
+        solved = solve_user_weights(
+            batch_context, observations, new_model.features, new_model.dimension
+        )
+        new_weights = {
+            uid: solved.get(uid, new_model.initial_user_weights())
+            for uid in set(user_weights) | set(solved)
+        }
+        return new_model, new_weights

@@ -1,0 +1,205 @@
+"""Offline training on the sparklite batch substrate (paper Section 4.2).
+
+The offline phase recomputes the feature parameters θ (and user weights)
+with bulk computation. For the factor models this is alternating least
+squares: each iteration solves every user's ridge regression with item
+factors fixed (a batch job grouped by uid), then every item's with user
+factors fixed (grouped by item id) — exactly the structure a Spark ALS
+takes. Biases are learned by augmenting each side's features with a
+constant slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import as_generator
+
+
+@dataclass
+class AlsResult:
+    """Output of one ALS run."""
+
+    user_factors: dict[int, np.ndarray]
+    user_bias: dict[int, float]
+    item_factors: np.ndarray
+    item_bias: np.ndarray
+    global_mean: float
+    train_rmse: list[float] = field(default_factory=list)
+
+
+def _solve_side(pairs, other_factors, other_bias, global_mean, rank, reg):
+    """Ridge-solve one entity's factor+bias given the other side fixed.
+
+    ``pairs`` is a list of (other_id, rating). Features are
+    ``[other_factor, 1]``; the target is ``rating - mu - other_bias``,
+    so the solved coefficient on the constant slot is this entity's bias.
+
+    Regularization uses the ALS-WR weighting (Zhou et al.): the penalty
+    scales with the entity's rating count, which prevents heavy raters
+    from overfitting their factors — without it, ALS drives training
+    error below the noise floor and generalizes poorly.
+    """
+    count = len(pairs)
+    features = np.empty((count, rank + 1))
+    targets = np.empty(count)
+    for row, (other_id, rating) in enumerate(pairs):
+        features[row, :rank] = other_factors[other_id]
+        features[row, rank] = 1.0
+        targets[row] = rating - global_mean - other_bias[other_id]
+    gram = features.T @ features + reg * count * np.eye(rank + 1)
+    solution = np.linalg.solve(gram, features.T @ targets)
+    return solution[:rank], float(solution[rank])
+
+
+def als_train(
+    batch_context,
+    ratings: list[tuple[int, int, float]],
+    rank: int,
+    num_items: int,
+    num_iterations: int = 10,
+    regularization: float = 0.1,
+    seed: int = 11,
+    num_partitions: int | None = None,
+) -> AlsResult:
+    """Alternating least squares over ``(uid, item_id, rating)`` triples.
+
+    Runs as sparklite jobs: the ratings dataset is cached; each half-
+    iteration is a ``group_by_key`` + per-entity ridge solve. Items that
+    never appear keep their random initialization (bias 0), matching how
+    a deployed recommender handles cold items.
+    """
+    if not ratings:
+        raise ValidationError("als_train requires at least one rating")
+    if rank < 1:
+        raise ValidationError(f"rank must be >= 1, got {rank}")
+    if num_iterations < 1:
+        raise ValidationError(f"num_iterations must be >= 1, got {num_iterations}")
+    if regularization < 0:
+        raise ValidationError(f"regularization must be >= 0, got {regularization}")
+    max_item = max(item for _u, item, _r in ratings)
+    if max_item >= num_items:
+        raise ValidationError(
+            f"rating references item {max_item} but num_items={num_items}"
+        )
+
+    rng = as_generator(seed)
+    global_mean = float(np.mean([r for _u, _i, r in ratings]))
+
+    item_factors = rng.normal(0.0, 0.1, (num_items, rank))
+    item_bias = np.zeros(num_items)
+    user_ids = sorted({uid for uid, _i, _r in ratings})
+    user_factors = {uid: rng.normal(0.0, 0.1, rank) for uid in user_ids}
+    user_bias = {uid: 0.0 for uid in user_ids}
+
+    n_parts = num_partitions or batch_context.default_parallelism
+    dataset = batch_context.parallelize(ratings, n_parts).cache()
+    by_user = (
+        dataset.map(lambda t: (t[0], (t[1], t[2]))).group_by_key(n_parts).cache()
+    )
+    by_item = (
+        dataset.map(lambda t: (t[1], (t[0], t[2]))).group_by_key(n_parts).cache()
+    )
+
+    train_rmse: list[float] = []
+    for _iteration in range(num_iterations):
+        # User step: solve each user's ridge with item factors fixed.
+        # The frozen side ships to tasks as a broadcast, the Spark idiom
+        # for large read-only state captured by closures.
+        items_bc = batch_context.broadcast(
+            (item_factors.copy(), item_bias.copy())
+        )
+        solved_users = by_user.map_values(
+            lambda pairs: _solve_side(
+                pairs, items_bc.value[0], items_bc.value[1],
+                global_mean, rank, regularization,
+            )
+        ).collect_as_map()
+        items_bc.unpersist()
+        for uid, (factor, bias) in solved_users.items():
+            user_factors[uid] = factor
+            user_bias[uid] = bias
+
+        # Item step: solve each item's ridge with user factors fixed.
+        users_bc = batch_context.broadcast(
+            (dict(user_factors), dict(user_bias))
+        )
+        solved_items = by_item.map_values(
+            lambda pairs: _solve_side(
+                pairs, users_bc.value[0], users_bc.value[1],
+                global_mean, rank, regularization,
+            )
+        ).collect_as_map()
+        users_bc.unpersist()
+        for item_id, (factor, bias) in solved_items.items():
+            item_factors[item_id] = factor
+            item_bias[item_id] = bias
+
+        # Training RMSE for convergence monitoring.
+        def _sq_err(t):
+            uid, item_id, rating = t
+            predicted = (
+                global_mean
+                + user_bias[uid]
+                + item_bias[item_id]
+                + float(user_factors[uid] @ item_factors[item_id])
+            )
+            return (rating - predicted) ** 2
+
+        mse = dataset.map(_sq_err).mean()
+        train_rmse.append(float(np.sqrt(mse)))
+
+    return AlsResult(
+        user_factors=user_factors,
+        user_bias=user_bias,
+        item_factors=item_factors,
+        item_bias=item_bias,
+        global_mean=global_mean,
+        train_rmse=train_rmse,
+    )
+
+
+def solve_user_weights(
+    batch_context,
+    observations,
+    feature_fn,
+    dimension: int,
+    regularization: float = 0.1,
+) -> dict[int, np.ndarray]:
+    """Batch re-solve of every user's ridge regression in a feature space.
+
+    The shared offline step for computed-feature models: whenever a
+    retrain changes θ (and therefore the feature space), every user's
+    weights must be re-estimated against the *new* features — carrying
+    old weights across feature spaces produces garbage. One sparklite
+    job, grouped by uid.
+    """
+    def solve_user(pairs: list) -> np.ndarray:
+        """Ridge-solve one user's weights in this feature space."""
+        f_matrix = np.vstack([feature_fn(x) for x, _y in pairs])
+        labels = np.asarray([y for _x, y in pairs], dtype=float)
+        gram = f_matrix.T @ f_matrix + regularization * np.eye(dimension)
+        return np.linalg.solve(gram, f_matrix.T @ labels)
+
+    return (
+        batch_context.parallelize(
+            [(ob.uid, (ob.item_data, ob.label)) for ob in observations]
+        )
+        .group_by_key()
+        .map_values(solve_user)
+        .collect_as_map()
+    )
+
+
+def predict_rating(result: AlsResult, uid: int, item_id: int) -> float:
+    """Score a pair with an :class:`AlsResult` (cold users/items fall back
+    to biases only)."""
+    factor = result.user_factors.get(uid)
+    bias = result.user_bias.get(uid, 0.0)
+    base = result.global_mean + bias + result.item_bias[item_id]
+    if factor is None:
+        return float(base)
+    return float(base + factor @ result.item_factors[item_id])

@@ -1,0 +1,346 @@
+"""The Velox model predictor: low-latency ``predict`` and ``top_k``.
+
+Implements the serving half of the architecture (paper Section 5):
+
+* requests are routed to the node owning the user's weight partition,
+  so user-weight reads are local by construction,
+* item features are served through a per-node LRU **feature cache**
+  (materialized features additionally charge modeled network cost on a
+  miss, since the feature table is partitioned across the cluster),
+* final scores are served through a per-node **prediction cache** keyed
+  by (model, version, uid, item) — the 100%-hit configuration of this
+  cache is Figure 4's ``cache`` series,
+* ``top_k`` accepts a bandit policy that ranks by score-plus-uncertainty
+  rather than raw score (Section 5, "Bandits and Multiple Models").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.config import VeloxConfig
+from repro.common.errors import UserNotFoundError, ValidationError
+from repro.core.bandits import BanditPolicy, GreedyPolicy
+from repro.core.model import ModelRegistry
+from repro.core.online import UserModelState
+from repro.metrics.latency import LatencyRecorder
+from repro.store.lru import LRUCache
+
+
+def item_cache_key(x: object) -> object:
+    """A hashable cache key for an item input.
+
+    Ints/strings/tuples key themselves; numpy arrays are keyed by a
+    digest of their bytes (computed features for the same input hit the
+    same cache line, as the paper's computational-feature caching needs).
+    """
+    if isinstance(x, (int, str, bool)):
+        return x
+    if isinstance(x, np.integer):
+        return int(x)
+    if isinstance(x, tuple):
+        return x
+    if isinstance(x, np.ndarray):
+        digest = hashlib.blake2b(
+            x.tobytes() + str(x.shape).encode(), digest_size=16
+        ).hexdigest()
+        return ("ndarray", digest)
+    raise ValidationError(f"cannot derive a cache key for item input {x!r}")
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """One scored item, with serving provenance for the benchmarks."""
+
+    item: object
+    score: float
+    uncertainty: float = 0.0
+    node_id: int = 0
+    feature_cache_hit: bool = False
+    prediction_cache_hit: bool = False
+    modeled_network_latency: float = 0.0
+
+
+class PredictionService:
+    """Serves predictions against the current registry state.
+
+    One service instance models the predictor processes of the whole
+    cluster: it keeps a feature cache and a prediction cache *per node*
+    and consults the cluster's router for every request, so cache hit
+    rates and locality behave as they would in the real deployment.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        cluster,
+        user_state_table_for,
+        config: VeloxConfig,
+        bootstrap_lookup=None,
+    ):
+        self.registry = registry
+        self.cluster = cluster
+        self._user_state_table_for = user_state_table_for
+        self.config = config
+        #: callable(model_name) -> UserWeightAverager | None; per-model
+        #: because each model has its own weight space/dimension.
+        self.bootstrap_lookup = bootstrap_lookup
+        self.feature_caches = [
+            LRUCache(config.feature_cache_capacity) for _ in cluster.nodes
+        ]
+        self.prediction_caches = [
+            LRUCache(config.prediction_cache_capacity) for _ in cluster.nodes
+        ]
+        # Indexed top-K engines, one per (model, version) — Section 8's
+        # "more efficient top-K support"; built lazily on first use.
+        self._topk_engines: dict[tuple[str, int], object] = {}
+        # Per-model serving-latency recorders (reporting/SLO monitoring).
+        self.serving_latency: dict[str, LatencyRecorder] = {}
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def get_features(
+        self, model, x: object, node_id: int
+    ) -> tuple[np.ndarray, bool, float]:
+        """Fetch/compute f(x) through the node's feature cache.
+
+        Returns ``(features, cache_hit, modeled_network_latency)``. A
+        miss on a materialized model charges a remote fetch when the
+        item's feature-table shard lives on another node.
+        """
+        cache = self.feature_caches[node_id]
+        key = (model.name, model.version, item_cache_key(x))
+        hit = cache.get(key)
+        if hit is not None:
+            return hit, True, 0.0
+        network_latency = 0.0
+        if model.materialized:
+            network_latency = self.cluster.charge_item_access(
+                node_id, item_cache_key(x), model.dimension * 8
+            )
+        features = model.validate_features(model.features(x))
+        cache.put(key, features)
+        return features, False, network_latency
+
+    def _user_weights(self, model, uid: int, node_id: int) -> tuple[np.ndarray, UserModelState | None, float]:
+        """Read the user's weights (and state, when it exists).
+
+        Unknown users fall back to the bootstrap average (paper Section
+        5, "Bootstrapping") or the model's initial weights; with
+        ``bootstrap_new_users=False`` they raise
+        :class:`UserNotFoundError` instead.
+        """
+        table = self._user_state_table_for(model.name)
+        network_latency = self.cluster.charge_user_access(
+            node_id, uid, model.dimension * 8
+        )
+        state = table.get_or_default(uid)
+        if state is not None:
+            return state.weights, state, network_latency
+        if not self.config.bootstrap_new_users:
+            raise UserNotFoundError(uid)
+        averager = (
+            self.bootstrap_lookup(model.name)
+            if self.bootstrap_lookup is not None
+            else None
+        )
+        if averager is not None and len(averager):
+            return averager.mean(), None, network_latency
+        return model.initial_user_weights(), None, network_latency
+
+    # -- the Listing 1 surface --------------------------------------------------
+
+    def predict(self, model_name: str, uid: int, x: object) -> PredictionResult:
+        """Point prediction for (user, item): returns the item and score.
+
+        Successful predictions are timed into the per-model
+        :class:`~repro.metrics.LatencyRecorder` read by the reporting
+        layer.
+        """
+        recorder = self.serving_latency.get(model_name)
+        if recorder is None:
+            recorder = LatencyRecorder(f"predict:{model_name}")
+            self.serving_latency[model_name] = recorder
+        with recorder.time():
+            return self._predict(model_name, uid, x)
+
+    def _predict(self, model_name: str, uid: int, x: object) -> PredictionResult:
+        model = self.registry.get(model_name)
+        node = self.cluster.router.route(uid)
+        node.stats.requests_served += 1
+        prediction_cache = self.prediction_caches[node.node_id]
+        # User weights are read first (a local lookup under user-aware
+        # routing); the user's weight_version is part of the cache key,
+        # so entries from before an online weight update never hit.
+        weights, state, user_latency = self._user_weights(model, uid, node.node_id)
+        weight_version = state.weight_version if state is not None else 0
+        cache_key = (model.name, model.version, uid, weight_version, item_cache_key(x))
+        cached = prediction_cache.get(cache_key)
+        if cached is not None:
+            # Entries carry (score, uncertainty) so bandit policies keep
+            # working across cache hits.
+            cached_score, cached_uncertainty = cached
+            return PredictionResult(
+                item=x,
+                score=cached_score,
+                uncertainty=cached_uncertainty,
+                node_id=node.node_id,
+                prediction_cache_hit=True,
+                modeled_network_latency=user_latency,
+            )
+        features, feature_hit, item_latency = self.get_features(
+            model, x, node.node_id
+        )
+        if not feature_hit:
+            node.stats.remote_feature_fetches += int(item_latency > 0)
+        score = float(weights @ features)
+        uncertainty = state.uncertainty(features) if state is not None else 0.0
+        prediction_cache.put(cache_key, (score, uncertainty))
+        return PredictionResult(
+            item=x,
+            score=score,
+            uncertainty=uncertainty,
+            node_id=node.node_id,
+            feature_cache_hit=feature_hit,
+            modeled_network_latency=user_latency + item_latency,
+        )
+
+    def top_k(
+        self,
+        model_name: str,
+        uid: int,
+        items: list,
+        k: int = 1,
+        policy: BanditPolicy | None = None,
+        item_filter=None,
+    ) -> list[PredictionResult]:
+        """Best ``k`` of the provided items for this user.
+
+        With the default greedy policy, ranking is by predicted score.
+        A bandit policy ranks by its own selection score (e.g. LinUCB's
+        score + alpha * uncertainty) to trade exploitation for learning
+        (paper Section 5); returned results preserve the true predicted
+        score in ``score``. ``item_filter(x) -> bool`` pre-filters the
+        candidate set before any scoring — the paper's "pre-filtering
+        items according to application level policies".
+        """
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        if item_filter is not None:
+            items = [x for x in items if item_filter(x)]
+        if not items:
+            return []
+        active_policy = policy if policy is not None else GreedyPolicy()
+        results = [self.predict(model_name, uid, x) for x in items]
+        ranked = sorted(
+            results,
+            key=lambda r: active_policy.selection_score(r.score, r.uncertainty),
+            reverse=True,
+        )
+        return ranked[:k]
+
+    def top_k_catalog(
+        self, model_name: str, uid: int, k: int = 10, engine_cls=None
+    ) -> list[PredictionResult]:
+        """Exact top-k over the model's *entire* item catalog.
+
+        Uses an indexed engine (default: one blocked matrix-vector
+        product, :class:`~repro.core.topk.BlockedMatrixTopK`) instead of
+        the per-item serving loop — the paper's Section 8 "more
+        efficient top-K support for our linear modeling tasks". Only
+        materialized models have a finite catalog to index.
+        """
+        from repro.core.topk import BlockedMatrixTopK, TopKEngine
+
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        model = self.registry.get(model_name)
+        cls = engine_cls or BlockedMatrixTopK
+        cache_key = (model.name, model.version, cls.__name__)
+        engine: TopKEngine = self._topk_engines.get(cache_key)
+        if engine is None:
+            engine = cls.from_model(model)
+            self._topk_engines[cache_key] = engine
+        node = self.cluster.router.route(uid)
+        node.stats.requests_served += 1
+        weights, state, user_latency = self._user_weights(model, uid, node.node_id)
+        return [
+            PredictionResult(
+                item=item,
+                score=score,
+                uncertainty=(
+                    state.uncertainty(model.features(item)) if state is not None else 0.0
+                ),
+                node_id=node.node_id,
+                modeled_network_latency=user_latency,
+            )
+            for item, score in engine.top_k(weights, k)
+        ]
+
+    # -- cache maintenance (used by the manager on model swap) -----------------
+
+    def invalidate_model(self, model_name: str) -> None:
+        """Drop every cache entry belonging to ``model_name``."""
+        for cache in self.feature_caches + self.prediction_caches:
+            cache.invalidate_if(lambda key: key[0] == model_name)
+        for key in [k for k in self._topk_engines if k[0] == model_name]:
+            del self._topk_engines[key]
+
+    def cached_feature_items(self, model_name: str) -> list[tuple[int, object]]:
+        """(node_id, item_key) pairs currently in feature caches — the
+        hot set the batch system precomputes for repopulation."""
+        pairs = []
+        for node_id, cache in enumerate(self.feature_caches):
+            for key in cache.keys():
+                if key[0] == model_name:
+                    pairs.append((node_id, key[2]))
+        return pairs
+
+    def cached_predictions(self, model_name: str) -> list[tuple[int, int, object]]:
+        """(node_id, uid, item_key) triples currently in prediction caches."""
+        triples = []
+        for node_id, cache in enumerate(self.prediction_caches):
+            for key in cache.keys():
+                if key[0] == model_name:
+                    triples.append((node_id, key[2], key[4]))
+        return triples
+
+    def warm_prediction_cache(
+        self,
+        node_id: int,
+        model,
+        uid: int,
+        weight_version: int,
+        item_key: object,
+        score: float,
+        uncertainty: float = 0.0,
+    ) -> None:
+        """Insert a precomputed prediction (cache repopulation on swap)."""
+        cache = self.prediction_caches[node_id]
+        cache.put(
+            (model.name, model.version, uid, weight_version, item_key),
+            (score, uncertainty),
+        )
+
+    def warm_feature_cache(self, node_id: int, model, x: object) -> None:
+        """Precompute f(x) into a node's cache (repopulation after
+        retraining, paper Section 4.2)."""
+        cache = self.feature_caches[node_id]
+        key = (model.name, model.version, item_cache_key(x))
+        cache.put(key, model.validate_features(model.features(x)))
+
+    def cache_stats(self) -> dict:
+        """Aggregate cache statistics across nodes."""
+        def total(caches, attr):
+            """Sum one stats attribute across caches."""
+            return sum(getattr(c.stats, attr) for c in caches)
+
+        return {
+            "feature_hits": total(self.feature_caches, "hits"),
+            "feature_misses": total(self.feature_caches, "misses"),
+            "prediction_hits": total(self.prediction_caches, "hits"),
+            "prediction_misses": total(self.prediction_caches, "misses"),
+        }

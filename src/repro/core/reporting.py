@@ -1,0 +1,161 @@
+"""Deployment status reporting.
+
+The paper's lifecycle-management pitch includes "aid[ing] administrators
+in managing deployed models" (Section 4.3) — diagnostics over model
+health, version history, cache effectiveness, and cluster locality.
+This module renders one structured snapshot of a deployment, both as a
+plain dict (for programmatic consumers / the front-end) and as an
+aligned text report (for humans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ModelStatus:
+    """One deployed model's lifecycle snapshot."""
+
+    name: str
+    version: int
+    dimension: int
+    materialized: bool
+    users: int
+    observations_logged: int
+    health_observations: int
+    baseline_loss: float | None
+    recent_loss: float | None
+    stale: bool
+    validation_pool: int
+    versions: int
+    retrains: int
+    predictions_served: int = 0
+    predict_p50_ms: float | None = None
+    predict_p99_ms: float | None = None
+
+
+@dataclass(frozen=True)
+class DeploymentStatus:
+    """The whole deployment at a point in time."""
+
+    num_nodes: int
+    alive_nodes: int
+    models: list[ModelStatus] = field(default_factory=list)
+    feature_cache_hit_rate: float = 0.0
+    prediction_cache_hit_rate: float = 0.0
+    network_locality: float = 1.0
+    remote_accesses: int = 0
+    requests_served: int = 0
+    observations_applied: int = 0
+
+
+def _live_user_count(table) -> int:
+    """User count over healthy partitions only — the report must stay
+    usable while a node is down."""
+    return sum(
+        len(table.partition(i))
+        for i in range(table.num_partitions)
+        if not table.partition(i).failed
+    )
+
+
+def snapshot(velox) -> DeploymentStatus:
+    """Collect a :class:`DeploymentStatus` from a deployed Velox."""
+    manager = velox.manager
+    cluster = velox.cluster
+    models = []
+    for name in velox.registry.names():
+        model = velox.registry.get(name)
+        health = manager.health_report(name)
+        table = manager.user_state_table(name)
+        log = manager.observation_log(name)
+        recorder = velox.service.serving_latency.get(name)
+        if recorder is not None and len(recorder):
+            latency = recorder.summary()
+            served, p50, p99 = (
+                latency.count,
+                latency.p50 * 1e3,
+                latency.p99 * 1e3,
+            )
+        else:
+            served, p50, p99 = 0, None, None
+        models.append(
+            ModelStatus(
+                name=name,
+                version=model.version,
+                dimension=model.dimension,
+                materialized=model.materialized,
+                users=_live_user_count(table),
+                observations_logged=len(log),
+                health_observations=health.observations,
+                baseline_loss=(
+                    health.baseline.mean if health.baseline.count else None
+                ),
+                recent_loss=health.recent.mean if health.recent.count else None,
+                stale=health.is_stale(
+                    velox.config.staleness_loss_ratio,
+                    velox.config.min_observations_for_staleness,
+                ),
+                validation_pool=len(health.validation_pool),
+                versions=len(velox.registry.history(name)),
+                retrains=sum(
+                    1 for e in manager.retrain_events if e.model_name == name
+                ),
+                predictions_served=served,
+                predict_p50_ms=p50,
+                predict_p99_ms=p99,
+            )
+        )
+
+    def hit_rate(caches) -> float:
+        """Aggregate hit rate across the given caches."""
+        hits = sum(c.stats.hits for c in caches)
+        lookups = sum(c.stats.lookups for c in caches)
+        return hits / lookups if lookups else 0.0
+
+    return DeploymentStatus(
+        num_nodes=cluster.num_nodes,
+        alive_nodes=sum(1 for n in cluster.nodes if n.alive),
+        models=models,
+        feature_cache_hit_rate=hit_rate(velox.service.feature_caches),
+        prediction_cache_hit_rate=hit_rate(velox.service.prediction_caches),
+        network_locality=cluster.network.stats.locality_rate,
+        remote_accesses=cluster.network.stats.remote_accesses,
+        requests_served=sum(n.stats.requests_served for n in cluster.nodes),
+        observations_applied=sum(
+            n.stats.observations_applied for n in cluster.nodes
+        ),
+    )
+
+
+def render(status: DeploymentStatus) -> str:
+    """Human-readable text report from a snapshot."""
+    lines = [
+        f"Velox deployment: {status.alive_nodes}/{status.num_nodes} nodes alive",
+        f"  requests served      {status.requests_served}",
+        f"  observations applied {status.observations_applied}",
+        f"  feature cache hits   {status.feature_cache_hit_rate:.1%}",
+        f"  prediction cache hits {status.prediction_cache_hit_rate:.1%}",
+        f"  network locality     {status.network_locality:.1%} "
+        f"({status.remote_accesses} remote accesses)",
+        "",
+        "  model           ver  users  obs     recent_loss  stale  retrains"
+        "  p50_ms  p99_ms",
+    ]
+    for model in status.models:
+        recent = f"{model.recent_loss:.4f}" if model.recent_loss is not None else "-"
+        p50 = f"{model.predict_p50_ms:.2f}" if model.predict_p50_ms is not None else "-"
+        p99 = f"{model.predict_p99_ms:.2f}" if model.predict_p99_ms is not None else "-"
+        lines.append(
+            f"  {model.name:<15} {model.version:<4} {model.users:<6} "
+            f"{model.observations_logged:<7} {recent:<12} "
+            f"{'YES' if model.stale else 'no':<6} {model.retrains:<9} "
+            f"{p50:<7} {p99}"
+        )
+    return "\n".join(lines)
+
+
+def report(velox) -> str:
+    """Convenience: snapshot + render in one call."""
+    return render(snapshot(velox))

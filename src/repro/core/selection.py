@@ -1,0 +1,330 @@
+"""Dynamic model selection: multiple models, adaptively weighted.
+
+The paper's abstract promises "lightweight online model maintenance and
+selection (i.e., dynamic weighting)", and Section 8 names "multi-armed
+bandit (i.e., multiple model) techniques ... including their dynamic
+updates" as the next step. This module implements that layer:
+
+* :class:`HedgeSelector` — full-information exponential weighting: every
+  observation scores *all* candidate models (each one's loss is
+  computable from the shared label), and weights decay exponentially in
+  cumulative loss. The right tool when per-model predictions are cheap.
+* :class:`Exp3Selector` — adversarial bandit weighting: only the model
+  that actually served the request is charged, with importance
+  weighting. The right tool when scoring every model is too expensive.
+* :class:`EpsilonGreedySelector` — pick the empirically-best model,
+  explore uniformly with probability epsilon.
+
+Selectors can be **global** (one weight vector for the whole service) or
+**per-user** (each uid learns its own mixture) via
+:class:`SelectorScope`.
+
+:class:`EnsembleRouter` binds a selector to a set of deployed models:
+``predict`` serves either the weighted-average score (Hedge) or the
+sampled model's score (Exp3/epsilon), and ``record_feedback`` closes the
+loop from ``observe``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigError, ValidationError
+from repro.common.rng import as_generator
+
+
+class ModelSelector(ABC):
+    """Maintains a probability distribution over ``model_names``."""
+
+    def __init__(self, model_names: list[str]):
+        if not model_names:
+            raise ValidationError("selector needs at least one model")
+        if len(set(model_names)) != len(model_names):
+            raise ValidationError(f"duplicate model names: {model_names}")
+        self.model_names = list(model_names)
+
+    @abstractmethod
+    def weights(self) -> dict[str, float]:
+        """Current normalized model weights (sum to 1)."""
+
+    @abstractmethod
+    def choose(self) -> str:
+        """Sample/select one model to serve the next request."""
+
+    @abstractmethod
+    def update(self, losses: dict[str, float], served: str | None = None) -> None:
+        """Incorporate observed per-model losses.
+
+        ``losses`` maps model name to that model's loss on the latest
+        observation. Full-information selectors use every entry;
+        bandit selectors use only ``losses[served]``.
+        """
+
+    def _check_losses(self, losses: dict[str, float]) -> None:
+        for name, loss in losses.items():
+            if name not in self.model_names:
+                raise ValidationError(f"unknown model {name!r} in losses")
+            if not np.isfinite(loss) or loss < 0:
+                raise ValidationError(
+                    f"loss for {name!r} must be finite and >= 0, got {loss}"
+                )
+
+
+class HedgeSelector(ModelSelector):
+    """Multiplicative-weights (Hedge / exponential weighting).
+
+    ``w_m ∝ exp(-eta * discounted_loss_m)``. Losses are squashed through
+    ``loss_scale`` so the learning rate is interpretable across label
+    scales. With ``decay = 1`` this is classic Hedge (vanishing regret
+    against the best fixed model); ``decay < 1`` exponentially forgets
+    old losses so the selector tracks a *changing* best model — the
+    "dynamic updates" the paper's Section 8 asks for.
+    """
+
+    def __init__(
+        self,
+        model_names: list[str],
+        eta: float = 0.2,
+        loss_scale: float = 1.0,
+        decay: float = 1.0,
+    ):
+        super().__init__(model_names)
+        if eta <= 0:
+            raise ConfigError(f"eta must be > 0, got {eta}")
+        if loss_scale <= 0:
+            raise ConfigError(f"loss_scale must be > 0, got {loss_scale}")
+        if not 0.0 < decay <= 1.0:
+            raise ConfigError(f"decay must be in (0, 1], got {decay}")
+        self.eta = eta
+        self.loss_scale = loss_scale
+        self.decay = decay
+        self._log_weights = {name: 0.0 for name in model_names}
+
+    def weights(self) -> dict[str, float]:
+        """Current normalized model weights (sum to 1)."""
+        logs = np.array([self._log_weights[n] for n in self.model_names])
+        logs -= logs.max()  # stabilize
+        raw = np.exp(logs)
+        normalized = raw / raw.sum()
+        return dict(zip(self.model_names, normalized.tolist()))
+
+    def choose(self) -> str:
+        """Select one model to serve the next request."""
+        weights = self.weights()
+        return max(weights, key=weights.get)
+
+    def update(self, losses: dict[str, float], served: str | None = None) -> None:
+        """Incorporate observed per-model losses."""
+        self._check_losses(losses)
+        if self.decay < 1.0:
+            for name in self._log_weights:
+                self._log_weights[name] *= self.decay
+        for name, loss in losses.items():
+            self._log_weights[name] -= self.eta * loss / self.loss_scale
+
+
+class Exp3Selector(ModelSelector):
+    """EXP3: bandit-feedback exponential weighting.
+
+    Only the served model's loss is observed; it is importance-weighted
+    by the probability with which that model was chosen, keeping the
+    weight updates unbiased. ``gamma`` mixes in uniform exploration.
+    """
+
+    def __init__(
+        self,
+        model_names: list[str],
+        gamma: float = 0.1,
+        eta: float = 0.1,
+        loss_scale: float = 1.0,
+        decay: float = 1.0,
+        rng=None,
+    ):
+        super().__init__(model_names)
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigError(f"gamma must be in (0, 1], got {gamma}")
+        if eta <= 0:
+            raise ConfigError(f"eta must be > 0, got {eta}")
+        if loss_scale <= 0:
+            raise ConfigError(f"loss_scale must be > 0, got {loss_scale}")
+        if not 0.0 < decay <= 1.0:
+            raise ConfigError(f"decay must be in (0, 1], got {decay}")
+        self.gamma = gamma
+        self.eta = eta
+        self.loss_scale = loss_scale
+        self.decay = decay
+        self._log_weights = {name: 0.0 for name in model_names}
+        self._rng = as_generator(rng)
+
+    def weights(self) -> dict[str, float]:
+        """Current normalized model weights (sum to 1)."""
+        logs = np.array([self._log_weights[n] for n in self.model_names])
+        logs -= logs.max()
+        raw = np.exp(logs)
+        exp_weights = raw / raw.sum()
+        uniform = 1.0 / len(self.model_names)
+        mixed = (1 - self.gamma) * exp_weights + self.gamma * uniform
+        return dict(zip(self.model_names, mixed.tolist()))
+
+    def choose(self) -> str:
+        """Select one model to serve the next request."""
+        weights = self.weights()
+        names = self.model_names
+        probs = np.array([weights[n] for n in names])
+        return names[int(self._rng.choice(len(names), p=probs / probs.sum()))]
+
+    def update(self, losses: dict[str, float], served: str | None = None) -> None:
+        """Incorporate observed per-model losses."""
+        self._check_losses(losses)
+        if served is None:
+            raise ValidationError("Exp3 requires the served model name")
+        if served not in self.model_names:
+            raise ValidationError(f"unknown served model {served!r}")
+        if served not in losses:
+            raise ValidationError(f"losses must include the served model {served!r}")
+        if self.decay < 1.0:
+            for name in self._log_weights:
+                self._log_weights[name] *= self.decay
+        probability = self.weights()[served]
+        estimate = (losses[served] / self.loss_scale) / max(probability, 1e-12)
+        self._log_weights[served] -= self.eta * estimate
+
+
+class EpsilonGreedySelector(ModelSelector):
+    """Track mean loss per model; serve the best, explore with prob. eps."""
+
+    def __init__(self, model_names: list[str], epsilon: float = 0.1, rng=None):
+        super().__init__(model_names)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.epsilon = epsilon
+        self._rng = as_generator(rng)
+        self._loss_sums = {name: 0.0 for name in model_names}
+        self._counts = {name: 0 for name in model_names}
+
+    def mean_loss(self, name: str) -> float:
+        """Empirical mean loss of one model (0 when untried)."""
+        if self._counts[name] == 0:
+            return 0.0  # optimistic: untried models look attractive
+        return self._loss_sums[name] / self._counts[name]
+
+    def weights(self) -> dict[str, float]:
+        """Current normalized model weights (sum to 1)."""
+        best = self.choose_greedy()
+        uniform = self.epsilon / len(self.model_names)
+        return {
+            name: (1 - self.epsilon) * (1.0 if name == best else 0.0) + uniform
+            for name in self.model_names
+        }
+
+    def choose_greedy(self) -> str:
+        """The model with the lowest empirical mean loss."""
+        return min(self.model_names, key=self.mean_loss)
+
+    def choose(self) -> str:
+        """Select one model to serve the next request."""
+        if self._rng.random() < self.epsilon:
+            return self.model_names[int(self._rng.integers(len(self.model_names)))]
+        return self.choose_greedy()
+
+    def update(self, losses: dict[str, float], served: str | None = None) -> None:
+        """Incorporate observed per-model losses."""
+        self._check_losses(losses)
+        targets = losses if served is None else {served: losses[served]}
+        for name, loss in targets.items():
+            self._loss_sums[name] += loss
+            self._counts[name] += 1
+
+
+@dataclass(frozen=True)
+class EnsemblePrediction:
+    """A multi-model prediction: the blended score, the per-model scores,
+    and the model that would serve a single-model request."""
+
+    score: float
+    per_model: dict[str, float]
+    chosen_model: str
+    weights: dict[str, float]
+
+
+class SelectorScope:
+    """Per-user or global selector instances behind one interface."""
+
+    def __init__(self, factory, per_user: bool = False):
+        self._factory = factory
+        self.per_user = per_user
+        self._global = factory() if not per_user else None
+        self._per_user: dict[int, ModelSelector] = {}
+
+    def for_user(self, uid: int) -> ModelSelector:
+        """The selector instance scoped to this uid."""
+        if not self.per_user:
+            return self._global
+        selector = self._per_user.get(uid)
+        if selector is None:
+            selector = self._factory()
+            self._per_user[uid] = selector
+        return selector
+
+
+class EnsembleRouter:
+    """Serves predictions from a dynamically weighted set of models.
+
+    Wraps a deployed :class:`~repro.core.velox.Velox` (or anything with
+    its ``predict_detailed`` / ``observe`` surface) and a selector.
+    ``predict`` blends per-model scores by the current weights;
+    ``observe`` forwards feedback to every model's online learner and to
+    the selector.
+    """
+
+    def __init__(self, velox, model_names: list[str], scope: SelectorScope):
+        for name in model_names:
+            if name not in velox.registry:
+                raise ValidationError(f"model {name!r} is not deployed")
+        self.velox = velox
+        self.model_names = list(model_names)
+        self.scope = scope
+
+    def predict(self, uid: int, inputs: dict[str, object]) -> EnsemblePrediction:
+        """Blend predictions for one logical item.
+
+        ``inputs`` maps model name to that model's input representation
+        (models may featurize the same item differently — e.g. an item
+        id for the MF model, a raw vector for the linear model).
+        """
+        missing = [n for n in self.model_names if n not in inputs]
+        if missing:
+            raise ValidationError(f"inputs missing for models {missing}")
+        selector = self.scope.for_user(uid)
+        weights = selector.weights()
+        per_model = {
+            name: self.velox.predict_detailed(name, uid, inputs[name]).score
+            for name in self.model_names
+        }
+        blended = sum(weights[name] * per_model[name] for name in self.model_names)
+        return EnsemblePrediction(
+            score=float(blended),
+            per_model=per_model,
+            chosen_model=selector.choose(),
+            weights=weights,
+        )
+
+    def observe(
+        self, uid: int, inputs: dict[str, object], label: float, served: str | None = None
+    ) -> dict[str, float]:
+        """Feed one labelled observation to every model and the selector.
+
+        Returns per-model losses (pre-update). With ``served`` given, a
+        bandit selector is charged only for that model.
+        """
+        losses: dict[str, float] = {}
+        for name in self.model_names:
+            result = self.velox.observe(
+                uid=uid, x=inputs[name], y=label, model_name=name
+            )
+            losses[name] = result.loss
+        self.scope.for_user(uid).update(losses, served=served)
+        return losses

@@ -1,0 +1,142 @@
+"""UDF byte-code inspection: static analysis of model UDFs.
+
+Section 6: "We are investigating automatic ways of analyzing data
+dependencies through techniques like UDF byte-code inspection." This
+module implements that investigation for Python UDFs (feature functions,
+retrain procedures): it walks a callable's byte code and closure to
+report
+
+* which globals and closure cells the UDF depends on (the "data
+  dependencies" — e.g. a captured factor matrix that must ship with
+  the job),
+* suspicious patterns for an offline/retrain context: use of
+  nondeterministic sources (``random``, ``time``), mutation opcodes on
+  captured state, and I/O calls — any of which break the
+  retrain-is-a-pure-function-of-the-log contract the manager relies on
+  for reproducible model versions.
+
+The checker is advisory (`check_retrain_udf` returns warnings, it does
+not block): static analysis of Python is necessarily approximate, and
+the paper frames this as an investigation, not an enforcement gate.
+"""
+
+from __future__ import annotations
+
+import dis
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+
+#: Module/global names whose use makes a retrain nondeterministic.
+NONDETERMINISTIC_NAMES = {"random", "time", "uuid", "os", "secrets"}
+#: Callable attribute names that read entropy or the clock.
+NONDETERMINISTIC_ATTRS = {
+    "random", "randint", "randn", "normal", "shuffle", "choice",
+    "default_rng", "time", "perf_counter", "uuid4", "urandom",
+}
+#: Attribute names that look like I/O.
+IO_ATTRS = {"open", "read", "write", "recv", "send", "urlopen", "get", "post"}
+#: Opcodes that always mutate non-local state. ``STORE_DEREF`` /
+#: ``DELETE_DEREF`` are handled separately: they only count when the
+#: target is a *free* variable (captured from an enclosing scope) —
+#: storing to the function's own cell variables (created because a
+#: nested comprehension reads them) is ordinary local assignment.
+MUTATION_OPCODES = {"STORE_GLOBAL", "DELETE_GLOBAL"}
+DEREF_OPCODES = {"STORE_DEREF", "DELETE_DEREF"}
+
+
+@dataclass
+class UdfReport:
+    """What one UDF depends on and which contract risks it carries."""
+
+    name: str
+    globals_read: list[str] = field(default_factory=list)
+    closure_cells: dict[str, str] = field(default_factory=dict)  # name -> type
+    attributes_used: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def is_pure_looking(self) -> bool:
+        """No warnings were raised (approximate purity)."""
+        return not self.warnings
+
+
+def _code_objects(code) -> list:
+    """A code object and all its nested code objects."""
+    out = [code]
+    for const in code.co_consts:
+        if hasattr(const, "co_code"):  # nested function / comprehension
+            out.extend(_code_objects(const))
+    return out
+
+
+def inspect_udf(fn) -> UdfReport:
+    """Analyze a Python callable's data dependencies and risk patterns."""
+    if not callable(fn):
+        raise ValidationError(f"inspect_udf needs a callable, got {type(fn).__name__}")
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        # builtins / C extensions: nothing to inspect.
+        return UdfReport(name=getattr(fn, "__name__", repr(fn)))
+
+    report = UdfReport(name=fn.__name__)
+
+    globals_read: set[str] = set()
+    attributes: set[str] = set()
+    for code_object in _code_objects(code):
+        free_variables = set(code_object.co_freevars)
+        for instruction in dis.get_instructions(code_object):
+            if instruction.opname == "LOAD_GLOBAL":
+                globals_read.add(str(instruction.argval))
+            elif instruction.opname in ("LOAD_ATTR", "LOAD_METHOD"):
+                attributes.add(str(instruction.argval))
+            elif instruction.opname in MUTATION_OPCODES or (
+                instruction.opname in DEREF_OPCODES
+                and str(instruction.argval) in free_variables
+            ):
+                report.warnings.append(
+                    f"mutates non-local state via {instruction.opname} "
+                    f"({instruction.argval})"
+                )
+    report.globals_read = sorted(globals_read)
+    report.attributes_used = sorted(attributes)
+
+    # Closure cells: the captured data dependencies.
+    free_names = code.co_freevars
+    cells = getattr(fn, "__closure__", None) or ()
+    for name, cell in zip(free_names, cells):
+        try:
+            value = cell.cell_contents
+            report.closure_cells[name] = type(value).__name__
+        except ValueError:  # empty cell
+            report.closure_cells[name] = "<unbound>"
+
+    # Risk patterns.
+    for name in sorted(globals_read & NONDETERMINISTIC_NAMES):
+        report.warnings.append(f"reads nondeterministic module {name!r}")
+    for attr in sorted(attributes & NONDETERMINISTIC_ATTRS):
+        report.warnings.append(f"calls nondeterministic attribute {attr!r}")
+    for attr in sorted(attributes & IO_ATTRS):
+        report.warnings.append(f"performs I/O-looking call {attr!r}")
+    if "open" in globals_read:
+        report.warnings.append("performs I/O-looking call 'open'")
+    return report
+
+
+def check_retrain_udf(fn) -> list[str]:
+    """Warnings for using ``fn`` as an offline-retrain UDF.
+
+    A retrain must be a deterministic function of (observations, current
+    weights) for model versions to be reproducible and rollbacks
+    meaningful. Returns the (possibly empty) list of warnings; callers
+    decide whether to log or refuse.
+    """
+    report = inspect_udf(fn)
+    warnings = list(report.warnings)
+    for name, type_name in report.closure_cells.items():
+        if type_name in ("dict", "list", "set"):
+            warnings.append(
+                f"captures mutable {type_name} {name!r} in its closure; "
+                "mutations between retrains make versions irreproducible"
+            )
+    return warnings

@@ -1,0 +1,34 @@
+"""Datasets: the SynthLens generator and split utilities.
+
+The paper evaluates on MovieLens10M, which is external data unavailable
+offline. SynthLens is the documented substitution (DESIGN.md Section 4):
+a synthetic ratings corpus with planted low-rank structure, user/item
+biases, Gaussian noise, Zipfian item popularity, and MovieLens-like
+per-user rating counts — preserving exactly the properties the paper's
+experiments exercise (ALS-recoverable structure, skewed item access,
+per-user observation streams).
+"""
+
+from repro.data.synthlens import SynthLensConfig, SynthLens, Rating, generate_synthlens
+from repro.data.movielens import MovieLensCorpus, load_movielens
+from repro.data.splits import (
+    RatingsSplit,
+    split_by_fraction,
+    split_per_user,
+    paper_protocol_split,
+    PaperProtocolSplit,
+)
+
+__all__ = [
+    "MovieLensCorpus",
+    "load_movielens",
+    "SynthLensConfig",
+    "SynthLens",
+    "Rating",
+    "generate_synthlens",
+    "RatingsSplit",
+    "split_by_fraction",
+    "split_per_user",
+    "paper_protocol_split",
+    "PaperProtocolSplit",
+]

@@ -1,0 +1,47 @@
+"""Front-end interface: the RESTful surface of the paper's prototype.
+
+The prototype "exposes a RESTful client interface"; this subpackage
+provides the equivalent for the reproduction:
+
+* :mod:`repro.frontend.api` — typed request/response objects and a JSON
+  wire codec (one JSON object per line),
+* :class:`VeloxClient` — an in-process client binding the API objects
+  to a deployed :class:`~repro.core.velox.Velox` instance,
+* :class:`VeloxServer` / :class:`RemoteClient` — a threaded TCP
+  JSON-lines server and matching socket client used by the examples.
+"""
+
+from repro.frontend.api import (
+    PredictApiRequest,
+    TopKApiRequest,
+    ObserveApiRequest,
+    HealthApiRequest,
+    RetrainApiRequest,
+    TopKCatalogApiRequest,
+    StatusApiRequest,
+    ApiResponse,
+    encode_request,
+    decode_request,
+    encode_response,
+    decode_response,
+)
+from repro.frontend.client import VeloxClient
+from repro.frontend.server import VeloxServer, RemoteClient
+
+__all__ = [
+    "PredictApiRequest",
+    "TopKApiRequest",
+    "ObserveApiRequest",
+    "HealthApiRequest",
+    "RetrainApiRequest",
+    "TopKCatalogApiRequest",
+    "StatusApiRequest",
+    "ApiResponse",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "VeloxClient",
+    "VeloxServer",
+    "RemoteClient",
+]

@@ -1,0 +1,217 @@
+"""Typed API objects and the JSON-lines wire codec.
+
+Requests mirror Listing 1 (``predict``, ``topK``, ``observe``) plus two
+management endpoints (``health``, ``retrain``). Item payloads may be
+integers (materialized models) or lists of floats (computed models);
+the codec round-trips both.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PredictApiRequest:
+    """Point prediction for (uid, item)."""
+    uid: int
+    item: object
+    model: str | None = None
+    method = "predict"
+
+
+@dataclass(frozen=True)
+class TopKApiRequest:
+    """Best-k over a provided candidate set."""
+    uid: int
+    items: tuple
+    k: int = 1
+    model: str | None = None
+    policy: str | None = None
+    method = "top_k"
+
+
+@dataclass(frozen=True)
+class ObserveApiRequest:
+    """One labelled feedback observation."""
+    uid: int
+    item: object
+    label: float
+    model: str | None = None
+    #: marks bandit-collected feedback for the unbiased validation pool
+    #: (paper Section 4.3)
+    validation: bool = False
+    method = "observe"
+
+
+@dataclass(frozen=True)
+class HealthApiRequest:
+    """Model-health snapshot."""
+    model: str | None = None
+    method = "health"
+
+
+@dataclass(frozen=True)
+class RetrainApiRequest:
+    """Trigger an offline retrain."""
+    model: str | None = None
+    reason: str = "api request"
+    method = "retrain"
+
+
+@dataclass(frozen=True)
+class TopKCatalogApiRequest:
+    """Exact best-k over the model's whole catalog (indexed engine)."""
+
+    uid: int
+    k: int = 10
+    model: str | None = None
+    method = "top_k_catalog"
+
+
+@dataclass(frozen=True)
+class StatusApiRequest:
+    """Deployment status report (the admin endpoint)."""
+
+    method = "status"
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """Uniform response envelope."""
+
+    ok: bool
+    payload: dict = field(default_factory=dict)
+    error: str = ""
+
+
+_REQUEST_TYPES = {
+    "predict": PredictApiRequest,
+    "top_k": TopKApiRequest,
+    "observe": ObserveApiRequest,
+    "health": HealthApiRequest,
+    "retrain": RetrainApiRequest,
+    "top_k_catalog": TopKCatalogApiRequest,
+    "status": StatusApiRequest,
+}
+
+
+def _jsonable_item(item: object) -> object:
+    if isinstance(item, (int, str, float, bool)):
+        return item
+    if isinstance(item, np.integer):
+        return int(item)
+    if isinstance(item, np.ndarray):
+        return {"__ndarray__": item.tolist()}
+    if isinstance(item, (list, tuple)):
+        return list(item)
+    raise ValidationError(f"cannot serialize item payload {item!r}")
+
+
+def _item_from_json(value: object) -> object:
+    if isinstance(value, dict) and "__ndarray__" in value:
+        return np.asarray(value["__ndarray__"], dtype=float)
+    return value
+
+
+def encode_request(request) -> str:
+    """One request → one JSON line."""
+    body = {"method": request.method}
+    if isinstance(request, PredictApiRequest):
+        body.update(uid=request.uid, item=_jsonable_item(request.item), model=request.model)
+    elif isinstance(request, TopKApiRequest):
+        body.update(
+            uid=request.uid,
+            items=[_jsonable_item(i) for i in request.items],
+            k=request.k,
+            model=request.model,
+            policy=request.policy,
+        )
+    elif isinstance(request, ObserveApiRequest):
+        body.update(
+            uid=request.uid,
+            item=_jsonable_item(request.item),
+            label=request.label,
+            model=request.model,
+            validation=request.validation,
+        )
+    elif isinstance(request, HealthApiRequest):
+        body.update(model=request.model)
+    elif isinstance(request, RetrainApiRequest):
+        body.update(model=request.model, reason=request.reason)
+    elif isinstance(request, TopKCatalogApiRequest):
+        body.update(uid=request.uid, k=request.k, model=request.model)
+    elif isinstance(request, StatusApiRequest):
+        pass  # no fields
+    else:
+        raise ValidationError(f"unknown request type {type(request).__name__}")
+    return json.dumps(body)
+
+
+def decode_request(line: str):
+    """One JSON line → one request object."""
+    try:
+        body = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise ValidationError(f"malformed request JSON: {err}") from err
+    method = body.get("method")
+    if method not in _REQUEST_TYPES:
+        raise ValidationError(f"unknown API method {method!r}")
+    if method == "predict":
+        return PredictApiRequest(
+            uid=int(body["uid"]),
+            item=_item_from_json(body["item"]),
+            model=body.get("model"),
+        )
+    if method == "top_k":
+        return TopKApiRequest(
+            uid=int(body["uid"]),
+            items=tuple(_item_from_json(i) for i in body["items"]),
+            k=int(body.get("k", 1)),
+            model=body.get("model"),
+            policy=body.get("policy"),
+        )
+    if method == "observe":
+        return ObserveApiRequest(
+            uid=int(body["uid"]),
+            item=_item_from_json(body["item"]),
+            label=float(body["label"]),
+            model=body.get("model"),
+            validation=bool(body.get("validation", False)),
+        )
+    if method == "health":
+        return HealthApiRequest(model=body.get("model"))
+    if method == "top_k_catalog":
+        return TopKCatalogApiRequest(
+            uid=int(body["uid"]), k=int(body.get("k", 10)), model=body.get("model")
+        )
+    if method == "status":
+        return StatusApiRequest()
+    return RetrainApiRequest(
+        model=body.get("model"), reason=body.get("reason", "api request")
+    )
+
+
+def encode_response(response: ApiResponse) -> str:
+    """One response -> one JSON line."""
+    return json.dumps(
+        {"ok": response.ok, "payload": response.payload, "error": response.error}
+    )
+
+
+def decode_response(line: str) -> ApiResponse:
+    """One JSON line -> one response object."""
+    try:
+        body = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise ValidationError(f"malformed response JSON: {err}") from err
+    return ApiResponse(
+        ok=bool(body.get("ok")),
+        payload=body.get("payload", {}),
+        error=body.get("error", ""),
+    )

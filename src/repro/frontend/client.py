@@ -1,0 +1,194 @@
+"""In-process client: dispatches API objects against a Velox deployment.
+
+The server and the remote client both reduce to this dispatcher, so the
+API surface (validation, response shapes, error envelopes) is identical
+whether calls arrive in-process or over the wire.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+from repro.core.bandits import make_policy
+from repro.frontend.api import (
+    ApiResponse,
+    HealthApiRequest,
+    ObserveApiRequest,
+    PredictApiRequest,
+    RetrainApiRequest,
+    StatusApiRequest,
+    TopKApiRequest,
+    TopKCatalogApiRequest,
+)
+
+
+class VeloxClient:
+    """Binds API request objects to a :class:`~repro.core.velox.Velox`."""
+
+    def __init__(self, velox):
+        self.velox = velox
+
+    # -- convenience methods (build request objects internally) -------------
+
+    def predict(self, uid: int, item: object, model: str | None = None) -> ApiResponse:
+        """Point prediction via the API envelope."""
+        return self.dispatch(PredictApiRequest(uid=uid, item=item, model=model))
+
+    def top_k(
+        self,
+        uid: int,
+        items,
+        k: int = 1,
+        model: str | None = None,
+        policy: str | None = None,
+    ) -> ApiResponse:
+        """Best-k candidates via the API envelope."""
+        return self.dispatch(
+            TopKApiRequest(uid=uid, items=tuple(items), k=k, model=model, policy=policy)
+        )
+
+    def observe(
+        self,
+        uid: int,
+        item: object,
+        label: float,
+        model: str | None = None,
+        validation: bool = False,
+    ) -> ApiResponse:
+        """Feedback ingestion via the API envelope."""
+        return self.dispatch(
+            ObserveApiRequest(
+                uid=uid, item=item, label=label, model=model, validation=validation
+            )
+        )
+
+    def health(self, model: str | None = None) -> ApiResponse:
+        """Model-health snapshot via the API envelope."""
+        return self.dispatch(HealthApiRequest(model=model))
+
+    def retrain(self, model: str | None = None, reason: str = "api request") -> ApiResponse:
+        """Trigger an offline retrain via the API envelope."""
+        return self.dispatch(RetrainApiRequest(model=model, reason=reason))
+
+    def top_k_catalog(self, uid: int, k: int = 10, model: str | None = None) -> ApiResponse:
+        """Whole-catalog best-k via the API envelope."""
+        return self.dispatch(TopKCatalogApiRequest(uid=uid, k=k, model=model))
+
+    def status(self) -> ApiResponse:
+        """Deployment status report via the API envelope."""
+        return self.dispatch(StatusApiRequest())
+
+    # -- dispatcher ----------------------------------------------------------
+
+    def dispatch(self, request) -> ApiResponse:
+        """Execute one API request; errors become error envelopes rather
+        than exceptions, as a network server must behave."""
+        try:
+            return self._dispatch(request)
+        except ReproError as err:
+            return ApiResponse(ok=False, error=f"{type(err).__name__}: {err}")
+
+    def _dispatch(self, request) -> ApiResponse:
+        if isinstance(request, PredictApiRequest):
+            result = self.velox.predict_detailed(request.model, request.uid, request.item)
+            return ApiResponse(
+                ok=True,
+                payload={
+                    "item": _wire_item(result.item),
+                    "score": result.score,
+                    "node": result.node_id,
+                    "prediction_cache_hit": result.prediction_cache_hit,
+                },
+            )
+        if isinstance(request, TopKApiRequest):
+            policy = (
+                make_policy(request.policy, self.velox.config.bandit_exploration)
+                if request.policy
+                else None
+            )
+            results = self.velox.service.top_k(
+                self.velox._model_name(request.model),
+                request.uid,
+                list(request.items),
+                k=request.k,
+                policy=policy,
+            )
+            return ApiResponse(
+                ok=True,
+                payload={
+                    "items": [
+                        {"item": _wire_item(r.item), "score": r.score}
+                        for r in results
+                    ]
+                },
+            )
+        if isinstance(request, ObserveApiRequest):
+            outcome = self.velox.observe(
+                uid=request.uid,
+                x=request.item,
+                y=request.label,
+                model_name=request.model,
+                validation=request.validation,
+            )
+            return ApiResponse(
+                ok=True,
+                payload={
+                    "loss": outcome.loss,
+                    "retrained": outcome.retrained,
+                    "node": outcome.node_id,
+                },
+            )
+        if isinstance(request, HealthApiRequest):
+            health = self.velox.health(request.model)
+            payload = {
+                "observations": health.observations,
+                "baseline_loss": (
+                    health.baseline.mean if health.baseline.count else None
+                ),
+                "recent_loss": health.recent.mean if health.recent.count else None,
+                "validation_pool_size": len(health.validation_pool),
+            }
+            return ApiResponse(ok=True, payload=payload)
+        if isinstance(request, RetrainApiRequest):
+            event = self.velox.retrain(request.model, reason=request.reason)
+            return ApiResponse(
+                ok=True,
+                payload={
+                    "new_version": event.new_version,
+                    "observations_used": event.observations_used,
+                    "caches_repopulated": event.caches_repopulated,
+                },
+            )
+        if isinstance(request, TopKCatalogApiRequest):
+            results = self.velox.top_k_catalog(request.model, request.uid, k=request.k)
+            return ApiResponse(
+                ok=True,
+                payload={
+                    "items": [
+                        {"item": _wire_item(item), "score": score}
+                        for item, score in results
+                    ]
+                },
+            )
+        if isinstance(request, StatusApiRequest):
+            from dataclasses import asdict
+
+            from repro.core import reporting
+
+            status = reporting.snapshot(self.velox)
+            payload = asdict(status)
+            payload["report"] = reporting.render(status)
+            return ApiResponse(ok=True, payload=payload)
+        return ApiResponse(
+            ok=False, error=f"unknown request type {type(request).__name__}"
+        )
+
+
+def _wire_item(item: object) -> object:
+    """Item payloads that survive JSON round-trips."""
+    import numpy as np
+
+    if isinstance(item, np.integer):
+        return int(item)
+    if isinstance(item, np.ndarray):
+        return item.tolist()
+    return item

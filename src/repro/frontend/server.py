@@ -1,0 +1,127 @@
+"""A threaded TCP JSON-lines server and matching client.
+
+One JSON request per line in, one JSON response per line out. The
+server wraps the in-process :class:`VeloxClient` dispatcher, so wire
+behaviour matches in-process behaviour exactly. Intended for the
+examples and integration tests, not as a hardened production server.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+
+from repro.common.errors import ValidationError
+from repro.frontend.api import (
+    ApiResponse,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.frontend.client import VeloxClient
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        """Serve JSON-line requests until the client disconnects."""
+        client: VeloxClient = self.server.velox_client
+        for raw in self.rfile:
+            line = raw.decode("utf-8").strip()
+            if not line:
+                continue
+            try:
+                request = decode_request(line)
+                response = client.dispatch(request)
+            except ValidationError as err:
+                response = ApiResponse(ok=False, error=str(err))
+            self.wfile.write((encode_response(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+
+class _ThreadedTcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class VeloxServer:
+    """Serves a Velox deployment on a TCP port.
+
+    Usage::
+
+        server = VeloxServer(velox, port=0)   # 0 = ephemeral port
+        server.start()
+        ... RemoteClient("127.0.0.1", server.port) ...
+        server.stop()
+    """
+
+    def __init__(self, velox, host: str = "127.0.0.1", port: int = 0):
+        self._server = _ThreadedTcpServer((host, port), _RequestHandler)
+        self._server.velox_client = VeloxClient(velox)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (useful with port 0 / ephemeral binding)."""
+        return self._server.server_address[1]
+
+    def start(self) -> "VeloxServer":
+        """Start serving on a background thread; returns self."""
+        if self._thread is not None:
+            raise ValidationError("server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="velox-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def __enter__(self) -> "VeloxServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class RemoteClient:
+    """Socket client speaking the JSON-lines protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._writer = self._sock.makefile("w", encoding="utf-8")
+
+    def call(self, request) -> ApiResponse:
+        """Send one request and block for its response."""
+        self._writer.write(encode_request(request) + "\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ValidationError("server closed the connection")
+        return decode_response(line)
+
+    def close(self) -> None:
+        """Close the socket and its file wrappers."""
+        self._reader.close()
+        self._writer.close()
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

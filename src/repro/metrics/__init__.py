@@ -1,0 +1,33 @@
+"""Metrics: prediction-error measures, streaming statistics, latency.
+
+Used by the model manager for quality monitoring (paper Section 4.3) and
+by the benchmark harness to report the figures' series (means with 95%
+confidence intervals, as in Figures 3 and 4).
+"""
+
+from repro.metrics.errors import (
+    squared_error,
+    absolute_error,
+    rmse,
+    mae,
+    precision_at_k,
+    ndcg_at_k,
+    mean_confidence_interval,
+)
+from repro.metrics.streaming import StreamingMeanVar, WindowedMean, Ewma
+from repro.metrics.latency import LatencyRecorder, Timer
+
+__all__ = [
+    "squared_error",
+    "absolute_error",
+    "rmse",
+    "mae",
+    "precision_at_k",
+    "ndcg_at_k",
+    "mean_confidence_interval",
+    "StreamingMeanVar",
+    "WindowedMean",
+    "Ewma",
+    "LatencyRecorder",
+    "Timer",
+]

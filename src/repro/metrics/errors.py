@@ -1,0 +1,131 @@
+"""Prediction-error measures and confidence intervals."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+def squared_error(y_true: float, y_pred: float) -> float:
+    """Per-observation squared error — the loss Velox's prototype uses."""
+    diff = y_true - y_pred
+    return diff * diff
+
+
+def absolute_error(y_true: float, y_pred: float) -> float:
+    """Per-observation absolute error."""
+    return abs(y_true - y_pred)
+
+
+def _paired(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    true_arr = np.asarray(y_true, dtype=float)
+    pred_arr = np.asarray(y_pred, dtype=float)
+    if true_arr.shape != pred_arr.shape:
+        raise ValidationError(
+            f"y_true and y_pred must have the same shape, "
+            f"got {true_arr.shape} vs {pred_arr.shape}"
+        )
+    if true_arr.size == 0:
+        raise ValidationError("error metrics need at least one observation")
+    return true_arr, pred_arr
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root-mean-squared error over paired arrays."""
+    true_arr, pred_arr = _paired(y_true, y_pred)
+    return float(np.sqrt(np.mean((true_arr - pred_arr) ** 2)))
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error over paired arrays."""
+    true_arr, pred_arr = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(true_arr - pred_arr)))
+
+
+def precision_at_k(relevant: set, ranked_items: list, k: int) -> float:
+    """Fraction of the top-k ranked items that are relevant."""
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if not ranked_items:
+        return 0.0
+    top = ranked_items[:k]
+    return sum(1 for item in top if item in relevant) / len(top)
+
+
+def ndcg_at_k(relevance_by_item: dict, ranked_items: list, k: int) -> float:
+    """Normalized discounted cumulative gain at k.
+
+    ``relevance_by_item`` maps item -> graded relevance (e.g. the true
+    rating); items absent from the map count as relevance 0. Returns
+    DCG@k normalized by the ideal ordering's DCG@k, in [0, 1]; an empty
+    ranking (or all-zero relevance) scores 0.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    top = ranked_items[:k]
+    dcg = sum(
+        relevance_by_item.get(item, 0.0) / math.log2(position + 2)
+        for position, item in enumerate(top)
+    )
+    ideal = sorted(relevance_by_item.values(), reverse=True)[:k]
+    ideal_dcg = sum(
+        value / math.log2(position + 2) for position, value in enumerate(ideal)
+    )
+    if ideal_dcg == 0.0:
+        return 0.0
+    return dcg / ideal_dcg
+
+
+def mean_confidence_interval(samples, confidence: float = 0.95) -> tuple[float, float]:
+    """(mean, half-width) of a normal-approximation confidence interval.
+
+    Matches the error bars in the paper's Figures 3 and 4 (95% CIs over
+    repeated trials). Uses the z-quantile, adequate for the thousands of
+    trials the benchmarks run; a single sample yields half-width 0.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValidationError("confidence interval needs at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(f"confidence must be in (0, 1), got {confidence}")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, 0.0
+    # Inverse normal CDF via Acklam's rational approximation (avoids a
+    # scipy dependency in the core library).
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    half_width = z * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return mean, half_width
+
+
+def _normal_quantile(p: float) -> float:
+    """Peter Acklam's inverse-normal-CDF approximation (|rel err| < 1.2e-9)."""
+    if not 0.0 < p < 1.0:
+        raise ValidationError(f"quantile probability must be in (0, 1), got {p}")
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )

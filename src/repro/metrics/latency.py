@@ -1,0 +1,99 @@
+"""Latency measurement: per-operation recorders and a timing context.
+
+The benchmark harness records thousands of per-operation latencies and
+reports mean ± 95% CI plus percentiles, matching the presentation of the
+paper's Figures 3 and 4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.metrics.errors import mean_confidence_interval
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate statistics over recorded durations."""
+    count: int
+    mean: float
+    ci95: float
+    p50: float
+    p95: float
+    p99: float
+    min: float
+    max: float
+
+
+class LatencyRecorder:
+    """Accumulates durations (seconds) and summarizes them."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._samples: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        """Append one duration in seconds."""
+        if seconds < 0:
+            raise ValidationError(f"latency cannot be negative: {seconds}")
+        self._samples.append(seconds)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        """A copy of all recorded durations."""
+        return list(self._samples)
+
+    def reset(self) -> None:
+        """Discard every recorded sample."""
+        self._samples.clear()
+
+    def time(self) -> "Timer":
+        """A context manager recording its elapsed time here."""
+        return Timer(self)
+
+    def summary(self) -> LatencySummary:
+        """Mean ± 95% CI plus percentiles over all samples."""
+        if not self._samples:
+            raise ValidationError(f"recorder {self.name!r} has no samples")
+        arr = np.asarray(self._samples, dtype=float)
+        mean, ci95 = mean_confidence_interval(arr)
+        return LatencySummary(
+            count=int(arr.size),
+            mean=mean,
+            ci95=ci95,
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            min=float(arr.min()),
+            max=float(arr.max()),
+        )
+
+
+class Timer:
+    """Context manager measuring wall-clock duration.
+
+    Usable standalone (``with Timer() as t: ...; t.elapsed``) or attached
+    to a :class:`LatencyRecorder`.
+    """
+
+    def __init__(self, recorder: LatencyRecorder | None = None):
+        self._recorder = recorder
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        if self._recorder is not None and exc_type is None:
+            self._recorder.record(self.elapsed)

@@ -1,0 +1,133 @@
+"""Streaming statistics for online model-quality monitoring.
+
+The model manager keeps "running per-user aggregates of errors" (paper
+Section 4.3); these accumulators provide numerically stable running
+moments, a fixed-size window mean for recent-loss trend detection, and
+an exponentially weighted average.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.common.errors import ValidationError
+
+
+class StreamingMeanVar:
+    """Welford's online mean/variance accumulator."""
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Accumulate one value."""
+        if math.isnan(value):
+            raise ValidationError("cannot accumulate NaN")
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    def update_many(self, values) -> None:
+        """Accumulate an iterable of values."""
+        for value in values:
+            self.update(value)
+
+    @property
+    def mean(self) -> float:
+        """Running mean; raises when empty."""
+        if self.count == 0:
+            raise ValidationError("mean of an empty accumulator")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 with fewer than two samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1)."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "StreamingMeanVar") -> "StreamingMeanVar":
+        """Combine two accumulators (parallel Welford merge)."""
+        merged = StreamingMeanVar()
+        total = self.count + other.count
+        if total == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged.count = total
+        merged._mean = self._mean + delta * other.count / total
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        )
+        return merged
+
+
+class WindowedMean:
+    """Mean over the most recent ``window`` values (O(1) updates)."""
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValidationError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._values: deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+
+    def update(self, value: float) -> None:
+        """Accumulate one value."""
+        if math.isnan(value):
+            raise ValidationError("cannot accumulate NaN")
+        if len(self._values) == self.window:
+            self._sum -= self._values[0]
+        self._values.append(value)
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        """Number of values currently in the window."""
+        return len(self._values)
+
+    @property
+    def full(self) -> bool:
+        """Whether the window has reached its capacity."""
+        return len(self._values) == self.window
+
+    @property
+    def mean(self) -> float:
+        """Running mean; raises when empty."""
+        if not self._values:
+            raise ValidationError("mean of an empty window")
+        return self._sum / len(self._values)
+
+
+class Ewma:
+    """Exponentially weighted moving average."""
+
+    def __init__(self, alpha: float):
+        if not 0.0 < alpha <= 1.0:
+            raise ValidationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: float | None = None
+
+    def update(self, value: float) -> None:
+        """Accumulate one value."""
+        if math.isnan(value):
+            raise ValidationError("cannot accumulate NaN")
+        if self._value is None:
+            self._value = value
+        else:
+            self._value = self.alpha * value + (1.0 - self.alpha) * self._value
+
+    @property
+    def value(self) -> float:
+        """Current smoothed value; raises when empty."""
+        if self._value is None:
+            raise ValidationError("value of an empty EWMA")
+        return self._value

@@ -1,0 +1,29 @@
+"""Sampling engine: reservoir and stratified sampling for approximation.
+
+BDAS "contained ... a sampling engine" (paper Section 1) for trading
+accuracy against latency on large data. Here it serves the model
+lifecycle: offline retraining over the full observation log is the
+dominant batch cost, and a stratified subsample — every user keeps a
+minimum number of observations so personalization survives — retrains
+nearly as well in a fraction of the time (see the sampled-retrain
+ablation benchmark).
+
+* :class:`ReservoirSampler` — one-pass uniform k-sample (Vitter's
+  Algorithm R) over streams of unknown length,
+* :class:`StratifiedSampler` — per-stratum reservoirs with a per-stratum
+  floor,
+* :func:`sample_observations` — the convenience entry the manager uses
+  for ``retrain_now(sample_fraction=...)``.
+"""
+
+from repro.sampling.reservoir import (
+    ReservoirSampler,
+    StratifiedSampler,
+    sample_observations,
+)
+
+__all__ = [
+    "ReservoirSampler",
+    "StratifiedSampler",
+    "sample_observations",
+]

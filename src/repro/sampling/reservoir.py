@@ -1,0 +1,106 @@
+"""Reservoir and stratified sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import as_generator
+
+
+class ReservoirSampler:
+    """One-pass uniform sample of ``capacity`` items (Algorithm R).
+
+    Feed any number of items through :meth:`offer`; at any point
+    :meth:`sample` is a uniform random subset of everything seen so
+    far, using O(capacity) memory.
+    """
+
+    def __init__(self, capacity: int, rng=None):
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = as_generator(rng)
+        self._reservoir: list = []
+        self.seen = 0
+
+    def offer(self, item) -> None:
+        """Consider one item for the reservoir."""
+        self.seen += 1
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(item)
+            return
+        slot = int(self._rng.integers(self.seen))
+        if slot < self.capacity:
+            self._reservoir[slot] = item
+
+    def offer_many(self, items) -> None:
+        """Consider each item in an iterable."""
+        for item in items:
+            self.offer(item)
+
+    def sample(self) -> list:
+        """The current sample (a copy, in insertion-replacement order)."""
+        return list(self._reservoir)
+
+    def __len__(self) -> int:
+        return len(self._reservoir)
+
+
+class StratifiedSampler:
+    """Per-stratum reservoir sampling with a floor per stratum.
+
+    Each stratum (e.g. each user) gets its own reservoir of
+    ``max(floor, round(fraction * stratum_size))`` items, sized in a
+    second configuration step: because reservoirs need their capacity up
+    front, usage is two-phase — :meth:`count` everything, then
+    :meth:`sample` everything. Guarantees every stratum that appeared
+    keeps at least ``min(floor, stratum_size)`` items, which is what
+    keeps per-user personalization alive in a sampled retrain.
+    """
+
+    def __init__(self, fraction: float, floor: int = 1, rng=None):
+        if not 0.0 < fraction <= 1.0:
+            raise ValidationError(f"fraction must be in (0, 1], got {fraction}")
+        if floor < 0:
+            raise ValidationError(f"floor must be >= 0, got {floor}")
+        self.fraction = fraction
+        self.floor = floor
+        self._rng = as_generator(rng)
+
+    def sample(self, items: list, key_fn) -> list:
+        """Stratified subsample of ``items`` grouped by ``key_fn``."""
+        strata: dict[object, list] = {}
+        for item in items:
+            strata.setdefault(key_fn(item), []).append(item)
+        sampled: list = []
+        for stratum_items in strata.values():
+            quota = max(self.floor, int(round(self.fraction * len(stratum_items))))
+            quota = min(quota, len(stratum_items))
+            if quota == 0:  # floor 0 and a rounding-to-zero fraction
+                continue
+            if quota == len(stratum_items):
+                sampled.extend(stratum_items)
+                continue
+            reservoir = ReservoirSampler(quota, rng=self._rng)
+            reservoir.offer_many(stratum_items)
+            sampled.extend(reservoir.sample())
+        return sampled
+
+
+def sample_observations(
+    observations: list,
+    fraction: float,
+    min_per_user: int = 3,
+    rng=None,
+) -> list:
+    """Stratified-by-uid subsample of an observation list.
+
+    The manager's approximate-retrain path: keeps at least
+    ``min_per_user`` observations for every user present (or all of
+    them, if fewer), samples the rest uniformly per user.
+    """
+    if fraction >= 1.0:
+        return list(observations)
+    sampler = StratifiedSampler(fraction, floor=min_per_user, rng=rng)
+    return sampler.sample(list(observations), key_fn=lambda ob: ob.uid)

@@ -1,0 +1,37 @@
+"""veloxstore: a partitioned, versioned, in-memory key-value store.
+
+This is the reproduction's stand-in for Tachyon [Li et al., SOCC 2014],
+the memory-centric storage layer Velox uses to persist user weight tables,
+item feature tables, and the observation log. It provides:
+
+* named tables partitioned by a pluggable partitioner,
+* per-key versions with optimistic compare-and-set,
+* an append-only journal per partition, giving lineage-style recovery
+  (drop the in-memory partition, replay the journal),
+* table snapshots and restores,
+* an append-only :class:`ObservationLog` that batch jobs read by offset,
+* a stats-tracking :class:`LRUCache` reused by the serving tier.
+"""
+
+from repro.store.lru import LRUCache, CacheStats
+from repro.store.journal import Journal, JournalRecord
+from repro.store.partition import Partition
+from repro.store.table import Table, VersionedValue
+from repro.store.store import VeloxStore
+from repro.store.oblog import ObservationLog, Observation
+from repro.store.persistence import checkpoint_store, restore_store
+
+__all__ = [
+    "checkpoint_store",
+    "restore_store",
+    "LRUCache",
+    "CacheStats",
+    "Journal",
+    "JournalRecord",
+    "Partition",
+    "Table",
+    "VersionedValue",
+    "VeloxStore",
+    "ObservationLog",
+    "Observation",
+]

@@ -1,0 +1,94 @@
+"""Append-only journal: the durability/lineage mechanism of veloxstore.
+
+Tachyon achieves fault tolerance through lineage rather than replication;
+veloxstore models the same contract with a per-partition journal. Mutations
+are appended before they are applied; recovery rebuilds a partition by
+replaying its journal from the last snapshot offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+
+class JournalOp(Enum):
+    """The kinds of journaled mutation."""
+    PUT = "put"
+    DELETE = "delete"
+    TRUNCATE = "truncate"
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable mutation.
+
+    ``sequence`` is the dense per-journal offset; ``version`` is the
+    per-key version the mutation produced (0 for deletes/truncates).
+    """
+
+    sequence: int
+    op: JournalOp
+    key: object
+    value: object
+    version: int
+
+
+class Journal:
+    """An append-only sequence of :class:`JournalRecord`.
+
+    The journal is logically durable: :meth:`replay` must be able to
+    reconstruct partition state after the in-memory dict is discarded.
+    Snapshots mark a prefix as compactable via :meth:`compact`.
+    """
+
+    def __init__(self):
+        self._records: list[JournalRecord] = []
+        self._base_sequence = 0  # sequence of _records[0], after compaction
+
+    def __len__(self) -> int:
+        return self._base_sequence + len(self._records)
+
+    @property
+    def next_sequence(self) -> int:
+        """The sequence the next appended record will get."""
+        return len(self)
+
+    def append(self, op: JournalOp, key: object, value: object, version: int) -> JournalRecord:
+        """Durably record one mutation; returns the record."""
+        record = JournalRecord(self.next_sequence, op, key, value, version)
+        self._records.append(record)
+        return record
+
+    def replay(self, start: int = 0) -> Iterator[JournalRecord]:
+        """Yield records with ``sequence >= start`` in order.
+
+        Raises ``ValueError`` if ``start`` predates the compaction horizon,
+        since those records no longer exist.
+        """
+        if start < self._base_sequence:
+            raise ValueError(
+                f"cannot replay from {start}: journal compacted up to "
+                f"{self._base_sequence}"
+            )
+        offset = start - self._base_sequence
+        yield from self._records[offset:]
+
+    def compact(self, upto: int) -> int:
+        """Discard records with ``sequence < upto``; return count dropped.
+
+        Safe only once a snapshot covering ``upto`` exists — the table
+        layer enforces that ordering.
+        """
+        if upto <= self._base_sequence:
+            return 0
+        if upto > self.next_sequence:
+            raise ValueError(
+                f"cannot compact beyond the journal end "
+                f"({upto} > {self.next_sequence})"
+            )
+        dropped = upto - self._base_sequence
+        self._records = self._records[dropped:]
+        self._base_sequence = upto
+        return dropped

@@ -1,0 +1,148 @@
+"""An LRU cache with hit/miss/eviction statistics.
+
+Used for the Velox feature cache and prediction cache (paper Section 5).
+The paper argues that Zipfian item popularity makes "a simple cache
+eviction strategy like LRU" effective; the statistics here are what the
+cache-skew ablation benchmark reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import RLock
+from typing import Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated over the life of the cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total get() calls (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache; 0.0 when never queried."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+
+class LRUCache(Generic[K, V]):
+    """Thread-safe least-recently-used cache.
+
+    A ``capacity`` of 0 produces a disabled cache: every ``get`` misses and
+    ``put`` is a no-op, which lets callers leave cache plumbing in place
+    while benchmarking the uncached path.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self._lock = RLock()
+        self.stats = CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries (0 = disabled)."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        """Membership test without recency update or stats mutation."""
+        with self._lock:
+            return key in self._data
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Return the cached value (marking it most recent) or ``default``."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def peek(self, key: K, default: V | None = None) -> V | None:
+        """Return the cached value without recency or stats effects."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            return default if value is _MISSING else value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/overwrite a value, evicting the LRU entry if full."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, key: K) -> bool:
+        """Remove one key; returns whether it was present."""
+        with self._lock:
+            if key in self._data:
+                del self._data[key]
+                self.stats.invalidations += 1
+                return True
+            return False
+
+    def invalidate_if(self, predicate) -> int:
+        """Remove all entries whose key satisfies ``predicate``; return count."""
+        with self._lock:
+            doomed = [k for k in self._data if predicate(k)]
+            for k in doomed:
+                del self._data[k]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (counted as invalidations)."""
+        with self._lock:
+            self.stats.invalidations += len(self._data)
+            self._data.clear()
+
+    def keys(self) -> list[K]:
+        """Snapshot of keys from least to most recently used."""
+        with self._lock:
+            return list(self._data.keys())
+
+    def items(self) -> Iterator[tuple[K, V]]:
+        """Snapshot of items from least to most recently used."""
+        with self._lock:
+            return iter(list(self._data.items()))
+
+    def warm(self, entries) -> None:
+        """Bulk-load ``(key, value)`` pairs (e.g. cache repopulation after
+        offline retraining, paper Section 4.2)."""
+        for key, value in entries:
+            self.put(key, value)

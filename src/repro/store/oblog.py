@@ -1,0 +1,79 @@
+"""The observation log: append-only feedback storage.
+
+Every ``observe(uid, item, label)`` call lands here (paper Section 4.1):
+the online learner consumes it immediately, and offline retraining reads
+it later in bulk "from the storage layer". Readers address the log by
+offset so a batch job can consume exactly the records that existed when
+it was triggered, while new observations continue to append.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from threading import RLock
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One unit of feedback: user ``uid`` rated/labelled item ``item_id``.
+
+    ``item_data`` carries whatever the front-end passed for feature
+    extraction (for materialized-feature models this is just the item id;
+    for computed-feature models it is the raw input object).
+    """
+
+    uid: int
+    item_id: int
+    label: float
+    item_data: object = None
+    timestamp: float = 0.0
+
+
+class ObservationLog:
+    """A durable, append-only sequence of :class:`Observation`.
+
+    Append returns the record's offset. ``read_range(start, stop)`` is the
+    batch-consumption API; ``snapshot_offset()`` captures "everything seen
+    so far" for a retraining job.
+    """
+
+    def __init__(self):
+        self._records: list[Observation] = []
+        self._lock = RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def append(self, observation: Observation) -> int:
+        """Durably append one observation; returns its offset."""
+        with self._lock:
+            self._records.append(observation)
+            return len(self._records) - 1
+
+    def snapshot_offset(self) -> int:
+        """Offset one past the last record at call time."""
+        with self._lock:
+            return len(self._records)
+
+    def read_range(self, start: int, stop: int | None = None) -> list[Observation]:
+        """Records with ``start <= offset < stop`` (``stop=None`` → end)."""
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        with self._lock:
+            end = len(self._records) if stop is None else stop
+            if end > len(self._records):
+                raise ValueError(
+                    f"stop {end} is past the end of the log ({len(self._records)})"
+                )
+            if end < start:
+                raise ValueError(f"stop {end} precedes start {start}")
+            return list(self._records[start:end])
+
+    def read_all(self) -> list[Observation]:
+        """Every observation currently in the log."""
+        return self.read_range(0)
+
+    def by_user(self, uid: int, stop: int | None = None) -> list[Observation]:
+        """All observations for one user up to ``stop`` (for Eq. 2 solves)."""
+        return [ob for ob in self.read_range(0, stop) if ob.uid == uid]

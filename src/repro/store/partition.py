@@ -1,0 +1,155 @@
+"""A single partition of a veloxstore table: dict state + journal + snapshot.
+
+Partitions are the unit of placement (the cluster assigns partitions to
+nodes) and the unit of failure/recovery. ``fail()`` drops the volatile
+dict, modeling a node losing its memory; ``recover()`` rebuilds it from
+the last snapshot plus journal replay — the Tachyon lineage story.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterator
+
+from repro.common.errors import PartitionError
+from repro.store.journal import Journal, JournalOp
+
+
+class Partition:
+    """In-memory state for one shard of a table.
+
+    Values are stored alongside a per-key integer version that starts at 1
+    and increments on every overwrite. Deletes remove the key entirely;
+    re-inserting restarts its version at 1 (versions are per-incarnation,
+    like Tachyon block generations).
+    """
+
+    def __init__(self, index: int):
+        if index < 0:
+            raise ValueError(f"partition index must be >= 0, got {index}")
+        self.index = index
+        self._data: dict[object, tuple[object, int]] = {}
+        self._journal = Journal()
+        self._snapshot: dict[object, tuple[object, int]] | None = None
+        self._snapshot_sequence = 0
+        self._failed = False
+
+    # -- basic state ---------------------------------------------------
+
+    def __len__(self) -> int:
+        self._check_alive()
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        self._check_alive()
+        return key in self._data
+
+    @property
+    def failed(self) -> bool:
+        """Whether this partition has lost its volatile state."""
+        return self._failed
+
+    @property
+    def journal_length(self) -> int:
+        """Total records ever appended to the journal."""
+        return len(self._journal)
+
+    def _check_alive(self) -> None:
+        if self._failed:
+            raise PartitionError(
+                f"partition {self.index} is failed; call recover() first"
+            )
+
+    # -- reads ----------------------------------------------------------
+
+    def get(self, key: object) -> tuple[object, int] | None:
+        """Return ``(value, version)`` or ``None`` when absent."""
+        self._check_alive()
+        return self._data.get(key)
+
+    def keys(self) -> Iterator[object]:
+        """Snapshot of the partition's keys."""
+        self._check_alive()
+        return iter(list(self._data.keys()))
+
+    def items(self) -> Iterator[tuple[object, object]]:
+        """Iterate ``(key, value)`` pairs (versions stripped)."""
+        self._check_alive()
+        return iter([(k, v) for k, (v, _) in self._data.items()])
+
+    # -- writes (journaled) ----------------------------------------------
+
+    def put(self, key: object, value: object) -> int:
+        """Insert or overwrite; returns the new per-key version."""
+        self._check_alive()
+        existing = self._data.get(key)
+        version = 1 if existing is None else existing[1] + 1
+        self._journal.append(JournalOp.PUT, key, value, version)
+        self._data[key] = (value, version)
+        return version
+
+    def install(self, key: object, value: object, version: int) -> None:
+        """Install an entry at an explicit version (checkpoint restore).
+
+        Journaled as a single PUT carrying the version, so recovery
+        replay reproduces it exactly without replaying the key's
+        pre-checkpoint history.
+        """
+        if version < 1:
+            raise ValueError(f"version must be >= 1, got {version}")
+        self._check_alive()
+        self._journal.append(JournalOp.PUT, key, value, version)
+        self._data[key] = (value, version)
+
+    def delete(self, key: object) -> bool:
+        """Remove a key; returns whether it existed."""
+        self._check_alive()
+        if key not in self._data:
+            return False
+        self._journal.append(JournalOp.DELETE, key, None, 0)
+        del self._data[key]
+        return True
+
+    def truncate(self) -> None:
+        """Remove every key (journaled as a single record)."""
+        self._check_alive()
+        self._journal.append(JournalOp.TRUNCATE, None, None, 0)
+        self._data.clear()
+
+    # -- durability & recovery -------------------------------------------
+
+    def snapshot(self) -> None:
+        """Checkpoint current state; compacts the journal prefix it covers."""
+        self._check_alive()
+        self._snapshot = copy.deepcopy(self._data)
+        self._snapshot_sequence = self._journal.next_sequence
+        self._journal.compact(self._snapshot_sequence)
+
+    def fail(self) -> None:
+        """Simulate loss of volatile memory. Journal and snapshot survive
+        (they model durable/lineage state)."""
+        self._data = {}
+        self._failed = True
+
+    def recover(self) -> int:
+        """Rebuild state from snapshot + journal replay.
+
+        Returns the number of journal records replayed. Idempotent on a
+        healthy partition (replaying a journal over its own snapshot-plus-
+        suffix state reproduces the same dict).
+        """
+        base: dict[object, tuple[object, int]] = (
+            copy.deepcopy(self._snapshot) if self._snapshot is not None else {}
+        )
+        replayed = 0
+        for record in self._journal.replay(self._snapshot_sequence):
+            replayed += 1
+            if record.op is JournalOp.PUT:
+                base[record.key] = (record.value, record.version)
+            elif record.op is JournalOp.DELETE:
+                base.pop(record.key, None)
+            elif record.op is JournalOp.TRUNCATE:
+                base.clear()
+        self._data = base
+        self._failed = False
+        return replayed

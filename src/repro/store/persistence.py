@@ -1,0 +1,146 @@
+"""Durable persistence for veloxstore: checkpoint to and restore from disk.
+
+Tachyon checkpoints its in-memory data to an under-filesystem (HDFS) so
+state survives whole-cluster restarts; this module is that layer for
+veloxstore. A checkpoint directory contains one pickle file per table
+(values plus per-key versions, partition layout preserved) and one per
+observation log, with a manifest recording the format version and
+contents.
+
+Pickle is the serialization format because table values are arbitrary
+Python objects (numpy arrays, UserModelState instances); checkpoints
+are trusted local state, not an interchange format.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+from repro.common.errors import StorageError
+from repro.store.oblog import Observation, ObservationLog
+from repro.store.store import VeloxStore
+from repro.store.table import Table
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+
+
+def checkpoint_store(store: VeloxStore, directory: str | Path) -> Path:
+    """Write the whole store to ``directory``; returns the path.
+
+    Existing checkpoint files in the directory are overwritten. Tables
+    with failed partitions cannot be checkpointed (recover them first) —
+    a checkpoint must be a consistent full snapshot.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    tables = {}
+    for name in store.table_names():
+        table = store.table(name)
+        for index in range(table.num_partitions):
+            if table.partition(index).failed:
+                raise StorageError(
+                    f"cannot checkpoint: table {name!r} partition {index} "
+                    "is failed; recover it first"
+                )
+        partitions = []
+        for index in range(table.num_partitions):
+            partition = table.partition(index)
+            partitions.append(
+                {key: partition.get(key) for key in partition.keys()}
+            )
+        file_name = f"table_{_safe_name(name)}.pkl"
+        with open(path / file_name, "wb") as handle:
+            pickle.dump(partitions, handle)
+        tables[name] = {
+            "file": file_name,
+            "num_partitions": table.num_partitions,
+        }
+
+    logs = {}
+    for name in store.log_names():
+        records = store.log(name).read_all()
+        file_name = f"log_{_safe_name(name)}.pkl"
+        with open(path / file_name, "wb") as handle:
+            pickle.dump(records, handle)
+        logs[name] = {"file": file_name, "records": len(records)}
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "default_partitions": store.default_partitions,
+        "tables": tables,
+        "logs": logs,
+    }
+    with open(path / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return path
+
+
+def restore_store(
+    directory: str | Path,
+    partitioners: dict | None = None,
+) -> VeloxStore:
+    """Rebuild a :class:`VeloxStore` from a checkpoint directory.
+
+    Custom partitioners are not serializable, so tables that used one
+    must be given it again via ``partitioners={table_name: callable}``;
+    keys land back in their recorded partitions either way (restore
+    writes partition-by-partition), so lookups stay consistent as long
+    as the supplied partitioner matches the original.
+    """
+    path = Path(directory)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StorageError(f"no checkpoint manifest at {manifest_path}")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported checkpoint format {manifest.get('format_version')!r}"
+        )
+
+    store = VeloxStore(default_partitions=manifest["default_partitions"])
+    supplied = partitioners or {}
+    for name, info in manifest["tables"].items():
+        with open(path / info["file"], "rb") as handle:
+            partitions = pickle.load(handle)
+        table = store.create_table(
+            name,
+            num_partitions=info["num_partitions"],
+            partitioner=supplied.get(name),
+        )
+        _load_table(table, partitions)
+    for name, info in manifest["logs"].items():
+        with open(path / info["file"], "rb") as handle:
+            records = pickle.load(handle)
+        log = store.create_log(name)
+        for record in records:
+            if not isinstance(record, Observation):
+                raise StorageError(
+                    f"log {name!r} contains a non-observation record"
+                )
+            log.append(record)
+    return store
+
+
+def _load_table(table: Table, partitions: list[dict]) -> None:
+    """Install checkpointed (value, version) entries partition-by-
+    partition at their recorded versions."""
+    for index, entries in enumerate(partitions):
+        partition = table.partition(index)
+        for key, (value, version) in entries.items():
+            partition.install(key, value, version)
+
+
+def _safe_name(name: str) -> str:
+    """Filesystem-safe, collision-free encoding of a table/log name."""
+    import hashlib
+
+    cleaned = "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+    if cleaned != name:
+        digest = hashlib.blake2b(name.encode("utf-8"), digest_size=4).hexdigest()
+        cleaned = f"{cleaned}_{digest}"
+    return cleaned

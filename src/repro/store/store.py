@@ -1,0 +1,128 @@
+"""VeloxStore: the table/namespace manager over partitions.
+
+One :class:`VeloxStore` instance models the whole Tachyon deployment:
+named tables (user weights, item features, model metadata), observation
+logs, and cluster-facing hooks (which partitions exist, fail/recover).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import StorageError
+from repro.store.oblog import ObservationLog
+from repro.store.table import Table
+
+
+class VeloxStore:
+    """A namespace of :class:`Table` objects plus observation logs.
+
+    ``default_partitions`` controls sharding for tables created without an
+    explicit count; a Velox cluster sets this to its node count so each
+    node hosts one shard of each table.
+    """
+
+    def __init__(self, default_partitions: int = 1):
+        if default_partitions < 1:
+            raise ValueError(
+                f"default_partitions must be >= 1, got {default_partitions}"
+            )
+        self.default_partitions = default_partitions
+        self._tables: dict[str, Table] = {}
+        self._logs: dict[str, ObservationLog] = {}
+
+    # -- tables -------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        num_partitions: int | None = None,
+        partitioner: Callable[[object], int] | None = None,
+    ) -> Table:
+        """Create a table; raises :class:`StorageError` if it exists."""
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = Table(
+            name,
+            num_partitions=num_partitions or self.default_partitions,
+            partitioner=partitioner,
+        )
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up an existing table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name in self._tables
+
+    def get_or_create_table(self, name: str, **kwargs) -> Table:
+        """Fetch a table, creating it on first use."""
+        if name in self._tables:
+            return self._tables[name]
+        return self.create_table(name, **kwargs)
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and all its data."""
+        if name not in self._tables:
+            raise StorageError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def table_names(self) -> list[str]:
+        """Sorted names of all tables."""
+        return sorted(self._tables)
+
+    # -- observation logs -----------------------------------------------------
+
+    def create_log(self, name: str) -> ObservationLog:
+        """Create a named observation log."""
+        if name in self._logs:
+            raise StorageError(f"observation log {name!r} already exists")
+        log = ObservationLog()
+        self._logs[name] = log
+        return log
+
+    def log(self, name: str) -> ObservationLog:
+        """Look up an existing observation log by name."""
+        try:
+            return self._logs[name]
+        except KeyError:
+            raise StorageError(f"observation log {name!r} does not exist") from None
+
+    def get_or_create_log(self, name: str) -> ObservationLog:
+        """Fetch a log, creating it on first use."""
+        if name in self._logs:
+            return self._logs[name]
+        return self.create_log(name)
+
+    def log_names(self) -> list[str]:
+        """Sorted names of all observation logs."""
+        return sorted(self._logs)
+
+    # -- cluster hooks ---------------------------------------------------------
+
+    def snapshot_all(self) -> None:
+        """Checkpoint every table (compacting journals)."""
+        for table in self._tables.values():
+            table.snapshot()
+
+    def fail_node(self, partition_index: int) -> None:
+        """Fail partition ``partition_index`` of every table — models the
+        memory loss of one node hosting that shard."""
+        for table in self._tables.values():
+            if partition_index < table.num_partitions:
+                table.fail_partition(partition_index)
+
+    def recover_node(self, partition_index: int) -> int:
+        """Recover that shard on every table; returns records replayed."""
+        replayed = 0
+        for table in self._tables.values():
+            if partition_index < table.num_partitions:
+                if table.partition(partition_index).failed:
+                    replayed += table.recover_partition(partition_index)
+        return replayed

@@ -1,0 +1,181 @@
+"""A partitioned, versioned table in veloxstore.
+
+Tables shard keys across :class:`~repro.store.partition.Partition` objects
+using a stable hash, expose mapping-style reads and writes, optimistic
+compare-and-set, and the failure/recovery hooks the cluster simulator uses
+to model node loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.common.errors import KeyNotFoundError, PartitionError, VersionConflictError
+from repro.common.rng import stable_hash
+from repro.store.partition import Partition
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A read result carrying the per-key version for CAS round-trips."""
+
+    value: object
+    version: int
+
+
+class Table:
+    """A named collection of partitions with per-key versions.
+
+    Partitioning is by ``stable_hash(key) % num_partitions`` unless a
+    custom ``partitioner`` is supplied (the user-weight table, for
+    example, partitions by ``uid`` directly so routing stays aligned
+    with the cluster's user placement).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_partitions: int = 1,
+        partitioner: Callable[[object], int] | None = None,
+    ):
+        if not name:
+            raise ValueError("table name must be non-empty")
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.name = name
+        self.num_partitions = num_partitions
+        self._partitioner = partitioner
+        self._partitions = [Partition(i) for i in range(num_partitions)]
+
+    # -- partition addressing ---------------------------------------------
+
+    def partition_index(self, key: object) -> int:
+        """The partition that owns ``key``."""
+        if self._partitioner is not None:
+            index = self._partitioner(key)
+            if not 0 <= index < self.num_partitions:
+                raise PartitionError(
+                    f"custom partitioner returned {index} for key {key!r}; "
+                    f"table {self.name!r} has {self.num_partitions} partitions"
+                )
+            return index
+        return stable_hash(key) % self.num_partitions
+
+    def partition(self, index: int) -> Partition:
+        """The partition object at ``index``."""
+        if not 0 <= index < self.num_partitions:
+            raise PartitionError(
+                f"table {self.name!r} has no partition {index}"
+            )
+        return self._partitions[index]
+
+    def _owner(self, key: object) -> Partition:
+        return self._partitions[self.partition_index(key)]
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, key: object) -> object:
+        """Return the value for ``key`` or raise :class:`KeyNotFoundError`."""
+        entry = self._owner(key).get(key)
+        if entry is None:
+            raise KeyNotFoundError(self.name, key)
+        return entry[0]
+
+    def get_versioned(self, key: object) -> VersionedValue:
+        """Read ``(value, version)`` for compare-and-set round-trips."""
+        entry = self._owner(key).get(key)
+        if entry is None:
+            raise KeyNotFoundError(self.name, key)
+        return VersionedValue(value=entry[0], version=entry[1])
+
+    def get_or_default(self, key: object, default: object = None) -> object:
+        """Read a value, returning ``default`` when absent."""
+        entry = self._owner(key).get(key)
+        return default if entry is None else entry[0]
+
+    def __getitem__(self, key: object) -> object:
+        return self.get(key)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._owner(key)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._partitions)
+
+    def keys(self) -> Iterator[object]:
+        """Iterate every key across partitions."""
+        for partition in self._partitions:
+            yield from partition.keys()
+
+    def items(self) -> Iterator[tuple[object, object]]:
+        """Iterate every (key, value) pair across partitions."""
+        for partition in self._partitions:
+            yield from partition.items()
+
+    def scan_partition(self, index: int) -> list[tuple[object, object]]:
+        """All items in one partition — the unit batch jobs read."""
+        return list(self.partition(index).items())
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, key: object, value: object) -> int:
+        """Insert/overwrite; returns the new version."""
+        return self._owner(key).put(key, value)
+
+    def __setitem__(self, key: object, value: object) -> None:
+        self.put(key, value)
+
+    def put_many(self, entries) -> int:
+        """Write ``(key, value)`` pairs; returns count written.
+
+        Writes are applied per-partition in key order; each write is
+        individually journaled (no cross-partition atomicity, matching
+        the storage layer Velox assumes).
+        """
+        count = 0
+        for key, value in entries:
+            self.put(key, value)
+            count += 1
+        return count
+
+    def compare_and_set(self, key: object, value: object, expected_version: int) -> int:
+        """Write only if the current version matches ``expected_version``.
+
+        ``expected_version=0`` asserts the key is absent. Returns the new
+        version, or raises :class:`VersionConflictError`.
+        """
+        partition = self._owner(key)
+        entry = partition.get(key)
+        actual = 0 if entry is None else entry[1]
+        if actual != expected_version:
+            raise VersionConflictError(self.name, key, expected_version, actual)
+        return partition.put(key, value)
+
+    def delete(self, key: object) -> bool:
+        """Remove a key; returns whether it existed."""
+        return self._owner(key).delete(key)
+
+    def truncate(self) -> None:
+        """Remove every key from every partition."""
+        for partition in self._partitions:
+            partition.truncate()
+
+    # -- durability & failure -----------------------------------------------
+
+    def snapshot(self) -> None:
+        """Checkpoint every partition (compacting journals)."""
+        for partition in self._partitions:
+            partition.snapshot()
+
+    def fail_partition(self, index: int) -> None:
+        """Simulate losing one partition's volatile memory."""
+        self.partition(index).fail()
+
+    def recover_partition(self, index: int) -> int:
+        """Recover one failed partition; returns journal records replayed."""
+        return self.partition(index).recover()
+
+    def recover_all(self) -> int:
+        """Recover every failed partition; returns records replayed."""
+        return sum(p.recover() for p in self._partitions if p.failed)

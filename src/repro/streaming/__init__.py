@@ -1,0 +1,46 @@
+"""A micro-batch stream processor (the BDAS stream-processing layer).
+
+The paper situates Velox inside BDAS, which "contained a data storage
+manager, a dataflow execution engine, a stream processor, a sampling
+engine" — feedback reaches Velox's ``observe`` through that streaming
+layer in a real deployment. This subpackage is a compact, from-scratch
+micro-batch processor in the Spark-Streaming mold:
+
+* :class:`IterableSource` / :class:`ReplaySource` — pull-based sources
+  yielding micro-batches,
+* operators — ``Map``, ``Filter``, ``FlatMap``, and keyed
+  :class:`TumblingWindowAggregate` for per-key rollups across batches,
+* sinks — :class:`CollectSink`, :class:`CallbackSink`, and
+  :class:`VeloxObserveSink`, which feeds labelled interaction records
+  straight into a deployed model's online learner,
+* :class:`StreamPipeline` — wires source → operators → sinks and runs
+  the micro-batch loop with per-batch metrics.
+"""
+
+from repro.streaming.source import IterableSource, ReplaySource, StreamSource
+from repro.streaming.operators import (
+    Filter,
+    FlatMap,
+    Map,
+    Operator,
+    TumblingWindowAggregate,
+)
+from repro.streaming.sinks import CallbackSink, CollectSink, Sink, VeloxObserveSink
+from repro.streaming.pipeline import PipelineMetrics, StreamPipeline
+
+__all__ = [
+    "StreamSource",
+    "IterableSource",
+    "ReplaySource",
+    "Operator",
+    "Map",
+    "Filter",
+    "FlatMap",
+    "TumblingWindowAggregate",
+    "Sink",
+    "CollectSink",
+    "CallbackSink",
+    "VeloxObserveSink",
+    "StreamPipeline",
+    "PipelineMetrics",
+]

@@ -1,0 +1,80 @@
+"""StreamPipeline: the micro-batch execution loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.streaming.operators import Operator
+from repro.streaming.sinks import Sink
+from repro.streaming.source import StreamSource
+
+
+@dataclass
+class PipelineMetrics:
+    """Counters for one pipeline's lifetime."""
+    batches: int = 0
+    records_in: int = 0
+    records_out: int = 0
+    flushed_records: int = 0
+
+
+@dataclass
+class StreamPipeline:
+    """source → operators → sinks, executed one micro-batch at a time.
+
+    ``run`` drains the source (optionally capped at ``max_batches``),
+    pushes each batch through the operator chain, fans the result out to
+    every sink, then flushes stateful operators and closes the sinks.
+    """
+
+    source: StreamSource
+    operators: list[Operator] = field(default_factory=list)
+    sinks: list[Sink] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.sinks:
+            raise ValidationError("pipeline needs at least one sink")
+        self.metrics = PipelineMetrics()
+
+    def run(self, max_batches: int | None = None) -> PipelineMetrics:
+        """Process until the source ends (or ``max_batches``); returns
+        the accumulated metrics. May be called again to continue a
+        partially drained source."""
+        if max_batches is not None and max_batches < 1:
+            raise ValidationError(f"max_batches must be >= 1, got {max_batches}")
+        processed = 0
+        exhausted = False
+        while max_batches is None or processed < max_batches:
+            batch = self.source.next_batch()
+            if batch is None:
+                exhausted = True
+                break
+            self.metrics.batches += 1
+            self.metrics.records_in += len(batch)
+            for operator in self.operators:
+                batch = operator.process(batch)
+            self.metrics.records_out += len(batch)
+            for sink in self.sinks:
+                sink.write(batch)
+            processed += 1
+
+        if exhausted:
+            self._flush()
+        return self.metrics
+
+    def _flush(self) -> None:
+        """Drain stateful operators through the remaining chain, then
+        close the sinks."""
+        for index, operator in enumerate(self.operators):
+            residual = operator.flush()
+            if not residual:
+                continue
+            for downstream in self.operators[index + 1 :]:
+                residual = downstream.process(residual)
+            self.metrics.flushed_records += len(residual)
+            self.metrics.records_out += len(residual)
+            for sink in self.sinks:
+                sink.write(residual)
+        for sink in self.sinks:
+            sink.close()

@@ -1,0 +1,78 @@
+"""Stream sinks: where processed micro-batches land."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.common.errors import ValidationError
+
+
+class Sink(ABC):
+    """Consumes processed batches."""
+
+    @abstractmethod
+    def write(self, batch: list) -> None:
+        """Consume one processed batch."""
+
+    def close(self) -> None:
+        """End-of-stream notification (default: nothing)."""
+
+
+class CollectSink(Sink):
+    """Accumulates every record in memory (tests, small jobs)."""
+
+    def __init__(self):
+        self.records: list = []
+        self.closed = False
+
+    def write(self, batch: list) -> None:
+        """Consume one processed batch (see Sink.write)."""
+        self.records.extend(batch)
+
+    def close(self) -> None:
+        """End-of-stream notification."""
+        self.closed = True
+
+
+class CallbackSink(Sink):
+    """Invokes a callable per record."""
+
+    def __init__(self, fn: Callable):
+        self._fn = fn
+
+    def write(self, batch: list) -> None:
+        """Consume one processed batch (see Sink.write)."""
+        for record in batch:
+            self._fn(record)
+
+
+class VeloxObserveSink(Sink):
+    """Feeds labelled interaction records into a deployed Velox model.
+
+    Records must be ``(uid, item, label)`` triples by the time they
+    reach this sink (upstream operators do the shaping); each becomes
+    one ``observe`` call, i.e. one durable log append plus one online
+    weight update. This is the paper's Figure 1 loop closing: actions
+    produce observations, observations retrain models.
+    """
+
+    def __init__(self, velox, model_name: str | None = None):
+        self.velox = velox
+        self.model_name = model_name
+        self.observations_written = 0
+
+    def write(self, batch: list) -> None:
+        """Consume one processed batch (see Sink.write)."""
+        for record in batch:
+            try:
+                uid, item, label = record
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"VeloxObserveSink needs (uid, item, label) records, "
+                    f"got {record!r}"
+                ) from None
+            self.velox.observe(
+                uid=int(uid), x=item, y=float(label), model_name=self.model_name
+            )
+            self.observations_written += 1

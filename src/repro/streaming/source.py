@@ -1,0 +1,60 @@
+"""Stream sources: pull-based producers of micro-batches."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from repro.common.errors import ValidationError
+
+
+class StreamSource(ABC):
+    """Produces micro-batches until exhausted (``None`` = end of stream)."""
+
+    @abstractmethod
+    def next_batch(self) -> list | None:
+        """The next micro-batch, or ``None`` when the stream ends."""
+
+
+class IterableSource(StreamSource):
+    """Chunks any iterable into fixed-size micro-batches."""
+
+    def __init__(self, records: Iterable, batch_size: int = 100):
+        if batch_size < 1:
+            raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
+        self._iterator: Iterator = iter(records)
+        self.batch_size = batch_size
+        self._exhausted = False
+
+    def next_batch(self) -> list | None:
+        """The next micro-batch, or None at end of stream."""
+        if self._exhausted:
+            return None
+        batch = []
+        for record in self._iterator:
+            batch.append(record)
+            if len(batch) == self.batch_size:
+                return batch
+        self._exhausted = True
+        return batch if batch else None
+
+
+class ReplaySource(StreamSource):
+    """Replays a recorded list of batches verbatim (tests, backfills)."""
+
+    def __init__(self, batches: list[list]):
+        for index, batch in enumerate(batches):
+            if not isinstance(batch, list):
+                raise ValidationError(
+                    f"batch {index} must be a list, got {type(batch).__name__}"
+                )
+        self._batches = list(batches)
+        self._cursor = 0
+
+    def next_batch(self) -> list | None:
+        """The next micro-batch, or None at end of stream."""
+        if self._cursor >= len(self._batches):
+            return None
+        batch = self._batches[self._cursor]
+        self._cursor += 1
+        return batch

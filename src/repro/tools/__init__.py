@@ -1,0 +1,1 @@
+"""Operational tooling: install self-check and deployment reporting CLI."""

@@ -1,0 +1,151 @@
+"""Install self-check: run the whole lifecycle on a tiny corpus.
+
+``python -m repro.tools.selfcheck`` builds a small deployment, drives
+one full train → serve → observe → retrain → rollback loop across every
+subsystem, validates the invariants along the way, and prints the
+deployment report. Exit code 0 means the installation works end to end.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import Velox, VeloxConfig
+from repro.batch import BatchContext
+from repro.core import reporting
+from repro.core.models import MatrixFactorizationModel
+from repro.core.offline import als_train
+from repro.data import SynthLensConfig, generate_synthlens, paper_protocol_split
+from repro.metrics import rmse
+from repro.store import Observation
+
+
+def run_selfcheck(verbose: bool = True) -> dict:
+    """Execute the lifecycle; returns the measured summary dict.
+
+    Raises on any invariant violation — callers treat completion as a
+    healthy install.
+    """
+    started = time.perf_counter()
+
+    def say(message: str) -> None:
+        """Print progress when verbose."""
+        if verbose:
+            print(message)
+
+    say("1/6 generating corpus ...")
+    lens = generate_synthlens(
+        SynthLensConfig(
+            num_users=80, num_items=120, rank=5, ratings_per_user_mean=25,
+            min_ratings_per_user=18, seed=1,
+        )
+    )
+    split = paper_protocol_split(lens.ratings)
+
+    say("2/6 offline training on the batch substrate ...")
+    als = als_train(
+        BatchContext(default_parallelism=2),
+        [(r.uid, r.item_id, r.rating) for r in split.init],
+        rank=5,
+        num_items=lens.num_items,
+        num_iterations=5,
+    )
+    if als.train_rmse[-1] >= als.train_rmse[0]:
+        raise AssertionError("ALS failed to reduce training error")
+
+    say("3/6 deploying to a simulated cluster ...")
+    model = MatrixFactorizationModel(
+        "selfcheck", als.item_factors, als.item_bias, als.global_mean
+    )
+    weights = {
+        uid: model.pack_user_weights(als.user_factors[uid], als.user_bias[uid])
+        for uid in als.user_factors
+    }
+    velox = Velox.deploy(VeloxConfig(num_nodes=2), auto_retrain=False)
+    velox.add_model(
+        model,
+        initial_user_weights=weights,
+        seed_observations=[
+            Observation(r.uid, r.item_id, r.rating, item_data=r.item_id)
+            for r in split.init
+        ],
+    )
+
+    say("4/6 serving + online learning ...")
+    truth = [r.rating for r in split.holdout]
+
+    def holdout_rmse() -> float:
+        """Serving-path RMSE over the holdout set."""
+        return rmse(
+            truth,
+            [velox.predict(None, r.uid, r.item_id)[1] for r in split.holdout],
+        )
+
+    baseline = holdout_rmse()
+    for r in split.stream:
+        velox.observe(uid=r.uid, x=r.item_id, y=r.rating)
+    online = holdout_rmse()
+    if not np.isfinite(online):
+        raise AssertionError("online serving produced non-finite error")
+    if online >= baseline:
+        raise AssertionError(
+            f"online updates did not improve accuracy "
+            f"({baseline:.4f} -> {online:.4f})"
+        )
+
+    say("5/6 retraining, rollback, and fault recovery ...")
+    event = velox.retrain(reason="selfcheck")
+    retrained = holdout_rmse()
+    if retrained >= baseline:
+        raise AssertionError("offline retraining did not improve accuracy")
+    velox.rollback(version=0)
+    if velox.model().version != event.new_version + 1:
+        raise AssertionError("rollback did not create a forward version")
+    velox.cluster.fail_node(0)
+    velox.cluster.restart_node(0)
+    post_recovery = velox.predict(None, 0, 1)[1]
+    if not np.isfinite(post_recovery):
+        raise AssertionError("serving broken after node recovery")
+
+    say("6/6 indexed top-K and catalog query ...")
+    top = velox.top_k_catalog(None, uid=1, k=5)
+    if len(top) != 5:
+        raise AssertionError("indexed top-K returned the wrong count")
+
+    elapsed = time.perf_counter() - started
+    summary = {
+        "baseline_rmse": baseline,
+        "online_rmse": online,
+        "retrained_rmse": retrained,
+        "retrain_version": event.new_version,
+        "elapsed_seconds": elapsed,
+    }
+    if verbose:
+        print()
+        print(reporting.report(velox))
+        print()
+        print(
+            f"selfcheck OK in {elapsed:.1f}s — "
+            f"rmse {baseline:.4f} -> {online:.4f} (online) "
+            f"-> {retrained:.4f} (retrain)"
+        )
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = argv if argv is not None else sys.argv[1:]
+    verbose = "--quiet" not in args
+    try:
+        run_selfcheck(verbose=verbose)
+    except Exception as err:  # pragma: no cover - exercised via exit code
+        print(f"selfcheck FAILED: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

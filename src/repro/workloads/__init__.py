@@ -1,0 +1,29 @@
+"""Workload generators for the benchmark harness.
+
+Produces the request streams the paper's serving claims are about:
+Zipf-skewed item access (Section 5's caching argument), per-user
+prediction/observation mixes, and topK query batches of configurable
+itemset size (Figure 4's x-axis).
+"""
+
+from repro.workloads.streams import (
+    ZipfItemSampler,
+    RequestStream,
+    PredictRequest,
+    TopKRequest,
+    ObserveRequest,
+    generate_request_stream,
+    generate_drifting_stream,
+    generate_topk_batches,
+)
+
+__all__ = [
+    "generate_drifting_stream",
+    "ZipfItemSampler",
+    "RequestStream",
+    "PredictRequest",
+    "TopKRequest",
+    "ObserveRequest",
+    "generate_request_stream",
+    "generate_topk_batches",
+]

@@ -1,0 +1,176 @@
+"""Request-stream generation: Zipf item sampling and serving mixes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import as_generator
+
+
+class ZipfItemSampler:
+    """Samples item ids with Zipf(s) popularity over a fixed catalog.
+
+    ``exponent=0`` degenerates to uniform sampling — the unskewed
+    baseline for the cache-skew ablation. Popularity rank order is
+    shuffled by seed so item id does not encode popularity.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        exponent: float,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if num_items < 1:
+            raise ValidationError(f"num_items must be >= 1, got {num_items}")
+        if exponent < 0:
+            raise ValidationError(f"exponent must be >= 0, got {exponent}")
+        self.num_items = num_items
+        self.exponent = exponent
+        self._rng = as_generator(rng)
+        ranks = np.arange(1, num_items + 1, dtype=float)
+        weights = ranks ** (-exponent) if exponent > 0 else np.ones(num_items)
+        weights /= weights.sum()
+        self._weights = weights[self._rng.permutation(num_items)]
+
+    def sample(self, size: int | None = None):
+        """One item id (``size=None``) or an array of ids."""
+        if size is None:
+            return int(self._rng.choice(self.num_items, p=self._weights))
+        return self._rng.choice(self.num_items, size=size, p=self._weights)
+
+    def sample_distinct(self, size: int) -> list[int]:
+        """``size`` distinct item ids, popularity-weighted."""
+        if size > self.num_items:
+            raise ValidationError(
+                f"cannot sample {size} distinct items from {self.num_items}"
+            )
+        return [
+            int(i)
+            for i in self._rng.choice(
+                self.num_items, size=size, replace=False, p=self._weights
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One point-prediction request."""
+    uid: int
+    item_id: int
+
+
+@dataclass(frozen=True)
+class TopKRequest:
+    """One topK request over a fixed itemset."""
+    uid: int
+    item_ids: tuple[int, ...]
+    k: int = 1
+
+
+@dataclass(frozen=True)
+class ObserveRequest:
+    """One labelled observation request."""
+    uid: int
+    item_id: int
+    label: float
+
+
+RequestStream = list  # a list of the request dataclasses above
+
+
+def generate_request_stream(
+    num_requests: int,
+    num_users: int,
+    item_sampler: ZipfItemSampler,
+    observe_fraction: float = 0.1,
+    label_fn=None,
+    rng: np.random.Generator | int | None = None,
+) -> RequestStream:
+    """A mixed predict/observe stream with uniformly random users.
+
+    ``label_fn(uid, item_id) -> float`` supplies observation labels; by
+    default labels are drawn uniform in [1, 5].
+    """
+    if num_requests < 0:
+        raise ValidationError(f"num_requests must be >= 0, got {num_requests}")
+    if num_users < 1:
+        raise ValidationError(f"num_users must be >= 1, got {num_users}")
+    if not 0.0 <= observe_fraction <= 1.0:
+        raise ValidationError(
+            f"observe_fraction must be in [0, 1], got {observe_fraction}"
+        )
+    generator = as_generator(rng)
+    stream: RequestStream = []
+    for _ in range(num_requests):
+        uid = int(generator.integers(num_users))
+        item_id = item_sampler.sample()
+        if generator.random() < observe_fraction:
+            if label_fn is not None:
+                label = float(label_fn(uid, item_id))
+            else:
+                label = float(generator.uniform(1.0, 5.0))
+            stream.append(ObserveRequest(uid, item_id, label))
+        else:
+            stream.append(PredictRequest(uid, item_id))
+    return stream
+
+
+def generate_drifting_stream(
+    num_users: int,
+    item_sampler: ZipfItemSampler,
+    phases: list[tuple[int, object]],
+    rng: np.random.Generator | int | None = None,
+) -> list[ObserveRequest]:
+    """A labelled observation stream whose concept drifts in phases.
+
+    ``phases`` is a list of ``(count, label_fn)`` segments: the stream
+    emits ``count`` observations labelled by that phase's
+    ``label_fn(uid, item_id)``, then moves to the next phase. This is
+    the workload shape behind the paper's staleness story (a model
+    trained on phase 1 degrades on phase 2, which the manager's
+    staleness detector must catch).
+    """
+    if num_users < 1:
+        raise ValidationError(f"num_users must be >= 1, got {num_users}")
+    if not phases:
+        raise ValidationError("need at least one phase")
+    generator = as_generator(rng)
+    stream: list[ObserveRequest] = []
+    for count, label_fn in phases:
+        if count < 0:
+            raise ValidationError(f"phase count must be >= 0, got {count}")
+        if not callable(label_fn):
+            raise ValidationError("phase label_fn must be callable")
+        for __ in range(count):
+            uid = int(generator.integers(num_users))
+            item_id = item_sampler.sample()
+            stream.append(
+                ObserveRequest(uid, item_id, float(label_fn(uid, item_id)))
+            )
+    return stream
+
+
+def generate_topk_batches(
+    num_batches: int,
+    itemset_size: int,
+    num_users: int,
+    item_sampler: ZipfItemSampler,
+    k: int = 1,
+    rng: np.random.Generator | int | None = None,
+) -> list[TopKRequest]:
+    """Figure 4's workload: topK queries over random itemsets."""
+    if num_batches < 0:
+        raise ValidationError(f"num_batches must be >= 0, got {num_batches}")
+    if itemset_size < 1:
+        raise ValidationError(f"itemset_size must be >= 1, got {itemset_size}")
+    generator = as_generator(rng)
+    batches = []
+    for _ in range(num_batches):
+        uid = int(generator.integers(num_users))
+        items = tuple(item_sampler.sample_distinct(itemset_size))
+        batches.append(TopKRequest(uid=uid, item_ids=items, k=k))
+    return batches

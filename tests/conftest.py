@@ -1,0 +1,83 @@
+"""Shared fixtures: a small SynthLens corpus, an ALS-trained model, and a
+deployed Velox instance, all session-scoped where safe for speed."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Velox, VeloxConfig
+from repro.batch import BatchContext
+from repro.core.models import MatrixFactorizationModel
+from repro.core.offline import als_train
+from repro.data import SynthLensConfig, generate_synthlens, paper_protocol_split
+
+
+SMALL_CONFIG = SynthLensConfig(
+    num_users=60,
+    num_items=120,
+    rank=5,
+    ratings_per_user_mean=25.0,
+    min_ratings_per_user=18,
+    seed=5,
+)
+
+
+@pytest.fixture(scope="session")
+def small_lens():
+    return generate_synthlens(SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def small_split(small_lens):
+    return paper_protocol_split(small_lens.ratings)
+
+
+@pytest.fixture(scope="session")
+def trained_als(small_split):
+    ctx = BatchContext(default_parallelism=2)
+    return als_train(
+        ctx,
+        [(r.uid, r.item_id, r.rating) for r in small_split.init],
+        rank=SMALL_CONFIG.rank,
+        num_items=SMALL_CONFIG.num_items,
+        num_iterations=5,
+    )
+
+
+def make_mf_model(als_result, name: str = "songs") -> MatrixFactorizationModel:
+    return MatrixFactorizationModel(
+        name,
+        als_result.item_factors,
+        als_result.item_bias,
+        als_result.global_mean,
+    )
+
+
+def make_initial_weights(model: MatrixFactorizationModel, als_result) -> dict:
+    return {
+        uid: model.pack_user_weights(
+            als_result.user_factors[uid], als_result.user_bias[uid]
+        )
+        for uid in als_result.user_factors
+    }
+
+
+@pytest.fixture
+def deployed_velox(trained_als):
+    """A fresh 2-node deployment with the trained MF model installed."""
+    model = make_mf_model(trained_als)
+    weights = make_initial_weights(model, trained_als)
+    velox = Velox.deploy(VeloxConfig(num_nodes=2), auto_retrain=False)
+    velox.add_model(model, initial_user_weights=weights)
+    return velox
+
+
+@pytest.fixture
+def batch_ctx():
+    return BatchContext(default_parallelism=3)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)

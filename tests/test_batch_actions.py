@@ -1,0 +1,110 @@
+"""Dataset actions: collect/count/take/reduce/fold/aggregate and friends."""
+
+import pytest
+
+from repro.batch import BatchContext
+from repro.common.errors import BatchExecutionError
+
+
+@pytest.fixture
+def ctx():
+    return BatchContext(default_parallelism=3)
+
+
+class TestCountAndCollect:
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(23), 4).count() == 23
+
+    def test_count_empty(self, ctx):
+        assert ctx.parallelize([], 2).count() == 0
+
+    def test_collect_preserves_order(self, ctx):
+        data = list(range(50))
+        assert ctx.parallelize(data, 7).collect() == data
+
+
+class TestTakeAndFirst:
+    def test_take_fewer_than_available(self, ctx):
+        assert ctx.parallelize(range(100), 10).take(5) == [0, 1, 2, 3, 4]
+
+    def test_take_more_than_available(self, ctx):
+        assert ctx.parallelize([1, 2], 2).take(10) == [1, 2]
+
+    def test_take_zero(self, ctx):
+        assert ctx.parallelize([1, 2], 1).take(0) == []
+
+    def test_take_negative_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1]).take(-1)
+
+    def test_take_does_not_compute_later_partitions(self, ctx):
+        seen = []
+        ds = ctx.parallelize(range(100), 10).map(lambda x: seen.append(x) or x)
+        ds.take(3)
+        assert max(seen) < 10  # only the first partition was computed
+
+    def test_first(self, ctx):
+        assert ctx.parallelize([7, 8], 2).first() == 7
+
+    def test_first_empty_raises(self, ctx):
+        with pytest.raises(BatchExecutionError):
+            ctx.parallelize([], 1).first()
+
+
+class TestReduceFoldAggregate:
+    def test_reduce_sum(self, ctx):
+        assert ctx.parallelize(range(10), 4).reduce(lambda a, b: a + b) == 45
+
+    def test_reduce_with_empty_partitions(self, ctx):
+        assert ctx.parallelize([5], 4).reduce(lambda a, b: a + b) == 5
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(BatchExecutionError):
+            ctx.parallelize([], 2).reduce(lambda a, b: a + b)
+
+    def test_fold(self, ctx):
+        assert ctx.parallelize(range(5), 2).fold(0, lambda a, b: a + b) == 10
+
+    def test_fold_zero_not_mutated_across_partitions(self, ctx):
+        # Spark fold semantics: the zero and the elements share a type.
+        result = ctx.parallelize([[1], [2], [3]], 3).fold([], lambda a, b: a + b)
+        assert sorted(result) == [1, 2, 3]
+
+    def test_aggregate_mean(self, ctx):
+        total, count = ctx.parallelize(range(10), 3).aggregate(
+            (0, 0),
+            lambda acc, x: (acc[0] + x, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        assert total == 45 and count == 10
+
+    def test_sum_mean_max_min(self, ctx):
+        ds = ctx.parallelize([4.0, 1.0, 7.0, 2.0], 2)
+        assert ds.sum() == 14.0
+        assert ds.mean() == pytest.approx(3.5)
+        assert ds.max() == 7.0
+        assert ds.min() == 1.0
+
+    def test_mean_empty_raises(self, ctx):
+        with pytest.raises(BatchExecutionError):
+            ctx.parallelize([], 1).mean()
+
+
+class TestKeyValueActions:
+    def test_count_by_key(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("a", 2), ("b", 1)], 2)
+        assert pairs.count_by_key() == {"a": 2, "b": 1}
+
+    def test_collect_as_map_last_wins(self, ctx):
+        pairs = ctx.parallelize([("k", 1), ("k", 2)], 1)
+        assert pairs.collect_as_map() == {"k": 2}
+
+    def test_lookup(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+        assert sorted(pairs.lookup("a")) == [1, 3]
+        assert pairs.lookup("zz") == []
+
+    def test_foreach_side_effects(self, ctx):
+        seen = []
+        ctx.parallelize(range(5), 2).foreach(seen.append)
+        assert sorted(seen) == [0, 1, 2, 3, 4]

@@ -1,0 +1,77 @@
+"""BatchContext: table scans, id allocation, metrics plumbing."""
+
+import pytest
+
+from repro.batch import BatchContext
+from repro.store import VeloxStore
+
+
+@pytest.fixture
+def ctx():
+    return BatchContext(default_parallelism=3)
+
+
+class TestFromTable:
+    def test_scan_partitioned_table(self, ctx):
+        store = VeloxStore(default_partitions=4)
+        table = store.create_table("ratings", partitioner=lambda k: k % 4)
+        for i in range(40):
+            table.put(i, i * 2)
+        dataset = ctx.from_table(table)
+        assert dataset.num_partitions == 4
+        assert dict(dataset.collect()) == {i: i * 2 for i in range(40)}
+
+    def test_scan_sees_writes_made_before_execution(self, ctx):
+        """Laziness: the scan reads table state at *job* time, so writes
+        between dataset creation and the action are visible — exactly
+        how offline retraining sees the freshest observation data."""
+        store = VeloxStore(default_partitions=2)
+        table = store.create_table("t")
+        dataset = ctx.from_table(table).map(lambda kv: kv[1])
+        table.put("k", 42)
+        assert dataset.collect() == [42]
+
+    def test_batch_aggregation_over_table(self, ctx):
+        store = VeloxStore(default_partitions=3)
+        table = store.create_table("scores")
+        for i in range(30):
+            table.put(i, float(i))
+        total = ctx.from_table(table).values().sum()
+        assert total == sum(range(30))
+
+    def test_table_roundtrip_through_batch(self, ctx):
+        """Read one table, transform, write another — the full
+        batch<->storage loop."""
+        store = VeloxStore(default_partitions=2)
+        source = store.create_table("in")
+        sink = store.create_table("out")
+        for i in range(10):
+            source.put(i, i)
+        ctx.from_table(source).map_values(lambda v: v * v).save_to_table(sink)
+        assert sink.get(7) == 49
+
+
+class TestIdAllocation:
+    def test_dataset_ids_unique(self, ctx):
+        a = ctx.parallelize([1])
+        b = ctx.parallelize([2])
+        assert a.dataset_id != b.dataset_id
+
+    def test_shuffle_ids_unique(self, ctx):
+        pairs = ctx.parallelize([(1, 1)], 1)
+        r1 = pairs.reduce_by_key(lambda a, b: a)
+        r2 = pairs.reduce_by_key(lambda a, b: a)
+        assert r1.shuffle_dependency.shuffle_id != r2.shuffle_dependency.shuffle_id
+
+
+class TestMetricsProperty:
+    def test_metrics_alias_scheduler_metrics(self, ctx):
+        ctx.parallelize(range(4), 2).count()
+        assert ctx.metrics is ctx.scheduler.metrics
+        assert ctx.metrics.jobs == 1
+
+    def test_metrics_reset(self, ctx):
+        ctx.parallelize(range(4), 2).count()
+        ctx.metrics.reset()
+        assert ctx.metrics.jobs == 0
+        assert ctx.metrics.result_tasks == 0

@@ -1,0 +1,156 @@
+"""Dataset narrow transformations and partitioning semantics."""
+
+import pytest
+
+from repro.batch import BatchContext
+from repro.common.errors import BatchExecutionError
+
+
+@pytest.fixture
+def ctx():
+    return BatchContext(default_parallelism=3)
+
+
+class TestParallelize:
+    def test_collect_roundtrip(self, ctx):
+        data = list(range(17))
+        assert ctx.parallelize(data, 4).collect() == data
+
+    def test_partition_count_respected(self, ctx):
+        ds = ctx.parallelize(range(10), 4)
+        assert ds.num_partitions == 4
+        parts = ds.collect_partitions()
+        assert len(parts) == 4
+        assert sum(len(p) for p in parts) == 10
+
+    def test_empty_data(self, ctx):
+        assert ctx.parallelize([], 2).collect() == []
+
+    def test_more_partitions_than_records(self, ctx):
+        ds = ctx.parallelize([1, 2], 5)
+        assert ds.collect() == [1, 2]
+
+    def test_default_partitions_capped_by_data(self, ctx):
+        assert ctx.parallelize([1]).num_partitions == 1
+
+
+class TestRange:
+    def test_range_stop_only(self, ctx):
+        assert ctx.range(5).collect() == [0, 1, 2, 3, 4]
+
+    def test_range_start_stop_step(self, ctx):
+        assert ctx.range(2, 11, 3).collect() == [2, 5, 8]
+
+    def test_range_zero_step_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.range(0, 10, 0)
+
+
+class TestNarrowTransformations:
+    def test_map(self, ctx):
+        assert ctx.parallelize(range(5), 2).map(lambda x: x * x).collect() == [
+            0, 1, 4, 9, 16,
+        ]
+
+    def test_filter(self, ctx):
+        result = ctx.parallelize(range(10), 3).filter(lambda x: x % 2 == 0).collect()
+        assert result == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        result = ctx.parallelize([1, 2, 3], 2).flat_map(lambda x: [x] * x).collect()
+        assert result == [1, 2, 2, 3, 3, 3]
+
+    def test_map_partitions_receives_index(self, ctx):
+        ds = ctx.parallelize(range(6), 3)
+        tagged = ds.map_partitions(lambda i, it: ((i, x) for x in it)).collect()
+        indices = {i for i, _x in tagged}
+        assert indices == {0, 1, 2}
+
+    def test_key_by_and_values(self, ctx):
+        pairs = ctx.parallelize([3, 4], 1).key_by(lambda x: x % 2)
+        assert pairs.collect() == [(1, 3), (0, 4)]
+        assert pairs.keys().collect() == [1, 0]
+        assert pairs.values().collect() == [3, 4]
+
+    def test_map_values(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("b", 2)], 1)
+        assert pairs.map_values(lambda v: v * 10).collect() == [("a", 10), ("b", 20)]
+
+    def test_flat_map_values(self, ctx):
+        pairs = ctx.parallelize([("a", 2)], 1)
+        assert pairs.flat_map_values(lambda v: range(v)).collect() == [
+            ("a", 0), ("a", 1),
+        ]
+
+    def test_union(self, ctx):
+        a = ctx.parallelize([1, 2], 2)
+        b = ctx.parallelize([3], 1)
+        merged = a.union(b)
+        assert merged.num_partitions == 3
+        assert merged.collect() == [1, 2, 3]
+
+    def test_chained_transformations_pipeline(self, ctx):
+        result = (
+            ctx.range(100, num_partitions=4)
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 3 == 0)
+            .map(lambda x: x // 3)
+            .collect()
+        )
+        assert result == list(range(1, 34))
+
+    def test_sample_fraction_bounds(self, ctx):
+        ds = ctx.parallelize(range(100), 4)
+        assert ds.sample(0.0).count() == 0
+        assert ds.sample(1.0).count() == 100
+        mid = ds.sample(0.5, seed=1).count()
+        assert 25 <= mid <= 75
+
+    def test_sample_deterministic_per_seed(self, ctx):
+        ds = ctx.parallelize(range(50), 3)
+        assert ds.sample(0.3, seed=9).collect() == ds.sample(0.3, seed=9).collect()
+
+    def test_sample_invalid_fraction(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1]).sample(1.5)
+
+    def test_zip_with_index_global_and_dense(self, ctx):
+        ds = ctx.parallelize(list("abcdefg"), 3)
+        indexed = ds.zip_with_index().collect()
+        assert [i for _c, i in indexed] == list(range(7))
+        assert [c for c, _i in indexed] == list("abcdefg")
+
+
+class TestCaching:
+    def test_cache_avoids_recomputation(self, ctx):
+        calls = []
+
+        def loud(x):
+            calls.append(x)
+            return x
+
+        ds = ctx.parallelize(range(5), 1).map(loud).cache()
+        ds.collect()
+        ds.collect()
+        assert len(calls) == 5
+
+    def test_unpersist_recomputes(self, ctx):
+        calls = []
+        ds = ctx.parallelize(range(3), 1).map(lambda x: calls.append(x) or x).cache()
+        ds.collect()
+        ds.unpersist()
+        ds.collect()
+        assert len(calls) == 6
+
+
+class TestErrors:
+    def test_invalid_partition_count(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 0)
+
+    def test_out_of_range_partition_access(self, ctx):
+        ds = ctx.parallelize([1, 2], 2)
+        from repro.batch.dataset import TaskContext
+
+        with pytest.raises(BatchExecutionError):
+            ds.iterator(5, TaskContext(None))

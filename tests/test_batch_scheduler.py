@@ -1,0 +1,135 @@
+"""DAG scheduler: stages, retries, fetch-failure recovery, threading."""
+
+import pytest
+
+from repro.batch import BatchContext, FailureInjector
+from repro.common.errors import TaskFailedError
+
+
+class TestMetrics:
+    def test_job_and_task_counts(self):
+        ctx = BatchContext(default_parallelism=1)
+        ctx.parallelize(range(10), 4).map(lambda x: x).collect()
+        assert ctx.metrics.jobs == 1
+        assert ctx.metrics.result_tasks == 4
+        assert ctx.metrics.map_tasks == 0  # no shuffle
+
+    def test_shuffle_counts_map_tasks(self):
+        ctx = BatchContext(default_parallelism=1)
+        pairs = ctx.parallelize([(i % 2, i) for i in range(8)], 4)
+        pairs.reduce_by_key(lambda a, b: a + b).collect()
+        assert ctx.metrics.map_tasks == 4
+        assert ctx.metrics.stages == 2  # one map stage + one result stage
+
+    def test_records_written_to_shuffle(self):
+        ctx = BatchContext(default_parallelism=1)
+        pairs = ctx.parallelize([(i % 2, 1) for i in range(10)], 2)
+        pairs.reduce_by_key(lambda a, b: a + b).collect()
+        # Map-side combining: each map partition writes at most 2 keys.
+        assert ctx.scheduler.shuffle_store.records_written <= 4
+
+
+class TestResultTaskRetry:
+    def test_transient_result_failure_retried(self):
+        injector = FailureInjector(result_failures={0: 2})
+        ctx = BatchContext(default_parallelism=1, injector=injector)
+        assert ctx.parallelize(range(6), 3).collect() == list(range(6))
+        assert ctx.metrics.task_retries == 2
+        assert ctx.metrics.injected_failures == 2
+
+    def test_permanent_failure_raises_task_failed(self):
+        injector = FailureInjector(result_failures={0: 99})
+        ctx = BatchContext(default_parallelism=1, max_task_attempts=3, injector=injector)
+        with pytest.raises(TaskFailedError) as exc:
+            ctx.parallelize(range(4), 2).collect()
+        assert exc.value.attempts == 3
+
+    def test_user_exception_retried_then_raised(self):
+        ctx = BatchContext(default_parallelism=1, max_task_attempts=2)
+
+        def boom(x):
+            raise RuntimeError("bad record")
+
+        with pytest.raises(TaskFailedError) as exc:
+            ctx.parallelize([1], 1).map(boom).collect()
+        assert isinstance(exc.value.cause, RuntimeError)
+        assert ctx.metrics.task_retries == 2
+
+
+class TestMapTaskRetry:
+    def test_transient_map_failure_retried(self):
+        injector = FailureInjector()
+        ctx = BatchContext(default_parallelism=1, injector=injector)
+        pairs = ctx.parallelize([(i % 3, 1) for i in range(12)], 3)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        injector.map_failures[(reduced.shuffle_dependency.shuffle_id, 1)] = 1
+        assert reduced.collect_as_map() == {0: 4, 1: 4, 2: 4}
+        assert ctx.metrics.injected_failures == 1
+
+
+class TestFetchFailureRecovery:
+    def test_lost_map_output_recomputed(self):
+        injector = FailureInjector()
+        ctx = BatchContext(default_parallelism=1, injector=injector)
+        pairs = ctx.parallelize([(i % 3, 1) for i in range(12)], 4)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        injector.lost_outputs.add((reduced.shuffle_dependency.shuffle_id, 2))
+        assert reduced.collect_as_map() == {0: 4, 1: 4, 2: 4}
+        assert ctx.metrics.fetch_failures >= 1
+
+    def test_multiple_lost_outputs(self):
+        injector = FailureInjector()
+        ctx = BatchContext(default_parallelism=1, injector=injector)
+        pairs = ctx.parallelize([(i % 2, 1) for i in range(8)], 4)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        sid = reduced.shuffle_dependency.shuffle_id
+        injector.lost_outputs.update({(sid, 0), (sid, 3)})
+        assert reduced.collect_as_map() == {0: 4, 1: 4}
+
+    def test_invalidate_shuffle_forces_rerun(self):
+        ctx = BatchContext(default_parallelism=1)
+        pairs = ctx.parallelize([(1, 1)] * 4, 2)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        reduced.collect()
+        maps_before = ctx.metrics.map_tasks
+        ctx.scheduler.invalidate_shuffle(reduced.shuffle_dependency.shuffle_id)
+        reduced.collect()
+        assert ctx.metrics.map_tasks == maps_before + 2
+
+
+class TestThreadedExecution:
+    def test_parallel_scheduler_matches_serial(self):
+        data = [(i % 5, i) for i in range(200)]
+        serial = (
+            BatchContext(default_parallelism=1)
+            .parallelize(data, 8)
+            .reduce_by_key(lambda a, b: a + b)
+            .collect_as_map()
+        )
+        threaded = (
+            BatchContext(default_parallelism=4)
+            .parallelize(data, 8)
+            .reduce_by_key(lambda a, b: a + b)
+            .collect_as_map()
+        )
+        assert serial == threaded
+
+    def test_threaded_with_join(self):
+        ctx = BatchContext(default_parallelism=4)
+        left = ctx.parallelize([(i, i) for i in range(50)], 6)
+        right = ctx.parallelize([(i, i * 2) for i in range(0, 50, 2)], 4)
+        joined = left.join(right).collect_as_map()
+        assert len(joined) == 25
+        assert joined[4] == (4, 8)
+
+
+class TestValidation:
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            BatchContext(default_parallelism=0)
+
+    def test_invalid_max_attempts(self):
+        from repro.batch.scheduler import DAGScheduler
+
+        with pytest.raises(ValueError):
+            DAGScheduler(max_task_attempts=0)

@@ -1,0 +1,116 @@
+"""Broadcasts, accumulators, and checkpointing."""
+
+import pytest
+
+from repro.batch import Accumulator, BatchContext, Broadcast
+from repro.common.errors import BatchExecutionError
+
+
+@pytest.fixture
+def ctx():
+    return BatchContext(default_parallelism=3)
+
+
+class TestBroadcast:
+    def test_value_visible_in_tasks(self, ctx):
+        lookup = ctx.broadcast({1: "a", 2: "b"})
+        result = ctx.parallelize([1, 2, 1], 2).map(lambda k: lookup.value[k]).collect()
+        assert result == ["a", "b", "a"]
+
+    def test_unpersist_poisons_access(self, ctx):
+        handle = ctx.broadcast([1, 2, 3])
+        handle.unpersist()
+        with pytest.raises(BatchExecutionError):
+            __ = handle.value
+
+    def test_use_after_unpersist_fails_inside_job(self, ctx):
+        handle = ctx.broadcast(10)
+        handle.unpersist()
+        from repro.common.errors import TaskFailedError
+
+        with pytest.raises(TaskFailedError):
+            ctx.parallelize([1], 1).map(lambda x: x + handle.value).collect()
+
+    def test_ids_are_unique(self, ctx):
+        assert ctx.broadcast(1).broadcast_id != ctx.broadcast(2).broadcast_id
+
+
+class TestAccumulator:
+    def test_sums_across_tasks(self, ctx):
+        counter = ctx.accumulator(0)
+        ctx.parallelize(range(100), 5).foreach(lambda x: counter.add(1))
+        assert counter.value == 100
+
+    def test_custom_merge(self, ctx):
+        collector = ctx.accumulator([], merge_fn=lambda a, b: a + [b])
+        ctx.parallelize([3, 1, 2], 3).foreach(collector.add)
+        assert sorted(collector.value) == [1, 2, 3]
+
+    def test_thread_safe_under_parallel_scheduler(self):
+        ctx = BatchContext(default_parallelism=4)
+        counter = ctx.accumulator(0)
+        ctx.parallelize(range(2000), 8).foreach(lambda x: counter.add(1))
+        assert counter.value == 2000
+
+    def test_accumulates_across_jobs(self, ctx):
+        counter = ctx.accumulator(0)
+        ds = ctx.parallelize(range(10), 2)
+        ds.foreach(lambda x: counter.add(x))
+        ds.foreach(lambda x: counter.add(x))
+        assert counter.value == 90
+
+
+class TestSaveToTable:
+    def test_writes_pairs_to_store(self, ctx):
+        from repro.store import VeloxStore
+
+        store = VeloxStore(default_partitions=2)
+        table = store.create_table("weights")
+        pairs = ctx.parallelize([(i, i * 10) for i in range(20)], 4)
+        written = pairs.save_to_table(table)
+        assert written == 20
+        assert table.get(7) == 70
+        assert len(table) == 20
+
+    def test_writes_are_journaled(self, ctx):
+        from repro.store import VeloxStore
+
+        store = VeloxStore(default_partitions=2)
+        table = store.create_table("weights", partitioner=lambda k: k % 2)
+        ctx.parallelize([(i, i) for i in range(10)], 3).save_to_table(table)
+        table.fail_partition(0)
+        table.recover_partition(0)
+        assert table.get(4) == 4
+
+    def test_threaded_writes(self):
+        from repro.store import VeloxStore
+
+        ctx = BatchContext(default_parallelism=4)
+        store = VeloxStore(default_partitions=4)
+        table = store.create_table("t")
+        count = ctx.parallelize([(i, i) for i in range(500)], 8).save_to_table(table)
+        assert count == 500
+        assert len(table) == 500
+
+
+class TestCheckpoint:
+    def test_checkpoint_preserves_data(self, ctx):
+        ds = ctx.parallelize(range(20), 4).map(lambda x: x * 2)
+        checkpointed = ctx.checkpoint(ds)
+        assert checkpointed.collect() == ds.collect()
+        assert checkpointed.num_partitions == 4
+
+    def test_checkpoint_severs_lineage(self, ctx):
+        calls = []
+        ds = ctx.parallelize(range(5), 1).map(lambda x: calls.append(x) or x)
+        checkpointed = ctx.checkpoint(ds)
+        checkpointed.collect()
+        checkpointed.collect()
+        assert len(calls) == 5  # the map ran only during checkpointing
+        assert checkpointed.dependencies == []
+
+    def test_checkpoint_through_shuffle(self, ctx):
+        pairs = ctx.parallelize([(i % 3, 1) for i in range(12)], 3)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        checkpointed = ctx.checkpoint(reduced)
+        assert checkpointed.collect_as_map() == {0: 4, 1: 4, 2: 4}

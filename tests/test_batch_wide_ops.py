@@ -1,0 +1,189 @@
+"""Wide (shuffle) transformations: aggregation, joins, sort, repartition."""
+
+import pytest
+
+from repro.batch import BatchContext
+
+
+@pytest.fixture
+def ctx():
+    return BatchContext(default_parallelism=3)
+
+
+class TestReduceByKey:
+    def test_sums_per_key(self, ctx):
+        pairs = ctx.parallelize([(i % 4, i) for i in range(40)], 5)
+        result = pairs.reduce_by_key(lambda a, b: a + b).collect_as_map()
+        expected = {k: sum(i for i in range(40) if i % 4 == k) for k in range(4)}
+        assert result == expected
+
+    def test_single_key(self, ctx):
+        pairs = ctx.parallelize([("k", 1)] * 10, 4)
+        assert pairs.reduce_by_key(lambda a, b: a + b).collect() == [("k", 10)]
+
+    def test_explicit_output_partitions(self, ctx):
+        pairs = ctx.parallelize([(i, i) for i in range(20)], 4)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b, num_partitions=7)
+        assert reduced.num_partitions == 7
+        assert len(reduced.collect()) == 20
+
+
+class TestGroupByKey:
+    def test_groups_all_values(self, ctx):
+        pairs = ctx.parallelize([(i % 3, i) for i in range(12)], 4)
+        grouped = pairs.group_by_key().collect_as_map()
+        for key, values in grouped.items():
+            assert sorted(values) == [i for i in range(12) if i % 3 == key]
+
+    def test_group_sizes(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("a", 2), ("b", 3)], 2)
+        grouped = pairs.group_by_key().collect_as_map()
+        assert len(grouped["a"]) == 2
+        assert len(grouped["b"]) == 1
+
+
+class TestCombineAndAggregateByKey:
+    def test_combine_by_key_mean(self, ctx):
+        pairs = ctx.parallelize([(i % 2, float(i)) for i in range(10)], 3)
+        combined = pairs.combine_by_key(
+            lambda v: (v, 1),
+            lambda acc, v: (acc[0] + v, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        ).map_values(lambda acc: acc[0] / acc[1])
+        means = combined.collect_as_map()
+        assert means[0] == pytest.approx(4.0)
+        assert means[1] == pytest.approx(5.0)
+
+    def test_aggregate_by_key_zero_not_shared(self, ctx):
+        pairs = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+        result = pairs.aggregate_by_key(
+            [], lambda acc, v: acc + [v], lambda a, b: a + b
+        ).collect_as_map()
+        assert sorted(result["a"]) == [1, 3]
+        assert result["b"] == [2]
+
+
+class TestDistinct:
+    def test_removes_duplicates(self, ctx):
+        data = [1, 2, 2, 3, 3, 3]
+        assert sorted(ctx.parallelize(data, 3).distinct().collect()) == [1, 2, 3]
+
+    def test_distinct_on_unique_data(self, ctx):
+        assert ctx.parallelize(range(10), 4).distinct().count() == 10
+
+
+class TestJoins:
+    def test_inner_join(self, ctx):
+        left = ctx.parallelize([("a", 1), ("b", 2), ("c", 3)], 2)
+        right = ctx.parallelize([("a", "x"), ("b", "y"), ("d", "z")], 2)
+        joined = left.join(right).collect_as_map()
+        assert joined == {"a": (1, "x"), "b": (2, "y")}
+
+    def test_join_many_to_many(self, ctx):
+        left = ctx.parallelize([("k", 1), ("k", 2)], 1)
+        right = ctx.parallelize([("k", "a"), ("k", "b")], 1)
+        joined = sorted(left.join(right).values().collect())
+        assert joined == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+    def test_left_outer_join(self, ctx):
+        left = ctx.parallelize([("a", 1), ("b", 2)], 2)
+        right = ctx.parallelize([("a", "x")], 1)
+        joined = left.left_outer_join(right).collect_as_map()
+        assert joined == {"a": (1, "x"), "b": (2, None)}
+
+    def test_right_outer_join(self, ctx):
+        left = ctx.parallelize([("a", 1)], 1)
+        right = ctx.parallelize([("a", "x"), ("b", "y")], 2)
+        joined = left.right_outer_join(right).collect_as_map()
+        assert joined == {"a": (1, "x"), "b": (None, "y")}
+
+    def test_full_outer_join(self, ctx):
+        left = ctx.parallelize([("a", 1), ("b", 2)], 2)
+        right = ctx.parallelize([("b", "y"), ("c", "z")], 2)
+        joined = left.full_outer_join(right).collect_as_map()
+        assert joined == {"a": (1, None), "b": (2, "y"), "c": (None, "z")}
+
+    def test_outer_joins_agree_with_inner_on_shared_keys(self, ctx):
+        left = ctx.parallelize([(i, i) for i in range(10)], 3)
+        right = ctx.parallelize([(i, -i) for i in range(5, 15)], 3)
+        inner = left.join(right).collect_as_map()
+        full = left.full_outer_join(right).collect_as_map()
+        for key, pair in inner.items():
+            assert full[key] == pair
+        assert len(full) == 15
+
+    def test_cogroup(self, ctx):
+        left = ctx.parallelize([("a", 1), ("a", 2)], 2)
+        right = ctx.parallelize([("a", "x"), ("b", "y")], 2)
+        grouped = left.cogroup(right).collect_as_map()
+        assert sorted(grouped["a"][0]) == [1, 2]
+        assert grouped["a"][1] == ["x"]
+        assert grouped["b"] == ([], ["y"])
+
+
+class TestSortBy:
+    def test_ascending_global_order(self, ctx):
+        data = [5, 1, 9, 3, 7, 2, 8]
+        assert ctx.parallelize(data, 3).sort_by(lambda x: x).collect() == sorted(data)
+
+    def test_descending(self, ctx):
+        data = [5, 1, 9, 3]
+        result = ctx.parallelize(data, 2).sort_by(lambda x: x, ascending=False).collect()
+        assert result == sorted(data, reverse=True)
+
+    def test_sort_by_derived_key(self, ctx):
+        words = ["ccc", "a", "bb"]
+        assert ctx.parallelize(words, 2).sort_by(len).collect() == ["a", "bb", "ccc"]
+
+    def test_sort_with_duplicates(self, ctx):
+        data = [3, 1, 3, 1, 2]
+        assert ctx.parallelize(data, 3).sort_by(lambda x: x).collect() == sorted(data)
+
+    def test_sort_empty(self, ctx):
+        assert ctx.parallelize([], 2).sort_by(lambda x: x).collect() == []
+
+    def test_sort_single_partition_output(self, ctx):
+        data = [4, 2, 6]
+        result = ctx.parallelize(data, 3).sort_by(lambda x: x, num_partitions=1)
+        assert result.num_partitions == 1
+        assert result.collect() == [2, 4, 6]
+
+
+class TestRepartition:
+    def test_preserves_records(self, ctx):
+        ds = ctx.parallelize(range(20), 2).repartition(5)
+        assert ds.num_partitions == 5
+        assert sorted(ds.collect()) == list(range(20))
+
+    def test_balances_load(self, ctx):
+        ds = ctx.parallelize(range(100), 1).repartition(4)
+        sizes = [len(p) for p in ds.collect_partitions()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_count(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1]).repartition(0)
+
+
+class TestChainedShuffles:
+    def test_two_stage_pipeline(self, ctx):
+        # word-count then filter then re-aggregate — two shuffles.
+        words = ["a b a", "c b", "a c c"]
+        counts = (
+            ctx.parallelize(words, 2)
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda x, y: x + y)
+        )
+        big = counts.filter(lambda kv: kv[1] >= 2).map(lambda kv: (kv[1], [kv[0]]))
+        regrouped = big.reduce_by_key(lambda a, b: sorted(a + b)).collect_as_map()
+        assert regrouped == {3: ["a", "c"], 2: ["b"]}
+
+    def test_shuffle_reuse_across_jobs(self, ctx):
+        pairs = ctx.parallelize([(i % 3, 1) for i in range(9)], 3)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        assert reduced.count() == 3
+        maps_after_first = ctx.metrics.map_tasks
+        assert reduced.collect_as_map() == {0: 3, 1: 3, 2: 3}
+        # The shuffle was materialized once; the second job reuses it.
+        assert ctx.metrics.map_tasks == maps_after_first

@@ -1,0 +1,77 @@
+"""VeloxCluster: wiring, placement, charging, node lifecycle."""
+
+import pytest
+
+from repro.cluster import RandomRouter, VeloxCluster
+from repro.common.errors import RoutingError
+
+
+class TestConstruction:
+    def test_default_wiring(self):
+        cluster = VeloxCluster(num_nodes=3)
+        assert cluster.num_nodes == 3
+        assert cluster.store.default_partitions == 3
+        # default router is user-aware: uid -> owning node
+        assert cluster.router.route(7).node_id == 7 % 3
+
+    def test_custom_router_factory(self):
+        cluster = VeloxCluster(
+            num_nodes=2, router_factory=lambda nodes: RandomRouter(nodes, rng=0)
+        )
+        assert isinstance(cluster.router, RandomRouter)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            VeloxCluster(num_nodes=0)
+
+
+class TestPlacementAndCharging:
+    def test_owner_queries(self):
+        cluster = VeloxCluster(num_nodes=4)
+        assert cluster.owner_of_user(9) == 1
+        assert 0 <= cluster.owner_of_item("item-3") < 4
+
+    def test_local_user_access_free_under_user_routing(self):
+        cluster = VeloxCluster(num_nodes=4)
+        for uid in range(20):
+            node = cluster.router.route(uid)
+            cost = cluster.charge_user_access(node.node_id, uid, 400)
+        assert cluster.network.stats.remote_accesses == 0
+        assert cost == 0.0
+
+    def test_remote_user_access_charged(self):
+        cluster = VeloxCluster(num_nodes=4)
+        owner = cluster.owner_of_user(5)
+        other = (owner + 1) % 4
+        cost = cluster.charge_user_access(other, 5, 400)
+        assert cost > 0
+        assert cluster.network.stats.remote_accesses == 1
+
+    def test_item_access_charging_follows_item_partitioner(self):
+        cluster = VeloxCluster(num_nodes=2)
+        item = 17
+        owner = cluster.owner_of_item(item)
+        assert cluster.charge_item_access(owner, item, 100) == 0.0
+        assert cluster.charge_item_access(1 - owner, item, 100) > 0.0
+
+
+class TestNodeLifecycle:
+    def test_fail_and_restart_recovers_shards(self):
+        cluster = VeloxCluster(num_nodes=2)
+        table = cluster.store.create_table(
+            "users", partitioner=cluster.user_partitioner
+        )
+        for uid in range(10):
+            table.put(uid, f"w{uid}")
+        cluster.fail_node(0)
+        assert not cluster.nodes[0].alive
+        # router fails over while node 0 is down
+        assert cluster.router.route(0).node_id == 1
+        replayed = cluster.restart_node(0)
+        assert replayed == 5
+        assert table.get(4) == "w4"
+        assert cluster.nodes[0].alive
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(RoutingError):
+            VeloxCluster(num_nodes=2).fail_node(9)

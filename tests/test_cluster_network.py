@@ -1,0 +1,64 @@
+"""Network model: cost accounting, locality stats, virtual time."""
+
+import pytest
+
+from repro.cluster import NetworkModel
+from repro.common.clock import SimulatedClock
+
+
+class TestAccessAccounting:
+    def test_local_access_is_free(self):
+        net = NetworkModel(hop_latency=1e-3)
+        assert net.access(0, 0, 1024) == 0.0
+        assert net.stats.local_accesses == 1
+        assert net.stats.remote_accesses == 0
+
+    def test_remote_access_charged(self):
+        net = NetworkModel(hop_latency=1e-3, bandwidth=1e6)
+        cost = net.access(0, 1, 1000)
+        assert cost == pytest.approx(1e-3 + 1e-3)
+        assert net.stats.remote_accesses == 1
+        assert net.stats.bytes_transferred == 1000
+
+    def test_clock_advances_on_remote_access(self):
+        clock = SimulatedClock()
+        net = NetworkModel(hop_latency=2e-3, bandwidth=1e9, clock=clock)
+        net.access(0, 1, 0)
+        assert clock.now() == pytest.approx(2e-3)
+
+    def test_transfer_cost_formula(self):
+        net = NetworkModel(hop_latency=0.5e-3, bandwidth=1e9)
+        assert net.transfer_cost(8_000_000) == pytest.approx(0.5e-3 + 0.008)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_cost(-1)
+
+
+class TestLocalityStats:
+    def test_locality_rate(self):
+        net = NetworkModel()
+        net.access(0, 0, 10)
+        net.access(0, 0, 10)
+        net.access(0, 1, 10)
+        assert net.stats.locality_rate == pytest.approx(2 / 3)
+
+    def test_locality_rate_idle(self):
+        assert NetworkModel().stats.locality_rate == 1.0
+
+    def test_reset(self):
+        net = NetworkModel()
+        net.access(0, 1, 100)
+        net.stats.reset()
+        assert net.stats.total_accesses == 0
+        assert net.stats.modeled_latency == 0.0
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(hop_latency=-1)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0)

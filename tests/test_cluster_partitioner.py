@@ -1,0 +1,68 @@
+"""Partitioners: range validity, determinism, equality."""
+
+import pytest
+
+from repro.cluster import HashPartitioner, ModuloPartitioner, RangePartitioner
+from repro.common.errors import PartitionError
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        part = HashPartitioner(5)
+        for key in list(range(100)) + ["a", "b", ("t", 1)]:
+            assert 0 <= part.partition(key) < 5
+
+    def test_deterministic(self):
+        a, b = HashPartitioner(7), HashPartitioner(7)
+        assert all(a.partition(k) == b.partition(k) for k in range(50))
+
+    def test_roughly_balanced(self):
+        part = HashPartitioner(4)
+        counts = [0] * 4
+        for key in range(1000):
+            counts[part.partition(key)] += 1
+        assert min(counts) > 150
+
+    def test_callable(self):
+        part = HashPartitioner(3)
+        assert part("k") == part.partition("k")
+
+    def test_invalid_count(self):
+        with pytest.raises(PartitionError):
+            HashPartitioner(0)
+
+
+class TestModuloPartitioner:
+    def test_transparent_placement(self):
+        part = ModuloPartitioner(4)
+        assert part.partition(17) == 1
+        assert part.partition(4) == 0
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(PartitionError):
+            ModuloPartitioner(4).partition("user-1")
+
+    def test_equality(self):
+        assert ModuloPartitioner(4) == ModuloPartitioner(4)
+        assert ModuloPartitioner(4) != ModuloPartitioner(5)
+        assert ModuloPartitioner(4) != HashPartitioner(4)
+
+
+class TestRangePartitioner:
+    def test_bucket_assignment(self):
+        part = RangePartitioner([10, 20])
+        assert part.num_partitions == 3
+        assert part.partition(5) == 0
+        assert part.partition(10) == 0
+        assert part.partition(15) == 1
+        assert part.partition(20) == 1
+        assert part.partition(99) == 2
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(PartitionError):
+            RangePartitioner([20, 10])
+
+    def test_empty_boundaries_single_bucket(self):
+        part = RangePartitioner([])
+        assert part.num_partitions == 1
+        assert part.partition(123) == 0

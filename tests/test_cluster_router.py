@@ -1,0 +1,91 @@
+"""Routers: locality, failover, baselines."""
+
+import pytest
+
+from repro.cluster import (
+    ModuloPartitioner,
+    Node,
+    RandomRouter,
+    RoundRobinRouter,
+    UserAwareRouter,
+)
+from repro.common.errors import RoutingError
+
+
+def make_nodes(n: int) -> list[Node]:
+    return [Node(i) for i in range(n)]
+
+
+class TestUserAwareRouter:
+    def test_routes_to_owner(self):
+        nodes = make_nodes(4)
+        router = UserAwareRouter(nodes, ModuloPartitioner(4))
+        for uid in range(40):
+            assert router.route(uid).node_id == uid % 4
+
+    def test_failover_to_alive_node(self):
+        nodes = make_nodes(3)
+        router = UserAwareRouter(nodes, ModuloPartitioner(3))
+        nodes[1].fail()
+        chosen = router.route(1)
+        assert chosen.alive
+        assert chosen.node_id != 1
+
+    def test_all_dead_raises(self):
+        nodes = make_nodes(2)
+        router = UserAwareRouter(nodes, ModuloPartitioner(2))
+        for node in nodes:
+            node.fail()
+        with pytest.raises(RoutingError):
+            router.route(0)
+
+    def test_partitioner_node_mismatch_rejected(self):
+        with pytest.raises(RoutingError):
+            UserAwareRouter(make_nodes(3), ModuloPartitioner(4))
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(RoutingError):
+            UserAwareRouter([], ModuloPartitioner(1))
+
+
+class TestRandomRouter:
+    def test_covers_all_nodes(self):
+        router = RandomRouter(make_nodes(4), rng=1)
+        seen = {router.route(0).node_id for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_skips_dead_nodes(self):
+        nodes = make_nodes(3)
+        nodes[0].fail()
+        router = RandomRouter(nodes, rng=2)
+        for _ in range(50):
+            assert router.route(0).node_id != 0
+
+    def test_deterministic_given_seed(self):
+        a = [RandomRouter(make_nodes(4), rng=7).route(0).node_id for _ in range(1)]
+        b = [RandomRouter(make_nodes(4), rng=7).route(0).node_id for _ in range(1)]
+        assert a == b
+
+
+class TestRoundRobinRouter:
+    def test_cycles(self):
+        router = RoundRobinRouter(make_nodes(3))
+        ids = [router.route(99).node_id for _ in range(6)]
+        assert ids == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_dead(self):
+        nodes = make_nodes(2)
+        nodes[0].fail()
+        router = RoundRobinRouter(nodes)
+        assert all(router.route(0).node_id == 1 for _ in range(4))
+
+
+class TestNode:
+    def test_restart_resets_stats(self):
+        node = Node(0)
+        node.stats.requests_served = 5
+        node.fail()
+        assert not node.alive
+        node.restart()
+        assert node.alive
+        assert node.stats.requests_served == 0

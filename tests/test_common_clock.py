@@ -1,0 +1,43 @@
+"""Clock behavior: monotonicity, virtual advancement, validation."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock, SystemClock
+
+
+class TestSystemClock:
+    def test_now_is_monotonic(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_advance_sleeps(self):
+        clock = SystemClock()
+        start = clock.now()
+        clock.advance(0.01)
+        assert clock.now() - start >= 0.009
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            SystemClock().advance(-1)
+
+
+class TestSimulatedClock:
+    def test_starts_at_configured_time(self):
+        assert SimulatedClock(5.0).now() == 5.0
+
+    def test_advance_is_exact_and_free(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(0.25)
+        assert clock.now() == pytest.approx(1.75)
+
+    def test_zero_advance_allowed(self):
+        clock = SimulatedClock()
+        clock.advance(0.0)
+        assert clock.now() == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-0.1)

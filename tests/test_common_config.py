@@ -1,0 +1,94 @@
+"""VeloxConfig validation."""
+
+import pytest
+
+from repro.common import ConfigError, VeloxConfig
+
+
+class TestVeloxConfigDefaults:
+    def test_defaults_are_valid(self):
+        cfg = VeloxConfig()
+        assert cfg.num_nodes >= 1
+        assert cfg.dimension >= 1
+        assert cfg.online_update_method in (
+            "normal_equations",
+            "sherman_morrison",
+            "sgd",
+        )
+
+    def test_frozen(self):
+        cfg = VeloxConfig()
+        with pytest.raises(AttributeError):
+            cfg.num_nodes = 10
+
+    def test_extra_dict_available(self):
+        cfg = VeloxConfig(extra={"note": "hi"})
+        assert cfg.extra["note"] == "hi"
+
+
+class TestVeloxConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"num_nodes": -3},
+            {"dimension": 0},
+            {"regularization": -0.1},
+            {"feature_cache_capacity": -1},
+            {"prediction_cache_capacity": -5},
+            {"staleness_loss_ratio": 1.0},
+            {"staleness_loss_ratio": 0.5},
+            {"staleness_window": 0},
+            {"online_update_method": "magic"},
+            {"bandit_exploration": -1.0},
+            {"remote_hop_latency": -1e-3},
+            {"remote_bandwidth": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            VeloxConfig(**kwargs)
+
+    def test_valid_update_methods_accepted(self):
+        for method in ("normal_equations", "sherman_morrison", "sgd"):
+            assert VeloxConfig(online_update_method=method).online_update_method == method
+
+    def test_zero_cache_capacity_allowed(self):
+        cfg = VeloxConfig(feature_cache_capacity=0, prediction_cache_capacity=0)
+        assert cfg.feature_cache_capacity == 0
+
+
+class TestConfigSerialization:
+    def test_json_roundtrip(self):
+        original = VeloxConfig(
+            num_nodes=6, regularization=2.5, online_update_method="sgd",
+            extra={"note": "prod"},
+        )
+        restored = VeloxConfig.from_json(original.to_json())
+        assert restored == original
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError) as exc:
+            VeloxConfig.from_json('{"num_nodez": 4}')
+        assert "num_nodez" in str(exc.value)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigError):
+            VeloxConfig.from_json("{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigError):
+            VeloxConfig.from_json("[1, 2]")
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ConfigError):
+            VeloxConfig.from_json('{"num_nodes": 0}')
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "velox.json"
+        path.write_text(VeloxConfig(num_nodes=3).to_json())
+        assert VeloxConfig.from_file(path).num_nodes == 3
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            VeloxConfig.from_file(tmp_path / "ghost.json")

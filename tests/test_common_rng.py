@@ -1,0 +1,57 @@
+"""RNG plumbing: determinism, spawning, stable hashing."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import as_generator, spawn_generators, stable_hash
+
+
+class TestAsGenerator:
+    def test_seed_yields_deterministic_stream(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_none_is_deterministic_default(self):
+        assert np.array_equal(as_generator(None).random(3), as_generator(None).random(3))
+
+    def test_existing_generator_passed_through(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+
+class TestSpawnGenerators:
+    def test_children_are_independent_and_deterministic(self):
+        kids_a = spawn_generators(as_generator(9), 3)
+        kids_b = spawn_generators(as_generator(9), 3)
+        for a, b in zip(kids_a, kids_b):
+            assert np.array_equal(a.random(4), b.random(4))
+        draws = [tuple(k.random(4)) for k in spawn_generators(as_generator(9), 3)]
+        assert len(set(draws)) == 3
+
+    def test_zero_children(self):
+        assert spawn_generators(as_generator(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(as_generator(0), -1)
+
+
+class TestStableHash:
+    def test_stable_across_calls(self):
+        assert stable_hash("user:17") == stable_hash("user:17")
+
+    def test_distinct_inputs_differ(self):
+        values = [stable_hash(i) for i in range(100)]
+        assert len(set(values)) == 100
+
+    def test_tuple_keys_supported(self):
+        assert stable_hash(("a", 1)) != stable_hash(("a", 2))
+
+    def test_result_fits_64_bits_nonnegative(self):
+        for value in ("x", 123, ("y", 4)):
+            h = stable_hash(value)
+            assert 0 <= h < 2**64

@@ -1,0 +1,135 @@
+"""Concurrency: parallel observes and predicts must not lose updates."""
+
+import threading
+
+import numpy as np
+import pytest
+
+
+class TestConcurrentObserve:
+    def test_no_lost_updates_same_user(self, deployed_velox):
+        """N threads hammering one user: the state must reflect all N
+        observations (the classic lost-update race)."""
+        uid, item = 4, 2
+        per_thread = 25
+        threads = 4
+        errors = []
+
+        def worker():
+            try:
+                for __ in range(per_thread):
+                    deployed_velox.observe(uid=uid, x=item, y=4.0)
+            except Exception as err:  # surfaced in the main thread
+                errors.append(err)
+
+        workers = [threading.Thread(target=worker) for __ in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert errors == []
+        state = deployed_velox.manager.user_state_table("songs").get(uid)
+        assert state.observation_count == per_thread * threads
+        log = deployed_velox.manager.observation_log("songs")
+        assert len(log) == per_thread * threads
+
+    def test_concurrent_observe_across_users(self, deployed_velox):
+        errors = []
+
+        def worker(uid):
+            try:
+                for i in range(30):
+                    deployed_velox.observe(uid=uid, x=i % 10, y=3.0 + (i % 3))
+            except Exception as err:
+                errors.append(err)
+
+        workers = [threading.Thread(target=worker, args=(u,)) for u in range(6)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert errors == []
+        assert deployed_velox.health().observations == 180
+
+    def test_predicts_concurrent_with_observes(self, deployed_velox):
+        """Readers never crash or see non-finite scores while writers run."""
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            try:
+                i = 0
+                while not stop.is_set():
+                    deployed_velox.observe(uid=i % 10, x=i % 8, y=3.5)
+                    i += 1
+            except Exception as err:
+                errors.append(err)
+
+        def reader():
+            try:
+                for i in range(300):
+                    __, score = deployed_velox.predict(None, i % 10, i % 8)
+                    assert np.isfinite(score)
+            except Exception as err:
+                errors.append(err)
+
+        writer_thread = threading.Thread(target=writer)
+        reader_threads = [threading.Thread(target=reader) for __ in range(3)]
+        writer_thread.start()
+        for t in reader_threads:
+            t.start()
+        for t in reader_threads:
+            t.join()
+        stop.set()
+        writer_thread.join()
+        assert errors == []
+
+
+class TestSelectorDecay:
+    """Exponential forgetting in the selectors (nonstationarity support)."""
+
+    def test_hedge_decay_tracks_a_flip(self):
+        from repro.core.selection import HedgeSelector
+
+        selector = HedgeSelector(["a", "b"], eta=0.5, decay=0.9)
+        for __ in range(100):
+            selector.update({"a": 0.0, "b": 1.0})
+        assert selector.weights()["a"] > 0.9
+        for __ in range(60):
+            selector.update({"a": 1.0, "b": 0.0})
+        assert selector.weights()["b"] > 0.9
+
+    def test_hedge_without_decay_is_cumulative(self):
+        from repro.core.selection import HedgeSelector
+
+        selector = HedgeSelector(["a", "b"], eta=0.5, decay=1.0)
+        for __ in range(100):
+            selector.update({"a": 0.0, "b": 1.0})
+        for __ in range(60):
+            selector.update({"a": 1.0, "b": 0.0})
+        # cumulative: a is still ahead (100 vs 60 loss units against b)
+        assert selector.weights()["a"] > 0.9
+
+    def test_decay_validation(self):
+        from repro.common.errors import ConfigError
+        from repro.core.selection import Exp3Selector, HedgeSelector
+
+        with pytest.raises(ConfigError):
+            HedgeSelector(["a"], decay=0.0)
+        with pytest.raises(ConfigError):
+            HedgeSelector(["a"], decay=1.5)
+        with pytest.raises(ConfigError):
+            Exp3Selector(["a"], decay=0.0)
+
+    def test_exp3_decay_tracks_a_flip(self):
+        from repro.core.selection import Exp3Selector
+
+        selector = Exp3Selector(["a", "b"], gamma=0.2, eta=0.3, decay=0.9, rng=1)
+        for __ in range(300):
+            served = selector.choose()
+            selector.update({served: 0.0 if served == "a" else 1.0}, served=served)
+        assert selector.weights()["a"] > 0.5
+        for __ in range(300):
+            served = selector.choose()
+            selector.update({served: 1.0 if served == "a" else 0.0}, served=served)
+        assert selector.weights()["b"] > 0.5

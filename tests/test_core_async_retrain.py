@@ -1,0 +1,89 @@
+"""Background (async) retraining: serving continues, swap is atomic."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+
+
+def feed_stream(velox, stream, count=150):
+    for r in stream[:count]:
+        velox.observe(uid=r.uid, x=r.item_id, y=r.rating)
+
+
+class TestRetrainAsync:
+    def test_completes_and_bumps_version(self, deployed_velox, small_split):
+        feed_stream(deployed_velox, small_split.stream)
+        handle = deployed_velox.retrain_async(reason="nightly")
+        event = handle.wait(timeout=60)
+        assert handle.done()
+        assert event.new_version == 1
+        assert event.reason == "nightly"
+        assert deployed_velox.model().version == 1
+
+    def test_serving_continues_during_retrain(self, deployed_velox, small_split):
+        feed_stream(deployed_velox, small_split.stream)
+        handle = deployed_velox.retrain_async()
+        served = 0
+        while True:
+            finished = handle.done()
+            __, score = deployed_velox.predict(None, served % 10, served % 20)
+            assert np.isfinite(score)
+            served += 1
+            if finished:
+                break
+        handle.wait(timeout=60)
+        assert served >= 1  # queries were answered throughout the retrain
+
+    def test_observes_during_retrain_are_logged(self, deployed_velox, small_split):
+        feed_stream(deployed_velox, small_split.stream, count=100)
+        log = deployed_velox.manager.observation_log("songs")
+        handle = deployed_velox.retrain_async()
+        deployed_velox.observe(uid=1, x=2, y=4.0)
+        event = handle.wait(timeout=60)
+        # The retrain used the snapshot; the during-retrain observation
+        # is preserved for the next one.
+        assert event.observations_used <= 101
+        assert len(log) >= 101
+
+    def test_concurrent_retrains_rejected(self, deployed_velox, small_split):
+        feed_stream(deployed_velox, small_split.stream)
+        handle = deployed_velox.retrain_async()
+        with pytest.raises(ValidationError):
+            deployed_velox.retrain_async()
+        handle.wait(timeout=60)
+        # once finished, a new one is allowed
+        second = deployed_velox.retrain_async()
+        assert second.wait(timeout=60).new_version == 2
+
+    def test_wait_timeout(self, deployed_velox, small_split):
+        feed_stream(deployed_velox, small_split.stream)
+        handle = deployed_velox.retrain_async()
+        try:
+            with pytest.raises(TimeoutError):
+                handle.wait(timeout=0.0)
+        finally:
+            handle.wait(timeout=60)
+
+    def test_failure_surfaces_through_wait(self, deployed_velox):
+        # No observations at all -> MF retrain raises ValidationError.
+        handle = deployed_velox.retrain_async()
+        with pytest.raises(ValidationError):
+            handle.wait(timeout=60)
+        assert deployed_velox.model().version == 0  # no swap happened
+        # the failed run releases the per-model guard
+        handle2 = deployed_velox.retrain_async()
+        with pytest.raises(ValidationError):
+            handle2.wait(timeout=60)
+
+    def test_new_version_serves_after_swap(self, deployed_velox, small_split):
+        feed_stream(deployed_velox, small_split.stream)
+        before = deployed_velox.predict(None, 1, 3)[1]
+        handle = deployed_velox.retrain_async()
+        handle.wait(timeout=60)
+        after = deployed_velox.predict_detailed(None, 1, 3)
+        assert not after.prediction_cache_hit or after.score != before
+        assert np.isfinite(after.score)

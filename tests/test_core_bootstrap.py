@@ -1,0 +1,63 @@
+"""UserWeightAverager: exact current-weight mean maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.bootstrap import UserWeightAverager
+
+
+class TestAverager:
+    def test_mean_of_current_weights(self):
+        averager = UserWeightAverager(2)
+        averager.update(1, np.array([1.0, 0.0]))
+        averager.update(2, np.array([3.0, 2.0]))
+        assert np.allclose(averager.mean(), [2.0, 1.0])
+
+    def test_rewrite_replaces_contribution(self):
+        averager = UserWeightAverager(2)
+        averager.update(1, np.array([1.0, 0.0]))
+        averager.update(1, np.array([5.0, 4.0]))
+        assert len(averager) == 1
+        assert np.allclose(averager.mean(), [5.0, 4.0])
+
+    def test_matches_brute_force_after_many_updates(self):
+        rng = np.random.default_rng(2)
+        averager = UserWeightAverager(3)
+        current = {}
+        for __ in range(500):
+            uid = int(rng.integers(20))
+            weights = rng.normal(size=3)
+            averager.update(uid, weights)
+            current[uid] = weights
+        expected = np.mean(list(current.values()), axis=0)
+        assert np.allclose(averager.mean(), expected)
+
+    def test_remove(self):
+        averager = UserWeightAverager(1)
+        averager.update(1, np.array([2.0]))
+        averager.update(2, np.array([4.0]))
+        assert averager.remove(1) is True
+        assert np.allclose(averager.mean(), [4.0])
+        assert averager.remove(99) is False
+
+    def test_contribution_copied_not_aliased(self):
+        averager = UserWeightAverager(2)
+        weights = np.array([1.0, 1.0])
+        averager.update(1, weights)
+        weights[:] = 100.0  # caller mutates their array
+        assert np.allclose(averager.mean(), [1.0, 1.0])
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ValidationError):
+            UserWeightAverager(2).mean()
+
+    def test_shape_checked(self):
+        with pytest.raises(ValidationError):
+            UserWeightAverager(2).update(1, np.zeros(3))
+
+    def test_reset(self):
+        averager = UserWeightAverager(1)
+        averager.update(1, np.array([1.0]))
+        averager.reset()
+        assert len(averager) == 0

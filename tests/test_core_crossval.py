@@ -1,0 +1,105 @@
+"""Leave-one-out cross-validation (paper Section 4.3) and its manager hook."""
+
+import numpy as np
+import pytest
+
+from repro import Velox, VeloxConfig
+from repro.common.errors import ValidationError
+from repro.core.online import (
+    NormalEquationsUpdater,
+    ShermanMorrisonUpdater,
+    UserModelState,
+    cross_validation_score,
+    leave_one_out_errors,
+)
+from tests.conftest import make_initial_weights, make_mf_model
+
+
+def fit_state(rng, dimension=4, count=12, lam=0.8, prior=None):
+    state = UserModelState(dimension, lam, prior)
+    updater = NormalEquationsUpdater()
+    for __ in range(count):
+        features = rng.normal(size=dimension)
+        label = float(rng.normal())
+        updater.update(state, features, label)
+    return state
+
+
+def brute_force_loo(state: UserModelState) -> np.ndarray:
+    """Refit without each observation and measure its held-out error."""
+    f_matrix = np.vstack(state.feature_history)
+    labels = np.asarray(state.label_history)
+    n, d = f_matrix.shape
+    lam = state.regularization
+    errors = np.empty(n)
+    for leave in range(n):
+        keep = [i for i in range(n) if i != leave]
+        f_keep, y_keep = f_matrix[keep], labels[keep]
+        gram = f_keep.T @ f_keep + lam * np.eye(d)
+        residual = y_keep - f_keep @ state.prior_mean
+        weights = state.prior_mean + np.linalg.solve(gram, f_keep.T @ residual)
+        errors[leave] = labels[leave] - float(weights @ f_matrix[leave])
+    return errors
+
+
+class TestLeaveOneOut:
+    def test_matches_brute_force(self, rng):
+        state = fit_state(rng)
+        fast = leave_one_out_errors(state)
+        slow = brute_force_loo(state)
+        assert np.allclose(fast, slow, atol=1e-8)
+
+    def test_matches_brute_force_with_prior(self, rng):
+        prior = rng.normal(size=3)
+        state = fit_state(rng, dimension=3, count=8, prior=prior)
+        assert np.allclose(
+            leave_one_out_errors(state), brute_force_loo(state), atol=1e-8
+        )
+
+    def test_score_is_mean_squared_loo(self, rng):
+        state = fit_state(rng)
+        errors = leave_one_out_errors(state)
+        assert cross_validation_score(state) == pytest.approx(
+            float(np.mean(errors**2))
+        )
+
+    def test_loo_exceeds_training_error(self, rng):
+        """Generalization error should not be smaller than training error."""
+        state = fit_state(rng, count=10)
+        f_matrix = np.vstack(state.feature_history)
+        labels = np.asarray(state.label_history)
+        train_mse = float(np.mean((labels - f_matrix @ state.weights) ** 2))
+        assert cross_validation_score(state) >= train_mse
+
+    def test_requires_history(self, rng):
+        state = UserModelState(3, 0.5)
+        ShermanMorrisonUpdater().update(state, rng.normal(size=3), 1.0)
+        with pytest.raises(ValidationError):
+            leave_one_out_errors(state)
+
+
+class TestManagerHook:
+    def test_loo_generalization_with_history_updater(self, trained_als, small_split):
+        model = make_mf_model(trained_als)
+        velox = Velox.deploy(
+            VeloxConfig(num_nodes=2, online_update_method="normal_equations"),
+            auto_retrain=False,
+        )
+        velox.add_model(model, make_initial_weights(model, trained_als))
+        uid = small_split.stream[0].uid
+        for r in small_split.stream:
+            if r.uid == uid:
+                velox.observe(uid=uid, x=r.item_id, y=r.rating)
+        score = velox.manager.user_generalization("songs", uid)
+        assert np.isfinite(score) and score >= 0
+
+    def test_progressive_fallback_for_history_free_updater(self, deployed_velox):
+        deployed_velox.observe(uid=2, x=3, y=4.0)
+        deployed_velox.observe(uid=2, x=5, y=3.0)
+        score = deployed_velox.manager.user_generalization("songs", 2)
+        state = deployed_velox.manager.user_state_table("songs").get(2)
+        assert score == pytest.approx(state.progressive_loss.mean)
+
+    def test_no_observations_rejected(self, deployed_velox):
+        with pytest.raises(ValidationError):
+            deployed_velox.manager.user_generalization("songs", 1)

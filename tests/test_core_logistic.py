@@ -1,0 +1,141 @@
+"""Logistic online updater: convergence, calibration, validation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, ValidationError
+from repro.core.online import (
+    LogisticUpdater,
+    UserModelState,
+    make_updater,
+    sigmoid,
+)
+
+
+def logistic_stream(rng, true_w, count):
+    for __ in range(count):
+        features = rng.normal(size=true_w.shape[0])
+        probability = float(sigmoid(true_w @ features))
+        yield features, float(rng.random() < probability)
+
+
+class TestSigmoid:
+    def test_known_values(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+        assert sigmoid(100.0) == pytest.approx(1.0)
+        assert sigmoid(-100.0) == pytest.approx(0.0)
+
+    def test_no_overflow_on_extremes(self):
+        assert np.isfinite(sigmoid(np.array([-1e6, 1e6]))).all()
+
+    def test_symmetry(self):
+        z = np.linspace(-5, 5, 11)
+        assert np.allclose(sigmoid(z) + sigmoid(-z), 1.0)
+
+
+class TestLogisticUpdater:
+    def test_recovers_planted_direction(self, rng):
+        true_w = np.array([2.0, -1.5, 0.5])
+        state = UserModelState(3, regularization=0.5)
+        updater = LogisticUpdater()
+        for features, label in logistic_stream(rng, true_w, 400):
+            updater.update(state, features, label)
+        cosine = float(
+            state.weights @ true_w
+            / (np.linalg.norm(state.weights) * np.linalg.norm(true_w))
+        )
+        assert cosine > 0.95
+
+    def test_predictions_are_calibrated(self, rng):
+        true_w = np.array([1.5, -1.0])
+        state = UserModelState(2, regularization=0.5)
+        updater = LogisticUpdater()
+        for features, label in logistic_stream(rng, true_w, 500):
+            updater.update(state, features, label)
+        # Among fresh examples predicted ~70-90% positive, the empirical
+        # rate should be in that band too.
+        bucket_labels = []
+        for features, label in logistic_stream(rng, true_w, 3000):
+            probability = LogisticUpdater.predict_probability(state, features)
+            if 0.7 <= probability <= 0.9:
+                bucket_labels.append(label)
+        assert len(bucket_labels) > 50
+        assert 0.62 <= float(np.mean(bucket_labels)) <= 0.95
+
+    def test_matches_penalized_mle(self, rng):
+        """The updater's weights equal a direct IRLS solve on the data."""
+        true_w = np.array([1.0, -1.0, 0.5, 0.0])
+        state = UserModelState(4, regularization=1.0)
+        updater = LogisticUpdater(newton_iterations=50)
+        data = list(logistic_stream(rng, true_w, 60))
+        for features, label in data:
+            updater.update(state, features, label)
+
+        f_matrix = np.vstack([f for f, __ in data])
+        labels = np.asarray([y for __, y in data])
+        weights = np.zeros(4)
+        for __ in range(100):
+            probabilities = sigmoid(f_matrix @ weights)
+            gradient = f_matrix.T @ (probabilities - labels) + 1.0 * weights
+            hessian_w = probabilities * (1 - probabilities)
+            hessian = (f_matrix * hessian_w[:, None]).T @ f_matrix + np.eye(4)
+            weights = weights - np.linalg.solve(hessian, gradient)
+        assert np.allclose(state.weights, weights, atol=1e-6)
+
+    def test_progressive_loss_is_log_loss(self):
+        state = UserModelState(2, regularization=1.0)
+        updater = LogisticUpdater()
+        updater.update(state, np.array([1.0, 0.0]), 1.0)
+        # Before any learning the prediction is p=0.5 -> log-loss ln 2.
+        assert state.progressive_loss.mean == pytest.approx(np.log(2.0))
+
+    def test_uncertainty_shrinks_with_data(self, rng):
+        state = UserModelState(3, regularization=1.0)
+        updater = LogisticUpdater()
+        probe = np.array([1.0, 1.0, 0.0])
+        before = state.uncertainty(probe)
+        for features, label in logistic_stream(rng, np.ones(3), 40):
+            updater.update(state, features, label)
+        assert state.uncertainty(probe) < before
+
+    def test_label_validation(self):
+        state = UserModelState(2, regularization=1.0)
+        updater = LogisticUpdater()
+        with pytest.raises(ValidationError):
+            updater.update(state, np.ones(2), 3.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            LogisticUpdater(newton_iterations=0)
+        with pytest.raises(ConfigError):
+            LogisticUpdater(tolerance=0.0)
+
+    def test_factory(self):
+        assert isinstance(make_updater("logistic"), LogisticUpdater)
+
+
+class TestLogisticDeployment:
+    def test_click_model_end_to_end(self, rng):
+        """A CTR-style deployment: binary feedback through the full
+        Velox observe path with the logistic error function."""
+        from repro import Velox, VeloxConfig
+        from repro.core.models import PersonalizedLinearModel
+
+        velox = Velox.deploy(
+            VeloxConfig(num_nodes=2, online_update_method="logistic"),
+            auto_retrain=False,
+        )
+        velox.add_model(PersonalizedLinearModel("ctr", input_dimension=3))
+        uid = 7
+        true_w = np.array([2.0, -2.0, 1.0, 0.0])  # includes intercept slot
+        for __ in range(120):
+            x = rng.normal(size=3)
+            features = np.concatenate([x, [1.0]])
+            label = float(rng.random() < sigmoid(true_w @ features))
+            velox.observe(uid=uid, x=x, y=label)
+        state = velox.manager.user_state_table("ctr").get(uid)
+        cosine = float(
+            state.weights @ true_w
+            / (np.linalg.norm(state.weights) * np.linalg.norm(true_w))
+        )
+        assert cosine > 0.85

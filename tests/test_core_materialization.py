@@ -1,0 +1,98 @@
+"""Materialization strategies: identical answers, different cost shapes."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.materialization import (
+    FullPrematerialization,
+    HybridCaching,
+    OnlineComputation,
+)
+from repro.core.models import MatrixFactorizationModel
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(8)
+    num_items, rank = 30, 3
+    model = MatrixFactorizationModel(
+        "m", rng.normal(size=(num_items, rank)), rng.normal(size=num_items), 3.0
+    )
+    weights = {
+        uid: rng.normal(size=model.dimension) for uid in range(10)
+    }
+    return model, weights, num_items
+
+
+class TestAnswersAgree:
+    def test_all_strategies_serve_identical_scores(self, setup):
+        model, weights, num_items = setup
+        full = FullPrematerialization(weights, model, num_items)
+        online = OnlineComputation(weights, model)
+        hybrid = HybridCaching(weights, model, cache_capacity=50)
+        full.build()
+        online.build()
+        hybrid.build()
+        rng = np.random.default_rng(1)
+        for __ in range(100):
+            uid = int(rng.integers(10))
+            item = int(rng.integers(num_items))
+            a = full.serve(uid, item)
+            b = online.serve(uid, item)
+            c = hybrid.serve(uid, item)
+            assert a == pytest.approx(b) == pytest.approx(c)
+
+
+class TestCostShapes:
+    def test_full_prematerialization_footprint(self, setup):
+        model, weights, num_items = setup
+        strategy = FullPrematerialization(weights, model, num_items)
+        built = strategy.build()
+        assert built == 10 * num_items
+        assert strategy.storage_entries() == 300
+        strategy.serve(0, 0)
+        report = strategy.report()
+        assert report.computed_on_demand == 0
+
+    def test_full_prematerialization_handles_new_user(self, setup):
+        model, weights, num_items = setup
+        strategy = FullPrematerialization(weights, model, num_items)
+        strategy.build()
+        with pytest.raises(ValidationError):
+            strategy.serve(999, 0)  # unknown user has no weights at all
+
+    def test_online_computation_zero_storage(self, setup):
+        model, weights, __ = setup
+        strategy = OnlineComputation(weights, model)
+        assert strategy.build() == 0
+        for i in range(20):
+            strategy.serve(i % 10, i)
+        report = strategy.report()
+        assert report.storage_entries == 0
+        assert report.computed_on_demand == 20
+
+    def test_hybrid_compute_only_on_miss(self, setup):
+        model, weights, __ = setup
+        strategy = HybridCaching(weights, model, cache_capacity=100)
+        strategy.build()
+        for __repeat in range(5):
+            for item in range(10):
+                strategy.serve(0, item)
+        report = strategy.report()
+        assert report.queries == 50
+        assert report.computed_on_demand == 10  # misses only on first pass
+        assert report.storage_entries == 10
+
+    def test_hybrid_bounded_by_capacity(self, setup):
+        model, weights, num_items = setup
+        strategy = HybridCaching(weights, model, cache_capacity=5)
+        strategy.build()
+        for item in range(num_items):
+            strategy.serve(0, item)
+        assert strategy.storage_entries() == 5
+
+    def test_requires_users(self, setup):
+        model, __, __n = setup
+        with pytest.raises(ValidationError):
+            OnlineComputation({}, model)

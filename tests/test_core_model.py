@@ -1,0 +1,116 @@
+"""VeloxModel base + ModelRegistry: versions, publish, rollback."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ModelNotFoundError, ValidationError
+from repro.core.model import ModelRegistry, VeloxModel
+
+
+class ToyModel(VeloxModel):
+    """Minimal computed-feature model for registry tests."""
+
+    materialized = False
+
+    def __init__(self, name="toy", dimension=3, version=0):
+        super().__init__(name, dimension, version)
+
+    def features(self, x):
+        return np.full(self.dimension, float(x))
+
+    def retrain(self, batch_context, observations, user_weights):
+        return self.with_version(self.version + 1), dict(user_weights)
+
+
+class TestVeloxModelBase:
+    def test_validation_on_construction(self):
+        with pytest.raises(ValidationError):
+            ToyModel(name="")
+        with pytest.raises(ValidationError):
+            ToyModel(dimension=0)
+        with pytest.raises(ValidationError):
+            ToyModel(version=-1)
+
+    def test_default_loss_is_squared_error(self):
+        model = ToyModel()
+        assert model.loss(3.0, 1.0, x=None, uid=0) == 4.0
+
+    def test_with_version(self):
+        model = ToyModel(version=2)
+        clone = model.with_version(5)
+        assert clone.version == 5
+        assert model.version == 2
+        assert clone.name == model.name
+
+    def test_validate_features_shape(self):
+        model = ToyModel(dimension=3)
+        with pytest.raises(ValidationError):
+            model.validate_features(np.zeros(4))
+
+    def test_validate_features_nan(self):
+        model = ToyModel(dimension=2)
+        with pytest.raises(ValidationError):
+            model.validate_features(np.array([1.0, np.nan]))
+
+    def test_default_initials_are_zeros(self):
+        model = ToyModel(dimension=4)
+        assert np.array_equal(model.initial_user_weights(), np.zeros(4))
+        assert np.array_equal(model.prior_mean(), np.zeros(4))
+
+    def test_repr_mentions_kind(self):
+        assert "computed" in repr(ToyModel())
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = ModelRegistry()
+        model = ToyModel()
+        registry.register(model)
+        assert registry.get("toy") is model
+        assert "toy" in registry
+        assert registry.names() == ["toy"]
+
+    def test_duplicate_register_rejected(self):
+        registry = ModelRegistry()
+        registry.register(ToyModel())
+        with pytest.raises(ValidationError):
+            registry.register(ToyModel())
+
+    def test_missing_model_rejected(self):
+        with pytest.raises(ModelNotFoundError):
+            ModelRegistry().get("ghost")
+
+    def test_publish_requires_increasing_version(self):
+        registry = ModelRegistry()
+        registry.register(ToyModel(version=0))
+        registry.publish(ToyModel(version=1))
+        assert registry.get("toy").version == 1
+        with pytest.raises(ValidationError):
+            registry.publish(ToyModel(version=1))
+
+    def test_history_accumulates(self):
+        registry = ModelRegistry()
+        registry.register(ToyModel(version=0))
+        registry.publish(ToyModel(version=1), trained_on_observations=100)
+        history = registry.history("toy")
+        assert [h.version for h in history] == [0, 1]
+        assert history[1].trained_on_observations == 100
+
+    def test_get_version(self):
+        registry = ModelRegistry()
+        v0 = ToyModel(version=0)
+        registry.register(v0)
+        registry.publish(ToyModel(version=1))
+        assert registry.get_version("toy", 0) is v0
+        with pytest.raises(ModelNotFoundError):
+            registry.get_version("toy", 9)
+
+    def test_rollback_creates_new_forward_version(self):
+        registry = ModelRegistry()
+        registry.register(ToyModel(version=0))
+        registry.publish(ToyModel(version=1))
+        revived = registry.rollback("toy", 0)
+        assert revived.version == 2  # forward, not backward
+        assert registry.get("toy") is revived
+        notes = [h.note for h in registry.history("toy")]
+        assert any("rollback" in note for note in notes)

@@ -1,0 +1,130 @@
+"""MatrixFactorizationModel: feature layout, priors, packing, retrain."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ItemNotFoundError, ValidationError
+from repro.core.models import MatrixFactorizationModel
+
+
+@pytest.fixture
+def model():
+    factors = np.arange(12, dtype=float).reshape(4, 3)  # 4 items, rank 3
+    bias = np.array([0.1, -0.2, 0.3, 0.0])
+    return MatrixFactorizationModel("mf", factors, bias, global_mean=3.5)
+
+
+class TestFeatureLayout:
+    def test_dimension(self, model):
+        assert model.rank == 3
+        assert model.dimension == 5  # rank + bias slot + constant slot
+
+    def test_features_contents(self, model):
+        f = model.features(1)
+        assert np.allclose(f[:3], [3.0, 4.0, 5.0])
+        assert f[3] == pytest.approx(-0.2)  # item bias
+        assert f[4] == 1.0
+
+    def test_materialized_flag(self, model):
+        assert model.materialized is True
+
+    def test_unknown_item_rejected(self, model):
+        with pytest.raises(ItemNotFoundError):
+            model.features(99)
+        with pytest.raises(ItemNotFoundError):
+            model.features(-1)
+
+    def test_non_integer_input_rejected(self, model):
+        with pytest.raises(ValidationError):
+            model.features("item-1")
+
+    def test_numpy_integer_accepted(self, model):
+        assert np.array_equal(model.features(np.int64(2)), model.features(2))
+
+
+class TestPriorAndPacking:
+    def test_prior_structure(self, model):
+        prior = model.prior_mean()
+        assert np.array_equal(prior[:3], np.zeros(3))
+        assert prior[3] == 1.0  # item-bias multiplier
+        assert prior[4] == 3.5  # global mean in the user-bias slot
+
+    def test_prior_predicts_item_mean(self, model):
+        # A brand-new user at the prior predicts mu + b_i.
+        score = float(model.prior_mean() @ model.features(2))
+        assert score == pytest.approx(3.5 + 0.3)
+
+    def test_pack_unpack_roundtrip(self, model):
+        latent = np.array([0.5, -1.0, 2.0])
+        packed = model.pack_user_weights(latent, user_bias=0.7)
+        unpacked_latent, unpacked_bias = model.unpack_user_weights(packed)
+        assert np.allclose(unpacked_latent, latent)
+        assert unpacked_bias == pytest.approx(0.7)
+
+    def test_packed_weights_reproduce_factor_model(self, model):
+        latent = np.array([1.0, 0.0, -1.0])
+        packed = model.pack_user_weights(latent, user_bias=0.25)
+        score = model.score(packed, 2)
+        expected = 3.5 + 0.25 + 0.3 + latent @ model.item_factors[2]
+        assert score == pytest.approx(expected)
+
+    def test_pack_shape_checked(self, model):
+        with pytest.raises(ValidationError):
+            model.pack_user_weights(np.zeros(2), 0.0)
+
+    def test_initial_user_weights_are_prior(self, model):
+        assert np.array_equal(model.initial_user_weights(), model.prior_mean())
+
+
+class TestConstruction:
+    def test_bad_factor_shape(self):
+        with pytest.raises(ValidationError):
+            MatrixFactorizationModel("m", np.zeros(5))
+
+    def test_bias_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            MatrixFactorizationModel("m", np.zeros((3, 2)), item_bias=np.zeros(4))
+
+    def test_default_bias_zeros(self):
+        model = MatrixFactorizationModel("m", np.ones((3, 2)))
+        assert np.array_equal(model.item_bias, np.zeros(3))
+
+
+class TestRetrain:
+    def test_retrain_bumps_version_and_reshapes_weights(self, batch_ctx, small_split):
+        from repro.store import Observation
+
+        initial = MatrixFactorizationModel(
+            "mf", np.zeros((120, 5)), global_mean=3.5
+        )
+        observations = [
+            Observation(uid=r.uid, item_id=r.item_id, label=r.rating, item_data=r.item_id)
+            for r in small_split.init
+        ]
+        new_model, new_weights = initial.retrain(batch_ctx, observations, {})
+        assert new_model.version == 1
+        assert new_model.num_items == 120
+        assert len(new_weights) > 0
+        for weights in new_weights.values():
+            assert weights.shape == (new_model.dimension,)
+
+    def test_retrain_empty_rejected(self, batch_ctx):
+        model = MatrixFactorizationModel("mf", np.zeros((2, 2)))
+        with pytest.raises(ValidationError):
+            model.retrain(batch_ctx, [], {})
+
+    def test_retrained_model_fits_training_data(self, batch_ctx, small_split):
+        from repro.store import Observation
+        from repro.metrics import rmse
+
+        initial = MatrixFactorizationModel("mf", np.zeros((120, 5)), global_mean=3.0)
+        observations = [
+            Observation(uid=r.uid, item_id=r.item_id, label=r.rating, item_data=r.item_id)
+            for r in small_split.init
+        ]
+        new_model, new_weights = initial.retrain(batch_ctx, observations, {})
+        predictions = [
+            new_model.score(new_weights[ob.uid], ob.item_id) for ob in observations
+        ]
+        truth = [ob.label for ob in observations]
+        assert rmse(truth, predictions) < 0.35

@@ -1,0 +1,181 @@
+"""Linear, SVM-ensemble, RBF, and MLP feature models."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.models import (
+    EnsembleSvmModel,
+    LinearSvm,
+    MlpFeatureModel,
+    PersonalizedLinearModel,
+    RandomFourierModel,
+)
+from repro.core.models.svm_ensemble import train_linear_svm
+from repro.store import Observation
+
+
+def make_observations(rng, count=80, dim=4, uid_count=4):
+    """Linearly-separable-ish regression data as observations."""
+    true_w = rng.normal(size=dim)
+    observations = []
+    for i in range(count):
+        x = rng.normal(size=dim)
+        y = float(true_w @ x + 0.05 * rng.normal())
+        observations.append(
+            Observation(uid=i % uid_count, item_id=-1, label=y, item_data=x)
+        )
+    return observations
+
+
+class TestPersonalizedLinearModel:
+    def test_features_append_intercept(self):
+        model = PersonalizedLinearModel("lin", input_dimension=3)
+        f = model.features(np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(f, [1.0, 2.0, 3.0, 1.0])
+        assert model.dimension == 4
+
+    def test_shape_checked(self):
+        model = PersonalizedLinearModel("lin", 3)
+        with pytest.raises(ValidationError):
+            model.features(np.zeros(2))
+
+    def test_retrain_solves_users(self, batch_ctx, rng):
+        model = PersonalizedLinearModel("lin", 4)
+        observations = make_observations(rng)
+        new_model, weights = model.retrain(batch_ctx, observations, {})
+        assert new_model.version == 1
+        # solved weights should fit the shared linear signal well
+        for ob in observations[:10]:
+            pred = float(weights[ob.uid] @ new_model.features(ob.item_data))
+            assert abs(pred - ob.label) < 0.5
+
+    def test_retrain_empty_rejected(self, batch_ctx):
+        with pytest.raises(ValidationError):
+            PersonalizedLinearModel("lin", 2).retrain(batch_ctx, [], {})
+
+
+class TestLinearSvmTraining:
+    def test_separates_separable_data(self, rng):
+        pos = rng.normal(2.0, 0.4, (40, 2))
+        neg = rng.normal(-2.0, 0.4, (40, 2))
+        features = np.vstack([pos, neg])
+        labels = np.concatenate([np.ones(40), -np.ones(40)])
+        svm = train_linear_svm(features, labels, epochs=30, seed=1)
+        margins = features @ svm.weights + svm.bias
+        accuracy = float(np.mean(np.sign(margins) == labels))
+        assert accuracy > 0.9
+
+    def test_label_validation(self, rng):
+        features = rng.normal(size=(4, 2))
+        with pytest.raises(ValidationError):
+            train_linear_svm(features, np.array([0.0, 1.0, 1.0, -1.0]))
+        with pytest.raises(ValidationError):
+            train_linear_svm(features, np.ones(3))
+
+
+class TestEnsembleSvmModel:
+    def test_feature_dimension(self):
+        model = EnsembleSvmModel.untrained("svm", input_dimension=3, num_svms=5)
+        assert model.dimension == 6  # margins + intercept
+        f = model.features(np.zeros(3))
+        assert f.shape == (6,)
+        assert f[-1] == 1.0
+
+    def test_requires_svms(self):
+        with pytest.raises(ValidationError):
+            EnsembleSvmModel("svm", [], input_dimension=2)
+
+    def test_svm_shape_consistency_checked(self):
+        bad = [LinearSvm(np.zeros(3), 0.0)]
+        with pytest.raises(ValidationError):
+            EnsembleSvmModel("svm", bad, input_dimension=2)
+
+    def test_retrain_refits_ensemble(self, batch_ctx, rng):
+        model = EnsembleSvmModel.untrained("svm", input_dimension=4, num_svms=4)
+        observations = make_observations(rng)
+        new_model, __ = model.retrain(batch_ctx, observations, {})
+        assert new_model.version == 1
+        assert len(new_model.svms) == 4
+        # the refit SVMs differ from random initialization
+        assert not any(
+            np.allclose(a.weights, b.weights)
+            for a, b in zip(model.svms, new_model.svms)
+        )
+
+
+class TestRandomFourierModel:
+    def test_feature_range_and_shape(self, rng):
+        model = RandomFourierModel("rbf", input_dimension=3, num_features=32)
+        f = model.features(rng.normal(size=3))
+        assert f.shape == (33,)
+        scale = np.sqrt(2.0 / 32)
+        assert np.all(np.abs(f[:-1]) <= scale + 1e-12)
+
+    def test_kernel_approximation(self, rng):
+        """Random features approximate the RBF kernel: f(x).f(y) ~ k(x,y)."""
+        gamma = 0.5
+        model = RandomFourierModel(
+            "rbf", input_dimension=2, num_features=4096, gamma=gamma, seed=3
+        )
+        x, y = rng.normal(size=2), rng.normal(size=2)
+        approx = float(model.features(x)[:-1] @ model.features(y)[:-1])
+        exact = float(np.exp(-gamma * np.sum((x - y) ** 2)))
+        assert abs(approx - exact) < 0.08
+
+    def test_deterministic_given_seed(self):
+        a = RandomFourierModel("r", 2, num_features=8, seed=5)
+        b = RandomFourierModel("r", 2, num_features=8, seed=5)
+        x = np.array([0.3, -0.7])
+        assert np.array_equal(a.features(x), b.features(x))
+
+    def test_retrain_resamples_basis(self, batch_ctx, rng):
+        model = RandomFourierModel("rbf", input_dimension=4, num_features=16, seed=1)
+        observations = make_observations(rng)
+        new_model, weights = model.retrain(batch_ctx, observations, {})
+        assert new_model.version == 1
+        assert not np.array_equal(model.projection, new_model.projection)
+        assert set(weights) == {ob.uid for ob in observations}
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RandomFourierModel("r", 0)
+        with pytest.raises(ValidationError):
+            RandomFourierModel("r", 2, num_features=0)
+        with pytest.raises(ValidationError):
+            RandomFourierModel("r", 2, gamma=0.0)
+
+
+class TestMlpFeatureModel:
+    def test_forward_shape_and_intercept(self, rng):
+        model = MlpFeatureModel("mlp", input_dimension=5, hidden_dimension=8)
+        f = model.features(rng.normal(size=5))
+        assert f.shape == (9,)
+        assert f[-1] == 1.0
+        assert np.all(np.abs(f[:-1]) <= 1.0)  # tanh range
+
+    def test_shape_checked(self):
+        model = MlpFeatureModel("mlp", 3)
+        with pytest.raises(ValidationError):
+            model.features(np.zeros(4))
+
+    def test_retrain_improves_representation(self, batch_ctx, rng):
+        """After representation learning, a linear probe over the features
+        should fit the labels better than over random features."""
+        model = MlpFeatureModel("mlp", input_dimension=4, hidden_dimension=12, seed=2)
+        observations = make_observations(rng, count=150)
+        new_model, __ = model.retrain(batch_ctx, observations, {})
+
+        def probe_error(m):
+            f_matrix = np.vstack([m.features(ob.item_data) for ob in observations])
+            y = np.array([ob.label for ob in observations])
+            w = np.linalg.solve(
+                f_matrix.T @ f_matrix + 0.01 * np.eye(m.dimension), f_matrix.T @ y
+            )
+            return float(np.mean((f_matrix @ w - y) ** 2))
+
+        assert probe_error(new_model) < probe_error(model)
+
+    def test_layer_count_enforced(self):
+        with pytest.raises(ValidationError):
+            MlpFeatureModel("mlp", 3, layers=[(np.zeros((2, 3)), np.zeros(2))])

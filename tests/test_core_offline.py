@@ -1,0 +1,107 @@
+"""Offline ALS: convergence, signal recovery, cold entities, validation."""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchContext
+from repro.common.errors import ValidationError
+from repro.core.offline import als_train, predict_rating
+from repro.data import SynthLensConfig, generate_synthlens
+from repro.metrics import rmse
+
+
+class TestAlsConvergence:
+    def test_training_rmse_decreases(self, small_split, batch_ctx):
+        result = als_train(
+            batch_ctx,
+            [(r.uid, r.item_id, r.rating) for r in small_split.init],
+            rank=5,
+            num_items=120,
+            num_iterations=6,
+        )
+        assert result.train_rmse[-1] < result.train_rmse[0]
+        assert result.train_rmse[-1] < 0.3
+
+    def test_recovers_planted_signal(self, batch_ctx):
+        lens = generate_synthlens(
+            SynthLensConfig(
+                num_users=80, num_items=150, rank=4, ratings_per_user_mean=35,
+                min_ratings_per_user=25, noise_std=0.2, seed=13,
+            )
+        )
+        half = len(lens.ratings) // 2
+        train, test = lens.ratings[:half], lens.ratings[half:]
+        result = als_train(
+            batch_ctx,
+            [(r.uid, r.item_id, r.rating) for r in train],
+            rank=4,
+            num_items=150,
+            num_iterations=10,
+        )
+        predictions = [predict_rating(result, r.uid, r.item_id) for r in test]
+        truth = [r.rating for r in test]
+        error = rmse(truth, predictions)
+        # Must clearly beat the global-mean baseline and approach noise.
+        baseline = rmse(truth, [result.global_mean] * len(truth))
+        assert error < 0.75 * baseline
+        assert error < 0.6
+
+    def test_more_data_helps(self, small_lens, batch_ctx):
+        ratings = [(r.uid, r.item_id, r.rating) for r in small_lens.ratings]
+        test = ratings[-400:]
+        small = als_train(batch_ctx, ratings[:400], rank=5, num_items=120, num_iterations=6)
+        large = als_train(batch_ctx, ratings[:-400], rank=5, num_items=120, num_iterations=6)
+        small_err = rmse([r[2] for r in test], [predict_rating(small, r[0], r[1]) for r in test])
+        large_err = rmse([r[2] for r in test], [predict_rating(large, r[0], r[1]) for r in test])
+        assert large_err < small_err
+
+
+class TestAlsOutputs:
+    def test_shapes(self, batch_ctx):
+        ratings = [(u, i, 3.0) for u in range(5) for i in range(8)]
+        result = als_train(batch_ctx, ratings, rank=3, num_items=10, num_iterations=2)
+        assert result.item_factors.shape == (10, 3)
+        assert result.item_bias.shape == (10,)
+        assert set(result.user_factors) == set(range(5))
+        assert all(f.shape == (3,) for f in result.user_factors.values())
+
+    def test_global_mean(self, batch_ctx):
+        ratings = [(0, 0, 2.0), (0, 1, 4.0), (1, 0, 3.0)]
+        result = als_train(batch_ctx, ratings, rank=1, num_items=2, num_iterations=1)
+        assert result.global_mean == pytest.approx(3.0)
+
+    def test_cold_items_keep_zero_bias(self, batch_ctx):
+        ratings = [(0, 0, 3.0), (0, 1, 4.0), (1, 0, 2.0), (1, 1, 5.0)]
+        result = als_train(batch_ctx, ratings, rank=2, num_items=10, num_iterations=2)
+        assert result.item_bias[7] == 0.0  # item 7 never rated
+
+    def test_predict_rating_cold_user_falls_back(self, batch_ctx):
+        ratings = [(0, 0, 4.0), (0, 1, 4.0), (1, 0, 4.0), (1, 1, 4.0)]
+        result = als_train(batch_ctx, ratings, rank=1, num_items=2, num_iterations=2)
+        cold = predict_rating(result, uid=99, item_id=0)
+        assert cold == pytest.approx(result.global_mean + result.item_bias[0])
+
+    def test_deterministic_given_seed(self, batch_ctx):
+        ratings = [(u, i, float(2 + (u + i) % 3)) for u in range(6) for i in range(6)]
+        a = als_train(batch_ctx, ratings, rank=2, num_items=6, num_iterations=3, seed=5)
+        b = als_train(batch_ctx, ratings, rank=2, num_items=6, num_iterations=3, seed=5)
+        assert np.array_equal(a.item_factors, b.item_factors)
+
+
+class TestAlsValidation:
+    def test_empty_ratings_rejected(self, batch_ctx):
+        with pytest.raises(ValidationError):
+            als_train(batch_ctx, [], rank=2, num_items=5)
+
+    def test_item_out_of_range_rejected(self, batch_ctx):
+        with pytest.raises(ValidationError):
+            als_train(batch_ctx, [(0, 99, 3.0)], rank=2, num_items=5)
+
+    def test_invalid_params(self, batch_ctx):
+        ratings = [(0, 0, 3.0)]
+        with pytest.raises(ValidationError):
+            als_train(batch_ctx, ratings, rank=0, num_items=1)
+        with pytest.raises(ValidationError):
+            als_train(batch_ctx, ratings, rank=1, num_items=1, num_iterations=0)
+        with pytest.raises(ValidationError):
+            als_train(batch_ctx, ratings, rank=1, num_items=1, regularization=-1)

@@ -1,0 +1,191 @@
+"""Online learning: Eq. 2 correctness, Sherman–Morrison equivalence, SGD."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, ValidationError
+from repro.core.online import (
+    NormalEquationsUpdater,
+    SgdUpdater,
+    ShermanMorrisonUpdater,
+    UserModelState,
+    make_updater,
+)
+
+
+def make_state(dimension=4, regularization=0.5, prior=None):
+    return UserModelState(dimension, regularization, prior_mean=prior)
+
+
+def ridge_solution(features, labels, lam, prior):
+    """Direct Eq. 2 reference solve (with prior shift)."""
+    f = np.vstack(features)
+    y = np.asarray(labels, float)
+    gram = f.T @ f + lam * np.eye(f.shape[1])
+    return prior + np.linalg.solve(gram, f.T @ (y - f @ prior))
+
+
+class TestUserModelState:
+    def test_initial_weights_are_prior(self):
+        prior = np.array([1.0, 2.0, 3.0])
+        state = make_state(3, 0.5, prior)
+        assert np.array_equal(state.weights, prior)
+
+    def test_predict_is_dot_product(self):
+        state = make_state(3, 0.5, np.array([1.0, 0.0, 2.0]))
+        assert state.predict(np.array([3.0, 5.0, 1.0])) == pytest.approx(5.0)
+
+    def test_uncertainty_positive_and_shrinks(self):
+        state = make_state(3, 1.0)
+        f = np.array([1.0, 0.5, -0.5])
+        before = state.uncertainty(f)
+        ShermanMorrisonUpdater().update(state, f, 1.0)
+        after = state.uncertainty(f)
+        assert 0 < after < before
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            UserModelState(0, 0.5)
+        with pytest.raises(ValidationError):
+            UserModelState(3, -1.0)
+        with pytest.raises(ValidationError):
+            UserModelState(3, 0.5, prior_mean=np.zeros(5))
+
+
+class TestNormalEquationsUpdater:
+    def test_matches_direct_ridge_solve(self, rng):
+        lam = 0.7
+        state = make_state(4, lam)
+        updater = NormalEquationsUpdater()
+        features, labels = [], []
+        for _ in range(12):
+            f = rng.normal(size=4)
+            y = float(rng.normal())
+            features.append(f)
+            labels.append(y)
+            updater.update(state, f, y)
+        expected = ridge_solution(features, labels, lam, np.zeros(4))
+        assert np.allclose(state.weights, expected)
+
+    def test_prior_respected(self, rng):
+        prior = np.array([0.0, 1.0, 0.0])
+        lam = 2.0
+        state = make_state(3, lam, prior)
+        updater = NormalEquationsUpdater()
+        features, labels = [], []
+        for _ in range(5):
+            f = rng.normal(size=3)
+            y = float(rng.normal())
+            features.append(f)
+            labels.append(y)
+            updater.update(state, f, y)
+        expected = ridge_solution(features, labels, lam, prior)
+        assert np.allclose(state.weights, expected)
+
+    def test_history_retained(self, rng):
+        state = make_state()
+        updater = NormalEquationsUpdater()
+        for _ in range(3):
+            updater.update(state, rng.normal(size=4), 1.0)
+        assert state.observation_count == 3
+        assert len(state.feature_history) == 3
+
+    def test_rejects_bad_shapes_and_nans(self):
+        state = make_state(3)
+        updater = NormalEquationsUpdater()
+        with pytest.raises(ValidationError):
+            updater.update(state, np.zeros(5), 1.0)
+        with pytest.raises(ValidationError):
+            updater.update(state, np.array([1.0, np.nan, 0.0]), 1.0)
+        with pytest.raises(ValidationError):
+            updater.update(state, np.zeros(3), float("inf"))
+
+
+class TestShermanMorrisonEquivalence:
+    def test_weights_match_normal_equations_every_step(self, rng):
+        """The headline algebraic invariant: SM == Eq. 2 at every update."""
+        lam = 0.9
+        prior = rng.normal(size=5) * 0.3
+        ne_state = make_state(5, lam, prior.copy())
+        sm_state = make_state(5, lam, prior.copy())
+        ne, sm = NormalEquationsUpdater(), ShermanMorrisonUpdater()
+        for _ in range(20):
+            f = rng.normal(size=5)
+            y = float(rng.normal())
+            ne.update(ne_state, f, y)
+            sm.update(sm_state, f, y)
+            assert np.allclose(ne_state.weights, sm_state.weights, atol=1e-8)
+
+    def test_a_inv_matches_explicit_inverse(self, rng):
+        lam = 1.5
+        state = make_state(4, lam)
+        sm = ShermanMorrisonUpdater()
+        features = [rng.normal(size=4) for _ in range(10)]
+        for f in features:
+            sm.update(state, f, 0.5)
+        f_matrix = np.vstack(features)
+        explicit = np.linalg.inv(f_matrix.T @ f_matrix + lam * np.eye(4))
+        assert np.allclose(state.a_inv, explicit, atol=1e-9)
+
+    def test_no_history_kept(self, rng):
+        state = make_state()
+        sm = ShermanMorrisonUpdater()
+        for _ in range(5):
+            sm.update(state, rng.normal(size=4), 1.0)
+        assert state.feature_history == []
+        assert state.observation_count == 5
+
+
+class TestSgdUpdater:
+    def test_moves_toward_signal(self, rng):
+        true_w = np.array([1.0, -2.0, 0.5])
+        state = make_state(3, 0.1)
+        sgd = SgdUpdater(learning_rate=0.1)
+        for _ in range(2000):
+            f = rng.normal(size=3)
+            y = float(true_w @ f)
+            sgd.update(state, f, y)
+        assert np.linalg.norm(state.weights - true_w) < 0.3
+
+    def test_progressive_loss_decreases(self, rng):
+        true_w = np.array([2.0, 1.0])
+        state = make_state(2, 0.1)
+        sgd = SgdUpdater(learning_rate=0.1)
+        first_losses, last_losses = [], []
+        for i in range(500):
+            f = rng.normal(size=2)
+            y = float(true_w @ f)
+            before = (y - state.predict(f)) ** 2
+            sgd.update(state, f, y)
+            if i < 50:
+                first_losses.append(before)
+            if i >= 450:
+                last_losses.append(before)
+        assert np.mean(last_losses) < np.mean(first_losses)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SgdUpdater(learning_rate=0.0)
+        with pytest.raises(ConfigError):
+            SgdUpdater(decay=-1.0)
+
+
+class TestProgressiveValidation:
+    def test_loss_recorded_before_update(self):
+        state = make_state(2, 0.5, np.array([0.0, 0.0]))
+        updater = ShermanMorrisonUpdater()
+        updater.update(state, np.array([1.0, 0.0]), 2.0)
+        # prediction before the first update was 0 -> loss 4
+        assert state.progressive_loss.count == 1
+        assert state.progressive_loss.mean == pytest.approx(4.0)
+
+
+class TestMakeUpdater:
+    def test_factory_names(self):
+        assert isinstance(make_updater("normal_equations"), NormalEquationsUpdater)
+        assert isinstance(make_updater("sherman_morrison"), ShermanMorrisonUpdater)
+        assert isinstance(make_updater("sgd"), SgdUpdater)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_updater("gradient_boosting")

@@ -1,0 +1,179 @@
+"""Dynamic model selection: Hedge, EXP3, epsilon-greedy, ensemble router."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, ValidationError
+from repro.core.selection import (
+    EnsembleRouter,
+    EpsilonGreedySelector,
+    Exp3Selector,
+    HedgeSelector,
+    SelectorScope,
+)
+
+
+class TestHedgeSelector:
+    def test_uniform_initially(self):
+        selector = HedgeSelector(["a", "b", "c"])
+        weights = selector.weights()
+        assert all(w == pytest.approx(1 / 3) for w in weights.values())
+
+    def test_weight_shifts_to_lower_loss_model(self):
+        selector = HedgeSelector(["good", "bad"], eta=0.5)
+        for __ in range(50):
+            selector.update({"good": 0.1, "bad": 1.0})
+        weights = selector.weights()
+        assert weights["good"] > 0.95
+        assert selector.choose() == "good"
+
+    def test_weights_always_normalized(self):
+        selector = HedgeSelector(["a", "b"], eta=1.0)
+        for i in range(200):
+            selector.update({"a": float(i % 3), "b": float((i + 1) % 3)})
+        assert sum(selector.weights().values()) == pytest.approx(1.0)
+
+    def test_numerically_stable_under_huge_losses(self):
+        selector = HedgeSelector(["a", "b"], eta=1.0)
+        for __ in range(10_000):
+            selector.update({"a": 0.0, "b": 10.0})
+        weights = selector.weights()
+        assert np.isfinite(weights["a"]) and weights["a"] > 0.99
+
+    def test_regret_vanishes_vs_best_fixed_model(self):
+        """Hedge's expected loss approaches the best single model's."""
+        rng = np.random.default_rng(1)
+        selector = HedgeSelector(["a", "b"], eta=0.3)
+        hedge_loss, best_loss = 0.0, 0.0
+        total_a, total_b = 0.0, 0.0
+        for __ in range(2000):
+            losses = {"a": float(rng.uniform(0, 0.4)), "b": float(rng.uniform(0.2, 1))}
+            weights = selector.weights()
+            hedge_loss += sum(weights[m] * losses[m] for m in losses)
+            total_a += losses["a"]
+            total_b += losses["b"]
+            selector.update(losses)
+        best_loss = min(total_a, total_b)
+        assert hedge_loss < best_loss * 1.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HedgeSelector(["a"], eta=0.0)
+        with pytest.raises(ValidationError):
+            HedgeSelector([])
+        with pytest.raises(ValidationError):
+            HedgeSelector(["a", "a"])
+        selector = HedgeSelector(["a"])
+        with pytest.raises(ValidationError):
+            selector.update({"ghost": 0.5})
+        with pytest.raises(ValidationError):
+            selector.update({"a": -1.0})
+
+
+class TestExp3Selector:
+    def test_explores_all_models(self):
+        selector = Exp3Selector(["a", "b", "c"], gamma=0.3, rng=2)
+        chosen = {selector.choose() for __ in range(100)}
+        assert chosen == {"a", "b", "c"}
+
+    def test_converges_with_bandit_feedback(self):
+        rng = np.random.default_rng(3)
+        selector = Exp3Selector(["good", "bad"], gamma=0.1, eta=0.2, rng=4)
+        for __ in range(800):
+            served = selector.choose()
+            loss = 0.1 if served == "good" else 1.0
+            loss += float(rng.normal(0, 0.02))
+            selector.update({served: max(loss, 0.0)}, served=served)
+        assert selector.weights()["good"] > 0.6
+
+    def test_requires_served_model(self):
+        selector = Exp3Selector(["a", "b"])
+        with pytest.raises(ValidationError):
+            selector.update({"a": 0.5})
+        with pytest.raises(ValidationError):
+            selector.update({"a": 0.5}, served="b")
+
+    def test_gamma_floor_on_weights(self):
+        selector = Exp3Selector(["a", "b"], gamma=0.2)
+        for __ in range(200):
+            selector.update({"b": 1.0}, served="b")
+        # b keeps at least gamma/2 probability mass.
+        assert selector.weights()["b"] >= 0.1 - 1e-9
+
+
+class TestEpsilonGreedySelector:
+    def test_greedy_picks_lowest_mean_loss(self):
+        selector = EpsilonGreedySelector(["a", "b"], epsilon=0.0, rng=1)
+        selector.update({"a": 1.0, "b": 0.2})
+        selector.update({"a": 0.9, "b": 0.3})
+        assert selector.choose() == "b"
+
+    def test_untried_models_are_optimistic(self):
+        selector = EpsilonGreedySelector(["tried", "fresh"], epsilon=0.0, rng=1)
+        selector.update({"tried": 0.5}, served="tried")
+        assert selector.choose() == "fresh"  # mean 0.0 beats 0.5
+
+    def test_epsilon_explores(self):
+        selector = EpsilonGreedySelector(["a", "b"], epsilon=1.0, rng=5)
+        chosen = {selector.choose() for __ in range(50)}
+        assert chosen == {"a", "b"}
+
+    def test_weights_sum_to_one(self):
+        selector = EpsilonGreedySelector(["a", "b", "c"], epsilon=0.3, rng=1)
+        assert sum(selector.weights().values()) == pytest.approx(1.0)
+
+
+class TestSelectorScope:
+    def test_global_scope_shares_one_selector(self):
+        scope = SelectorScope(lambda: HedgeSelector(["a", "b"]), per_user=False)
+        assert scope.for_user(1) is scope.for_user(2)
+
+    def test_per_user_scope_isolates(self):
+        scope = SelectorScope(lambda: HedgeSelector(["a", "b"]), per_user=True)
+        scope.for_user(1).update({"a": 0.0, "b": 5.0})
+        assert scope.for_user(1).weights()["a"] > 0.6
+        assert scope.for_user(2).weights()["a"] == pytest.approx(0.5)
+
+
+class TestEnsembleRouter:
+    @pytest.fixture
+    def two_model_velox(self, deployed_velox, rng):
+        from repro.core.models import PersonalizedLinearModel
+
+        deployed_velox.add_model(PersonalizedLinearModel("aux", input_dimension=3))
+        return deployed_velox
+
+    def test_blended_score_is_weighted_average(self, two_model_velox, rng):
+        scope = SelectorScope(
+            lambda: HedgeSelector(["songs", "aux"]), per_user=False
+        )
+        router = EnsembleRouter(two_model_velox, ["songs", "aux"], scope)
+        inputs = {"songs": 4, "aux": rng.normal(size=3)}
+        result = router.predict(uid=1, inputs=inputs)
+        expected = 0.5 * result.per_model["songs"] + 0.5 * result.per_model["aux"]
+        assert result.score == pytest.approx(expected)
+        assert result.chosen_model in ("songs", "aux")
+
+    def test_observe_updates_selector_toward_better_model(self, two_model_velox, rng):
+        scope = SelectorScope(
+            lambda: HedgeSelector(["songs", "aux"], eta=0.5), per_user=False
+        )
+        router = EnsembleRouter(two_model_velox, ["songs", "aux"], scope)
+        # Labels follow the MF model's own predictions, so its loss is
+        # near zero while the fresh aux model's is large.
+        for item in range(20):
+            target = two_model_velox.predict("songs", 1, item % 10)[1]
+            inputs = {"songs": item % 10, "aux": rng.normal(size=3)}
+            router.observe(uid=1, inputs=inputs, label=target)
+        assert scope.for_user(1).weights()["songs"] > 0.8
+
+    def test_missing_inputs_rejected(self, two_model_velox):
+        scope = SelectorScope(lambda: HedgeSelector(["songs", "aux"]))
+        router = EnsembleRouter(two_model_velox, ["songs", "aux"], scope)
+        with pytest.raises(ValidationError):
+            router.predict(uid=1, inputs={"songs": 3})
+
+    def test_undeployed_model_rejected(self, deployed_velox):
+        scope = SelectorScope(lambda: HedgeSelector(["songs", "ghost"]))
+        with pytest.raises(ValidationError):
+            EnsembleRouter(deployed_velox, ["songs", "ghost"], scope)

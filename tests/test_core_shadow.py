@@ -1,0 +1,140 @@
+"""Shadow evaluation: paired comparison and promotion gating."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.shadow import ShadowEvaluator
+from tests.conftest import make_mf_model
+
+
+def better_candidate(velox, small_lens):
+    """A candidate whose item factors are the *planted truth* — strictly
+    better than anything trained from data."""
+    from repro.core.models import MatrixFactorizationModel
+
+    lens = small_lens
+    model = MatrixFactorizationModel(
+        "songs",
+        lens.true_item_factors,
+        lens.true_item_bias,
+        lens.config.global_mean,
+        version=5,
+    )
+    weights = {
+        uid: model.pack_user_weights(
+            lens.true_user_factors[uid], float(lens.true_user_bias[uid])
+        )
+        for uid in range(lens.num_users)
+    }
+    return model, weights
+
+
+def worse_candidate(velox):
+    """A candidate with random factors — strictly worse."""
+    from repro.core.models import MatrixFactorizationModel
+
+    current = velox.model()
+    rng = np.random.default_rng(0)
+    model = MatrixFactorizationModel(
+        "songs",
+        rng.normal(0, 1.0, current.item_factors.shape),
+        global_mean=current.global_mean,
+    )
+    return model
+
+
+class TestPairedEvaluation:
+    def test_better_candidate_wins(self, deployed_velox, small_lens, small_split):
+        candidate, weights = better_candidate(deployed_velox, small_lens)
+        shadow = ShadowEvaluator(
+            deployed_velox, "songs", candidate, weights, min_observations=50
+        )
+        for r in small_split.holdout[:200]:
+            shadow.observe_pair(r.uid, r.item_id, r.rating)
+        report = shadow.report()
+        assert report.candidate_mean_loss < report.serving_mean_loss
+        assert report.candidate_wins
+        assert shadow.should_promote()
+
+    def test_worse_candidate_loses(self, deployed_velox, small_split):
+        candidate = worse_candidate(deployed_velox)
+        shadow = ShadowEvaluator(
+            deployed_velox, "songs", candidate, min_observations=50
+        )
+        for r in small_split.holdout[:200]:
+            shadow.observe_pair(r.uid, r.item_id, r.rating)
+        report = shadow.report()
+        assert report.candidate_mean_loss > report.serving_mean_loss
+        assert not report.candidate_wins
+        assert not shadow.should_promote()
+
+    def test_identical_candidate_is_not_significant(self, deployed_velox, small_split):
+        current = deployed_velox.model()
+        shadow = ShadowEvaluator(
+            deployed_velox, "songs", current, min_observations=10
+        )
+        for r in small_split.holdout[:60]:
+            shadow.observe_pair(r.uid, r.item_id, r.rating)
+        report = shadow.report()
+        assert report.mean_difference == pytest.approx(0.0)
+        assert not report.significant
+
+    def test_no_verdict_before_min_observations(
+        self, deployed_velox, small_lens, small_split
+    ):
+        candidate, weights = better_candidate(deployed_velox, small_lens)
+        shadow = ShadowEvaluator(
+            deployed_velox, "songs", candidate, weights, min_observations=500
+        )
+        for r in small_split.holdout[:40]:
+            shadow.observe_pair(r.uid, r.item_id, r.rating)
+        assert not shadow.should_promote()
+
+    def test_report_needs_two_pairs(self, deployed_velox, small_lens):
+        candidate, weights = better_candidate(deployed_velox, small_lens)
+        shadow = ShadowEvaluator(deployed_velox, "songs", candidate, weights)
+        with pytest.raises(ValidationError):
+            shadow.report()
+
+
+class TestPromotion:
+    def test_promote_publishes_and_serves_candidate(
+        self, deployed_velox, small_lens, small_split
+    ):
+        candidate, weights = better_candidate(deployed_velox, small_lens)
+        shadow = ShadowEvaluator(
+            deployed_velox, "songs", candidate, weights, min_observations=50
+        )
+        for r in small_split.holdout[:150]:
+            shadow.observe_pair(r.uid, r.item_id, r.rating)
+        promoted = shadow.promote()
+        assert deployed_velox.model() is promoted
+        assert promoted.version > 0
+        # serving now uses the truth factors: near-oracle predictions
+        sample = small_split.holdout[0]
+        __, score = deployed_velox.predict(None, sample.uid, sample.item_id)
+        assert abs(score - small_lens.true_score(sample.uid, sample.item_id)) < 0.6
+
+    def test_promote_refused_without_a_win(self, deployed_velox, small_split):
+        candidate = worse_candidate(deployed_velox)
+        shadow = ShadowEvaluator(
+            deployed_velox, "songs", candidate, min_observations=20
+        )
+        for r in small_split.holdout[:60]:
+            shadow.observe_pair(r.uid, r.item_id, r.rating)
+        with pytest.raises(ValidationError):
+            shadow.promote()
+        assert deployed_velox.model().version == 0  # untouched
+
+    def test_shadowing_never_affects_serving(self, deployed_velox, small_split):
+        before = {
+            (r.uid, r.item_id): deployed_velox.predict(None, r.uid, r.item_id)[1]
+            for r in small_split.holdout[:20]
+        }
+        candidate = worse_candidate(deployed_velox)
+        shadow = ShadowEvaluator(deployed_velox, "songs", candidate)
+        for r in small_split.holdout[:100]:
+            shadow.observe_pair(r.uid, r.item_id, r.rating)
+        for (uid, item), score in before.items():
+            assert deployed_velox.predict(None, uid, item)[1] == pytest.approx(score)

@@ -1,0 +1,161 @@
+"""Indexed top-K engines: exactness, agreement, early termination."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.topk import BlockedMatrixTopK, NaiveTopK, ThresholdTopK
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.normal(size=(200, 12))
+
+
+ENGINES = [NaiveTopK, BlockedMatrixTopK, ThresholdTopK]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_matches_brute_force(self, engine_cls, matrix, rng):
+        engine = engine_cls(matrix)
+        for __ in range(10):
+            weights = rng.normal(size=12)
+            k = int(rng.integers(1, 15))
+            result = engine.top_k(weights, k)
+            scores = matrix @ weights
+            expected_ids = np.lexsort((np.arange(200), -scores))[:k]
+            assert [item for item, __s in result] == expected_ids.tolist()
+            for item, score in result:
+                assert score == pytest.approx(float(scores[item]))
+
+    def test_all_engines_agree(self, matrix, rng):
+        weights = rng.normal(size=12)
+        results = [cls(matrix).top_k(weights, 7) for cls in ENGINES]
+        for other in results[1:]:
+            assert [i for i, __s in other] == [i for i, __s in results[0]]
+            for (__i, a), (__j, b) in zip(results[0], other):
+                assert a == pytest.approx(b)  # BLAS vs per-row rounding
+
+    def test_descending_order(self, matrix, rng):
+        result = BlockedMatrixTopK(matrix).top_k(rng.normal(size=12), 20)
+        scores = [s for __i, s in result]
+        assert scores == sorted(scores, reverse=True)
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_k_larger_than_catalog(self, engine_cls, rng):
+        matrix = rng.normal(size=(5, 3))
+        result = engine_cls(matrix).top_k(rng.normal(size=3), 50)
+        assert len(result) == 5
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_k_one(self, engine_cls, matrix, rng):
+        weights = rng.normal(size=12)
+        result = engine_cls(matrix).top_k(weights, 1)
+        scores = matrix @ weights
+        assert result[0][0] == int(np.argmax(scores))
+
+
+class TestThresholdAlgorithm:
+    def test_early_termination_on_concentrated_weights(self, rng):
+        """With weight mass on one dimension, TA certifies top-k after
+        touching a fraction of the catalog."""
+        matrix = rng.normal(size=(5000, 16))
+        engine = ThresholdTopK(matrix)
+        weights = np.zeros(16)
+        weights[3] = 1.0
+        result = engine.top_k(weights, 5)
+        assert engine.last_items_scored < 1000
+        scores = matrix @ weights
+        assert [i for i, __s in result] == np.lexsort(
+            (np.arange(5000), -scores)
+        )[:5].tolist()
+
+    def test_negative_weights_walk_ascending_lists(self, rng):
+        matrix = rng.normal(size=(500, 4))
+        engine = ThresholdTopK(matrix)
+        weights = np.array([0.0, -2.0, 0.0, 0.0])
+        result = engine.top_k(weights, 3)
+        scores = matrix @ weights
+        assert [i for i, __s in result] == np.lexsort(
+            (np.arange(500), -scores)
+        )[:3].tolist()
+        assert engine.last_items_scored < 250
+
+    def test_zero_weights(self, rng):
+        matrix = rng.normal(size=(10, 3))
+        result = ThresholdTopK(matrix).top_k(np.zeros(3), 2)
+        assert [i for i, __s in result] == [0, 1]
+        assert all(s == 0.0 for __i, s in result)
+
+
+class TestBlocking:
+    def test_block_size_does_not_change_results(self, matrix, rng):
+        weights = rng.normal(size=12)
+        small = BlockedMatrixTopK(matrix, block_rows=7).top_k(weights, 9)
+        large = BlockedMatrixTopK(matrix, block_rows=10_000).top_k(weights, 9)
+        assert small == large
+
+    def test_invalid_block_rows(self, matrix):
+        with pytest.raises(ValidationError):
+            BlockedMatrixTopK(matrix, block_rows=0)
+
+
+class TestFromModel:
+    def test_builds_from_materialized_model(self, deployed_velox):
+        model = deployed_velox.model()
+        engine = BlockedMatrixTopK.from_model(model)
+        assert engine.num_items == model.num_items
+        assert engine.dimension == model.dimension
+
+    def test_rejects_computed_models(self):
+        from repro.core.models import PersonalizedLinearModel
+
+        with pytest.raises(ValidationError):
+            BlockedMatrixTopK.from_model(PersonalizedLinearModel("lin", 3))
+
+
+class TestServiceIntegration:
+    def test_top_k_catalog_matches_per_item_serving(self, deployed_velox):
+        uid = 3
+        indexed = deployed_velox.top_k_catalog(None, uid, k=5)
+        model = deployed_velox.model()
+        per_item = deployed_velox.top_k(None, uid, list(range(model.num_items)), k=5)
+        assert [i for i, __s in indexed] == [i for i, __s in per_item]
+        for (i1, s1), (i2, s2) in zip(indexed, per_item):
+            assert s1 == pytest.approx(s2)
+
+    def test_engine_cached_per_version(self, deployed_velox):
+        deployed_velox.top_k_catalog(None, 1, k=3)
+        model = deployed_velox.model()
+        key = (model.name, model.version, "BlockedMatrixTopK")
+        assert key in deployed_velox.service._topk_engines
+
+    def test_engine_invalidated_on_retrain(self, deployed_velox, small_split):
+        deployed_velox.top_k_catalog(None, 1, k=3)
+        for r in small_split.stream[:30]:
+            deployed_velox.observe(uid=r.uid, x=r.item_id, y=r.rating)
+        deployed_velox.retrain()
+        old_keys = [
+            k
+            for k in deployed_velox.service._topk_engines
+            if k[1] == 0
+        ]
+        assert old_keys == []
+        # and a fresh catalog query works against the new version
+        result = deployed_velox.top_k_catalog(None, 1, k=3)
+        assert len(result) == 3
+
+
+class TestValidation:
+    def test_bad_matrix(self):
+        with pytest.raises(ValidationError):
+            NaiveTopK(np.zeros(5))
+
+    def test_bad_weights_shape(self, matrix):
+        with pytest.raises(ValidationError):
+            NaiveTopK(matrix).top_k(np.zeros(5), 3)
+
+    def test_bad_k(self, matrix):
+        with pytest.raises(ValidationError):
+            NaiveTopK(matrix).top_k(np.zeros(12), 0)

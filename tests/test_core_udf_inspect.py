@@ -1,0 +1,145 @@
+"""UDF byte-code inspection (the paper's Section 6 investigation)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.udf_inspect import check_retrain_udf, inspect_udf
+
+
+class TestDependencyDiscovery:
+    def test_pure_function_is_clean(self):
+        def pure(x):
+            return x * 2 + 1
+
+        report = inspect_udf(pure)
+        assert report.is_pure_looking
+        assert report.closure_cells == {}
+
+    def test_closure_capture_reported_with_types(self):
+        factors = np.zeros((3, 2))
+        bias = 0.5
+
+        def featurize(i):
+            return factors[i] + bias
+
+        report = inspect_udf(featurize)
+        assert report.closure_cells == {"bias": "float", "factors": "ndarray"}
+
+    def test_globals_reported(self):
+        report = inspect_udf(helper_using_global)
+        assert "GLOBAL_TABLE" in report.globals_read
+
+    def test_nested_functions_scanned(self):
+        def outer(xs):
+            import_free = [x for x in xs]
+
+            def inner(x):
+                return GLOBAL_TABLE[x]  # noqa: F821 - intentionally global
+
+            return [inner(x) for x in import_free]
+
+        report = inspect_udf(outer)
+        assert "GLOBAL_TABLE" in report.globals_read
+
+    def test_builtin_callable_tolerated(self):
+        report = inspect_udf(len)
+        assert report.name == "len"
+        assert report.is_pure_looking
+
+
+GLOBAL_TABLE = {1: "a"}
+
+
+def helper_using_global(key):
+    return GLOBAL_TABLE.get(key)
+
+
+class TestRiskPatterns:
+    def test_randomness_flagged(self):
+        import random
+
+        def sampler(xs):
+            return random.choice(xs)
+
+        report = inspect_udf(sampler)
+        assert any("nondeterministic" in w for w in report.warnings)
+
+    def test_numpy_rng_attribute_flagged(self):
+        def noisy(x):
+            return x + np.random.normal()
+
+        report = inspect_udf(noisy)
+        assert any("normal" in w for w in report.warnings)
+
+    def test_io_flagged(self):
+        def leaky(path):
+            with open(path) as handle:
+                return handle.read()
+
+        report = inspect_udf(leaky)
+        assert any("I/O" in w for w in report.warnings)
+
+    def test_global_mutation_flagged(self):
+        def mutator():
+            global GLOBAL_TABLE
+            GLOBAL_TABLE = {}
+
+        report = inspect_udf(mutator)
+        assert any("mutates non-local state" in w for w in report.warnings)
+
+    def test_nonlocal_rebinding_flagged(self):
+        counter = 0
+
+        def increment():
+            nonlocal counter
+            counter += 1
+
+        report = inspect_udf(increment)
+        assert any("STORE_DEREF" in w for w in report.warnings)
+
+    def test_own_cellvars_not_flagged(self):
+        """Locals captured by a nested comprehension become cell vars;
+        assigning them is ordinary local assignment, not mutation."""
+
+        def builder(xs):
+            total = sum(xs)
+            return [x / total for x in xs]
+
+        assert inspect_udf(builder).is_pure_looking
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ValidationError):
+            inspect_udf(42)
+
+
+class TestRetrainContract:
+    def test_mutable_closure_capture_warned(self):
+        cache = {}
+
+        def retrain_udf(observations):
+            cache["last"] = len(observations)
+            return observations
+
+        warnings = check_retrain_udf(retrain_udf)
+        assert any("mutable dict" in w for w in warnings)
+
+    def test_deterministic_closure_of_arrays_is_fine(self):
+        frozen = np.ones((4, 4))
+
+        def retrain_udf(observations):
+            return [frozen @ np.ones(4) for __ in observations]
+
+        assert check_retrain_udf(retrain_udf) == []
+
+    def test_manager_records_udf_warnings_at_deploy(self, deployed_velox):
+        assert deployed_velox.manager.udf_warnings["songs"] == []
+
+    def test_real_model_retrains_are_clean(self):
+        """The library's own retrain implementations must pass their own
+        checker (no nondeterminism outside seeded generators)."""
+        from repro.core.models import MatrixFactorizationModel
+
+        model = MatrixFactorizationModel("m", np.zeros((4, 2)))
+        warnings = check_retrain_udf(model.retrain)
+        assert warnings == [], warnings

@@ -1,0 +1,133 @@
+"""GroupLens ratings-file loader (ML-1M/10M .dat and ML-20M .csv)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.data import load_movielens
+
+
+DAT_CONTENT = """\
+1::122::5::838985046
+1::185::3.5::838983525
+2::231::3::868245644
+2::292::4::868244340
+2::316::2::868244600
+3::122::4::878887765
+"""
+
+CSV_CONTENT = """\
+userId,movieId,rating,timestamp
+1,122,5,838985046
+1,185,3.5,838983525
+2,231,3,868245644
+"""
+
+
+@pytest.fixture
+def dat_file(tmp_path):
+    path = tmp_path / "ratings.dat"
+    path.write_text(DAT_CONTENT)
+    return path
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "ratings.csv"
+    path.write_text(CSV_CONTENT)
+    return path
+
+
+class TestDatFormat:
+    def test_counts_and_dense_ids(self, dat_file):
+        corpus = load_movielens(dat_file)
+        assert len(corpus.ratings) == 6
+        assert corpus.num_users == 3
+        assert corpus.num_items == 5
+        assert all(0 <= r.uid < 3 for r in corpus.ratings)
+        assert all(0 <= r.item_id < 5 for r in corpus.ratings)
+
+    def test_shared_movie_maps_to_same_dense_id(self, dat_file):
+        corpus = load_movielens(dat_file)
+        assert corpus.movie_ids[122] == corpus.movie_ids[122]
+        dense_122 = corpus.movie_ids[122]
+        raters = {r.uid for r in corpus.ratings if r.item_id == dense_122}
+        assert len(raters) == 2  # GroupLens users 1 and 3
+
+    def test_ratings_ordered_by_timestamp(self, dat_file):
+        corpus = load_movielens(dat_file)
+        stamps = [r.timestamp for r in corpus.ratings]
+        assert stamps == sorted(stamps)
+        # The oldest raw timestamp (user 1, movie 185) must come first.
+        first = corpus.ratings[0]
+        assert corpus.user_ids[1] == first.uid
+        assert corpus.movie_ids[185] == first.item_id
+
+    def test_half_star_ratings_preserved(self, dat_file):
+        corpus = load_movielens(dat_file)
+        assert any(r.rating == 3.5 for r in corpus.ratings)
+
+    def test_max_ratings_cap(self, dat_file):
+        corpus = load_movielens(dat_file, max_ratings=3)
+        assert len(corpus.ratings) == 3
+
+    def test_min_ratings_per_user_filter(self, dat_file):
+        corpus = load_movielens(dat_file, min_ratings_per_user=2)
+        # GroupLens user 3 has one rating and is dropped.
+        assert corpus.num_users == 2
+        assert len(corpus.ratings) == 5
+
+
+class TestCsvFormat:
+    def test_header_skipped(self, csv_file):
+        corpus = load_movielens(csv_file)
+        assert len(corpus.ratings) == 3
+        assert corpus.num_users == 2
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_movielens(tmp_path / "nope.dat")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            load_movielens(path)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::2\n")
+        with pytest.raises(ValidationError):
+            load_movielens(path)
+
+    def test_out_of_scale_rating(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::2::9::100\n")
+        with pytest.raises(ValidationError):
+            load_movielens(path)
+
+    def test_over_filtering_rejected(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::2::3::100\n")
+        with pytest.raises(ValidationError):
+            load_movielens(path, min_ratings_per_user=5)
+
+
+class TestEndToEnd:
+    def test_loader_feeds_the_paper_protocol(self, dat_file):
+        """The loaded corpus splits and trains like SynthLens does."""
+        from repro.batch import BatchContext
+        from repro.core.offline import als_train
+        from repro.data import split_per_user
+
+        corpus = load_movielens(dat_file)
+        split = split_per_user(corpus.ratings, 0.7)
+        result = als_train(
+            BatchContext(2),
+            [(r.uid, r.item_id, r.rating) for r in split.train],
+            rank=2,
+            num_items=corpus.num_items,
+            num_iterations=2,
+        )
+        assert result.item_factors.shape == (5, 2)

@@ -1,0 +1,109 @@
+"""Split utilities, including the Section 4.2 protocol split."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.data import (
+    Rating,
+    paper_protocol_split,
+    split_by_fraction,
+    split_per_user,
+)
+
+
+def make_ratings(num_users: int, per_user: int) -> list[Rating]:
+    ratings = []
+    t = 0
+    for uid in range(num_users):
+        for j in range(per_user):
+            ratings.append(Rating(uid, j, 3.0, float(t)))
+            t += 1
+    return ratings
+
+
+class TestSplitByFraction:
+    def test_sizes(self):
+        ratings = make_ratings(10, 10)
+        split = split_by_fraction(ratings, 0.8, seed=1)
+        assert len(split.train) == 80
+        assert len(split.test) == 20
+
+    def test_disjoint_and_complete(self):
+        ratings = make_ratings(5, 8)
+        split = split_by_fraction(ratings, 0.5, seed=2)
+        combined = {(r.uid, r.item_id) for r in split.train + split.test}
+        assert len(combined) == 40
+
+    def test_deterministic(self):
+        ratings = make_ratings(5, 8)
+        a = split_by_fraction(ratings, 0.5, seed=3)
+        b = split_by_fraction(ratings, 0.5, seed=3)
+        assert a.train == b.train
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValidationError):
+            split_by_fraction(make_ratings(2, 2), 1.0)
+
+
+class TestSplitPerUser:
+    def test_every_user_in_both_sides(self):
+        ratings = make_ratings(6, 10)
+        split = split_per_user(ratings, 0.7)
+        train_users = {r.uid for r in split.train}
+        test_users = {r.uid for r in split.test}
+        assert train_users == test_users == set(range(6))
+
+    def test_train_precedes_test_in_time_per_user(self):
+        ratings = make_ratings(4, 10)
+        split = split_per_user(ratings, 0.6)
+        for uid in range(4):
+            max_train = max(r.timestamp for r in split.train if r.uid == uid)
+            min_test = min(r.timestamp for r in split.test if r.uid == uid)
+            assert max_train < min_test
+
+    def test_single_rating_user_goes_to_train(self):
+        ratings = [Rating(0, 0, 3.0, 0.0)]
+        split = split_per_user(ratings, 0.5)
+        assert len(split.train) == 1
+        assert split.test == []
+
+
+class TestPaperProtocolSplit:
+    def test_three_way_partition_disjoint_and_complete(self):
+        ratings = make_ratings(8, 20)
+        split = paper_protocol_split(ratings)
+        all_parts = split.init + split.stream + split.holdout
+        assert len(all_parts) == 160
+        keys = {(r.uid, r.item_id) for r in all_parts}
+        assert len(keys) == 160
+
+    def test_fractions_roughly_respected(self):
+        ratings = make_ratings(10, 40)
+        split = paper_protocol_split(ratings, init_fraction=0.5, stream_fraction=0.7)
+        assert len(split.init) == 200
+        assert len(split.stream) == pytest.approx(140, abs=10)
+        assert len(split.holdout) == pytest.approx(60, abs=10)
+
+    def test_per_user_time_ordering(self):
+        ratings = make_ratings(5, 20)
+        split = paper_protocol_split(ratings)
+        for uid in range(5):
+            init_max = max(r.timestamp for r in split.init if r.uid == uid)
+            stream_min = min(r.timestamp for r in split.stream if r.uid == uid)
+            stream_max = max(r.timestamp for r in split.stream if r.uid == uid)
+            hold_min = min(r.timestamp for r in split.holdout if r.uid == uid)
+            assert init_max < stream_min
+            assert stream_max < hold_min
+
+    def test_tiny_users_fall_back_to_init(self):
+        ratings = [Rating(0, j, 3.0, float(j)) for j in range(2)]
+        split = paper_protocol_split(ratings)
+        assert len(split.init) == 2
+        assert split.stream == [] and split.holdout == []
+
+    def test_invalid_fractions(self):
+        ratings = make_ratings(2, 4)
+        with pytest.raises(ValidationError):
+            paper_protocol_split(ratings, init_fraction=0.0)
+        with pytest.raises(ValidationError):
+            paper_protocol_split(ratings, stream_fraction=1.0)

@@ -1,0 +1,127 @@
+"""SynthLens generator: determinism, marginals, planted structure."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError, ValidationError
+from repro.data import SynthLensConfig, generate_synthlens
+
+
+@pytest.fixture(scope="module")
+def lens():
+    return generate_synthlens(
+        SynthLensConfig(num_users=80, num_items=200, rank=6, seed=21)
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        cfg = SynthLensConfig(num_users=20, num_items=50, seed=9)
+        a = generate_synthlens(cfg)
+        b = generate_synthlens(cfg)
+        assert a.ratings == b.ratings
+        assert np.array_equal(a.true_item_factors, b.true_item_factors)
+
+    def test_different_seed_differs(self):
+        a = generate_synthlens(SynthLensConfig(num_users=20, num_items=50, seed=1))
+        b = generate_synthlens(SynthLensConfig(num_users=20, num_items=50, seed=2))
+        assert a.ratings != b.ratings
+
+
+class TestMarginals:
+    def test_every_user_has_min_ratings(self, lens):
+        counts = {}
+        for rating in lens.ratings:
+            counts[rating.uid] = counts.get(rating.uid, 0) + 1
+        assert len(counts) == lens.num_users
+        assert min(counts.values()) >= lens.config.min_ratings_per_user
+
+    def test_no_duplicate_user_item_pairs(self, lens):
+        pairs = [(r.uid, r.item_id) for r in lens.ratings]
+        assert len(pairs) == len(set(pairs))
+
+    def test_ratings_clipped_to_scale(self, lens):
+        values = [r.rating for r in lens.ratings]
+        assert min(values) >= 0.5
+        assert max(values) <= 5.0
+
+    def test_ids_in_range(self, lens):
+        assert all(0 <= r.uid < lens.num_users for r in lens.ratings)
+        assert all(0 <= r.item_id < lens.num_items for r in lens.ratings)
+
+    def test_timestamps_dense_and_increasing(self, lens):
+        stamps = [r.timestamp for r in lens.ratings]
+        assert stamps == list(range(len(stamps)))
+
+    def test_zipf_skew_concentrates_popularity(self):
+        skewed = generate_synthlens(
+            SynthLensConfig(num_users=100, num_items=300, zipf_exponent=1.2, seed=4)
+        )
+        flat = generate_synthlens(
+            SynthLensConfig(num_users=100, num_items=300, zipf_exponent=0.0, seed=4)
+        )
+
+        def top_decile_share(corpus):
+            counts = np.zeros(300)
+            for rating in corpus.ratings:
+                counts[rating.item_id] += 1
+            counts.sort()
+            return counts[-30:].sum() / counts.sum()
+
+        assert top_decile_share(skewed) > top_decile_share(flat) + 0.1
+
+
+class TestPlantedStructure:
+    def test_true_score_matches_generative_model(self, lens):
+        uid, item_id = 3, 17
+        raw = (
+            lens.config.global_mean
+            + lens.true_user_bias[uid]
+            + lens.true_item_bias[item_id]
+            + lens.true_user_factors[uid] @ lens.true_item_factors[item_id]
+        )
+        expected = float(np.clip(raw, 0.5, 5.0))
+        assert lens.true_score(uid, item_id) == pytest.approx(expected)
+
+    def test_ratings_close_to_true_scores(self, lens):
+        # Noise is the only gap between observed rating and oracle score
+        # (clipping aside), so the residual std should be near noise_std.
+        residuals = [
+            r.rating - lens.true_score(r.uid, r.item_id) for r in lens.ratings
+        ]
+        assert abs(float(np.std(residuals)) - lens.config.noise_std) < 0.12
+
+    def test_true_score_bounds_checked(self, lens):
+        with pytest.raises(ValidationError):
+            lens.true_score(-1, 0)
+        with pytest.raises(ValidationError):
+            lens.true_score(0, 10_000)
+
+    def test_by_user_grouping(self, lens):
+        grouped = lens.by_user()
+        assert len(grouped) == lens.num_users
+        total = sum(len(v) for v in grouped.values())
+        assert total == len(lens.ratings)
+        # within-user order follows timestamps
+        for user_ratings in grouped.values():
+            stamps = [r.timestamp for r in user_ratings]
+            assert stamps == sorted(stamps)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_users": 0},
+            {"num_items": 0},
+            {"rank": 0},
+            {"min_ratings_per_user": 0},
+            {"min_ratings_per_user": 1_000, "num_items": 10},
+            {"ratings_per_user_mean": 5.0, "min_ratings_per_user": 20},
+            {"zipf_exponent": -0.5},
+            {"noise_std": -1.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SynthLensConfig(**kwargs)

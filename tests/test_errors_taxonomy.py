@@ -1,0 +1,72 @@
+"""The exception hierarchy: one base class, informative payloads."""
+
+import pytest
+
+from repro.common import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigError,
+    errors.ModelNotFoundError,
+    errors.UserNotFoundError,
+    errors.ItemNotFoundError,
+    errors.StorageError,
+    errors.KeyNotFoundError,
+    errors.PartitionError,
+    errors.VersionConflictError,
+    errors.BatchExecutionError,
+    errors.TaskFailedError,
+    errors.RoutingError,
+    errors.StaleModelError,
+    errors.ValidationError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_cls", ALL_ERRORS)
+    def test_everything_is_a_repro_error(self, error_cls):
+        assert issubclass(error_cls, errors.ReproError)
+
+    def test_storage_family(self):
+        assert issubclass(errors.KeyNotFoundError, errors.StorageError)
+        assert issubclass(errors.PartitionError, errors.StorageError)
+        assert issubclass(errors.VersionConflictError, errors.StorageError)
+
+    def test_key_not_found_is_also_key_error(self):
+        assert issubclass(errors.KeyNotFoundError, KeyError)
+
+    def test_task_failed_is_batch_error(self):
+        assert issubclass(errors.TaskFailedError, errors.BatchExecutionError)
+
+
+class TestPayloads:
+    def test_model_not_found_messages(self):
+        assert "ghost" in str(errors.ModelNotFoundError("ghost"))
+        err = errors.ModelNotFoundError("m", version=3)
+        assert err.version == 3
+        assert "version 3" in str(err)
+
+    def test_user_and_item_ids_carried(self):
+        assert errors.UserNotFoundError(7).uid == 7
+        assert errors.ItemNotFoundError(9).item_id == 9
+
+    def test_key_not_found_str_is_readable(self):
+        err = errors.KeyNotFoundError("users", 42)
+        assert "users" in str(err) and "42" in str(err)
+
+    def test_version_conflict_payload(self):
+        err = errors.VersionConflictError("t", "k", expected=1, actual=3)
+        assert (err.expected, err.actual) == (1, 3)
+
+    def test_task_failed_carries_cause(self):
+        cause = RuntimeError("oom")
+        err = errors.TaskFailedError(stage=2, partition=5, attempts=4, cause=cause)
+        assert err.cause is cause
+        assert "partition 5" in str(err)
+
+    def test_catch_all_via_base_class(self):
+        """The documented pattern: one except clause for library errors."""
+        try:
+            raise errors.RoutingError("no nodes")
+        except errors.ReproError as err:
+            assert "no nodes" in str(err)

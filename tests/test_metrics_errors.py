@@ -1,0 +1,161 @@
+"""Error metrics and confidence intervals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.metrics import (
+    absolute_error,
+    mae,
+    mean_confidence_interval,
+    precision_at_k,
+    rmse,
+    squared_error,
+)
+from repro.metrics.errors import _normal_quantile
+
+
+class TestPointErrors:
+    def test_squared_error(self):
+        assert squared_error(3.0, 1.0) == 4.0
+        assert squared_error(1.0, 3.0) == 4.0
+
+    def test_absolute_error(self):
+        assert absolute_error(3.0, 1.5) == 1.5
+
+
+class TestAggregateErrors:
+    def test_rmse_known_value(self):
+        assert rmse([1, 2, 3], [1, 2, 5]) == pytest.approx(math.sqrt(4 / 3))
+
+    def test_mae_known_value(self):
+        assert mae([1, 2, 3], [2, 2, 5]) == pytest.approx(1.0)
+
+    def test_perfect_prediction(self):
+        assert rmse([1, 2], [1, 2]) == 0.0
+        assert mae([1, 2], [1, 2]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            rmse([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            mae([], [])
+
+    def test_accepts_numpy_arrays(self):
+        assert rmse(np.ones(4), np.zeros(4)) == pytest.approx(1.0)
+
+
+class TestPrecisionAtK:
+    def test_all_relevant(self):
+        assert precision_at_k({1, 2, 3}, [1, 2, 3], 3) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k({1, 9}, [1, 2, 3, 9], 2) == 0.5
+
+    def test_k_larger_than_list(self):
+        assert precision_at_k({1}, [1, 2], 10) == 0.5
+
+    def test_empty_ranked_list(self):
+        assert precision_at_k({1}, [], 3) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            precision_at_k({1}, [1], 0)
+
+
+class TestNdcgAtK:
+    def test_perfect_ranking_scores_one(self):
+        from repro.metrics import ndcg_at_k
+
+        relevance = {1: 3.0, 2: 2.0, 3: 1.0}
+        assert ndcg_at_k(relevance, [1, 2, 3], 3) == pytest.approx(1.0)
+
+    def test_reversed_ranking_scores_below_one(self):
+        from repro.metrics import ndcg_at_k
+
+        relevance = {1: 3.0, 2: 2.0, 3: 1.0}
+        score = ndcg_at_k(relevance, [3, 2, 1], 3)
+        assert 0 < score < 1
+
+    def test_known_value(self):
+        from repro.metrics import ndcg_at_k
+
+        # DCG = 1/log2(2) + 3/log2(3); IDCG = 3/log2(2) + 1/log2(3)
+        relevance = {"a": 3.0, "b": 1.0}
+        expected = (1.0 + 3.0 / math.log2(3)) / (3.0 + 1.0 / math.log2(3))
+        assert ndcg_at_k(relevance, ["b", "a"], 2) == pytest.approx(expected)
+
+    def test_irrelevant_items_score_zero_gain(self):
+        from repro.metrics import ndcg_at_k
+
+        assert ndcg_at_k({"a": 2.0}, ["x", "y"], 2) == 0.0
+
+    def test_no_relevance_at_all(self):
+        from repro.metrics import ndcg_at_k
+
+        assert ndcg_at_k({}, ["x"], 1) == 0.0
+
+    def test_k_validation(self):
+        from repro.metrics import ndcg_at_k
+
+        with pytest.raises(ValidationError):
+            ndcg_at_k({"a": 1.0}, ["a"], 0)
+
+
+class TestConfidenceInterval:
+    def test_mean_is_sample_mean(self):
+        mean, __ = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+
+    def test_constant_samples_zero_width(self):
+        __, half = mean_confidence_interval([5.0] * 100)
+        assert half == 0.0
+
+    def test_single_sample_zero_width(self):
+        mean, half = mean_confidence_interval([4.2])
+        assert mean == 4.2 and half == 0.0
+
+    def test_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = mean_confidence_interval(rng.normal(0, 1, 50))[1]
+        large = mean_confidence_interval(rng.normal(0, 1, 5000))[1]
+        assert large < small
+
+    def test_95_coverage_roughly_correct(self):
+        # Over many repetitions, ~95% of intervals should cover the truth.
+        rng = np.random.default_rng(7)
+        covered = 0
+        trials = 300
+        for __ in range(trials):
+            samples = rng.normal(10.0, 2.0, 40)
+            mean, half = mean_confidence_interval(samples)
+            if abs(mean - 10.0) <= half:
+                covered += 1
+        assert 0.90 <= covered / trials <= 0.99
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            mean_confidence_interval([])
+        with pytest.raises(ValidationError):
+            mean_confidence_interval([1.0], confidence=1.5)
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [(0.5, 0.0), (0.975, 1.959964), (0.025, -1.959964), (0.995, 2.575829)],
+    )
+    def test_known_quantiles(self, p, expected):
+        assert _normal_quantile(p) == pytest.approx(expected, abs=1e-4)
+
+    def test_tails(self):
+        assert _normal_quantile(1e-9) < -5
+        assert _normal_quantile(1 - 1e-9) > 5
+
+    def test_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            _normal_quantile(0.0)

@@ -1,0 +1,69 @@
+"""Latency recorder and timer."""
+
+import time
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.metrics import LatencyRecorder, Timer
+
+
+class TestLatencyRecorder:
+    def test_record_and_summary(self):
+        recorder = LatencyRecorder("op")
+        for v in (0.01, 0.02, 0.03, 0.04):
+            recorder.record(v)
+        summary = recorder.summary()
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.025)
+        assert summary.min == 0.01 and summary.max == 0.04
+        assert summary.p50 == pytest.approx(0.025)
+
+    def test_percentiles_ordered(self):
+        recorder = LatencyRecorder()
+        for i in range(100):
+            recorder.record(i / 1000)
+        summary = recorder.summary()
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.max
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            LatencyRecorder().record(-0.1)
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValidationError):
+            LatencyRecorder().summary()
+
+    def test_reset(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.5)
+        recorder.reset()
+        assert len(recorder) == 0
+
+    def test_samples_copy(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.5)
+        samples = recorder.samples
+        samples.append(99.0)
+        assert len(recorder) == 1
+
+
+class TestTimer:
+    def test_standalone_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_attached_records(self):
+        recorder = LatencyRecorder()
+        with recorder.time():
+            time.sleep(0.005)
+        assert len(recorder) == 1
+        assert recorder.samples[0] >= 0.004
+
+    def test_exception_not_recorded(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.time():
+                raise RuntimeError("boom")
+        assert len(recorder) == 0

@@ -1,0 +1,118 @@
+"""Streaming statistics: Welford, windowed mean, EWMA."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.metrics import Ewma, StreamingMeanVar, WindowedMean
+
+
+class TestStreamingMeanVar:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(5, 2, 500)
+        acc = StreamingMeanVar()
+        acc.update_many(data)
+        assert acc.mean == pytest.approx(float(np.mean(data)))
+        assert acc.variance == pytest.approx(float(np.var(data, ddof=1)))
+        assert acc.std == pytest.approx(float(np.std(data, ddof=1)))
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ValidationError):
+            __ = StreamingMeanVar().mean
+
+    def test_single_value(self):
+        acc = StreamingMeanVar()
+        acc.update(3.0)
+        assert acc.mean == 3.0
+        assert acc.variance == 0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            StreamingMeanVar().update(float("nan"))
+
+    def test_merge_equals_concatenation(self):
+        rng = np.random.default_rng(4)
+        left_data = rng.normal(0, 1, 100)
+        right_data = rng.normal(10, 3, 57)
+        left, right = StreamingMeanVar(), StreamingMeanVar()
+        left.update_many(left_data)
+        right.update_many(right_data)
+        merged = left.merge(right)
+        combined = np.concatenate([left_data, right_data])
+        assert merged.count == 157
+        assert merged.mean == pytest.approx(float(np.mean(combined)))
+        assert merged.variance == pytest.approx(float(np.var(combined, ddof=1)))
+
+    def test_merge_with_empty(self):
+        acc = StreamingMeanVar()
+        acc.update(1.0)
+        merged = acc.merge(StreamingMeanVar())
+        assert merged.count == 1 and merged.mean == 1.0
+
+    def test_merge_two_empties(self):
+        merged = StreamingMeanVar().merge(StreamingMeanVar())
+        assert merged.count == 0
+
+
+class TestWindowedMean:
+    def test_mean_over_partial_window(self):
+        window = WindowedMean(5)
+        window.update(2.0)
+        window.update(4.0)
+        assert window.mean == 3.0
+        assert not window.full
+
+    def test_slides(self):
+        window = WindowedMean(3)
+        for v in (1.0, 2.0, 3.0, 10.0):
+            window.update(v)
+        assert window.full
+        assert window.mean == pytest.approx(5.0)  # (2+3+10)/3
+
+    def test_long_stream_numerically_sane(self):
+        window = WindowedMean(10)
+        for i in range(10_000):
+            window.update(float(i % 10))
+        assert window.mean == pytest.approx(4.5)
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ValidationError):
+            __ = WindowedMean(3).mean
+
+    def test_invalid_window(self):
+        with pytest.raises(ValidationError):
+            WindowedMean(0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            WindowedMean(3).update(float("nan"))
+
+
+class TestEwma:
+    def test_first_value_initializes(self):
+        ewma = Ewma(0.5)
+        ewma.update(10.0)
+        assert ewma.value == 10.0
+
+    def test_decay(self):
+        ewma = Ewma(0.5)
+        ewma.update(0.0)
+        ewma.update(10.0)
+        assert ewma.value == pytest.approx(5.0)
+
+    def test_alpha_one_tracks_latest(self):
+        ewma = Ewma(1.0)
+        ewma.update(1.0)
+        ewma.update(9.0)
+        assert ewma.value == 9.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValidationError):
+            Ewma(0.0)
+        with pytest.raises(ValidationError):
+            Ewma(1.5)
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(ValidationError):
+            __ = Ewma(0.5).value

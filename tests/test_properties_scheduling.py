@@ -1,0 +1,117 @@
+"""Property tests: maintenance schedules and window conservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import SimulatedClock
+from repro.core.maintenance import MaintenanceScheduler
+from repro.streaming import (
+    CollectSink,
+    IterableSource,
+    Map,
+    StreamPipeline,
+    TumblingWindowAggregate,
+)
+
+
+class TestScheduleProperties:
+    # Intervals/horizons on a 0.25 grid: exactly representable in binary
+    # floating point, so "due at exactly k * interval" has no ULP edge
+    # cases and the floor-count property is crisp.
+    @given(
+        interval=st.integers(2, 400).map(lambda n: n * 0.25),
+        horizon=st.integers(0, 2000).map(lambda n: n * 0.25),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_run_count_is_floor_of_horizon_over_interval(self, interval, horizon):
+        clock = SimulatedClock()
+        scheduler = MaintenanceScheduler(clock)
+        runs = []
+        scheduler.every(interval, lambda: runs.append(clock.now()), name="t")
+        scheduler.run_until(horizon)
+        assert len(runs) == int(horizon / interval)
+        # runs happen exactly at multiples of the interval
+        for index, at in enumerate(runs, start=1):
+            assert at == pytest.approx(index * interval)
+        assert clock.now() == pytest.approx(horizon)
+
+    @given(
+        intervals=st.lists(
+            st.integers(4, 200).map(lambda n: n * 0.25), min_size=1, max_size=4
+        ),
+        horizon=st.integers(0, 800).map(lambda n: n * 0.25),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multiple_tasks_each_keep_their_count(self, intervals, horizon):
+        clock = SimulatedClock()
+        scheduler = MaintenanceScheduler(clock)
+        counts = {i: 0 for i in range(len(intervals))}
+
+        def bump(i):
+            counts[i] += 1
+
+        for i, interval in enumerate(intervals):
+            scheduler.every(interval, lambda i=i: bump(i), name=f"t{i}")
+        scheduler.run_until(horizon)
+        for i, interval in enumerate(intervals):
+            assert counts[i] == int(horizon / interval)
+
+
+class TestWindowConservation:
+    @given(
+        records=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-10, 10)), max_size=100
+        ),
+        window_size=st.integers(1, 7),
+        batch_size=st.integers(1, 13),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_record_lands_in_exactly_one_window(
+        self, records, window_size, batch_size
+    ):
+        """Sum conservation: per-key sums of window outputs equal the
+        per-key sums of the raw input, no matter how batches and window
+        boundaries interleave."""
+        window = TumblingWindowAggregate(
+            key_fn=lambda r: r[0],
+            zero=0,
+            add=lambda acc, r: acc + r[1],
+            window_size=window_size,
+        )
+        sink = CollectSink()
+        StreamPipeline(
+            source=IterableSource(records, batch_size=batch_size),
+            operators=[window],
+            sinks=[sink],
+        ).run()
+        output_sums: dict[int, int] = {}
+        for key, value in sink.records:
+            output_sums[key] = output_sums.get(key, 0) + value
+        input_sums: dict[int, int] = {}
+        for key, value in records:
+            input_sums[key] = input_sums.get(key, 0) + value
+        assert output_sums == input_sums
+
+    @given(
+        count=st.integers(0, 80),
+        window_size=st.integers(1, 9),
+        batch_size=st.integers(1, 9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_key_window_counts(self, count, window_size, batch_size):
+        window = TumblingWindowAggregate(
+            key_fn=lambda r: "k",
+            zero=0,
+            add=lambda acc, r: acc + 1,
+            window_size=window_size,
+        )
+        sink = CollectSink()
+        StreamPipeline(
+            source=IterableSource(range(count), batch_size=batch_size),
+            operators=[window, Map(lambda kv: kv[1])],
+            sinks=[sink],
+        ).run()
+        full, remainder = divmod(count, window_size)
+        expected = [window_size] * full + ([remainder] if remainder else [])
+        assert sink.records == expected

@@ -1,0 +1,106 @@
+"""Sampling engine: reservoir correctness, stratification, retrain hook."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.sampling import ReservoirSampler, StratifiedSampler, sample_observations
+from repro.store import Observation
+
+
+class TestReservoirSampler:
+    def test_fewer_items_than_capacity_keeps_all(self):
+        sampler = ReservoirSampler(10, rng=1)
+        sampler.offer_many(range(4))
+        assert sorted(sampler.sample()) == [0, 1, 2, 3]
+
+    def test_sample_size_capped_at_capacity(self):
+        sampler = ReservoirSampler(5, rng=1)
+        sampler.offer_many(range(100))
+        assert len(sampler) == 5
+        assert all(0 <= x < 100 for x in sampler.sample())
+
+    def test_uniformity(self):
+        """Every item should land in the sample with probability k/n."""
+        counts = np.zeros(20)
+        trials = 3000
+        rng = np.random.default_rng(7)
+        for __ in range(trials):
+            sampler = ReservoirSampler(5, rng=rng)
+            sampler.offer_many(range(20))
+            for item in sampler.sample():
+                counts[item] += 1
+        expected = trials * 5 / 20
+        assert np.all(np.abs(counts - expected) < 0.15 * expected + 40)
+
+    def test_seen_counter(self):
+        sampler = ReservoirSampler(2, rng=0)
+        sampler.offer_many(range(7))
+        assert sampler.seen == 7
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ReservoirSampler(0)
+
+
+class TestStratifiedSampler:
+    def test_floor_keeps_small_strata_whole(self):
+        items = [("a", i) for i in range(2)] + [("b", i) for i in range(100)]
+        sampler = StratifiedSampler(fraction=0.1, floor=3, rng=2)
+        sampled = sampler.sample(items, key_fn=lambda t: t[0])
+        by_key = {}
+        for key, __ in sampled:
+            by_key[key] = by_key.get(key, 0) + 1
+        assert by_key["a"] == 2  # smaller than the floor: kept whole
+        assert by_key["b"] == 10  # 10% of 100
+
+    def test_fraction_one_keeps_everything(self):
+        items = list(range(50))
+        sampler = StratifiedSampler(fraction=1.0, rng=3)
+        assert sorted(sampler.sample(items, key_fn=lambda x: x % 5)) == items
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            StratifiedSampler(0.0)
+        with pytest.raises(ValidationError):
+            StratifiedSampler(0.5, floor=-1)
+
+
+class TestSampleObservations:
+    def make_observations(self, per_user: int, users: int) -> list:
+        return [
+            Observation(uid=u, item_id=i, label=3.0)
+            for u in range(users)
+            for i in range(per_user)
+        ]
+
+    def test_every_user_survives(self):
+        observations = self.make_observations(per_user=30, users=10)
+        sampled = sample_observations(observations, 0.2, min_per_user=3, rng=4)
+        users = {ob.uid for ob in sampled}
+        assert users == set(range(10))
+        per_user = {u: sum(1 for ob in sampled if ob.uid == u) for u in users}
+        assert all(count >= 3 for count in per_user.values())
+        assert len(sampled) < len(observations)
+
+    def test_fraction_one_is_identity(self):
+        observations = self.make_observations(per_user=5, users=3)
+        assert sample_observations(observations, 1.0) == observations
+
+
+class TestSampledRetrain:
+    def test_sampled_retrain_trains_and_records(self, deployed_velox, small_split):
+        for r in small_split.stream:
+            deployed_velox.observe(uid=r.uid, x=r.item_id, y=r.rating)
+        event = deployed_velox.manager.retrain_now(
+            "songs", reason="approximate", sample_fraction=0.5
+        )
+        assert event.sampled_observations is not None
+        assert event.sampled_observations < event.observations_used
+        assert deployed_velox.model().version == 1
+
+    def test_full_retrain_reports_no_sampling(self, deployed_velox, small_split):
+        for r in small_split.stream[:50]:
+            deployed_velox.observe(uid=r.uid, x=r.item_id, y=r.rating)
+        event = deployed_velox.retrain()
+        assert event.sampled_observations is None

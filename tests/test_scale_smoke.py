@@ -1,0 +1,115 @@
+"""A larger end-to-end scale smoke: everything at 10x the unit-test size.
+
+One test, deliberately heavier (~15-25s): a MovieLens-shaped corpus, a
+full train → deploy → heavy mixed traffic → staleness-driven retrain →
+shadow-checked candidate run, across an 8-node cluster with the
+threaded batch scheduler. Guards against regressions that only appear
+at scale (quadratic loops, per-request allocations, cache thrash).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Velox, VeloxConfig
+from repro.batch import BatchContext
+from repro.core.models import MatrixFactorizationModel
+from repro.core.offline import als_train
+from repro.data import SynthLensConfig, generate_synthlens, paper_protocol_split
+from repro.metrics import rmse
+from repro.store import Observation
+from repro.workloads import ObserveRequest, ZipfItemSampler, generate_request_stream
+
+
+@pytest.fixture(scope="module")
+def big_deployment():
+    lens = generate_synthlens(
+        SynthLensConfig(
+            num_users=600,
+            num_items=400,
+            rank=10,
+            ratings_per_user_mean=45.0,
+            min_ratings_per_user=24,
+            zipf_exponent=0.9,
+            seed=77,
+        )
+    )
+    split = paper_protocol_split(lens.ratings)
+    ctx = BatchContext(default_parallelism=6)
+    als = als_train(
+        ctx,
+        [(r.uid, r.item_id, r.rating) for r in split.init],
+        rank=10,
+        num_items=lens.num_items,
+        num_iterations=6,
+    )
+    model = MatrixFactorizationModel(
+        "songs", als.item_factors, als.item_bias, als.global_mean
+    )
+    weights = {
+        uid: model.pack_user_weights(als.user_factors[uid], als.user_bias[uid])
+        for uid in als.user_factors
+    }
+    velox = Velox.deploy(
+        VeloxConfig(num_nodes=8), batch_parallelism=6, auto_retrain=False
+    )
+    velox.add_model(
+        model,
+        initial_user_weights=weights,
+        seed_observations=[
+            Observation(r.uid, r.item_id, r.rating, item_data=r.item_id)
+            for r in split.init
+        ],
+    )
+    return velox, lens, split
+
+
+class TestScale:
+    def test_full_lifecycle_at_scale(self, big_deployment):
+        velox, lens, split = big_deployment
+        truth = [r.rating for r in split.holdout]
+
+        def holdout_rmse():
+            return rmse(
+                truth,
+                [velox.predict(None, r.uid, r.item_id)[1] for r in split.holdout],
+            )
+
+        baseline = holdout_rmse()
+
+        # Heavy mixed traffic: 20k predicts + the full stream as observes.
+        sampler = ZipfItemSampler(lens.num_items, 0.9, rng=1)
+        traffic = generate_request_stream(
+            20_000, lens.num_users, sampler, observe_fraction=0.0, rng=2
+        )
+        for request in traffic:
+            __, score = velox.predict(None, request.uid, request.item_id)
+            assert np.isfinite(score)
+        for r in split.stream:
+            velox.observe(uid=r.uid, x=r.item_id, y=r.rating)
+
+        online = holdout_rmse()
+        assert online < baseline
+
+        # Zipf traffic should make the feature caches genuinely hot.
+        stats = velox.service.cache_stats()
+        hit_rate = stats["feature_hits"] / (
+            stats["feature_hits"] + stats["feature_misses"]
+        )
+        assert hit_rate > 0.6
+
+        # Retrain on ~ >30k logged observations via the threaded scheduler.
+        event = velox.retrain(reason="scale test")
+        retrained = holdout_rmse()
+        assert retrained < baseline
+        assert event.observations_used > 20_000
+
+        # Routing stayed local for user traffic across all 8 nodes.
+        loads = [n.stats.requests_served for n in velox.cluster.nodes]
+        assert min(loads) > 0
+        assert max(loads) < 2.0 * (sum(loads) / len(loads))
+
+        # Catalog-wide indexed topK at scale.
+        top = velox.top_k_catalog(None, uid=11, k=20)
+        assert len(top) == 20
+        scores = [s for __i, s in top]
+        assert scores == sorted(scores, reverse=True)

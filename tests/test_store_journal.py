@@ -1,0 +1,76 @@
+"""Journal: append ordering, replay, compaction rules."""
+
+import pytest
+
+from repro.store.journal import Journal, JournalOp
+
+
+class TestAppendAndReplay:
+    def test_sequences_are_dense(self):
+        journal = Journal()
+        records = [journal.append(JournalOp.PUT, i, i, 1) for i in range(5)]
+        assert [r.sequence for r in records] == [0, 1, 2, 3, 4]
+
+    def test_replay_all(self):
+        journal = Journal()
+        journal.append(JournalOp.PUT, "a", 1, 1)
+        journal.append(JournalOp.DELETE, "a", None, 0)
+        ops = [r.op for r in journal.replay()]
+        assert ops == [JournalOp.PUT, JournalOp.DELETE]
+
+    def test_replay_from_offset(self):
+        journal = Journal()
+        for i in range(5):
+            journal.append(JournalOp.PUT, i, i, 1)
+        assert [r.key for r in journal.replay(3)] == [3, 4]
+
+    def test_replay_from_end_is_empty(self):
+        journal = Journal()
+        journal.append(JournalOp.PUT, "a", 1, 1)
+        assert list(journal.replay(1)) == []
+
+    def test_len_counts_all_ever_appended(self):
+        journal = Journal()
+        for i in range(4):
+            journal.append(JournalOp.PUT, i, i, 1)
+        assert len(journal) == 4
+
+
+class TestCompaction:
+    def test_compact_drops_prefix(self):
+        journal = Journal()
+        for i in range(6):
+            journal.append(JournalOp.PUT, i, i, 1)
+        dropped = journal.compact(4)
+        assert dropped == 4
+        assert [r.key for r in journal.replay(4)] == [4, 5]
+
+    def test_replay_before_compaction_horizon_fails(self):
+        journal = Journal()
+        for i in range(4):
+            journal.append(JournalOp.PUT, i, i, 1)
+        journal.compact(2)
+        with pytest.raises(ValueError):
+            list(journal.replay(0))
+
+    def test_compact_beyond_end_rejected(self):
+        journal = Journal()
+        journal.append(JournalOp.PUT, 0, 0, 1)
+        with pytest.raises(ValueError):
+            journal.compact(5)
+
+    def test_compact_idempotent(self):
+        journal = Journal()
+        for i in range(4):
+            journal.append(JournalOp.PUT, i, i, 1)
+        journal.compact(2)
+        assert journal.compact(2) == 0
+
+    def test_sequences_continue_after_compaction(self):
+        journal = Journal()
+        for i in range(3):
+            journal.append(JournalOp.PUT, i, i, 1)
+        journal.compact(3)
+        record = journal.append(JournalOp.PUT, "x", 1, 1)
+        assert record.sequence == 3
+        assert len(journal) == 4

@@ -1,0 +1,151 @@
+"""LRU cache: eviction order, statistics, invalidation, disabled mode."""
+
+import pytest
+
+from repro.store import LRUCache
+
+
+class TestBasicOperations:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_get_missing_returns_default(self):
+        cache = LRUCache(4)
+        assert cache.get("nope") is None
+        assert cache.get("nope", 7) == 7
+
+    def test_overwrite_updates_value(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_len_and_contains(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert len(cache) == 1
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestEviction:
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert "a" not in cache
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache
+
+    def test_peek_does_not_refresh_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")  # "a" stays LRU
+        cache.put("c", 3)
+        assert "a" not in cache
+
+    def test_eviction_counted(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats.evictions == 1
+
+    def test_keys_in_lru_order(self):
+        cache = LRUCache(3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)
+        cache.get("a")
+        assert cache.keys() == ["b", "c", "a"]
+
+
+class TestStats:
+    def test_hit_and_miss_counting(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zz")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_zero_when_unused(self):
+        assert LRUCache(2).stats.hit_rate == 0.0
+
+    def test_peek_and_contains_do_not_touch_stats(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.peek("a")
+        __ = "a" in cache
+        assert cache.stats.lookups == 0
+
+    def test_reset(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.stats.reset()
+        assert cache.stats.hits == 0
+
+
+class TestInvalidation:
+    def test_invalidate_present_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert "a" not in cache
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_absent_key(self):
+        cache = LRUCache(2)
+        assert cache.invalidate("a") is False
+        assert cache.stats.invalidations == 0
+
+    def test_invalidate_if_predicate(self):
+        cache = LRUCache(10)
+        for i in range(6):
+            cache.put(("m", i), i)
+        removed = cache.invalidate_if(lambda key: key[1] % 2 == 0)
+        assert removed == 3
+        assert len(cache) == 3
+
+    def test_clear(self):
+        cache = LRUCache(5)
+        for i in range(3):
+            cache.put(i, i)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 3
+
+
+class TestDisabledCache:
+    def test_zero_capacity_never_stores(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+
+class TestWarm:
+    def test_warm_bulk_loads(self):
+        cache = LRUCache(10)
+        cache.warm([(i, i * i) for i in range(5)])
+        assert cache.get(3) == 9
+        assert len(cache) == 5

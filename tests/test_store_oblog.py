@@ -1,0 +1,78 @@
+"""ObservationLog: offsets, range reads, per-user reads."""
+
+import pytest
+
+from repro.store import Observation, ObservationLog
+
+
+def make_obs(uid: int, item: int, label: float = 1.0) -> Observation:
+    return Observation(uid=uid, item_id=item, label=label)
+
+
+class TestAppend:
+    def test_append_returns_offset(self):
+        log = ObservationLog()
+        assert log.append(make_obs(1, 1)) == 0
+        assert log.append(make_obs(1, 2)) == 1
+
+    def test_len(self):
+        log = ObservationLog()
+        for i in range(5):
+            log.append(make_obs(i, i))
+        assert len(log) == 5
+
+    def test_snapshot_offset_is_stable_reference(self):
+        log = ObservationLog()
+        log.append(make_obs(1, 1))
+        offset = log.snapshot_offset()
+        log.append(make_obs(2, 2))
+        assert offset == 1
+        assert len(log.read_range(0, offset)) == 1
+
+
+class TestReads:
+    def test_read_range(self):
+        log = ObservationLog()
+        for i in range(10):
+            log.append(make_obs(i, i))
+        chunk = log.read_range(3, 6)
+        assert [ob.uid for ob in chunk] == [3, 4, 5]
+
+    def test_read_range_open_end(self):
+        log = ObservationLog()
+        for i in range(4):
+            log.append(make_obs(i, i))
+        assert [ob.uid for ob in log.read_range(2)] == [2, 3]
+
+    def test_read_all(self):
+        log = ObservationLog()
+        log.append(make_obs(1, 1))
+        assert len(log.read_all()) == 1
+
+    def test_read_range_validation(self):
+        log = ObservationLog()
+        log.append(make_obs(1, 1))
+        with pytest.raises(ValueError):
+            log.read_range(-1)
+        with pytest.raises(ValueError):
+            log.read_range(0, 5)
+        with pytest.raises(ValueError):
+            log.read_range(1, 0)
+
+    def test_by_user(self):
+        log = ObservationLog()
+        for i in range(6):
+            log.append(make_obs(i % 2, i))
+        user0 = log.by_user(0)
+        assert [ob.item_id for ob in user0] == [0, 2, 4]
+
+    def test_by_user_respects_stop(self):
+        log = ObservationLog()
+        for i in range(6):
+            log.append(make_obs(0, i))
+        assert len(log.by_user(0, stop=3)) == 3
+
+    def test_observation_is_immutable(self):
+        ob = make_obs(1, 2)
+        with pytest.raises(AttributeError):
+            ob.label = 5.0

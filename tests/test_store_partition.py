@@ -1,0 +1,113 @@
+"""Partition: versioned mutations, failure, snapshot + journal recovery."""
+
+import pytest
+
+from repro.common.errors import PartitionError
+from repro.store import Partition
+
+
+class TestMutations:
+    def test_put_returns_incrementing_versions(self):
+        part = Partition(0)
+        assert part.put("k", "v1") == 1
+        assert part.put("k", "v2") == 2
+
+    def test_get_returns_value_and_version(self):
+        part = Partition(0)
+        part.put("k", "v")
+        assert part.get("k") == ("v", 1)
+
+    def test_get_absent_returns_none(self):
+        assert Partition(0).get("k") is None
+
+    def test_delete_and_reinsert_restarts_version(self):
+        part = Partition(0)
+        part.put("k", "v")
+        assert part.delete("k") is True
+        assert part.put("k", "v2") == 1
+
+    def test_delete_absent_returns_false(self):
+        assert Partition(0).delete("k") is False
+
+    def test_truncate_clears(self):
+        part = Partition(0)
+        for i in range(3):
+            part.put(i, i)
+        part.truncate()
+        assert len(part) == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(-1)
+
+
+class TestFailureAndRecovery:
+    def test_failed_partition_rejects_access(self):
+        part = Partition(0)
+        part.put("k", "v")
+        part.fail()
+        with pytest.raises(PartitionError):
+            part.get("k")
+        with pytest.raises(PartitionError):
+            part.put("k", "v2")
+
+    def test_recover_replays_journal_from_scratch(self):
+        part = Partition(0)
+        part.put("a", 1)
+        part.put("b", 2)
+        part.delete("a")
+        part.put("b", 3)
+        part.fail()
+        replayed = part.recover()
+        assert replayed == 4
+        assert part.get("a") is None
+        assert part.get("b") == (3, 2)
+
+    def test_recover_with_snapshot_replays_suffix_only(self):
+        part = Partition(0)
+        for i in range(10):
+            part.put(i, i)
+        part.snapshot()
+        part.put("post", 1)
+        part.fail()
+        replayed = part.recover()
+        assert replayed == 1  # only the post-snapshot record
+        assert part.get(5) == (5, 1)
+        assert part.get("post") == (1, 1)
+
+    def test_recover_preserves_versions(self):
+        part = Partition(0)
+        part.put("k", "v1")
+        part.put("k", "v2")
+        part.fail()
+        part.recover()
+        assert part.get("k") == ("v2", 2)
+        assert part.put("k", "v3") == 3
+
+    def test_recover_after_truncate(self):
+        part = Partition(0)
+        part.put("a", 1)
+        part.truncate()
+        part.put("b", 2)
+        part.fail()
+        part.recover()
+        assert part.get("a") is None
+        assert part.get("b") == (2, 1)
+
+    def test_recover_healthy_partition_is_idempotent(self):
+        part = Partition(0)
+        part.put("a", 1)
+        part.recover()
+        assert part.get("a") == (1, 1)
+
+    def test_snapshot_compacts_journal(self):
+        part = Partition(0)
+        for i in range(5):
+            part.put(i, i)
+        before = part.journal_length
+        part.snapshot()
+        part.put("x", 1)
+        part.fail()
+        part.recover()
+        assert len(part) == 6
+        assert part.journal_length == before + 1

@@ -1,0 +1,115 @@
+"""Checkpoint/restore of the store to disk (the HDFS-backing analogue)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StorageError
+from repro.store import (
+    Observation,
+    VeloxStore,
+    checkpoint_store,
+    restore_store,
+)
+
+
+@pytest.fixture
+def populated_store():
+    store = VeloxStore(default_partitions=3)
+    users = store.create_table("users", partitioner=lambda k: k % 3)
+    for uid in range(12):
+        users.put(uid, np.arange(4, dtype=float) * uid)
+    users.put(3, np.ones(4))  # bump a version
+    items = store.create_table("items")
+    items.put("song:1", {"title": "New Potato Caboose"})
+    log = store.create_log("observations:songs")
+    for i in range(5):
+        log.append(Observation(uid=i, item_id=i * 2, label=float(i)))
+    return store
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_tables(self, populated_store, tmp_path):
+        checkpoint_store(populated_store, tmp_path)
+        restored = restore_store(tmp_path, partitioners={"users": lambda k: k % 3})
+        users = restored.table("users")
+        assert len(users) == 12
+        assert np.array_equal(users.get(5), np.arange(4.0) * 5)
+        assert np.array_equal(users.get(3), np.ones(4))
+        assert restored.table("items").get("song:1")["title"] == "New Potato Caboose"
+
+    def test_versions_preserved(self, populated_store, tmp_path):
+        checkpoint_store(populated_store, tmp_path)
+        restored = restore_store(tmp_path, partitioners={"users": lambda k: k % 3})
+        assert restored.table("users").get_versioned(3).version == 2
+        assert restored.table("users").get_versioned(5).version == 1
+
+    def test_partition_layout_preserved(self, populated_store, tmp_path):
+        checkpoint_store(populated_store, tmp_path)
+        restored = restore_store(tmp_path, partitioners={"users": lambda k: k % 3})
+        users = restored.table("users")
+        assert users.num_partitions == 3
+        assert dict(users.scan_partition(1)).keys() == {1, 4, 7, 10}
+
+    def test_logs_roundtrip(self, populated_store, tmp_path):
+        checkpoint_store(populated_store, tmp_path)
+        restored = restore_store(tmp_path)
+        log = restored.log("observations:songs")
+        assert len(log) == 5
+        assert log.read_all()[2].label == 2.0
+
+    def test_restored_store_recovers_from_failure(self, populated_store, tmp_path):
+        """Restore writes through the journal, so post-restore recovery
+        still works (the restored store is a first-class store)."""
+        checkpoint_store(populated_store, tmp_path)
+        restored = restore_store(tmp_path, partitioners={"users": lambda k: k % 3})
+        restored.fail_node(0)
+        restored.recover_node(0)
+        assert np.array_equal(restored.table("users").get(6), np.arange(4.0) * 6)
+
+    def test_checkpoint_refuses_failed_partitions(self, populated_store, tmp_path):
+        populated_store.fail_node(1)
+        with pytest.raises(StorageError):
+            checkpoint_store(populated_store, tmp_path)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            restore_store(tmp_path)
+
+    def test_overwrite_previous_checkpoint(self, populated_store, tmp_path):
+        checkpoint_store(populated_store, tmp_path)
+        populated_store.table("users").put(99, np.zeros(4))
+        checkpoint_store(populated_store, tmp_path)
+        restored = restore_store(tmp_path, partitioners={"users": lambda k: k % 3})
+        assert 99 in restored.table("users")
+
+    def test_odd_table_names_do_not_collide(self, tmp_path):
+        store = VeloxStore()
+        store.create_table("a:b")
+        store.create_table("a_b")
+        store.table("a:b").put("k", 1)
+        store.table("a_b").put("k", 2)
+        checkpoint_store(store, tmp_path)
+        restored = restore_store(tmp_path)
+        assert restored.table("a:b").get("k") == 1
+        assert restored.table("a_b").get("k") == 2
+
+
+class TestDeploymentRoundtrip:
+    def test_velox_user_states_survive_checkpoint(self, deployed_velox, tmp_path):
+        """The full deployment path: observe, checkpoint, restore, and
+        the restored user state serves the same prediction."""
+        for __ in range(5):
+            deployed_velox.observe(uid=2, x=7, y=4.5)
+        expected = deployed_velox.predict(None, 2, 7)[1]
+        checkpoint_store(deployed_velox.cluster.store, tmp_path)
+
+        restored = restore_store(
+            tmp_path,
+            partitioners={
+                "user_state:songs": deployed_velox.cluster.user_partitioner
+            },
+        )
+        state = restored.table("user_state:songs").get(2)
+        model = deployed_velox.model()
+        assert float(state.weights @ model.features(7)) == pytest.approx(expected)
+        assert state.observation_count == 5

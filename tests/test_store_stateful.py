@@ -1,0 +1,84 @@
+"""Stateful (model-based) testing of the store against a plain dict.
+
+Hypothesis drives random interleavings of puts, deletes, truncates,
+snapshots, failures, and recoveries against a Table, checking after
+every step that the visible state matches a reference dict — the
+strongest statement of the journal/recovery contract.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.store import Table
+
+
+class TableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = Table("t", num_partitions=3, partitioner=lambda k: k % 3)
+        self.model: dict[int, int] = {}
+        self.failed: set[int] = set()
+
+    keys = st.integers(0, 20)
+    values = st.integers(-1000, 1000)
+
+    def _healthy(self, key: int) -> bool:
+        return key % 3 not in self.failed
+
+    @rule(key=keys, value=values)
+    def put(self, key, value):
+        if self._healthy(key):
+            self.table.put(key, value)
+            self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        if self._healthy(key):
+            assert self.table.delete(key) == (key in self.model)
+            self.model.pop(key, None)
+
+    @rule()
+    def truncate(self):
+        if not self.failed:
+            self.table.truncate()
+            self.model.clear()
+
+    @rule()
+    def snapshot(self):
+        if not self.failed:
+            self.table.snapshot()
+
+    @rule(partition=st.integers(0, 2))
+    def fail_partition(self, partition):
+        if partition not in self.failed:
+            self.table.fail_partition(partition)
+            self.failed.add(partition)
+
+    @rule(partition=st.integers(0, 2))
+    def recover_partition(self, partition):
+        if partition in self.failed:
+            self.table.recover_partition(partition)
+            self.failed.discard(partition)
+
+    @invariant()
+    def healthy_partitions_match_model(self):
+        for key, value in self.model.items():
+            if self._healthy(key):
+                assert self.table.get(key) == value
+        visible = {
+            key: value
+            for partition in range(3)
+            if partition not in self.failed
+            for key, value in self.table.scan_partition(partition)
+        }
+        expected = {
+            key: value for key, value in self.model.items() if self._healthy(key)
+        }
+        assert visible == expected
+
+
+TableMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestTableStateful = TableMachine.TestCase

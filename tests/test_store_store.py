@@ -1,0 +1,113 @@
+"""VeloxStore: namespaces, logs, node-level failure hooks."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.store import VeloxStore
+
+
+class TestTables:
+    def test_create_and_fetch(self):
+        store = VeloxStore(default_partitions=2)
+        table = store.create_table("users")
+        assert store.table("users") is table
+        assert table.num_partitions == 2
+
+    def test_duplicate_create_rejected(self):
+        store = VeloxStore()
+        store.create_table("t")
+        with pytest.raises(StorageError):
+            store.create_table("t")
+
+    def test_missing_table_rejected(self):
+        with pytest.raises(StorageError):
+            VeloxStore().table("ghost")
+
+    def test_get_or_create(self):
+        store = VeloxStore()
+        a = store.get_or_create_table("t")
+        b = store.get_or_create_table("t")
+        assert a is b
+
+    def test_drop_table(self):
+        store = VeloxStore()
+        store.create_table("t")
+        store.drop_table("t")
+        assert not store.has_table("t")
+        with pytest.raises(StorageError):
+            store.drop_table("t")
+
+    def test_table_names_sorted(self):
+        store = VeloxStore()
+        store.create_table("zeta")
+        store.create_table("alpha")
+        assert store.table_names() == ["alpha", "zeta"]
+
+    def test_explicit_partition_count_overrides_default(self):
+        store = VeloxStore(default_partitions=2)
+        table = store.create_table("wide", num_partitions=8)
+        assert table.num_partitions == 8
+
+    def test_invalid_default_partitions(self):
+        with pytest.raises(ValueError):
+            VeloxStore(default_partitions=0)
+
+
+class TestLogs:
+    def test_create_and_fetch_log(self):
+        store = VeloxStore()
+        log = store.create_log("obs")
+        assert store.log("obs") is log
+
+    def test_duplicate_log_rejected(self):
+        store = VeloxStore()
+        store.create_log("obs")
+        with pytest.raises(StorageError):
+            store.create_log("obs")
+
+    def test_missing_log_rejected(self):
+        with pytest.raises(StorageError):
+            VeloxStore().log("ghost")
+
+    def test_get_or_create_log(self):
+        store = VeloxStore()
+        assert store.get_or_create_log("x") is store.get_or_create_log("x")
+
+    def test_log_names(self):
+        store = VeloxStore()
+        store.create_log("b")
+        store.create_log("a")
+        assert store.log_names() == ["a", "b"]
+
+
+class TestNodeFailureHooks:
+    def test_fail_and_recover_node_across_tables(self):
+        store = VeloxStore(default_partitions=3)
+        t1 = store.create_table("one", partitioner=lambda k: k % 3)
+        t2 = store.create_table("two", partitioner=lambda k: k % 3)
+        for i in range(9):
+            t1.put(i, i)
+            t2.put(i, -i)
+        store.fail_node(1)
+        assert t1.partition(1).failed and t2.partition(1).failed
+        replayed = store.recover_node(1)
+        assert replayed == 6  # 3 keys per table on partition 1
+        assert t1.get(4) == 4
+        assert t2.get(7) == -7
+
+    def test_snapshot_all_then_recover(self):
+        store = VeloxStore(default_partitions=2)
+        table = store.create_table("t", partitioner=lambda k: k % 2)
+        for i in range(6):
+            table.put(i, i)
+        store.snapshot_all()
+        table.put(100, 100)
+        store.fail_node(0)
+        replayed = store.recover_node(0)
+        assert replayed == 1  # only the post-snapshot write on partition 0
+        assert len(table) == 7
+
+    def test_recover_healthy_node_is_noop(self):
+        store = VeloxStore(default_partitions=2)
+        store.create_table("t")
+        assert store.recover_node(0) == 0

@@ -1,0 +1,166 @@
+"""Table: partition addressing, mapping API, CAS, failure handling."""
+
+import pytest
+
+from repro.common.errors import (
+    KeyNotFoundError,
+    PartitionError,
+    VersionConflictError,
+)
+from repro.store import Table
+
+
+class TestConstruction:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Table("")
+
+    def test_requires_positive_partitions(self):
+        with pytest.raises(ValueError):
+            Table("t", num_partitions=0)
+
+
+class TestPartitionAddressing:
+    def test_partition_index_stable(self):
+        table = Table("t", num_partitions=4)
+        assert table.partition_index("k") == table.partition_index("k")
+
+    def test_partition_index_in_range(self):
+        table = Table("t", num_partitions=4)
+        for key in range(100):
+            assert 0 <= table.partition_index(key) < 4
+
+    def test_custom_partitioner_used(self):
+        table = Table("t", num_partitions=4, partitioner=lambda uid: uid % 4)
+        assert table.partition_index(7) == 3
+
+    def test_custom_partitioner_out_of_range_rejected(self):
+        table = Table("t", num_partitions=2, partitioner=lambda _k: 5)
+        with pytest.raises(PartitionError):
+            table.put("k", "v")
+
+    def test_keys_spread_over_partitions(self):
+        table = Table("t", num_partitions=4)
+        for i in range(200):
+            table.put(i, i)
+        sizes = [len(table.partition(i)) for i in range(4)]
+        assert all(size > 20 for size in sizes)
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(PartitionError):
+            Table("t", num_partitions=2).partition(9)
+
+
+class TestMappingApi:
+    def test_get_put_roundtrip(self):
+        table = Table("t", num_partitions=3)
+        table.put("k", [1, 2])
+        assert table.get("k") == [1, 2]
+        assert table["k"] == [1, 2]
+
+    def test_setitem(self):
+        table = Table("t")
+        table["k"] = 5
+        assert table["k"] == 5
+
+    def test_get_missing_raises_key_not_found(self):
+        table = Table("t")
+        with pytest.raises(KeyNotFoundError):
+            table.get("missing")
+
+    def test_key_not_found_is_a_key_error(self):
+        table = Table("t")
+        with pytest.raises(KeyError):
+            table["missing"]
+
+    def test_get_or_default(self):
+        table = Table("t")
+        assert table.get_or_default("k", 42) == 42
+
+    def test_contains_len_keys_items(self):
+        table = Table("t", num_partitions=2)
+        table.put("a", 1)
+        table.put("b", 2)
+        assert "a" in table and "c" not in table
+        assert len(table) == 2
+        assert sorted(table.keys()) == ["a", "b"]
+        assert dict(table.items()) == {"a": 1, "b": 2}
+
+    def test_put_many(self):
+        table = Table("t", num_partitions=3)
+        count = table.put_many((i, i * 2) for i in range(10))
+        assert count == 10
+        assert table.get(7) == 14
+
+    def test_delete(self):
+        table = Table("t")
+        table.put("k", 1)
+        assert table.delete("k") is True
+        assert table.delete("k") is False
+
+    def test_truncate(self):
+        table = Table("t", num_partitions=3)
+        for i in range(9):
+            table.put(i, i)
+        table.truncate()
+        assert len(table) == 0
+
+    def test_scan_partition(self):
+        table = Table("t", num_partitions=2, partitioner=lambda k: k % 2)
+        for i in range(6):
+            table.put(i, i * 10)
+        evens = dict(table.scan_partition(0))
+        assert evens == {0: 0, 2: 20, 4: 40}
+
+
+class TestVersioning:
+    def test_get_versioned(self):
+        table = Table("t")
+        table.put("k", "v")
+        table.put("k", "v2")
+        versioned = table.get_versioned("k")
+        assert versioned.value == "v2"
+        assert versioned.version == 2
+
+    def test_cas_success_path(self):
+        table = Table("t")
+        version = table.put("k", "v")
+        new_version = table.compare_and_set("k", "v2", version)
+        assert new_version == version + 1
+        assert table.get("k") == "v2"
+
+    def test_cas_absent_key_with_zero(self):
+        table = Table("t")
+        assert table.compare_and_set("k", "v", 0) == 1
+
+    def test_cas_conflict(self):
+        table = Table("t")
+        table.put("k", "v")
+        table.put("k", "v2")
+        with pytest.raises(VersionConflictError) as exc:
+            table.compare_and_set("k", "v3", 1)
+        assert exc.value.expected == 1
+        assert exc.value.actual == 2
+
+
+class TestFailureHandling:
+    def test_fail_and_recover_one_partition(self):
+        table = Table("t", num_partitions=2, partitioner=lambda k: k % 2)
+        for i in range(10):
+            table.put(i, i)
+        table.fail_partition(0)
+        with pytest.raises(PartitionError):
+            table.get(2)
+        assert table.get(3) == 3  # other partition unaffected
+        table.recover_partition(0)
+        assert table.get(2) == 2
+
+    def test_recover_all(self):
+        table = Table("t", num_partitions=3)
+        for i in range(12):
+            table.put(i, i)
+        table.fail_partition(0)
+        table.fail_partition(2)
+        replayed = table.recover_all()
+        assert replayed > 0
+        assert len(table) == 12

@@ -1,0 +1,183 @@
+"""The micro-batch stream processor: sources, operators, sinks, pipeline."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.streaming import (
+    CallbackSink,
+    CollectSink,
+    Filter,
+    FlatMap,
+    IterableSource,
+    Map,
+    PipelineMetrics,
+    ReplaySource,
+    StreamPipeline,
+    TumblingWindowAggregate,
+    VeloxObserveSink,
+)
+
+
+class TestSources:
+    def test_iterable_source_chunks(self):
+        source = IterableSource(range(10), batch_size=4)
+        assert source.next_batch() == [0, 1, 2, 3]
+        assert source.next_batch() == [4, 5, 6, 7]
+        assert source.next_batch() == [8, 9]
+        assert source.next_batch() is None
+        assert source.next_batch() is None  # stays exhausted
+
+    def test_iterable_source_exact_multiple(self):
+        source = IterableSource(range(4), batch_size=2)
+        assert source.next_batch() == [0, 1]
+        assert source.next_batch() == [2, 3]
+        assert source.next_batch() is None
+
+    def test_empty_iterable(self):
+        assert IterableSource([], batch_size=3).next_batch() is None
+
+    def test_replay_source(self):
+        source = ReplaySource([[1, 2], [3]])
+        assert source.next_batch() == [1, 2]
+        assert source.next_batch() == [3]
+        assert source.next_batch() is None
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            IterableSource([1], batch_size=0)
+        with pytest.raises(ValidationError):
+            ReplaySource([42])  # not a list of lists
+
+
+class TestOperators:
+    def test_map_filter_flatmap(self):
+        batch = [1, 2, 3, 4]
+        assert Map(lambda x: x * 10).process(batch) == [10, 20, 30, 40]
+        assert Filter(lambda x: x % 2 == 0).process(batch) == [2, 4]
+        assert FlatMap(lambda x: [x] * x).process([2, 1]) == [2, 2, 1]
+
+    def test_tumbling_window_emits_on_full(self):
+        window = TumblingWindowAggregate(
+            key_fn=lambda r: r[0], zero=0.0, add=lambda acc, r: acc + r[1],
+            window_size=2,
+        )
+        out = window.process([("a", 1.0), ("b", 5.0), ("a", 3.0)])
+        assert out == [("a", 4.0)]  # a's window closed; b still open
+        assert window.flush() == [("b", 5.0)]
+
+    def test_window_state_spans_batches(self):
+        window = TumblingWindowAggregate(
+            key_fn=lambda r: r[0], zero=0, add=lambda acc, r: acc + 1,
+            window_size=3,
+        )
+        assert window.process([("k", None)]) == []
+        assert window.process([("k", None)]) == []
+        assert window.process([("k", None)]) == [("k", 3)]
+
+    def test_window_zero_not_shared_between_keys(self):
+        window = TumblingWindowAggregate(
+            key_fn=lambda r: r[0], zero=[], add=lambda acc, r: acc + [r[1]],
+            window_size=2,
+        )
+        out = window.process([("a", 1), ("b", 2), ("a", 3), ("b", 4)])
+        assert dict(out) == {"a": [1, 3], "b": [2, 4]}
+
+    def test_window_validation(self):
+        with pytest.raises(ValidationError):
+            TumblingWindowAggregate(lambda r: r, 0, lambda a, b: a, 0)
+
+
+class TestPipeline:
+    def test_end_to_end_transformation(self):
+        sink = CollectSink()
+        pipeline = StreamPipeline(
+            source=IterableSource(range(20), batch_size=6),
+            operators=[Filter(lambda x: x % 2 == 0), Map(lambda x: x * x)],
+            sinks=[sink],
+        )
+        metrics = pipeline.run()
+        assert sink.records == [x * x for x in range(0, 20, 2)]
+        assert metrics.batches == 4
+        assert metrics.records_in == 20
+        assert metrics.records_out == 10
+        assert sink.closed
+
+    def test_max_batches_pauses_and_resumes(self):
+        sink = CollectSink()
+        pipeline = StreamPipeline(
+            source=IterableSource(range(10), batch_size=2), sinks=[sink]
+        )
+        pipeline.run(max_batches=2)
+        assert len(sink.records) == 4
+        assert not sink.closed  # stream not ended yet
+        pipeline.run()
+        assert len(sink.records) == 10
+        assert sink.closed
+
+    def test_flush_routes_through_downstream_operators(self):
+        window = TumblingWindowAggregate(
+            key_fn=lambda r: r % 3, zero=0, add=lambda acc, r: acc + r,
+            window_size=100,  # never fills: everything flushes
+        )
+        sink = CollectSink()
+        pipeline = StreamPipeline(
+            source=IterableSource(range(6), batch_size=3),
+            operators=[window, Map(lambda kv: kv[1])],
+            sinks=[sink],
+        )
+        metrics = pipeline.run()
+        assert sorted(sink.records) == sorted(
+            [0 + 3, 1 + 4, 2 + 5]
+        )
+        assert metrics.flushed_records == 3
+
+    def test_multiple_sinks_fan_out(self):
+        seen = []
+        sink_a = CollectSink()
+        sink_b = CallbackSink(seen.append)
+        StreamPipeline(
+            source=IterableSource([1, 2, 3], batch_size=2),
+            sinks=[sink_a, sink_b],
+        ).run()
+        assert sink_a.records == [1, 2, 3]
+        assert seen == [1, 2, 3]
+
+    def test_requires_a_sink(self):
+        with pytest.raises(ValidationError):
+            StreamPipeline(source=IterableSource([1]), sinks=[])
+
+
+class TestVeloxIntegration:
+    def test_clickstream_feeds_online_learning(self, deployed_velox):
+        """Raw play events roll up per (user, song) session window and
+        flow into observe — the Figure 1 loop through the stream layer."""
+        events = [
+            # (uid, song, seconds_listened); 3 plays per pair -> 1 label
+            (1, 5, 200.0), (1, 5, 40.0), (1, 5, 240.0),
+            (2, 7, 10.0), (2, 7, 20.0), (2, 7, 15.0),
+        ]
+        window = TumblingWindowAggregate(
+            key_fn=lambda e: (e[0], e[1]),
+            zero=(0.0, 0),
+            add=lambda acc, e: (acc[0] + e[2], acc[1] + 1),
+            window_size=3,
+        )
+        to_rating = Map(
+            lambda kv: (kv[0][0], kv[0][1], min(5.0, kv[1][0] / kv[1][1] / 48.0))
+        )
+        sink = VeloxObserveSink(deployed_velox)
+        StreamPipeline(
+            source=IterableSource(events, batch_size=2),
+            operators=[window, to_rating],
+            sinks=[sink],
+        ).run()
+        assert sink.observations_written == 2
+        log = deployed_velox.manager.observation_log("songs")
+        assert len(log) == 2
+        labels = {ob.uid: ob.label for ob in log.read_all()}
+        assert labels[1] > labels[2]  # heavy listener -> higher rating
+
+    def test_malformed_record_rejected(self, deployed_velox):
+        sink = VeloxObserveSink(deployed_velox)
+        with pytest.raises(ValidationError):
+            sink.write([("not", "a", "triple", "at all")])

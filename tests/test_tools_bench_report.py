@@ -1,0 +1,61 @@
+"""The bench-report aggregation tool."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.tools.bench_report import build_report, main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig3_update_latency.txt").write_text("d  latency\n10  0.001\n")
+    (tmp_path / "ablation_routing.txt").write_text("router  remote\nua  0\n")
+    (tmp_path / "custom_extra.txt").write_text("hello\n")
+    return tmp_path
+
+
+class TestBuildReport:
+    def test_known_series_titled_and_ordered(self, results_dir):
+        report = build_report(results_dir)
+        fig3 = report.index("Figure 3")
+        routing = report.index("routing locality")
+        assert fig3 < routing
+        assert "d  latency" in report
+
+    def test_unknown_series_appended(self, results_dir):
+        report = build_report(results_dir)
+        assert "## custom_extra" in report
+        assert "hello" in report
+
+    def test_missing_series_listed(self, results_dir):
+        report = build_report(results_dir)
+        assert "Missing series" in report
+        assert "Figure 4" in report
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            build_report(tmp_path)
+
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            build_report(tmp_path / "ghost")
+
+
+class TestMain:
+    def test_main_prints_report(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark series report" in out
+
+    def test_main_error_exit_code(self, tmp_path, capsys):
+        assert main([str(tmp_path / "ghost")]) == 1
+
+    def test_against_real_results_if_present(self):
+        """When the repo's own results exist, the tool renders them."""
+        from pathlib import Path
+
+        real = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+        if not real.is_dir() or not list(real.glob("*.txt")):
+            pytest.skip("no recorded benchmark results")
+        report = build_report(real)
+        assert "Figure 3" in report

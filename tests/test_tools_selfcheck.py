@@ -1,0 +1,16 @@
+"""The install self-check tool."""
+
+import pytest
+
+from repro.tools.selfcheck import main, run_selfcheck
+
+
+class TestSelfcheck:
+    def test_runs_clean(self):
+        summary = run_selfcheck(verbose=False)
+        assert summary["online_rmse"] < summary["baseline_rmse"]
+        assert summary["retrained_rmse"] < summary["baseline_rmse"]
+        assert summary["retrain_version"] == 1
+
+    def test_main_exit_code(self, capsys):
+        assert main(["--quiet"]) == 0

@@ -1,0 +1,83 @@
+"""The Velox facade: deployment wiring, default-model behavior, errors."""
+
+import numpy as np
+import pytest
+
+from repro import Velox, VeloxConfig
+from repro.common.errors import ModelNotFoundError
+from repro.core.bandits import LinUcbPolicy
+from tests.conftest import make_initial_weights, make_mf_model
+
+
+class TestDeploy:
+    def test_deploy_wires_everything(self):
+        velox = Velox.deploy(VeloxConfig(num_nodes=3))
+        assert velox.cluster.num_nodes == 3
+        assert velox.batch_context.default_parallelism == 3
+        assert velox.service.registry is velox.registry
+        assert velox.manager.service is velox.service
+
+    def test_deploy_respects_network_config(self):
+        cfg = VeloxConfig(remote_hop_latency=7e-3, remote_bandwidth=5e8)
+        velox = Velox.deploy(cfg)
+        assert velox.cluster.network.hop_latency == 7e-3
+        assert velox.cluster.network.bandwidth == 5e8
+
+    def test_batch_parallelism_override(self):
+        velox = Velox.deploy(VeloxConfig(num_nodes=2), batch_parallelism=7)
+        assert velox.batch_context.default_parallelism == 7
+
+
+class TestDefaultModel:
+    def test_no_models_raises_model_not_found(self):
+        velox = Velox.deploy(VeloxConfig(num_nodes=1))
+        with pytest.raises(ModelNotFoundError):
+            velox.predict(None, 1, 2)
+        with pytest.raises(ModelNotFoundError):
+            velox.observe(uid=1, x=2, y=3.0)
+
+    def test_first_model_becomes_default(self, trained_als):
+        model = make_mf_model(trained_als, name="first")
+        velox = Velox.deploy(VeloxConfig(num_nodes=2), auto_retrain=False)
+        velox.add_model(model, make_initial_weights(model, trained_als))
+        velox.add_model(make_mf_model(trained_als, name="second"))
+        assert velox.model().name == "first"
+        __, score = velox.predict(None, 1, 3)
+        assert np.isfinite(score)
+
+    def test_explicit_name_overrides_default(self, trained_als):
+        velox = Velox.deploy(VeloxConfig(num_nodes=2), auto_retrain=False)
+        velox.add_model(make_mf_model(trained_als, name="a"))
+        velox.add_model(make_mf_model(trained_als, name="b"))
+        assert velox.model("b").name == "b"
+
+
+class TestFacadePassthroughs:
+    def test_predict_and_detailed_agree(self, deployed_velox):
+        item, score = deployed_velox.predict(None, 1, 4)
+        detailed = deployed_velox.predict_detailed(None, 1, 4)
+        assert detailed.item == item
+        assert detailed.score == pytest.approx(score)
+
+    def test_top_k_with_policy_and_filter(self, deployed_velox):
+        results = deployed_velox.top_k(
+            None,
+            2,
+            list(range(12)),
+            k=3,
+            policy=LinUcbPolicy(alpha=0.1),
+            item_filter=lambda x: x >= 6,
+        )
+        assert len(results) == 3
+        assert all(item >= 6 for item, __ in results)
+
+    def test_health_passthrough(self, deployed_velox):
+        deployed_velox.observe(uid=1, x=2, y=3.0)
+        assert deployed_velox.health().observations == 1
+
+    def test_rollback_passthrough(self, deployed_velox, small_split):
+        for r in small_split.stream[:40]:
+            deployed_velox.observe(uid=r.uid, x=r.item_id, y=r.rating)
+        deployed_velox.retrain()
+        revived = deployed_velox.rollback(version=0)
+        assert revived.version == 2

@@ -1,0 +1,190 @@
+"""Workload generators: Zipf skew, request mixes, topK batches."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.workloads import (
+    ObserveRequest,
+    PredictRequest,
+    ZipfItemSampler,
+    generate_request_stream,
+    generate_topk_batches,
+)
+
+
+class TestZipfItemSampler:
+    def test_samples_in_range(self):
+        sampler = ZipfItemSampler(50, 0.9, rng=1)
+        ids = sampler.sample(size=500)
+        assert ids.min() >= 0 and ids.max() < 50
+
+    def test_skew_increases_concentration(self):
+        def top_share(exponent):
+            sampler = ZipfItemSampler(100, exponent, rng=3)
+            ids = sampler.sample(size=5000)
+            counts = np.bincount(ids, minlength=100)
+            counts.sort()
+            return counts[-10:].sum() / 5000
+
+        assert top_share(1.2) > top_share(0.0) + 0.2
+
+    def test_uniform_when_exponent_zero(self):
+        sampler = ZipfItemSampler(10, 0.0, rng=5)
+        ids = sampler.sample(size=5000)
+        counts = np.bincount(ids, minlength=10)
+        assert counts.min() > 300
+
+    def test_sample_distinct(self):
+        sampler = ZipfItemSampler(30, 0.8, rng=2)
+        ids = sampler.sample_distinct(30)
+        assert sorted(ids) == list(range(30))
+
+    def test_sample_distinct_too_many(self):
+        with pytest.raises(ValidationError):
+            ZipfItemSampler(5, 0.5).sample_distinct(6)
+
+    def test_single_sample_is_int(self):
+        assert isinstance(ZipfItemSampler(5, 0.5, rng=1).sample(), int)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ZipfItemSampler(0, 0.5)
+        with pytest.raises(ValidationError):
+            ZipfItemSampler(5, -1.0)
+
+
+class TestRequestStream:
+    def test_mix_fraction(self):
+        sampler = ZipfItemSampler(20, 0.5, rng=1)
+        stream = generate_request_stream(
+            1000, num_users=10, item_sampler=sampler, observe_fraction=0.3, rng=2
+        )
+        observes = sum(1 for r in stream if isinstance(r, ObserveRequest))
+        assert 230 <= observes <= 370
+        assert all(
+            isinstance(r, (PredictRequest, ObserveRequest)) for r in stream
+        )
+
+    def test_label_fn_used(self):
+        sampler = ZipfItemSampler(5, 0.0, rng=1)
+        stream = generate_request_stream(
+            200,
+            num_users=3,
+            item_sampler=sampler,
+            observe_fraction=1.0,
+            label_fn=lambda uid, item: uid + item,
+            rng=4,
+        )
+        assert all(r.label == r.uid + r.item_id for r in stream)
+
+    def test_all_predict_when_fraction_zero(self):
+        sampler = ZipfItemSampler(5, 0.0, rng=1)
+        stream = generate_request_stream(
+            50, num_users=2, item_sampler=sampler, observe_fraction=0.0, rng=1
+        )
+        assert all(isinstance(r, PredictRequest) for r in stream)
+
+    def test_validation(self):
+        sampler = ZipfItemSampler(5, 0.0)
+        with pytest.raises(ValidationError):
+            generate_request_stream(-1, 2, sampler)
+        with pytest.raises(ValidationError):
+            generate_request_stream(10, 0, sampler)
+        with pytest.raises(ValidationError):
+            generate_request_stream(10, 2, sampler, observe_fraction=2.0)
+
+
+class TestDriftingStream:
+    def test_phases_emit_in_order(self):
+        from repro.workloads import generate_drifting_stream
+
+        sampler = ZipfItemSampler(10, 0.0, rng=1)
+        stream = generate_drifting_stream(
+            num_users=4,
+            item_sampler=sampler,
+            phases=[(5, lambda u, i: 1.0), (7, lambda u, i: 2.0)],
+            rng=2,
+        )
+        assert len(stream) == 12
+        assert all(r.label == 1.0 for r in stream[:5])
+        assert all(r.label == 2.0 for r in stream[5:])
+
+    def test_label_fn_receives_ids(self):
+        from repro.workloads import generate_drifting_stream
+
+        sampler = ZipfItemSampler(6, 0.0, rng=1)
+        stream = generate_drifting_stream(
+            4, sampler, [(20, lambda u, i: u * 100 + i)], rng=3
+        )
+        assert all(r.label == r.uid * 100 + r.item_id for r in stream)
+
+    def test_validation(self):
+        from repro.workloads import generate_drifting_stream
+
+        sampler = ZipfItemSampler(5, 0.0)
+        with pytest.raises(ValidationError):
+            generate_drifting_stream(0, sampler, [(1, lambda u, i: 1.0)])
+        with pytest.raises(ValidationError):
+            generate_drifting_stream(2, sampler, [])
+        with pytest.raises(ValidationError):
+            generate_drifting_stream(2, sampler, [(-1, lambda u, i: 1.0)])
+        with pytest.raises(ValidationError):
+            generate_drifting_stream(2, sampler, [(1, "not callable")])
+
+    def test_drives_staleness_detection_end_to_end(self, deployed_velox):
+        """The designed use: phase-2 drift trips the manager's detector."""
+        from repro.workloads import generate_drifting_stream
+
+        deployed_velox.manager.auto_retrain = False
+        sampler = ZipfItemSampler(60, 0.5, rng=4)
+        model = deployed_velox.model()
+        stream = generate_drifting_stream(
+            num_users=30,
+            item_sampler=sampler,
+            phases=[
+                # phase 1: labels follow the model (low loss baseline)
+                (600, lambda u, i: float(
+                    deployed_velox.predict(None, u, i)[1]
+                )),
+                # phase 2: inverted world
+                (600, lambda u, i: 5.5 - float(
+                    deployed_velox.predict(None, u, i)[1]
+                )),
+            ],
+            rng=5,
+        )
+        became_stale_at = None
+        for index, request in enumerate(stream):
+            deployed_velox.observe(
+                uid=request.uid,
+                x=request.item_id,
+                y=float(np.clip(request.label, 0.5, 5.0)),
+            )
+            health = deployed_velox.health()
+            if health.is_stale(1.5, 500):
+                became_stale_at = index
+                break
+        assert became_stale_at is not None
+        assert became_stale_at >= 600  # not before the drift
+
+
+class TestTopKBatches:
+    def test_batch_shape(self):
+        sampler = ZipfItemSampler(100, 0.7, rng=1)
+        batches = generate_topk_batches(
+            20, itemset_size=15, num_users=5, item_sampler=sampler, k=3, rng=2
+        )
+        assert len(batches) == 20
+        for batch in batches:
+            assert len(batch.item_ids) == 15
+            assert len(set(batch.item_ids)) == 15  # distinct
+            assert batch.k == 3
+            assert 0 <= batch.uid < 5
+
+    def test_validation(self):
+        sampler = ZipfItemSampler(10, 0.5)
+        with pytest.raises(ValidationError):
+            generate_topk_batches(-1, 5, 2, sampler)
+        with pytest.raises(ValidationError):
+            generate_topk_batches(1, 0, 2, sampler)
