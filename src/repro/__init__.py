@@ -23,6 +23,7 @@ from repro.core import Velox
 from repro.core.model import VeloxModel, ModelRegistry
 from repro.core.prediction import PredictionService, PredictionResult
 from repro.core.manager import ModelManager
+from repro.serving import ServingConfig, ServingEngine
 
 __version__ = "0.1.0"
 
@@ -34,5 +35,7 @@ __all__ = [
     "PredictionService",
     "PredictionResult",
     "ModelManager",
+    "ServingConfig",
+    "ServingEngine",
     "__version__",
 ]

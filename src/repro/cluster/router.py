@@ -38,6 +38,17 @@ class Router(ABC):
     def route(self, uid: int) -> Node:
         """The node that should serve this user's request."""
 
+    def route_index(self, uid: int) -> int:
+        """The node id this request routes to.
+
+        Used by the serving engine to shard its request queues per node,
+        so batches stay node-local and adaptive batching composes with
+        user-aware routing (a batch never mixes users whose weight
+        partitions live on different nodes). Stateful routers (round
+        robin) advance their state like any other routing decision.
+        """
+        return self.route(uid).node_id
+
 
 class UserAwareRouter(Router):
     """Route to the node owning the user's weight partition (the paper's

@@ -111,3 +111,18 @@ class StaleModelError(ReproError):
 
 class ValidationError(ReproError):
     """User-supplied data failed validation (bad shape, NaN, wrong dtype)."""
+
+
+class OverloadedError(ReproError):
+    """The serving tier shed this request instead of queueing it.
+
+    Raised by admission control when a request queue is at its depth
+    bound, and used to fail queued requests whose waiting time exceeded
+    the queue's age bound. Callers should treat it as retryable
+    backpressure, not a permanent failure.
+    """
+
+    def __init__(self, queue: str, reason: str):
+        self.queue = queue
+        self.reason = reason
+        super().__init__(f"queue {queue!r} shed request: {reason}")

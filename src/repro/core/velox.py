@@ -177,6 +177,22 @@ class Velox:
         """The model's live health tracker."""
         return self.manager.health_report(self._model_name(model_name))
 
+    # -- serving under load -------------------------------------------------------------
+
+    def serving_engine(self, config=None, clock=None):
+        """A :class:`~repro.serving.ServingEngine` over this deployment.
+
+        The engine adds request queues, adaptive batching, and load
+        shedding in front of the prediction service; call ``start()``
+        (or use it as a context manager) before submitting::
+
+            with velox.serving_engine(ServingConfig(num_workers=4)) as eng:
+                result = eng.predict(uid=7, x=42)
+        """
+        from repro.serving import ServingEngine
+
+        return ServingEngine(self, config=config, clock=clock)
+
     # -- persistence --------------------------------------------------------------------
 
     def save(self, directory) -> "Path":

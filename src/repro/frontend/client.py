@@ -22,10 +22,18 @@ from repro.frontend.api import (
 
 
 class VeloxClient:
-    """Binds API request objects to a :class:`~repro.core.velox.Velox`."""
+    """Binds API request objects to a :class:`~repro.core.velox.Velox`.
 
-    def __init__(self, velox):
+    With a started :class:`~repro.serving.ServingEngine`, ``predict``
+    and ``top_k`` requests are enqueued through the engine (batching,
+    admission control, shedding) instead of dispatched inline; every
+    other request type keeps the synchronous path. Shed requests come
+    back as ``OverloadedError`` error envelopes, never exceptions.
+    """
+
+    def __init__(self, velox, engine=None):
         self.velox = velox
+        self.engine = engine
 
     # -- convenience methods (build request objects internally) -------------
 
@@ -89,7 +97,14 @@ class VeloxClient:
 
     def _dispatch(self, request) -> ApiResponse:
         if isinstance(request, PredictApiRequest):
-            result = self.velox.predict_detailed(request.model, request.uid, request.item)
+            if self.engine is not None:
+                result = self.engine.predict(
+                    request.uid, request.item, model=request.model
+                )
+            else:
+                result = self.velox.predict_detailed(
+                    request.model, request.uid, request.item
+                )
             return ApiResponse(
                 ok=True,
                 payload={
@@ -105,13 +120,22 @@ class VeloxClient:
                 if request.policy
                 else None
             )
-            results = self.velox.service.top_k(
-                self.velox._model_name(request.model),
-                request.uid,
-                list(request.items),
-                k=request.k,
-                policy=policy,
-            )
+            if self.engine is not None:
+                results = self.engine.top_k(
+                    request.uid,
+                    list(request.items),
+                    k=request.k,
+                    model=request.model,
+                    policy=policy,
+                )
+            else:
+                results = self.velox.service.top_k(
+                    self.velox._model_name(request.model),
+                    request.uid,
+                    list(request.items),
+                    k=request.k,
+                    policy=policy,
+                )
             return ApiResponse(
                 ok=True,
                 payload={

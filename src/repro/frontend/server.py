@@ -25,7 +25,13 @@ from repro.frontend.client import VeloxClient
 
 class _RequestHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
-        """Serve JSON-line requests until the client disconnects."""
+        """Serve JSON-line requests until the client disconnects.
+
+        Every failure — malformed JSON, validation, or an unexpected
+        error out of dispatch — becomes an error envelope on the same
+        connection; the line protocol keeps serving, never dying with a
+        half-open socket and no response.
+        """
         client: VeloxClient = self.server.velox_client
         for raw in self.rfile:
             line = raw.decode("utf-8").strip()
@@ -36,6 +42,10 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 response = client.dispatch(request)
             except ValidationError as err:
                 response = ApiResponse(ok=False, error=str(err))
+            except Exception as err:  # keep the connection alive
+                response = ApiResponse(
+                    ok=False, error=f"{type(err).__name__}: {err}"
+                )
             self.wfile.write((encode_response(response) + "\n").encode("utf-8"))
             self.wfile.flush()
 
@@ -54,11 +64,20 @@ class VeloxServer:
         server.start()
         ... RemoteClient("127.0.0.1", server.port) ...
         server.stop()
+
+    With ``engine`` set to a :class:`~repro.serving.ServingEngine`,
+    predict/top-k requests are enqueued through the serving engine
+    (adaptive batching across connections, admission control, load
+    shedding) instead of dispatched inline on the connection thread; the
+    engine's lifecycle follows the server's.
     """
 
-    def __init__(self, velox, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self, velox, host: str = "127.0.0.1", port: int = 0, engine=None
+    ):
         self._server = _ThreadedTcpServer((host, port), _RequestHandler)
-        self._server.velox_client = VeloxClient(velox)
+        self._server.velox_client = VeloxClient(velox, engine=engine)
+        self._engine = engine
         self._thread: threading.Thread | None = None
 
     @property
@@ -72,9 +91,15 @@ class VeloxServer:
         return self._server.server_address[1]
 
     def start(self) -> "VeloxServer":
-        """Start serving on a background thread; returns self."""
+        """Start serving on a background thread; returns self.
+
+        An attached serving engine that is not yet running is started
+        alongside the listener.
+        """
         if self._thread is not None:
             raise ValidationError("server already started")
+        if self._engine is not None and not self._engine.running:
+            self._engine.start()
         self._thread = threading.Thread(
             target=self._server.serve_forever, name="velox-server", daemon=True
         )
@@ -82,13 +107,15 @@ class VeloxServer:
         return self
 
     def stop(self) -> None:
-        """Shut the server down and join its thread."""
+        """Shut the server down (and any attached engine), join threads."""
         if self._thread is None:
             return
         self._server.shutdown()
         self._server.server_close()
         self._thread.join(timeout=5)
         self._thread = None
+        if self._engine is not None:
+            self._engine.stop()
 
     def __enter__(self) -> "VeloxServer":
         return self.start()

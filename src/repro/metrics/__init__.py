@@ -16,6 +16,7 @@ from repro.metrics.errors import (
 )
 from repro.metrics.streaming import StreamingMeanVar, WindowedMean, Ewma
 from repro.metrics.latency import LatencyRecorder, Timer
+from repro.metrics.serving import Histogram, QueueMetrics
 
 __all__ = [
     "squared_error",
@@ -30,4 +31,6 @@ __all__ = [
     "Ewma",
     "LatencyRecorder",
     "Timer",
+    "Histogram",
+    "QueueMetrics",
 ]

@@ -7,6 +7,7 @@ paper's Figures 3 and 4.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -30,29 +31,51 @@ class LatencySummary:
 
 
 class LatencyRecorder:
-    """Accumulates durations (seconds) and summarizes them."""
+    """Accumulates durations (seconds) and summarizes them.
+
+    Thread-safe: concurrent serving workers may share one recorder (or
+    keep one each and :meth:`merge` them), so every read and write of the
+    sample list happens under a lock — ``summary`` never sees a torn
+    append.
+    """
 
     def __init__(self, name: str = "latency"):
         self.name = name
+        self._lock = threading.Lock()
         self._samples: list[float] = []
 
     def record(self, seconds: float) -> None:
         """Append one duration in seconds."""
         if seconds < 0:
             raise ValidationError(f"latency cannot be negative: {seconds}")
-        self._samples.append(seconds)
+        with self._lock:
+            self._samples.append(seconds)
 
     def __len__(self) -> int:
-        return len(self._samples)
+        with self._lock:
+            return len(self._samples)
 
     @property
     def samples(self) -> list[float]:
         """A copy of all recorded durations."""
-        return list(self._samples)
+        with self._lock:
+            return list(self._samples)
 
     def reset(self) -> None:
         """Discard every recorded sample."""
-        self._samples.clear()
+        with self._lock:
+            self._samples.clear()
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold another recorder's samples into this one; returns self.
+
+        Lets each serving worker keep a private recorder on the hot path
+        and combine them once at reporting time.
+        """
+        incoming = other.samples  # copied under other's lock
+        with self._lock:
+            self._samples.extend(incoming)
+        return self
 
     def time(self) -> "Timer":
         """A context manager recording its elapsed time here."""
@@ -60,9 +83,11 @@ class LatencyRecorder:
 
     def summary(self) -> LatencySummary:
         """Mean ± 95% CI plus percentiles over all samples."""
-        if not self._samples:
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
             raise ValidationError(f"recorder {self.name!r} has no samples")
-        arr = np.asarray(self._samples, dtype=float)
+        arr = np.asarray(samples, dtype=float)
         mean, ci95 = mean_confidence_interval(arr)
         return LatencySummary(
             count=int(arr.size),

@@ -1,0 +1,42 @@
+"""Serving engine: request queues, adaptive batching, SLO-aware shedding.
+
+The Clipper-style layer (Crankshaw et al., NSDI 2017 — the direct
+successor to Velox) between the frontend and the model tier:
+
+* :class:`RequestQueue` — bounded per-(model, node) FIFO queues,
+* batching policies — :class:`NoBatchingPolicy` (baseline),
+  :class:`FixedDelayPolicy`, and :class:`AdaptiveAimdPolicy` (AIMD batch
+  sizing against a p99 latency SLO),
+* :class:`ServingEngine` — a worker pool that forms batches and serves
+  them through ``PredictionService.predict_batch``, with admission
+  control and load shedding (:class:`~repro.common.errors.OverloadedError`)
+  instead of unbounded latency under overload,
+* per-queue metrics (:class:`~repro.metrics.QueueMetrics`): depth, wait
+  time, batch-size histogram, shed counts, SLO attainment.
+"""
+
+from repro.serving.batching import (
+    AdaptiveAimdPolicy,
+    BatchFormer,
+    BatchingPolicy,
+    FixedDelayPolicy,
+    NoBatchingPolicy,
+    make_batching_policy,
+)
+from repro.serving.config import BATCHING_POLICIES, ServingConfig
+from repro.serving.engine import ServingEngine
+from repro.serving.queue import QueuedRequest, RequestQueue
+
+__all__ = [
+    "AdaptiveAimdPolicy",
+    "BatchFormer",
+    "BatchingPolicy",
+    "BATCHING_POLICIES",
+    "FixedDelayPolicy",
+    "NoBatchingPolicy",
+    "make_batching_policy",
+    "QueuedRequest",
+    "RequestQueue",
+    "ServingConfig",
+    "ServingEngine",
+]

@@ -1,0 +1,379 @@
+"""The serving engine: queues + worker pool between frontend and models.
+
+Requests enter per-(model, node) bounded queues (sharded by the same
+router that owns user-weight locality, so a batch never mixes nodes), a
+shared worker pool forms batches under the configured policy, and every
+batch is evaluated through the vectorized
+:meth:`~repro.core.prediction.PredictionService.predict_batch` fast
+path. Overload is handled explicitly: full queues shed at admission,
+stale requests shed at dequeue, and (optionally) ``top_k`` degrades to
+the prediction-cache-only path instead of rejecting.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import OverloadedError, ValidationError
+from repro.core.bandits import GreedyPolicy
+from repro.metrics.serving import QueueMetrics
+from repro.serving.batching import BatchFormer, make_batching_policy
+from repro.serving.config import ServingConfig
+from repro.serving.queue import QueuedRequest, RequestQueue
+
+#: Upper bound on how long an idle worker sleeps between queue scans.
+_IDLE_WAIT = 0.05
+#: Floor for lingering waits so near-ready queues don't busy-spin.
+_MIN_WAIT = 1e-4
+
+
+class ServingEngine:
+    """Queued, batched, SLO-aware serving over a Velox deployment.
+
+    Usage::
+
+        engine = ServingEngine(velox, ServingConfig(num_workers=4))
+        with engine:                       # starts the worker pool
+            future = engine.submit_predict(uid=7, x=42)
+            result = future.result()       # a PredictionResult
+            best = engine.top_k(uid=7, items=[1, 2, 3], k=2)
+
+    The synchronous in-process path (``velox.predict`` etc.) remains
+    untouched; the engine is an optional layer the frontend server and
+    benchmarks opt into.
+    """
+
+    def __init__(
+        self,
+        velox,
+        config: ServingConfig | None = None,
+        clock: Clock | None = None,
+    ):
+        self.velox = velox
+        self.config = config if config is not None else ServingConfig()
+        self.clock = clock if clock is not None else SystemClock()
+        self._cond = threading.Condition()
+        self._queues: dict[tuple[str, int], RequestQueue] = {}
+        self._formers: dict[tuple[str, int], BatchFormer] = {}
+        self._metrics: dict[tuple[str, int], QueueMetrics] = {}
+        self._queue_keys: list[tuple[str, int]] = []
+        self._scan_offset = 0
+        self._workers: list[threading.Thread] = []
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the worker pool is accepting and serving requests."""
+        with self._cond:
+            return self._running
+
+    def start(self) -> "ServingEngine":
+        """Start the worker pool; returns self."""
+        with self._cond:
+            if self._running:
+                raise ValidationError("serving engine already started")
+            self._running = True
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"serving-worker-{i}", daemon=True
+            )
+            for i in range(self.config.num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop workers and fail everything still queued as overloaded.
+
+        Also drains queues when the engine never started, so no
+        submitted future is left forever pending.
+        """
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=5)
+        self._workers = []
+        for key, queue in self._queues.items():
+            for request in queue.drain():
+                self._metrics[key].on_shed(at_admission=False)
+                request.future.set_exception(
+                    OverloadedError(queue.name, "engine stopped")
+                )
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_predict(
+        self, uid: int, x: object, model: str | None = None
+    ) -> Future:
+        """Enqueue one point prediction; the future yields a
+        :class:`~repro.core.prediction.PredictionResult`."""
+        model_name = self.velox._model_name(model)
+        request = QueuedRequest(
+            kind="predict",
+            model=model_name,
+            uid=uid,
+            enqueue_time=self.clock.now(),
+            item=x,
+        )
+        return self._submit(request)
+
+    def submit_top_k(
+        self,
+        uid: int,
+        items,
+        k: int = 1,
+        model: str | None = None,
+        policy=None,
+        item_filter=None,
+    ) -> Future:
+        """Enqueue a best-k query; the future yields a list of
+        :class:`~repro.core.prediction.PredictionResult`."""
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        model_name = self.velox._model_name(model)
+        request = QueuedRequest(
+            kind="top_k",
+            model=model_name,
+            uid=uid,
+            enqueue_time=self.clock.now(),
+            items=tuple(items),
+            k=k,
+            policy=policy,
+            item_filter=item_filter,
+        )
+        return self._submit(request)
+
+    def predict(
+        self, uid: int, x: object, model: str | None = None, timeout: float | None = None
+    ):
+        """Blocking convenience around :meth:`submit_predict`."""
+        return self.submit_predict(uid, x, model=model).result(timeout)
+
+    def top_k(
+        self,
+        uid: int,
+        items,
+        k: int = 1,
+        model: str | None = None,
+        policy=None,
+        item_filter=None,
+        timeout: float | None = None,
+    ):
+        """Blocking convenience around :meth:`submit_top_k`."""
+        future = self.submit_top_k(
+            uid, items, k=k, model=model, policy=policy, item_filter=item_filter
+        )
+        return future.result(timeout)
+
+    def _submit(self, request: QueuedRequest) -> Future:
+        key = (request.model, self.velox.cluster.router.route_index(request.uid))
+        queue, metrics = self._queue_for(key)
+        if not queue.offer(request):
+            if (
+                request.kind == "top_k"
+                and self.config.degrade_top_k_on_overload
+            ):
+                # Graceful degradation: answer from the prediction cache
+                # only (possibly fewer than k items) instead of rejecting.
+                metrics.on_degraded()
+                request.future.set_result(
+                    self.velox.service.top_k_cached(
+                        request.model,
+                        request.uid,
+                        list(request.items),
+                        k=request.k,
+                        policy=request.policy,
+                    )
+                )
+                return request.future
+            metrics.on_shed(at_admission=True)
+            raise OverloadedError(
+                queue.name, f"queue depth bound {queue.max_depth} reached"
+            )
+        metrics.on_enqueue()
+        with self._cond:
+            self._cond.notify()
+        return request.future
+
+    def _queue_for(
+        self, key: tuple[str, int]
+    ) -> tuple[RequestQueue, QueueMetrics]:
+        with self._cond:
+            queue = self._queues.get(key)
+            if queue is None:
+                name = f"{key[0]}@node{key[1]}"
+                queue = RequestQueue(name, self.config.max_queue_depth)
+                self._queues[key] = queue
+                self._formers[key] = BatchFormer(
+                    make_batching_policy(self.config)
+                )
+                self._metrics[key] = QueueMetrics(name)
+                self._queue_keys.append(key)
+            return queue, self._metrics[key]
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                if not self._running:
+                    return
+                job, wait_hint = self._next_batch()
+                if job is None:
+                    self._cond.wait(timeout=wait_hint)
+                    continue
+            self._execute(*job)
+
+    def _next_batch(self):
+        """Scan queues round-robin for the next servable batch.
+
+        Returns ``((key, batch), _)`` when a batch formed, else
+        ``(None, seconds_until_something_may_be_ready)``. Expired
+        requests are shed here, before batch formation, so a burst that
+        outran the workers fails fast instead of serving stale. Callers
+        hold ``self._cond``.
+        """
+        now = self.clock.now()
+        wait_hint = _IDLE_WAIT
+        num_queues = len(self._queue_keys)
+        for offset in range(num_queues):
+            index = (self._scan_offset + offset) % num_queues
+            key = self._queue_keys[index]
+            queue = self._queues[key]
+            former = self._formers[key]
+            metrics = self._metrics[key]
+            for expired in queue.pop_expired(now, self.config.max_queue_age):
+                metrics.on_shed(at_admission=False)
+                expired.future.set_exception(
+                    OverloadedError(
+                        queue.name,
+                        f"queued {expired.age(now):.4f}s, age bound "
+                        f"{self.config.max_queue_age}s",
+                    )
+                )
+            batch = former.form(queue, now)
+            if batch:
+                self._scan_offset = (index + 1) % num_queues
+                return (key, batch), 0.0
+            ready_in = former.ready_in(queue, now)
+            if ready_in is not None:
+                wait_hint = min(wait_hint, max(_MIN_WAIT, ready_in))
+        return None, wait_hint
+
+    def _execute(self, key: tuple[str, int], batch: list[QueuedRequest]) -> None:
+        model_name = key[0]
+        metrics = self._metrics[key]
+        former = self._formers[key]
+        start = self.clock.now()
+        for request in batch:
+            metrics.wait.record(request.age(start))
+        metrics.batch_sizes.observe(len(batch))
+        try:
+            outcomes = self._run_batch(model_name, batch)
+        except Exception:
+            # One poisoned request must not fail its batch neighbours:
+            # fall back to serving each request individually.
+            outcomes = [self._run_single(request) for request in batch]
+        end = self.clock.now()
+        metrics.service.record(max(0.0, end - start))
+        worst = 0.0
+        for request, outcome in zip(batch, outcomes):
+            elapsed = max(0.0, end - request.enqueue_time)
+            metrics.end_to_end.record(elapsed)
+            worst = max(worst, elapsed)
+            metrics.on_complete(slo_hit=elapsed <= self.config.slo_p99)
+            if isinstance(outcome, BaseException):
+                request.future.set_exception(outcome)
+            else:
+                request.future.set_result(outcome)
+        former.policy.observe(len(batch), worst)
+
+    def _run_batch(self, model_name: str, batch: list[QueuedRequest]):
+        """Evaluate a whole batch through one ``predict_batch`` call.
+
+        ``top_k`` requests are flattened into the same stacked scoring
+        pass as point predictions, then re-ranked per request.
+        """
+        service = self.velox.service
+        user_ids: list[int] = []
+        xs: list = []
+        spans: list[tuple[QueuedRequest, int, int]] = []
+        for request in batch:
+            begin = len(user_ids)
+            if request.kind == "predict":
+                user_ids.append(request.uid)
+                xs.append(request.item)
+            else:
+                candidates = list(request.items)
+                if request.item_filter is not None:
+                    candidates = [
+                        x for x in candidates if request.item_filter(x)
+                    ]
+                user_ids.extend([request.uid] * len(candidates))
+                xs.extend(candidates)
+            spans.append((request, begin, len(user_ids)))
+        results = service.predict_batch(model_name, user_ids, xs)
+        outcomes = []
+        for request, begin, stop in spans:
+            slice_results = results[begin:stop]
+            if request.kind == "predict":
+                outcomes.append(slice_results[0])
+            else:
+                policy = (
+                    request.policy if request.policy is not None else GreedyPolicy()
+                )
+                ranked = sorted(
+                    slice_results,
+                    key=lambda r: policy.selection_score(r.score, r.uncertainty),
+                    reverse=True,
+                )
+                outcomes.append(ranked[: request.k])
+        return outcomes
+
+    def _run_single(self, request: QueuedRequest):
+        """Scalar fallback; returns the result or the exception."""
+        service = self.velox.service
+        try:
+            if request.kind == "predict":
+                return service.predict(request.model, request.uid, request.item)
+            return service.top_k(
+                request.model,
+                request.uid,
+                list(request.items),
+                k=request.k,
+                policy=request.policy,
+                item_filter=request.item_filter,
+            )
+        except Exception as err:
+            return err
+
+    # -- observability -------------------------------------------------------
+
+    def queue_metrics(self) -> dict[str, QueueMetrics]:
+        """Live :class:`QueueMetrics` objects keyed by queue name."""
+        with self._cond:
+            return {m.name: m for m in self._metrics.values()}
+
+    def queue_depths(self) -> dict[str, int]:
+        """Current depth of every queue."""
+        with self._cond:
+            return {q.name: len(q) for q in self._queues.values()}
+
+    def metrics_snapshot(self) -> dict[str, dict]:
+        """Plain-dict snapshot of every queue's metrics."""
+        return {
+            name: metrics.snapshot()
+            for name, metrics in self.queue_metrics().items()
+        }

@@ -1,0 +1,104 @@
+"""Bounded request queues for the serving engine.
+
+One :class:`RequestQueue` holds pending work for one (model, node) pair.
+Queues are plain FIFO under a lock; blocking/waking is coordinated by
+the engine's condition variable, not here, so the queue logic stays
+deterministic and directly testable with a simulated clock.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from collections import deque
+
+import threading
+
+
+@dataclass
+class QueuedRequest:
+    """One request waiting in a queue.
+
+    ``kind`` is ``"predict"`` (payload: ``item``) or ``"top_k"``
+    (payload: ``items``/``k``/``policy``/``item_filter``). The future is
+    completed by the worker that serves (or sheds) the request.
+    """
+
+    kind: str
+    model: str
+    uid: int
+    enqueue_time: float
+    item: object = None
+    items: tuple = ()
+    k: int = 1
+    policy: object = None
+    item_filter: object = None
+    future: Future = field(default_factory=Future)
+
+    def age(self, now: float) -> float:
+        """Seconds this request has been waiting."""
+        return max(0.0, now - self.enqueue_time)
+
+
+class RequestQueue:
+    """A bounded FIFO of :class:`QueuedRequest`, safe for many producers
+    and many consumers."""
+
+    def __init__(self, name: str, max_depth: int):
+        self.name = name
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._items: deque[QueuedRequest] = deque()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        """Current queue depth (alias of ``len``)."""
+        return len(self)
+
+    def offer(self, request: QueuedRequest) -> bool:
+        """Append unless the depth bound is hit; False means "shed me"."""
+        with self._lock:
+            if len(self._items) >= self.max_depth:
+                return False
+            self._items.append(request)
+            return True
+
+    def pop_up_to(self, n: int) -> list[QueuedRequest]:
+        """Remove and return up to ``n`` requests, oldest first."""
+        if n <= 0:
+            return []
+        with self._lock:
+            taken = []
+            while self._items and len(taken) < n:
+                taken.append(self._items.popleft())
+            return taken
+
+    def pop_expired(self, now: float, max_age: float) -> list[QueuedRequest]:
+        """Remove every leading request older than ``max_age``.
+
+        Only the head needs checking: FIFO order means the oldest
+        requests are always in front.
+        """
+        with self._lock:
+            expired = []
+            while self._items and self._items[0].age(now) > max_age:
+                expired.append(self._items.popleft())
+            return expired
+
+    def oldest_age(self, now: float) -> float | None:
+        """Age of the head request, or None when empty."""
+        with self._lock:
+            if not self._items:
+                return None
+            return self._items[0].age(now)
+
+    def drain(self) -> list[QueuedRequest]:
+        """Remove and return everything (engine shutdown)."""
+        with self._lock:
+            taken = list(self._items)
+            self._items.clear()
+            return taken

@@ -67,3 +67,41 @@ class TestTimer:
             with recorder.time():
                 raise RuntimeError("boom")
         assert len(recorder) == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_records_are_not_torn(self):
+        import threading
+
+        recorder = LatencyRecorder("shared")
+
+        def hammer():
+            for i in range(500):
+                recorder.record(i / 1e6)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(recorder) == 8 * 500
+        assert recorder.summary().count == 8 * 500
+
+    def test_merge_combines_per_worker_recorders(self):
+        a = LatencyRecorder("a")
+        b = LatencyRecorder("b")
+        for v in (0.01, 0.02):
+            a.record(v)
+        for v in (0.03, 0.04):
+            b.record(v)
+        merged = a.merge(b)
+        assert merged is a
+        assert len(a) == 4
+        assert a.summary().mean == pytest.approx(0.025)
+        assert len(b) == 2  # the source recorder is untouched
+
+    def test_merge_empty_recorder_is_noop(self):
+        a = LatencyRecorder()
+        a.record(0.5)
+        a.merge(LatencyRecorder())
+        assert len(a) == 1
