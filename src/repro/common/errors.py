@@ -113,6 +113,18 @@ class ValidationError(ReproError):
     """User-supplied data failed validation (bad shape, NaN, wrong dtype)."""
 
 
+class TransportError(ReproError):
+    """A wire-protocol transport failure (timeout, truncation, close).
+
+    Raised by the socket clients and the framed codec whenever the
+    transport — not the application — fails: connect/read/write
+    timeouts, a connection closed mid-response, a truncated or oversized
+    frame, or a failed protocol negotiation. The raising client closes
+    its connection first, so a caller that catches this never holds a
+    socket in an unknown half-read state.
+    """
+
+
 class OverloadedError(ReproError):
     """The serving tier shed this request instead of queueing it.
 

@@ -23,6 +23,7 @@ pairs sorted by descending score, ties broken by item id.
 
 from __future__ import annotations
 
+import bisect
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -155,7 +156,19 @@ class ThresholdTopK(TopKEngine):
         if not active:
             return _rank(np.zeros(self.num_items), k)
 
-        import bisect
+        # Hoist the weight-sign branch out of the depth loop: each
+        # active dimension always walks one direction, so pick its
+        # order/value column (zero-copy views) once per query.
+        walk = []
+        for j in active:
+            if weights[j] > 0:
+                walk.append(
+                    (weights[j], self._desc_order[:, j], self._desc_values[:, j])
+                )
+            else:
+                walk.append(
+                    (weights[j], self._asc_order[:, j], self._asc_values[:, j])
+                )
 
         seen: set[int] = set()
         self.last_items_scored = 0
@@ -176,15 +189,9 @@ class ThresholdTopK(TopKEngine):
 
         for depth in range(self.num_items):
             threshold = 0.0
-            for j in active:
-                if weights[j] > 0:
-                    item = int(self._desc_order[depth, j])
-                    value = self._desc_values[depth, j]
-                else:
-                    item = int(self._asc_order[depth, j])
-                    value = self._asc_values[depth, j]
-                push(item)
-                threshold += weights[j] * value
+            for weight, order_col, value_col in walk:
+                push(int(order_col[depth]))
+                threshold += weight * value_col[depth]
             if len(top) == k and top[0][0] >= threshold:
                 break
 

@@ -5,10 +5,16 @@ provides the equivalent for the reproduction:
 
 * :mod:`repro.frontend.api` — typed request/response objects and a JSON
   wire codec (one JSON object per line),
+* :mod:`repro.frontend.wire` — the length-prefixed binary framed codec
+  (struct-packed frames, raw-bytes ndarray payloads, correlation ids)
+  negotiated on connect with JSON-lines as the universal fallback,
 * :class:`VeloxClient` — an in-process client binding the API objects
   to a deployed :class:`~repro.core.velox.Velox` instance,
-* :class:`VeloxServer` / :class:`RemoteClient` — a threaded TCP
-  JSON-lines server and matching socket client used by the examples.
+* :class:`VeloxServer` / :class:`RemoteClient` — a threaded TCP server
+  speaking both protocols, and the simple one-in-flight JSON client,
+* :class:`PipelinedClient` / :class:`ConnectionPool` — the binary
+  pipelined client (many in-flight correlated requests per socket) and
+  a small round-robin pool of them.
 """
 
 from repro.frontend.api import (
@@ -26,6 +32,7 @@ from repro.frontend.api import (
     decode_response,
 )
 from repro.frontend.client import VeloxClient
+from repro.frontend.pipelined import ConnectionPool, PipelinedClient
 from repro.frontend.server import VeloxServer, RemoteClient
 
 __all__ = [
@@ -44,4 +51,6 @@ __all__ = [
     "VeloxClient",
     "VeloxServer",
     "RemoteClient",
+    "PipelinedClient",
+    "ConnectionPool",
 ]

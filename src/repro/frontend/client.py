@@ -7,6 +7,8 @@ whether calls arrive in-process or over the wire.
 
 from __future__ import annotations
 
+from concurrent.futures import Future
+
 from repro.common.errors import ReproError
 from repro.core.bandits import make_policy
 from repro.frontend.api import (
@@ -95,6 +97,101 @@ class VeloxClient:
         except ReproError as err:
             return ApiResponse(ok=False, error=f"{type(err).__name__}: {err}")
 
+    def dispatch_async(self, request) -> "Future[ApiResponse]":
+        """Execute one API request without blocking the caller.
+
+        The pipelined server path: ``predict``/``top_k`` requests with
+        an attached engine are *enqueued* (the returned future completes
+        when the engine's worker pool serves or sheds the batch), so one
+        connection thread can keep many requests in flight and fill
+        adaptive batches. Every other request — and every request when
+        no engine is attached — is dispatched inline and returned as an
+        already-completed future. Like :meth:`dispatch`, the future
+        always yields an :class:`ApiResponse`; errors become envelopes,
+        never exceptions.
+        """
+        if self.engine is not None and isinstance(
+            request, (PredictApiRequest, TopKApiRequest)
+        ):
+            # Timestamp at intake, before policy construction or queue
+            # routing, so age-bound shedding sees the transport delay.
+            arrived = self.engine.clock.now()
+            try:
+                if isinstance(request, PredictApiRequest):
+                    inner = self.engine.submit_predict(
+                        request.uid,
+                        request.item,
+                        model=request.model,
+                        enqueue_time=arrived,
+                    )
+                    build = self._predict_payload
+                else:
+                    policy = (
+                        make_policy(
+                            request.policy, self.velox.config.bandit_exploration
+                        )
+                        if request.policy
+                        else None
+                    )
+                    inner = self.engine.submit_top_k(
+                        request.uid,
+                        list(request.items),
+                        k=request.k,
+                        model=request.model,
+                        policy=policy,
+                        enqueue_time=arrived,
+                    )
+                    build = self._top_k_payload
+            except ReproError as err:
+                return self._completed(
+                    ApiResponse(ok=False, error=f"{type(err).__name__}: {err}")
+                )
+            outer: Future = Future()
+
+            def _complete(done) -> None:
+                try:
+                    outer.set_result(ApiResponse(ok=True, payload=build(done.result())))
+                except ReproError as err:
+                    outer.set_result(
+                        ApiResponse(ok=False, error=f"{type(err).__name__}: {err}")
+                    )
+                except Exception as err:
+                    outer.set_result(
+                        ApiResponse(ok=False, error=f"{type(err).__name__}: {err}")
+                    )
+
+            inner.add_done_callback(_complete)
+            return outer
+        try:
+            return self._completed(self.dispatch(request))
+        except Exception as err:  # dispatch of unknown/broken requests
+            return self._completed(
+                ApiResponse(ok=False, error=f"{type(err).__name__}: {err}")
+            )
+
+    @staticmethod
+    def _completed(response: ApiResponse) -> "Future[ApiResponse]":
+        future: Future = Future()
+        future.set_result(response)
+        return future
+
+    @staticmethod
+    def _predict_payload(result) -> dict:
+        return {
+            "item": _wire_item(result.item),
+            "score": result.score,
+            "node": result.node_id,
+            "prediction_cache_hit": result.prediction_cache_hit,
+        }
+
+    @staticmethod
+    def _top_k_payload(results) -> dict:
+        return {
+            "items": [
+                {"item": _wire_item(r.item), "score": r.score} for r in results
+            ]
+        }
+
     def _dispatch(self, request) -> ApiResponse:
         if isinstance(request, PredictApiRequest):
             if self.engine is not None:
@@ -105,15 +202,7 @@ class VeloxClient:
                 result = self.velox.predict_detailed(
                     request.model, request.uid, request.item
                 )
-            return ApiResponse(
-                ok=True,
-                payload={
-                    "item": _wire_item(result.item),
-                    "score": result.score,
-                    "node": result.node_id,
-                    "prediction_cache_hit": result.prediction_cache_hit,
-                },
-            )
+            return ApiResponse(ok=True, payload=self._predict_payload(result))
         if isinstance(request, TopKApiRequest):
             policy = (
                 make_policy(request.policy, self.velox.config.bandit_exploration)
@@ -136,15 +225,7 @@ class VeloxClient:
                     k=request.k,
                     policy=policy,
                 )
-            return ApiResponse(
-                ok=True,
-                payload={
-                    "items": [
-                        {"item": _wire_item(r.item), "score": r.score}
-                        for r in results
-                    ]
-                },
-            )
+            return ApiResponse(ok=True, payload=self._top_k_payload(results))
         if isinstance(request, ObserveApiRequest):
             outcome = self.velox.observe(
                 uid=request.uid,
@@ -213,6 +294,8 @@ def _wire_item(item: object) -> object:
 
     if isinstance(item, np.integer):
         return int(item)
+    if isinstance(item, np.floating):
+        return float(item)
     if isinstance(item, np.ndarray):
         return item.tolist()
     return item

@@ -1,0 +1,300 @@
+"""Pipelined socket client: many in-flight requests per connection.
+
+:class:`RemoteClient` sends one request and blocks for its response, so
+a connection's throughput is bounded by one round trip per request and a
+server-side adaptive batcher only ever sees batches of one from it.
+:class:`PipelinedClient` keeps a window of correlated requests in flight
+on a single socket: ``submit`` frames and sends immediately and returns
+a future; a reader thread completes futures as response frames arrive
+(out of order is fine — the correlation id routes them). A small
+:class:`ConnectionPool` spreads submissions across several pipelined
+connections for multi-connection load generators.
+
+Both classes negotiate the binary framed protocol on connect and fall
+back to JSON-lines transparently when the server predates it; in the
+fallback, responses arrive strictly in order, so futures are matched
+FIFO instead of by correlation id. Transport failures (timeouts,
+connection loss, truncated frames) surface as
+:class:`~repro.common.errors.TransportError` with the connection closed
+and every pending future failed — nothing blocks forever on a dead
+socket.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+from concurrent.futures import Future
+
+from repro.common.errors import TransportError
+from repro.frontend import wire
+from repro.frontend.api import (
+    ApiResponse,
+    decode_response,
+    encode_request,
+)
+
+#: Protocol names reported by :attr:`PipelinedClient.protocol`.
+PROTOCOL_BINARY = "binary"
+PROTOCOL_JSON = "json"
+
+
+class PipelinedClient:
+    """One socket, many in-flight correlated requests.
+
+    Usage::
+
+        with PipelinedClient(host, port) as client:
+            futures = [client.submit(request) for request in burst]
+            responses = [f.result() for f in futures]
+            one = client.call(request)          # submit + wait
+
+    ``timeout`` bounds connect and each blocking ``call``; ``submit``
+    itself never blocks on the network beyond the socket send buffer.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        prefer_binary: bool = True,
+    ):
+        self._timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._closed = False
+        self._next_corr = 0
+        #: corr id -> future (binary) / FIFO of futures (JSON fallback).
+        self._pending: dict[int, Future] = {}
+        self._fifo: deque[Future] = deque()
+        self.protocol = (
+            self._negotiate() if prefer_binary else PROTOCOL_JSON
+        )
+        self._reader = threading.Thread(
+            target=self._read_loop, name="pipelined-reader", daemon=True
+        )
+        self._reader.start()
+
+    def _negotiate(self) -> str:
+        """Offer binary; accept whatever the server answers.
+
+        A binary server echoes the hello line; a JSON-lines server
+        answers the (to it, malformed) hello with a one-line error
+        envelope, which tells us to fall back.
+        """
+        try:
+            self._sock.sendall(wire.HELLO)
+            answer = self._rfile.readline()
+        except OSError as err:
+            self._teardown()
+            raise TransportError(f"protocol negotiation failed: {err}") from err
+        if answer == wire.HELLO:
+            return PROTOCOL_BINARY
+        if answer.startswith(b"{"):
+            return PROTOCOL_JSON  # old server: its error reply is discarded
+        self._teardown()
+        raise TransportError(
+            f"protocol negotiation failed: unexpected answer {answer!r}"
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, request) -> "Future[ApiResponse]":
+        """Send one request without waiting; the future yields its
+        :class:`~repro.frontend.api.ApiResponse`."""
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise TransportError("client is closed")
+            if self.protocol == PROTOCOL_BINARY:
+                corr_id = self._next_corr
+                self._next_corr += 1
+                frame = wire.encode_request_frame(request, corr_id)
+                self._pending[corr_id] = future
+                try:
+                    self._sock.sendall(frame)
+                except OSError as err:
+                    self._pending.pop(corr_id, None)
+                    self._fail_pending_locked(err)
+                    raise TransportError(f"send failed: {err}") from err
+            else:
+                line = (encode_request(request) + "\n").encode("utf-8")
+                self._fifo.append(future)
+                try:
+                    self._sock.sendall(line)
+                except OSError as err:
+                    self._fifo.remove(future)
+                    self._fail_pending_locked(err)
+                    raise TransportError(f"send failed: {err}") from err
+        return future
+
+    def call(self, request, timeout: float | None = None) -> ApiResponse:
+        """Blocking convenience: submit and wait for the response."""
+        future = self.submit(request)
+        try:
+            return future.result(timeout if timeout is not None else self._timeout)
+        except TimeoutError as err:
+            raise TransportError(
+                f"no response within {timeout or self._timeout}s"
+            ) from err
+
+    @property
+    def in_flight(self) -> int:
+        """Number of submitted requests still awaiting responses."""
+        with self._lock:
+            return len(self._pending) + len(self._fifo)
+
+    # -- reader thread -------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                if self.protocol == PROTOCOL_BINARY:
+                    frame = wire.read_frame(self._rfile)
+                    if frame is None:
+                        raise TransportError("server closed the connection")
+                    opcode, corr_id, payload = frame
+                    if opcode != wire.OP_RESPONSE:
+                        raise TransportError(
+                            f"unexpected opcode {opcode} from server"
+                        )
+                    response = wire.decode_response_payload(payload)
+                    with self._lock:
+                        future = self._pending.pop(corr_id, None)
+                else:
+                    line = self._rfile.readline()
+                    if not line:
+                        raise TransportError("server closed the connection")
+                    response = decode_response(line.decode("utf-8"))
+                    with self._lock:
+                        future = (
+                            self._fifo.popleft() if self._fifo else None
+                        )
+                if future is not None:
+                    future.set_result(response)
+        except Exception as err:
+            with self._lock:
+                closing = self._closed
+                self._fail_pending_locked(err)
+            if not closing:
+                self._teardown()
+
+    def _fail_pending_locked(self, cause: Exception) -> None:
+        """Fail every outstanding future; callers hold ``self._lock``."""
+        error = (
+            cause
+            if isinstance(cause, TransportError)
+            else TransportError(f"connection lost: {cause}")
+        )
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+        while self._fifo:
+            future = self._fifo.popleft()
+            if not future.done():
+                future.set_exception(error)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _teardown(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Close the connection; outstanding futures fail with
+        :class:`TransportError`."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._fail_pending_locked(TransportError("client closed"))
+        self._teardown()
+        if threading.current_thread() is not self._reader:
+            self._reader.join(timeout=5)
+
+    def __enter__(self) -> "PipelinedClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ConnectionPool:
+    """A fixed pool of :class:`PipelinedClient` connections.
+
+    ``submit``/``call`` round-robin across the pool, so a load generator
+    gets both pipelining depth (per connection) and connection
+    parallelism without managing sockets itself.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        size: int = 4,
+        timeout: float = 10.0,
+        prefer_binary: bool = True,
+    ):
+        if size < 1:
+            raise TransportError(f"pool size must be >= 1, got {size}")
+        self._clients: list[PipelinedClient] = []
+        try:
+            for _ in range(size):
+                self._clients.append(
+                    PipelinedClient(
+                        host, port, timeout=timeout, prefer_binary=prefer_binary
+                    )
+                )
+        except Exception:
+            self.close()
+            raise
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    @property
+    def protocol(self) -> str:
+        """The negotiated protocol (uniform across the pool)."""
+        return self._clients[0].protocol
+
+    def _pick(self) -> PipelinedClient:
+        with self._lock:
+            client = self._clients[self._next % len(self._clients)]
+            self._next += 1
+            return client
+
+    def submit(self, request) -> "Future[ApiResponse]":
+        """Submit on the next connection (round-robin)."""
+        return self._pick().submit(request)
+
+    def call(self, request, timeout: float | None = None) -> ApiResponse:
+        """Blocking submit + wait on the next connection."""
+        return self._pick().call(request, timeout=timeout)
+
+    def close(self) -> None:
+        """Close every pooled connection."""
+        for client in self._clients:
+            client.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,9 +1,16 @@
-"""A threaded TCP JSON-lines server and matching client.
+"""A threaded TCP server speaking JSON-lines and the binary framed
+protocol, plus the simple JSON-lines client.
 
-One JSON request per line in, one JSON response per line out. The
-server wraps the in-process :class:`VeloxClient` dispatcher, so wire
-behaviour matches in-process behaviour exactly. Intended for the
-examples and integration tests, not as a hardened production server.
+Every connection starts in negotiation: a peek at the first bytes
+decides the protocol. Clients that open with the
+:data:`~repro.frontend.wire.MAGIC` preamble get the length-prefixed
+binary framing (:mod:`repro.frontend.wire`) with correlated,
+out-of-order responses — the server decodes frames and feeds them to
+the dispatcher *asynchronously*, so one pipelined connection keeps many
+requests in flight and an attached serving engine can actually form
+batches from a single socket. Anything else is served by the original
+JSON-lines loop (one request per line, one response per line, strictly
+in order), so old clients keep working unchanged.
 """
 
 from __future__ import annotations
@@ -11,8 +18,10 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
 
-from repro.common.errors import ValidationError
+from repro.common.errors import TransportError, ValidationError
+from repro.frontend import wire
 from repro.frontend.api import (
     ApiResponse,
     decode_request,
@@ -22,9 +31,43 @@ from repro.frontend.api import (
 )
 from repro.frontend.client import VeloxClient
 
+#: How long a closing binary connection waits for in-flight responses.
+_DRAIN_TIMEOUT = 5.0
+
 
 class _RequestHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
+        """Negotiate the protocol, then serve until disconnect."""
+        if self._peek_magic():
+            self._handle_binary()
+        else:
+            self._handle_json()
+
+    def _peek_magic(self) -> bool:
+        """Peek (without consuming) whether this connection opens with
+        the binary protocol preamble.
+
+        JSON-lines traffic starts with ``{``, so the first byte almost
+        always decides; a short read that is still a strict prefix of
+        the magic waits briefly for the rest.
+        """
+        magic = wire.MAGIC
+        while True:
+            try:
+                data = self.connection.recv(len(magic), socket.MSG_PEEK)
+            except OSError:
+                return False
+            if not data:
+                return False
+            if data == magic:
+                return True
+            if not magic.startswith(data):
+                return False
+            time.sleep(0.005)  # strict prefix: the rest is still in flight
+
+    # -- JSON-lines protocol (the fallback) ----------------------------------
+
+    def _handle_json(self) -> None:
         """Serve JSON-line requests until the client disconnects.
 
         Every failure — malformed JSON, validation, or an unexpected
@@ -49,6 +92,84 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             self.wfile.write((encode_response(response) + "\n").encode("utf-8"))
             self.wfile.flush()
 
+    # -- binary framed protocol ----------------------------------------------
+
+    def _handle_binary(self) -> None:
+        """Serve correlated binary frames, many in flight at once.
+
+        The read loop never blocks on request execution: each decoded
+        frame is handed to :meth:`VeloxClient.dispatch_async` (which
+        enqueues predict/top-k into the serving engine when one is
+        attached) and the response frame is written by a completion
+        callback under a write lock. On EOF the connection drains
+        in-flight requests before closing so no accepted request loses
+        its response.
+        """
+        client: VeloxClient = self.server.velox_client
+        self.rfile.readline()  # consume the hello line
+        self.connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        write_lock = threading.Lock()
+        pending: set = set()
+        drained = threading.Condition()
+
+        def send(corr_id: int, response: ApiResponse) -> None:
+            try:
+                frame = wire.encode_response_frame(response, corr_id)
+            except Exception as err:  # unserializable payload
+                frame = wire.encode_response_frame(
+                    ApiResponse(
+                        ok=False, error=f"{type(err).__name__}: {err}"
+                    ),
+                    corr_id,
+                )
+            with write_lock:
+                try:
+                    self.wfile.write(frame)
+                    self.wfile.flush()
+                except OSError:
+                    pass  # client went away; nothing to tell it
+
+        with write_lock:
+            self.wfile.write(wire.HELLO)
+            self.wfile.flush()
+        while True:
+            try:
+                frame = wire.read_frame(self.rfile)
+            except (TransportError, OSError):
+                break
+            if frame is None:
+                break
+            opcode, corr_id, payload = frame
+            try:
+                request = wire.decode_request_payload(opcode, payload)
+            except Exception as err:
+                send(
+                    corr_id,
+                    ApiResponse(ok=False, error=f"{type(err).__name__}: {err}"),
+                )
+                continue
+            future = client.dispatch_async(request)
+            with drained:
+                pending.add(future)
+
+            def _complete(done, corr_id=corr_id) -> None:
+                try:
+                    response = done.result()
+                except Exception as err:
+                    response = ApiResponse(
+                        ok=False, error=f"{type(err).__name__}: {err}"
+                    )
+                send(corr_id, response)
+                with drained:
+                    pending.discard(done)
+                    drained.notify_all()
+
+            future.add_done_callback(_complete)
+        deadline = time.monotonic() + _DRAIN_TIMEOUT
+        with drained:
+            while pending and time.monotonic() < deadline:
+                drained.wait(timeout=0.05)
+
 
 class _ThreadedTcpServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
@@ -69,7 +190,10 @@ class VeloxServer:
     predict/top-k requests are enqueued through the serving engine
     (adaptive batching across connections, admission control, load
     shedding) instead of dispatched inline on the connection thread; the
-    engine's lifecycle follows the server's.
+    engine's lifecycle follows the server's. Both the JSON-lines and the
+    binary framed protocol are served; see
+    :class:`~repro.frontend.pipelined.PipelinedClient` for the client
+    that exploits the latter.
     """
 
     def __init__(
@@ -125,27 +249,70 @@ class VeloxServer:
 
 
 class RemoteClient:
-    """Socket client speaking the JSON-lines protocol."""
+    """Socket client speaking the JSON-lines protocol.
+
+    One request in flight at a time. Transport failures — connect or
+    read timeouts, the server closing mid-response — raise
+    :class:`~repro.common.errors.TransportError` with the connection
+    closed first, so the client is never left blocked on (or holding) a
+    half-read socket. The read deadline is enforced across partial
+    reads: a server trickling bytes cannot stall ``call`` past
+    ``timeout`` seconds.
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self._timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._sock.makefile("r", encoding="utf-8")
-        self._writer = self._sock.makefile("w", encoding="utf-8")
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._buffer = b""
+        self._closed = False
 
     def call(self, request) -> ApiResponse:
         """Send one request and block for its response."""
-        self._writer.write(encode_request(request) + "\n")
-        self._writer.flush()
-        line = self._reader.readline()
-        if not line:
-            raise ValidationError("server closed the connection")
-        return decode_response(line)
+        if self._closed:
+            raise TransportError("client is closed")
+        try:
+            self._sock.sendall((encode_request(request) + "\n").encode("utf-8"))
+            line = self._read_line()
+        except TransportError:
+            self.close()
+            raise
+        except OSError as err:
+            self.close()
+            raise TransportError(f"transport failure: {err}") from err
+        return decode_response(line.decode("utf-8"))
+
+    def _read_line(self) -> bytes:
+        """One newline-terminated response, under a whole-call deadline."""
+        deadline = time.monotonic() + self._timeout
+        while b"\n" not in self._buffer:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"no response within {self._timeout}s"
+                )
+            self._sock.settimeout(remaining)
+            try:
+                chunk = self._sock.recv(65536)
+            except (socket.timeout, TimeoutError) as err:
+                raise TransportError(
+                    f"no response within {self._timeout}s"
+                ) from err
+            if not chunk:
+                raise TransportError("server closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
 
     def close(self) -> None:
-        """Close the socket and its file wrappers."""
-        self._reader.close()
-        self._writer.close()
-        self._sock.close()
+        """Close the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
 
     def __enter__(self) -> "RemoteClient":
         return self

@@ -1,0 +1,406 @@
+"""Length-prefixed binary framing for the prediction wire protocol.
+
+The JSON-lines codec in :mod:`repro.frontend.api` is simple and
+debuggable but expensive on the hot path: every float in an item payload
+round-trips through UTF-8 text, and the line framing forces a parse per
+request. This module provides the compact alternative the frontend
+negotiates on connect:
+
+* **Frames** — ``u32 length | u8 opcode | u64 correlation id | payload``
+  (big-endian). The opcode identifies the request method (or marks a
+  response); the correlation id lets many requests share one connection
+  out of order, which is what makes client pipelining possible.
+* **Values** — a small tagged binary term format (ints, floats, bools,
+  strings, None, lists, string-keyed dicts) mirroring exactly what the
+  JSON codec can express, plus a native ndarray term encoded as
+  ``dtype | shape | raw bytes`` so feature vectors cross the wire as a
+  memcpy instead of a float-repr list.
+* **Negotiation** — a client that wants binary sends the newline
+  terminated :data:`HELLO` preamble. A new server peeks the magic and
+  answers in kind before switching to frames; an old JSON-lines server
+  answers with a one-line JSON error envelope, which the client reads
+  as "binary not spoken here" and falls back to JSON-lines. Old clients
+  never send the preamble, so a new server serves them JSON-lines
+  unchanged. Both directions stay compatible.
+
+Framing/decoding failures raise
+:class:`~repro.common.errors.TransportError` (truncation, oversized or
+corrupt frames) or :class:`~repro.common.errors.ValidationError`
+(well-framed but semantically invalid requests), never bare struct
+errors.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.common.errors import TransportError, ValidationError
+from repro.frontend.api import (
+    ApiResponse,
+    HealthApiRequest,
+    ObserveApiRequest,
+    PredictApiRequest,
+    RetrainApiRequest,
+    StatusApiRequest,
+    TopKApiRequest,
+    TopKCatalogApiRequest,
+)
+
+#: Magic preamble naming the protocol and its version. Sent (newline
+#: terminated) by clients that want binary; echoed by servers that
+#: accept. The trailing digit is the protocol version.
+MAGIC = b"VLXB1"
+#: The full negotiation line: magic + newline, so a JSON-lines server
+#: consumes it as one (malformed) request line and stays in sync.
+HELLO = MAGIC + b"\n"
+
+#: Frame header: u32 total length of (opcode + corr id + payload),
+#: u8 opcode, u64 correlation id.
+_HEADER = struct.Struct(">IBQ")
+#: Refuse frames larger than this (corrupt stream / abuse guard).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# -- opcodes ----------------------------------------------------------------
+
+OP_PREDICT = 1
+OP_TOP_K = 2
+OP_OBSERVE = 3
+OP_HEALTH = 4
+OP_RETRAIN = 5
+OP_TOP_K_CATALOG = 6
+OP_STATUS = 7
+#: Responses share one opcode; the correlation id routes them.
+OP_RESPONSE = 128
+
+REQUEST_OPCODES = {
+    PredictApiRequest: OP_PREDICT,
+    TopKApiRequest: OP_TOP_K,
+    ObserveApiRequest: OP_OBSERVE,
+    HealthApiRequest: OP_HEALTH,
+    RetrainApiRequest: OP_RETRAIN,
+    TopKCatalogApiRequest: OP_TOP_K_CATALOG,
+    StatusApiRequest: OP_STATUS,
+}
+
+# -- tagged binary values ---------------------------------------------------
+
+_T_NONE = 0
+_T_BOOL = 1
+_T_INT = 2
+_T_FLOAT = 3
+_T_STR = 4
+_T_NDARRAY = 5
+_T_LIST = 6
+_T_DICT = 7
+#: Homogeneous list fast paths: one struct.pack for the whole list
+#: instead of a tagged term per element. Decodes back to a plain list,
+#: so the JSON equivalence is unchanged.
+_T_I64_LIST = 8
+_T_F64_LIST = 9
+
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_U32 = struct.Struct(">I")
+
+
+def pack_value(out: bytearray, value: object) -> None:
+    """Append one tagged value to ``out``.
+
+    Mirrors the JSON codec's normalisation so the two codecs stay
+    equivalent: numpy scalars become python scalars and tuples become
+    lists. Types neither codec supports raise ``ValidationError``.
+    """
+    # bool first: it is a subclass of int and must keep its own tag.
+    if value is None:
+        out.append(_T_NONE)
+    elif isinstance(value, (bool, np.bool_)):
+        out.append(_T_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, (int, np.integer)):
+        out.append(_T_INT)
+        try:
+            out += _I64.pack(int(value))
+        except struct.error as err:
+            raise ValidationError(f"integer {value!r} exceeds wire range") from err
+    elif isinstance(value, (float, np.floating)):
+        out.append(_T_FLOAT)
+        out += _F64.pack(float(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, np.ndarray):
+        if value.dtype.hasobject:
+            raise ValidationError("cannot serialize object-dtype ndarray")
+        dtype = value.dtype.str.encode("ascii")
+        raw = np.ascontiguousarray(value).tobytes()
+        out.append(_T_NDARRAY)
+        out.append(len(dtype))
+        out += dtype
+        out.append(value.ndim)
+        for dim in value.shape:
+            out += _U32.pack(dim)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        if _pack_homogeneous(out, value):
+            return
+        out.append(_T_LIST)
+        out += _U32.pack(len(value))
+        for element in value:
+            pack_value(out, element)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        out += _U32.pack(len(value))
+        for key, element in value.items():
+            if not isinstance(key, str):
+                raise ValidationError(
+                    f"wire dicts need string keys, got {key!r}"
+                )
+            raw = key.encode("utf-8")
+            out += _U32.pack(len(raw))
+            out += raw
+            pack_value(out, element)
+    else:
+        raise ValidationError(f"cannot serialize wire value {value!r}")
+
+
+def _pack_homogeneous(out: bytearray, value) -> bool:
+    """Pack an all-int or all-float list in one struct call; returns
+    whether the fast path applied. ``type is`` checks keep bools (a
+    subclass of int) and numpy scalars on the exact-tagged slow path.
+    """
+    n = len(value)
+    if n < 2:
+        return False
+    if all(type(v) is int for v in value):
+        try:
+            packed = struct.pack(f">{n}q", *value)
+        except struct.error:
+            return False  # some element exceeds i64; generic path errors
+        out.append(_T_I64_LIST)
+        out += _U32.pack(n)
+        out += packed
+        return True
+    if all(type(v) is float for v in value):
+        out.append(_T_F64_LIST)
+        out += _U32.pack(n)
+        out += struct.pack(f">{n}d", *value)
+        return True
+    return False
+
+
+class _Cursor:
+    """A bounds-checked read position over one frame's payload."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise TransportError(
+                f"truncated frame payload: wanted {n} bytes at offset "
+                f"{self.pos}, frame has {len(self.data)}"
+            )
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def done(self) -> bool:
+        return self.pos == len(self.data)
+
+
+def unpack_value(cursor: _Cursor) -> object:
+    """Read one tagged value from the cursor."""
+    tag = cursor.take(1)[0]
+    if tag == _T_NONE:
+        return None
+    if tag == _T_BOOL:
+        return cursor.take(1)[0] != 0
+    if tag == _T_INT:
+        return _I64.unpack(cursor.take(8))[0]
+    if tag == _T_FLOAT:
+        return _F64.unpack(cursor.take(8))[0]
+    if tag == _T_STR:
+        (length,) = _U32.unpack(cursor.take(4))
+        return cursor.take(length).decode("utf-8")
+    if tag == _T_NDARRAY:
+        dtype_len = cursor.take(1)[0]
+        dtype = np.dtype(cursor.take(dtype_len).decode("ascii"))
+        ndim = cursor.take(1)[0]
+        shape = tuple(_U32.unpack(cursor.take(4))[0] for _ in range(ndim))
+        (raw_len,) = _U32.unpack(cursor.take(4))
+        raw = cursor.take(raw_len)
+        try:
+            return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        except ValueError as err:
+            raise TransportError(f"corrupt ndarray term: {err}") from err
+    if tag == _T_LIST:
+        (count,) = _U32.unpack(cursor.take(4))
+        return [unpack_value(cursor) for _ in range(count)]
+    if tag == _T_I64_LIST:
+        (count,) = _U32.unpack(cursor.take(4))
+        return list(struct.unpack(f">{count}q", cursor.take(8 * count)))
+    if tag == _T_F64_LIST:
+        (count,) = _U32.unpack(cursor.take(4))
+        return list(struct.unpack(f">{count}d", cursor.take(8 * count)))
+    if tag == _T_DICT:
+        (count,) = _U32.unpack(cursor.take(4))
+        result = {}
+        for _ in range(count):
+            (key_len,) = _U32.unpack(cursor.take(4))
+            key = cursor.take(key_len).decode("utf-8")
+            result[key] = unpack_value(cursor)
+        return result
+    raise TransportError(f"unknown wire value tag {tag}")
+
+
+def _pack_values(*values: object) -> bytes:
+    out = bytearray()
+    for value in values:
+        pack_value(out, value)
+    return bytes(out)
+
+
+def _wire_item(item: object) -> object:
+    """Normalise an item payload the way the JSON codec does, except
+    ndarrays stay native (that is the point of the binary codec)."""
+    if isinstance(item, (bool, int, float, str, np.integer, np.floating,
+                         np.ndarray)):
+        return item
+    if isinstance(item, (list, tuple)):
+        return list(item)
+    raise ValidationError(f"cannot serialize item payload {item!r}")
+
+
+# -- frame encode/decode ----------------------------------------------------
+
+
+def encode_frame(opcode: int, corr_id: int, payload: bytes) -> bytes:
+    """One complete frame, ready for ``sendall``."""
+    return _HEADER.pack(len(payload) + 9, opcode, corr_id) + payload
+
+
+def read_frame(rfile) -> tuple[int, int, bytes] | None:
+    """Read one frame off a buffered binary reader.
+
+    Returns ``(opcode, correlation_id, payload)``, or ``None`` on a
+    clean EOF at a frame boundary. EOF inside a frame, or an absurd
+    length prefix, raises :class:`TransportError`.
+    """
+    header = rfile.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise TransportError(
+            f"connection closed mid-frame ({len(header)} header bytes)"
+        )
+    length, opcode, corr_id = _HEADER.unpack(header)
+    if length < 9 or length > MAX_FRAME_BYTES:
+        raise TransportError(f"invalid frame length {length}")
+    payload = rfile.read(length - 9)
+    if len(payload) < length - 9:
+        raise TransportError(
+            f"connection closed mid-frame ({len(payload)} of "
+            f"{length - 9} payload bytes)"
+        )
+    return opcode, corr_id, payload
+
+
+# -- request/response codecs ------------------------------------------------
+
+
+def encode_request_frame(request, corr_id: int) -> bytes:
+    """One API request object -> one framed binary request."""
+    opcode = REQUEST_OPCODES.get(type(request))
+    if opcode is None:
+        raise ValidationError(f"unknown request type {type(request).__name__}")
+    if opcode == OP_PREDICT:
+        payload = _pack_values(
+            request.uid, _wire_item(request.item), request.model
+        )
+    elif opcode == OP_TOP_K:
+        payload = _pack_values(
+            request.uid,
+            request.k,
+            request.model,
+            request.policy,
+            [_wire_item(x) for x in request.items],
+        )
+    elif opcode == OP_OBSERVE:
+        payload = _pack_values(
+            request.uid,
+            _wire_item(request.item),
+            float(request.label),
+            request.model,
+            bool(request.validation),
+        )
+    elif opcode == OP_HEALTH:
+        payload = _pack_values(request.model)
+    elif opcode == OP_RETRAIN:
+        payload = _pack_values(request.model, request.reason)
+    elif opcode == OP_TOP_K_CATALOG:
+        payload = _pack_values(request.uid, request.k, request.model)
+    else:  # OP_STATUS
+        payload = b""
+    return encode_frame(opcode, corr_id, payload)
+
+
+def decode_request_payload(opcode: int, payload: bytes):
+    """One frame's opcode + payload -> one API request object."""
+    cursor = _Cursor(payload)
+    if opcode == OP_PREDICT:
+        uid, item, model = (unpack_value(cursor) for _ in range(3))
+        return PredictApiRequest(uid=int(uid), item=item, model=model)
+    if opcode == OP_TOP_K:
+        uid, k, model, policy, items = (unpack_value(cursor) for _ in range(5))
+        return TopKApiRequest(
+            uid=int(uid), items=tuple(items), k=int(k), model=model,
+            policy=policy,
+        )
+    if opcode == OP_OBSERVE:
+        uid, item, label, model, validation = (
+            unpack_value(cursor) for _ in range(5)
+        )
+        return ObserveApiRequest(
+            uid=int(uid), item=item, label=float(label), model=model,
+            validation=bool(validation),
+        )
+    if opcode == OP_HEALTH:
+        return HealthApiRequest(model=unpack_value(cursor))
+    if opcode == OP_RETRAIN:
+        model, reason = unpack_value(cursor), unpack_value(cursor)
+        return RetrainApiRequest(model=model, reason=reason)
+    if opcode == OP_TOP_K_CATALOG:
+        uid, k, model = (unpack_value(cursor) for _ in range(3))
+        return TopKCatalogApiRequest(uid=int(uid), k=int(k), model=model)
+    if opcode == OP_STATUS:
+        return StatusApiRequest()
+    raise ValidationError(f"unknown request opcode {opcode}")
+
+
+def encode_response_frame(response: ApiResponse, corr_id: int) -> bytes:
+    """One response envelope -> one framed binary response."""
+    payload = _pack_values(
+        bool(response.ok), response.error, response.payload
+    )
+    return encode_frame(OP_RESPONSE, corr_id, payload)
+
+
+def decode_response_payload(payload: bytes) -> ApiResponse:
+    """One response frame's payload -> one response envelope."""
+    cursor = _Cursor(payload)
+    ok = unpack_value(cursor)
+    error = unpack_value(cursor)
+    body = unpack_value(cursor)
+    if not isinstance(body, dict):
+        raise TransportError(
+            f"response payload must be a dict, got {type(body).__name__}"
+        )
+    return ApiResponse(ok=bool(ok), payload=body, error=str(error))

@@ -115,16 +115,27 @@ class ServingEngine:
     # -- submission ----------------------------------------------------------
 
     def submit_predict(
-        self, uid: int, x: object, model: str | None = None
+        self,
+        uid: int,
+        x: object,
+        model: str | None = None,
+        enqueue_time: float | None = None,
     ) -> Future:
         """Enqueue one point prediction; the future yields a
-        :class:`~repro.core.prediction.PredictionResult`."""
+        :class:`~repro.core.prediction.PredictionResult`.
+
+        ``enqueue_time`` lets a transport layer timestamp the request at
+        frame-decode time, so queue-age accounting (and age-bound
+        shedding) covers time spent between the wire and the queue.
+        """
         model_name = self.velox._model_name(model)
         request = QueuedRequest(
             kind="predict",
             model=model_name,
             uid=uid,
-            enqueue_time=self.clock.now(),
+            enqueue_time=(
+                enqueue_time if enqueue_time is not None else self.clock.now()
+            ),
             item=x,
         )
         return self._submit(request)
@@ -137,9 +148,13 @@ class ServingEngine:
         model: str | None = None,
         policy=None,
         item_filter=None,
+        enqueue_time: float | None = None,
     ) -> Future:
         """Enqueue a best-k query; the future yields a list of
-        :class:`~repro.core.prediction.PredictionResult`."""
+        :class:`~repro.core.prediction.PredictionResult`.
+
+        ``enqueue_time`` behaves as in :meth:`submit_predict`.
+        """
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
         model_name = self.velox._model_name(model)
@@ -147,7 +162,9 @@ class ServingEngine:
             kind="top_k",
             model=model_name,
             uid=uid,
-            enqueue_time=self.clock.now(),
+            enqueue_time=(
+                enqueue_time if enqueue_time is not None else self.clock.now()
+            ),
             items=tuple(items),
             k=k,
             policy=policy,

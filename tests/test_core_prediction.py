@@ -217,3 +217,55 @@ class TestItemCacheKey:
     def test_unhashable_rejected(self):
         with pytest.raises(ValidationError):
             item_cache_key({"dict": 1})
+
+
+    def test_scalar_floats_accepted(self):
+        assert item_cache_key(2.5) == 2.5
+        assert item_cache_key(np.float64(2.5)) == 2.5
+        assert isinstance(item_cache_key(np.float32(1.5)), float)
+
+
+class TestTopKVectorized:
+    """The candidate-set top_k runs through the stacked predict_batch
+    path; results must match the scalar predict loop exactly."""
+
+    def test_matches_scalar_loop(self, deployed_velox):
+        service = deployed_velox.service
+        items = list(range(20))
+        vectorized = service.top_k("songs", 7, items, k=5)
+        scalar = sorted(
+            (service.predict("songs", 7, x) for x in items),
+            key=lambda r: r.score,
+            reverse=True,
+        )[:5]
+        assert [r.item for r in vectorized] == [r.item for r in scalar]
+        for a, b in zip(vectorized, scalar):
+            assert a.score == pytest.approx(b.score, abs=1e-9)
+            assert a.uncertainty == pytest.approx(b.uncertainty, abs=1e-9)
+
+    def test_matches_scalar_loop_under_bandit_policy(self, deployed_velox):
+        service = deployed_velox.service
+        items = list(range(15))
+        policy = LinUcbPolicy(alpha=0.7)
+        vectorized = service.top_k("songs", 3, items, k=4, policy=policy)
+        scalar = sorted(
+            (service.predict("songs", 3, x) for x in items),
+            key=lambda r: policy.selection_score(r.score, r.uncertainty),
+            reverse=True,
+        )[:4]
+        assert [r.item for r in vectorized] == [r.item for r in scalar]
+        for a, b in zip(vectorized, scalar):
+            assert a.score == pytest.approx(b.score, abs=1e-9)
+
+    def test_single_weight_lookup_per_candidate_set(self, deployed_velox):
+        """The vectorized path reads the user's weights once per call,
+        not once per candidate item."""
+        service = deployed_velox.service
+        items = list(range(30))
+        service.top_k("songs", 7, items, k=3)  # warm feature caches
+        stats = deployed_velox.cluster.network.stats
+        before = stats.total_accesses
+        service.top_k("songs", 7, items, k=3)
+        # one user-weight access for the whole candidate set; every
+        # feature access hits the warmed cache
+        assert stats.total_accesses - before == 1

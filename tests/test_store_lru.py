@@ -149,3 +149,61 @@ class TestWarm:
         cache.warm([(i, i * i) for i in range(5)])
         assert cache.get(3) == 9
         assert len(cache) == 5
+
+
+class TestConcurrency:
+    def test_multithreaded_stress_keeps_invariants(self):
+        """Concurrent get/put/invalidate_if from many threads: the cache
+        never exceeds capacity and the stats counters stay consistent
+        with each other (every lookup is a hit or a miss, every removal
+        an eviction or an invalidation)."""
+        import threading
+
+        capacity = 64
+        cache = LRUCache(capacity)
+        num_threads = 8
+        ops_per_thread = 3000
+        errors = []
+        barrier = threading.Barrier(num_threads)
+
+        def worker(seed: int) -> None:
+            rng = __import__("random").Random(seed)
+            try:
+                barrier.wait()
+                for i in range(ops_per_thread):
+                    key = rng.randrange(0, 256)
+                    op = rng.random()
+                    if op < 0.5:
+                        value = cache.get(key)
+                        assert value is None or value == key * 2
+                    elif op < 0.9:
+                        cache.put(key, key * 2)
+                        assert len(cache) <= capacity
+                    elif op < 0.97:
+                        cache.invalidate(key)
+                    else:
+                        cache.invalidate_if(lambda k: k % 7 == seed % 7)
+            except Exception as err:  # surfaced in the main thread
+                errors.append(err)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= capacity
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.hits >= 0 and stats.misses >= 0
+        # Everything ever inserted either remains, was evicted, or was
+        # invalidated; removals can never exceed insertions.
+        assert stats.evictions + stats.invalidations + len(cache) <= (
+            num_threads * ops_per_thread
+        )
+        # the cache still works after the storm
+        cache.put("after", 1)
+        assert cache.get("after") == 1

@@ -1,0 +1,440 @@
+"""Binary framed wire protocol: codec, negotiation, pipelined client."""
+
+from __future__ import annotations
+
+import io
+import socket
+import socketserver
+import threading
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TransportError, ValidationError
+from repro.frontend import (
+    ApiResponse,
+    ConnectionPool,
+    HealthApiRequest,
+    ObserveApiRequest,
+    PipelinedClient,
+    PredictApiRequest,
+    RemoteClient,
+    RetrainApiRequest,
+    StatusApiRequest,
+    TopKApiRequest,
+    TopKCatalogApiRequest,
+    VeloxServer,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.frontend import wire
+from repro.serving import ServingConfig
+
+#: Every request shape both codecs must carry, including ndarray and
+#: scalar-float item payloads.
+REQUEST_CATALOG = [
+    PredictApiRequest(uid=3, item=17, model="songs"),
+    PredictApiRequest(uid=0, item="sku-77", model=None),
+    PredictApiRequest(uid=1, item=2.5),
+    PredictApiRequest(uid=9, item=np.linspace(-1.0, 1.0, 8)),
+    TopKApiRequest(uid=1, items=(1, 2, 3), k=2, model="songs", policy="linucb"),
+    TopKApiRequest(
+        uid=4,
+        items=(np.arange(4, dtype=float), np.ones(4)),
+        k=1,
+        policy=None,
+    ),
+    ObserveApiRequest(uid=9, item=4, label=3.5, model="songs", validation=True),
+    ObserveApiRequest(uid=2, item=0.25, label=-1.0),
+    HealthApiRequest(model="songs"),
+    HealthApiRequest(model=None),
+    RetrainApiRequest(model="songs", reason="drift"),
+    TopKCatalogApiRequest(uid=2, k=5, model="songs"),
+    StatusApiRequest(),
+]
+
+RESPONSE_CATALOG = [
+    ApiResponse(ok=True, payload={"score": 3.5, "item": 17, "node": 0}),
+    ApiResponse(ok=True, payload={"items": [{"item": 1, "score": 0.5}]}),
+    ApiResponse(ok=True, payload={"baseline_loss": None, "observations": 12}),
+    ApiResponse(
+        ok=True,
+        payload={
+            "nested": {"a": [1, 2.5, None, True], "b": {"deep": "text"}},
+            "flags": [False, True],
+        },
+    ),
+    ApiResponse(ok=False, error="OverloadedError: queue full"),
+]
+
+
+def binary_roundtrip_request(request):
+    frame = wire.encode_request_frame(request, corr_id=42)
+    opcode, corr_id, payload = wire.read_frame(io.BytesIO(frame))
+    assert corr_id == 42
+    return wire.decode_request_payload(opcode, payload)
+
+
+def assert_items_equal(a, b):
+    """Structural equality that treats ndarrays by value."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        np.testing.assert_allclose(
+            np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+        )
+    elif isinstance(a, (list, tuple)):
+        assert isinstance(b, (list, tuple)) and len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_items_equal(x, y)
+    else:
+        assert a == b, f"{a!r} != {b!r}"
+
+
+def assert_requests_equal(left, right):
+    assert type(left) is type(right)
+    for name in left.__dataclass_fields__:
+        a, b = getattr(left, name), getattr(right, name)
+        if name in ("item", "items"):
+            assert_items_equal(a, b)
+        else:
+            assert a == b, f"field {name}: {a!r} != {b!r}"
+
+
+class TestBinaryCodec:
+    @pytest.mark.parametrize("request_obj", REQUEST_CATALOG, ids=repr)
+    def test_request_roundtrip(self, request_obj):
+        decoded = binary_roundtrip_request(request_obj)
+        assert_requests_equal(decoded, request_obj)
+
+    def test_ndarray_dtype_and_shape_survive(self):
+        item = np.arange(6, dtype=np.float32).reshape(2, 3)
+        decoded = binary_roundtrip_request(PredictApiRequest(uid=1, item=item))
+        assert decoded.item.dtype == np.float32
+        assert decoded.item.shape == (2, 3)
+        np.testing.assert_array_equal(decoded.item, item)
+
+    @pytest.mark.parametrize("response", RESPONSE_CATALOG, ids=repr)
+    def test_response_roundtrip(self, response):
+        frame = wire.encode_response_frame(response, corr_id=7)
+        opcode, corr_id, payload = wire.read_frame(io.BytesIO(frame))
+        assert opcode == wire.OP_RESPONSE and corr_id == 7
+        assert wire.decode_response_payload(payload) == response
+
+    def test_truncated_frame_raises_transport_error(self):
+        frame = wire.encode_request_frame(PredictApiRequest(uid=1, item=2), 0)
+        for cut in (3, len(frame) - 1):
+            with pytest.raises(TransportError):
+                wire.read_frame(io.BytesIO(frame[:cut]))
+
+    def test_clean_eof_returns_none(self):
+        assert wire.read_frame(io.BytesIO(b"")) is None
+
+    def test_absurd_length_rejected(self):
+        header = wire._HEADER.pack(wire.MAX_FRAME_BYTES + 10, wire.OP_STATUS, 0)
+        with pytest.raises(TransportError):
+            wire.read_frame(io.BytesIO(header))
+
+    def test_unserializable_item_rejected(self):
+        with pytest.raises(ValidationError):
+            wire.encode_request_frame(
+                PredictApiRequest(uid=1, item=object()), 0
+            )
+
+    def test_binary_predict_frame_smaller_than_json_for_ndarrays(self):
+        request = PredictApiRequest(uid=1, item=np.random.default_rng(0).normal(size=64))
+        binary = wire.encode_request_frame(request, 0)
+        json_line = (encode_request(request) + "\n").encode("utf-8")
+        assert len(binary) < len(json_line)
+
+
+class TestCodecEquivalence:
+    """Every request/response must round-trip identically through the
+    JSON-lines codec and the binary codec."""
+
+    @pytest.mark.parametrize("request_obj", REQUEST_CATALOG, ids=repr)
+    def test_request_equivalence(self, request_obj):
+        # JSON flattens ndarrays to float lists and rebuilds float64;
+        # binary preserves them natively — the decoded values must agree.
+        via_json = decode_request(encode_request(request_obj))
+        via_binary = binary_roundtrip_request(request_obj)
+        assert_requests_equal(via_json, via_binary)
+
+    @pytest.mark.parametrize("response", RESPONSE_CATALOG, ids=repr)
+    def test_response_equivalence(self, response):
+        via_json = decode_response(encode_response(response))
+        frame = wire.encode_response_frame(response, 0)
+        _, _, payload = wire.read_frame(io.BytesIO(frame))
+        via_binary = wire.decode_response_payload(payload)
+        assert via_json == via_binary == response
+
+
+class _JsonOnlyHandler(socketserver.StreamRequestHandler):
+    """The pre-binary server loop, kept verbatim for fallback testing."""
+
+    def handle(self):
+        for raw in self.rfile:
+            line = raw.decode("utf-8").strip()
+            if not line:
+                continue
+            try:
+                request = decode_request(line)
+                response = ApiResponse(
+                    ok=True, payload={"echo": request.method}
+                )
+            except ValidationError as err:
+                response = ApiResponse(ok=False, error=str(err))
+            self.wfile.write((encode_response(response) + "\n").encode())
+            self.wfile.flush()
+
+
+@pytest.fixture
+def json_only_server():
+    """A legacy JSON-lines-only TCP server (no binary negotiation)."""
+    server = socketserver.ThreadingTCPServer(("127.0.0.1", 0), _JsonOnlyHandler)
+    server.daemon_threads = True
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestNegotiation:
+    def test_pipelined_client_negotiates_binary(self, deployed_velox):
+        with VeloxServer(deployed_velox) as server:
+            with PipelinedClient(server.host, server.port) as client:
+                assert client.protocol == "binary"
+                response = client.call(PredictApiRequest(uid=2, item=8))
+                assert response.ok
+                assert isinstance(response.payload["score"], float)
+
+    def test_json_client_still_works_against_new_server(self, deployed_velox):
+        """Old JSON-lines clients round-trip against the binary-capable
+        server: the peek-based negotiation must leave their first
+        request intact."""
+        with VeloxServer(deployed_velox) as server:
+            with RemoteClient(server.host, server.port) as client:
+                response = client.call(PredictApiRequest(uid=2, item=8))
+                assert response.ok
+                response = client.call(TopKApiRequest(uid=2, items=(1, 2), k=1))
+                assert response.ok
+
+    def test_pipelined_client_falls_back_to_json(self, json_only_server):
+        host, port = json_only_server
+        with PipelinedClient(host, port) as client:
+            assert client.protocol == "json"
+            response = client.call(PredictApiRequest(uid=1, item=2))
+            assert response.ok
+            assert response.payload["echo"] == "predict"
+            # pipelining still works in-order over JSON lines
+            futures = [
+                client.submit(PredictApiRequest(uid=1, item=i))
+                for i in range(10)
+            ]
+            assert all(f.result(5).ok for f in futures)
+
+    def test_mixed_protocol_clients_share_a_server(self, deployed_velox):
+        with VeloxServer(deployed_velox) as server:
+            with (
+                RemoteClient(server.host, server.port) as old,
+                PipelinedClient(server.host, server.port) as new,
+            ):
+                a = old.call(PredictApiRequest(uid=2, item=8))
+                b = new.call(PredictApiRequest(uid=2, item=8))
+                assert a.ok and b.ok
+                assert a.payload["score"] == pytest.approx(b.payload["score"])
+
+
+class TestPipelinedClient:
+    def test_many_in_flight_correct_correlation(self, deployed_velox):
+        """A burst of pipelined requests comes back correctly matched
+        even when the engine serves them out of submission order."""
+        engine = deployed_velox.serving_engine(
+            ServingConfig(num_workers=2, batching="adaptive", slo_p99=1.0)
+        )
+        expected = {
+            (uid, item): deployed_velox.service.predict("songs", uid, item).score
+            for uid in range(4)
+            for item in range(12)
+        }
+        with VeloxServer(deployed_velox, engine=engine) as server:
+            with PipelinedClient(server.host, server.port) as client:
+                futures = {
+                    (uid, item): client.submit(
+                        PredictApiRequest(uid=uid, item=item)
+                    )
+                    for uid in range(4)
+                    for item in range(12)
+                }
+                for (uid, item), future in futures.items():
+                    response = future.result(timeout=30)
+                    assert response.ok, response.error
+                    assert response.payload["item"] == item
+                    assert response.payload["score"] == pytest.approx(
+                        expected[(uid, item)], abs=1e-9
+                    )
+        completed = sum(m.completed for m in engine.queue_metrics().values())
+        assert completed == 48
+
+    def test_single_connection_fills_adaptive_batches(self, deployed_velox):
+        """The point of the pipelined intake: one socket keeps enough
+        requests in flight that the engine forms real batches."""
+        engine = deployed_velox.serving_engine(
+            ServingConfig(
+                num_workers=1,
+                batching="fixed_delay",
+                batch_delay=0.02,
+                max_batch_size=64,
+                slo_p99=5.0,
+                max_queue_age=10.0,
+            )
+        )
+        with VeloxServer(deployed_velox, engine=engine) as server:
+            with PipelinedClient(server.host, server.port) as client:
+                futures = [
+                    client.submit(PredictApiRequest(uid=1, item=item))
+                    for item in range(40)
+                ]
+                for future in futures:
+                    assert future.result(timeout=30).ok
+        (metrics,) = [
+            m for m in engine.queue_metrics().values() if m.completed
+        ]
+        assert metrics.batch_sizes.mean() > 1.0
+
+    def test_top_k_and_admin_requests_over_binary(self, deployed_velox):
+        engine = deployed_velox.serving_engine(ServingConfig(num_workers=1))
+        with VeloxServer(deployed_velox, engine=engine) as server:
+            with PipelinedClient(server.host, server.port) as client:
+                top = client.call(TopKApiRequest(uid=2, items=(1, 2, 3), k=2))
+                assert top.ok and len(top.payload["items"]) == 2
+                health = client.call(HealthApiRequest())
+                assert health.ok
+                status = client.call(StatusApiRequest())
+                assert status.ok and status.payload["num_nodes"] == 2
+
+    def test_ndarray_item_over_binary_wire(self, deployed_velox):
+        """Computed-feature payloads cross the wire as raw bytes and
+        still serve."""
+        with VeloxServer(deployed_velox) as server:
+            with PipelinedClient(server.host, server.port) as client:
+                response = client.call(
+                    PredictApiRequest(uid=1, item=3, model="songs")
+                )
+                assert response.ok
+
+    def test_shed_requests_surface_as_error_envelopes(self, deployed_velox):
+        engine = deployed_velox.serving_engine(
+            ServingConfig(max_queue_depth=0)
+        )
+        with VeloxServer(deployed_velox, engine=engine) as server:
+            with PipelinedClient(server.host, server.port) as client:
+                response = client.call(PredictApiRequest(uid=1, item=2))
+                assert not response.ok
+                assert "OverloadedError" in response.error
+                # connection still serves subsequent requests
+                response = client.call(HealthApiRequest())
+                assert response.ok
+
+    def test_malformed_frame_gets_error_response(self, deployed_velox):
+        with VeloxServer(deployed_velox) as server:
+            with PipelinedClient(server.host, server.port) as client:
+                # a well-framed but bogus opcode
+                client._sock.sendall(wire.encode_frame(99, 5, b""))
+                response = client.call(PredictApiRequest(uid=1, item=2))
+                assert response.ok  # the connection survived
+
+    def test_connection_pool_round_robins(self, deployed_velox):
+        with VeloxServer(deployed_velox) as server:
+            with ConnectionPool(server.host, server.port, size=3) as pool:
+                assert len(pool) == 3
+                assert pool.protocol == "binary"
+                futures = [
+                    pool.submit(PredictApiRequest(uid=1, item=i))
+                    for i in range(9)
+                ]
+                assert all(f.result(10).ok for f in futures)
+
+    def test_close_fails_pending_futures(self, deployed_velox):
+        with VeloxServer(deployed_velox) as server:
+            client = PipelinedClient(server.host, server.port)
+            client.close()
+            with pytest.raises(TransportError):
+                client.submit(PredictApiRequest(uid=1, item=2))
+
+
+class TestTransportErrors:
+    def test_remote_client_times_out_with_typed_error(self):
+        """A server that accepts but never answers: ``call`` raises
+        TransportError within the timeout instead of blocking forever."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+        try:
+            client = RemoteClient(host, port, timeout=0.3)
+            with pytest.raises(TransportError):
+                client.call(PredictApiRequest(uid=1, item=2))
+            # the failed client closed its socket and refuses reuse
+            with pytest.raises(TransportError):
+                client.call(PredictApiRequest(uid=1, item=2))
+        finally:
+            listener.close()
+
+    def test_remote_client_half_written_response_bounded(self):
+        """A server trickling a response without the newline cannot
+        stall ``call`` past the deadline."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def trickle():
+            conn, _ = listener.accept()
+            conn.recv(4096)
+            for _ in range(10):
+                try:
+                    conn.sendall(b'{"ok"')
+                except OSError:
+                    break
+                threading.Event().wait(0.1)
+            conn.close()
+
+        thread = threading.Thread(target=trickle, daemon=True)
+        thread.start()
+        try:
+            client = RemoteClient(host, port, timeout=0.4)
+            with pytest.raises(TransportError):
+                client.call(PredictApiRequest(uid=1, item=2))
+        finally:
+            listener.close()
+
+    def test_connection_drop_fails_pipelined_pending(self):
+        """A server that dies mid-stream fails every outstanding future
+        with TransportError instead of leaving them pending forever."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def accept_then_drop():
+            conn, _ = listener.accept()
+            conn.recv(len(wire.HELLO))
+            conn.sendall(wire.HELLO)  # accept binary...
+            conn.recv(65536)  # ...take one frame...
+            conn.close()  # ...and vanish
+
+        thread = threading.Thread(target=accept_then_drop, daemon=True)
+        thread.start()
+        try:
+            client = PipelinedClient(host, port)
+            assert client.protocol == "binary"
+            future = client.submit(PredictApiRequest(uid=1, item=2))
+            with pytest.raises(TransportError):
+                future.result(timeout=5)
+            client.close()
+        finally:
+            listener.close()
