@@ -18,7 +18,12 @@ built from scratch:
 
 from repro.batch.context import BatchContext
 from repro.batch.dataset import Dataset
-from repro.batch.scheduler import DAGScheduler, FailureInjector, JobMetrics
+from repro.batch.scheduler import (
+    DAGScheduler,
+    FailureInjector,
+    JobMetrics,
+    StageProfile,
+)
 from repro.batch.shared import Accumulator, Broadcast
 
 __all__ = [
@@ -27,6 +32,7 @@ __all__ = [
     "DAGScheduler",
     "FailureInjector",
     "JobMetrics",
+    "StageProfile",
     "Accumulator",
     "Broadcast",
 ]

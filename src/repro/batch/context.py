@@ -19,8 +19,12 @@ class BatchContext:
     """Creates datasets and owns the scheduler that executes them.
 
     ``default_parallelism`` sets both the default partition count for new
-    datasets and the scheduler's thread-pool width (1 = inline, fully
-    deterministic execution).
+    datasets and the scheduler's worker-pool width (1 = inline, fully
+    deterministic execution). ``executor`` selects how a stage's tasks
+    run when the pool is wider than 1: ``"thread"`` (GIL-bound, shares
+    driver memory) or ``"fork"`` (process-per-worker, true multicore for
+    the CPU-bound ALS solves; falls back to threads where ``os.fork``
+    is unavailable).
     """
 
     def __init__(
@@ -28,6 +32,7 @@ class BatchContext:
         default_parallelism: int = 4,
         max_task_attempts: int = 4,
         injector: FailureInjector | None = None,
+        executor: str = "thread",
     ):
         if default_parallelism < 1:
             raise ValueError(
@@ -38,6 +43,7 @@ class BatchContext:
             parallelism=default_parallelism,
             max_task_attempts=max_task_attempts,
             injector=injector,
+            executor=executor,
         )
         self._dataset_ids = count()
         self._shuffle_ids = count()
@@ -109,9 +115,20 @@ class BatchContext:
         dataset: Dataset,
         result_fn: Callable[[Iterator], object],
         partitions: list[int] | None = None,
+        local_only: bool = False,
     ) -> list:
-        """Execute ``result_fn`` over the dataset's partitions."""
-        return self.scheduler.run_job(dataset, result_fn, partitions)
+        """Execute ``result_fn`` over the dataset's partitions.
+
+        ``local_only`` pins the job to in-process execution (see
+        :meth:`DAGScheduler.run_job`)."""
+        return self.scheduler.run_job(
+            dataset, result_fn, partitions, local_only=local_only
+        )
+
+    @property
+    def executor(self) -> str:
+        """The configured executor mode (``"thread"`` or ``"fork"``)."""
+        return self.scheduler.executor
 
     @property
     def metrics(self):

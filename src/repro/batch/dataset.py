@@ -498,13 +498,20 @@ class Dataset:
         return [v for k, v in self.collect() if k == key]
 
     def foreach(self, fn: Callable) -> None:
-        """Action: run ``fn`` on every record for its side effects."""
+        """Action: run ``fn`` on every record for its side effects.
+
+        Always executes in-process (``local_only``), never in forked
+        workers: the whole point of ``foreach`` is mutating driver-side
+        state, which a forked worker's copy-on-write memory would
+        swallow. Accumulator updates inside ``fn`` work under either
+        path.
+        """
         def run(it: Iterator):
             for x in it:
                 fn(x)
             return None
 
-        self.context.run_job(self, run)
+        self.context.run_job(self, run, local_only=True)
 
     def save_to_table(self, table) -> int:
         """Write a pair-dataset into a veloxstore table; returns count.

@@ -1,0 +1,351 @@
+"""Fork-based task execution for the sparklite scheduler.
+
+CPython's GIL serializes the CPU-bound ridge solves that dominate ALS
+retraining, so the thread-pool executor leaves every core but one idle.
+This module runs a stage's tasks in forked worker processes instead:
+
+* ``os.fork`` means task closures (datasets, broadcasts, the scheduler
+  itself) need **no pickling** — workers inherit the driver's memory
+  copy-on-write, exactly the property that makes fork-per-stage cheap.
+* Results travel back over a pipe as **framed pickle-protocol-5
+  payloads with out-of-band buffers**: numpy arrays are shipped as raw
+  dtype/shape/bytes frames (zero-copy on the encode side) rather than
+  through generic pickle byte-stuffing. Buffers at or above
+  ``SHM_MIN_BYTES`` move through ``multiprocessing.shared_memory``
+  segments so huge factor matrices do not crawl through the pipe.
+* Each completed task ships one frame containing its result, its
+  captured side effects (accumulator deltas, shuffle writes — see
+  ``repro.batch.shared``), its metrics counter deltas, and its wall
+  clock. Per-task framing is what makes worker death recoverable: the
+  driver knows exactly which partitions landed and re-runs only the
+  lost ones via lineage.
+
+A worker that dies mid-stage (injected kill, OOM, hard crash) simply
+truncates its frame stream; :func:`run_forked` detects the missing
+partitions, consumes any configured kill injection so the retry can
+succeed, and re-forks just those partitions, up to the scheduler's
+``max_task_attempts``.
+
+Falls back to the caller's thread pool when ``fork`` is unavailable
+(``fork_available`` gates the whole path).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import sys
+import time
+from threading import Thread
+
+from repro.common.errors import BatchExecutionError, TaskFailedError
+from repro.batch.shared import (
+    begin_effect_capture,
+    end_effect_capture,
+    replay_effects,
+)
+
+#: Out-of-band buffers at or above this size are shipped through
+#: ``multiprocessing.shared_memory`` instead of inline pipe bytes.
+#: Tests shrink it to exercise the shared-memory path with small arrays.
+SHM_MIN_BYTES = 1 << 20
+
+_FRAME_TASK = 0
+_FRAME_END = 1
+
+_BUF_INLINE = 0
+_BUF_SHM = 1
+
+_HEADER = struct.Struct("<BIQ")  # kind, num_buffers, body_len
+_BUF_HEADER = struct.Struct("<BQ")  # buffer transport, nbytes
+_NAME_LEN = struct.Struct("<H")
+
+#: Exit code a worker uses for an injected kill (mirrors SIGKILL's 137).
+_KILL_EXIT_CODE = 137
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the fork executor."""
+    return hasattr(os, "fork") and sys.platform != "win32"
+
+
+def _shared_memory_class():
+    """The SharedMemory class, or None when unsupported."""
+    try:
+        from multiprocessing.shared_memory import SharedMemory
+    except ImportError:  # pragma: no cover - POSIX images always have it
+        return None
+    return SharedMemory
+
+
+# -- frame codec ------------------------------------------------------------
+
+
+def write_frame(out, kind: int, obj: object, shm_min_bytes: int | None = None) -> None:
+    """Serialize ``obj`` as one frame on ``out``.
+
+    Pickle protocol 5 hands us every large contiguous buffer (numpy
+    array bodies) out-of-band; those are written raw after the pickle
+    body — or placed in a shared-memory segment when large enough — so
+    array payloads never pay generic pickle encoding.
+    """
+    threshold = SHM_MIN_BYTES if shm_min_bytes is None else shm_min_bytes
+    buffers: list[pickle.PickleBuffer] = []
+    body = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    raws = [buf.raw() for buf in buffers]
+    shm_cls = _shared_memory_class()
+    out.write(_HEADER.pack(kind, len(raws), len(body)))
+    out.write(body)
+    for raw in raws:
+        if shm_cls is not None and raw.nbytes >= threshold:
+            segment = shm_cls(create=True, size=max(1, raw.nbytes))
+            segment.buf[: raw.nbytes] = raw
+            name = segment.name.encode("ascii")
+            out.write(_BUF_HEADER.pack(_BUF_SHM, raw.nbytes))
+            out.write(_NAME_LEN.pack(len(name)))
+            out.write(name)
+            segment.close()  # the reader unlinks after copying out
+        else:
+            out.write(_BUF_HEADER.pack(_BUF_INLINE, raw.nbytes))
+            out.write(raw)
+
+
+def _read_exact(stream, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes, or None on a clean/ truncated EOF."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream) -> tuple[int, object] | None:
+    """Read one frame; None if the writer died mid-stream or closed."""
+    header = _read_exact(stream, _HEADER.size)
+    if header is None:
+        return None
+    kind, num_buffers, body_len = _HEADER.unpack(header)
+    body = _read_exact(stream, body_len)
+    if body is None:
+        return None
+    buffers: list[bytes] = []
+    shm_cls = _shared_memory_class()
+    for _ in range(num_buffers):
+        buf_header = _read_exact(stream, _BUF_HEADER.size)
+        if buf_header is None:
+            return None
+        transport, nbytes = _BUF_HEADER.unpack(buf_header)
+        if transport == _BUF_SHM:
+            name_len_raw = _read_exact(stream, _NAME_LEN.size)
+            if name_len_raw is None:
+                return None
+            name_raw = _read_exact(stream, _NAME_LEN.unpack(name_len_raw)[0])
+            if name_raw is None or shm_cls is None:
+                return None
+            segment = shm_cls(name=name_raw.decode("ascii"))
+            try:
+                buffers.append(bytes(segment.buf[:nbytes]))
+            finally:
+                segment.close()
+                segment.unlink()
+        else:
+            raw = _read_exact(stream, nbytes)
+            if raw is None:
+                return None
+            buffers.append(raw)
+    return kind, pickle.loads(body, buffers=buffers)
+
+
+# -- worker side ------------------------------------------------------------
+
+
+def _pickle_safe_error(error: BaseException) -> BaseException:
+    """The error itself when picklable, else a summarizing stand-in.
+
+    A :class:`TaskFailedError` whose *cause* is the unpicklable part
+    keeps its structure (stage/partition/attempts) with the cause
+    summarized, so driver-side handling sees the same exception type
+    the inline path raises.
+    """
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        pass
+    if isinstance(error, TaskFailedError):
+        return TaskFailedError(
+            error.stage,
+            error.partition,
+            error.attempts,
+            _pickle_safe_error(error.cause),
+        )
+    return BatchExecutionError(
+        f"task failed with unpicklable {type(error).__name__}: {error!r}"
+    )
+
+
+def _child_main(task, assigned, write_fd: int, metrics, injector) -> None:
+    """Run this worker's partitions and stream one frame per task.
+
+    Runs inside the forked child; never returns (``os._exit`` always,
+    so pytest/atexit state inherited from the driver cannot run twice).
+    """
+    exit_code = 0
+    try:
+        out = os.fdopen(write_fd, "wb")
+        for partition in assigned:
+            if injector is not None and injector.should_kill_worker(partition):
+                out.flush()
+                os._exit(_KILL_EXIT_CODE)
+            before = metrics.counters()
+            begin_effect_capture()
+            start = time.perf_counter()
+            try:
+                value = task(partition)
+                ok = True
+            except Exception as error:  # shipped to the driver, raised there
+                value = _pickle_safe_error(error)
+                ok = False
+            seconds = time.perf_counter() - start
+            effects = end_effect_capture()
+            after = metrics.counters()
+            delta = {k: after[k] - before[k] for k in after if after[k] != before[k]}
+            write_frame(
+                out,
+                _FRAME_TASK,
+                {
+                    "partition": partition,
+                    "ok": ok,
+                    "value": value,
+                    "effects": effects,
+                    "metrics": delta,
+                    "seconds": seconds,
+                },
+            )
+        write_frame(out, _FRAME_END, None)
+        out.flush()
+    except BaseException:
+        exit_code = 1
+    finally:
+        os._exit(exit_code)
+
+
+# -- driver side ------------------------------------------------------------
+
+
+def _fork_round(task, partitions, num_workers: int, metrics, injector) -> dict:
+    """One fork round: returns ``{partition: payload}`` for every task
+    whose frame arrived (a dead worker's unfinished partitions are
+    simply absent)."""
+    pipes: list[tuple[int, int]] = [os.pipe() for _ in range(num_workers)]
+    workers: list[tuple[int, int]] = []  # (pid, read_fd)
+    for index in range(num_workers):
+        read_fd, write_fd = pipes[index]
+        pid = os.fork()
+        if pid == 0:
+            # Child: drop every pipe end that is not ours to write. Ends
+            # the parent already closed raise EBADF; ignore them.
+            for other_index, (other_read, other_write) in enumerate(pipes):
+                for fd in (other_read,) if other_index == index else (other_read, other_write):
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+            _child_main(task, partitions[index::num_workers], write_fd, metrics, injector)
+        os.close(write_fd)
+        workers.append((pid, read_fd))
+
+    payloads: dict[int, dict] = {}
+    received: list[list[dict]] = [[] for _ in workers]
+
+    def drain(slot: int, read_fd: int) -> None:
+        """Read frames from one worker until END or EOF."""
+        with os.fdopen(read_fd, "rb") as stream:
+            while True:
+                frame = read_frame(stream)
+                if frame is None or frame[0] == _FRAME_END:
+                    return
+                received[slot].append(frame[1])
+
+    readers = [
+        Thread(target=drain, args=(slot, read_fd), daemon=True)
+        for slot, (_pid, read_fd) in enumerate(workers)
+    ]
+    for reader in readers:
+        reader.start()
+    for reader in readers:
+        reader.join()
+    for pid, _read_fd in workers:
+        os.waitpid(pid, 0)
+    for frames in received:
+        for payload in frames:
+            payloads[payload["partition"]] = payload
+    return payloads
+
+
+def run_forked(
+    task,
+    partitions: list[int],
+    num_workers: int,
+    *,
+    metrics,
+    shuffle_store,
+    injector=None,
+    max_attempts: int = 4,
+) -> tuple[list, float]:
+    """Run ``task`` over ``partitions`` on forked workers.
+
+    Returns ``(results_in_partition_order, busy_seconds)``. Side effects
+    captured in workers are replayed on the driver in partition order,
+    so fork execution is observationally deterministic where inline
+    execution is. Lost partitions (dead worker) are re-forked up to
+    ``max_attempts`` rounds; anything else a task raises is re-raised
+    here after the stage's surviving effects have been applied.
+    """
+    order = list(partitions)
+    payloads: dict[int, dict] = {}
+    pending = order
+    for attempt in range(1, max_attempts + 1):
+        round_payloads = _fork_round(
+            task, pending, min(num_workers, len(pending)), metrics, injector
+        )
+        payloads.update(round_payloads)
+        lost = [p for p in pending if p not in round_payloads]
+        if not lost:
+            break
+        # Worker death: consume any injected kills so the retry round
+        # can succeed, then recompute just the lost partitions.
+        metrics.task_retries += len(lost)
+        if injector is not None:
+            for partition in lost:
+                if injector.consume_worker_kill(partition):
+                    metrics.injected_failures += 1
+        if attempt == max_attempts:
+            raise TaskFailedError(
+                -1,
+                lost[0],
+                attempt,
+                BatchExecutionError(
+                    f"fork worker died; partitions {lost} lost "
+                    f"{attempt} time(s)"
+                ),
+            )
+        pending = lost
+
+    busy_seconds = 0.0
+    first_error: BaseException | None = None
+    for partition in order:
+        payload = payloads[partition]
+        replay_effects(payload["effects"], shuffle_store, injector)
+        metrics.merge_counters(payload["metrics"])
+        busy_seconds += payload["seconds"]
+        if not payload["ok"] and first_error is None:
+            first_error = payload["value"]
+    if first_error is not None:
+        raise first_error
+    return [payloads[partition]["value"] for partition in order], busy_seconds

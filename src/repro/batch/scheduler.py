@@ -9,16 +9,27 @@ Given a target dataset and a per-partition result function, the scheduler:
    combining), and write buckets to the shuffle store,
 3. runs result tasks for the requested partitions.
 
+Two executors run a stage's tasks. ``"thread"`` uses a thread pool —
+cheap, shares driver memory, but the GIL serializes CPU-bound tasks.
+``"fork"`` (POSIX only, see :mod:`repro.batch.forkexec`) forks worker
+processes per stage: closures need no pickling, CPU-bound tasks scale
+across cores, and task side effects (accumulators, shuffle writes)
+are captured in the worker and replayed at the driver. Jobs that exist
+to mutate driver state (``foreach``/``save_to_table``) always run on
+the local thread path regardless of the configured executor.
+
 Fault tolerance mirrors Spark's lineage model: a failed task is retried
 up to ``max_task_attempts`` times, recomputing its inputs; a reduce task
 that hits a missing map output (:class:`ShuffleFetchError`) triggers
-recomputation of just that map task before the retry. A
-:class:`FailureInjector` deterministically provokes both failure modes
-for the fault-tolerance tests.
+recomputation of just that map task before the retry; a fork worker that
+dies mid-stage loses only its unreported partitions, which are re-forked
+and recomputed via lineage. A :class:`FailureInjector` deterministically
+provokes all three failure modes for the fault-tolerance tests.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from threading import RLock
@@ -30,7 +41,37 @@ from repro.batch.dataset import (
     ShuffleDependency,
     TaskContext,
 )
+from repro.batch import forkexec
+from repro.batch.shared import active_effects
 from repro.batch.shuffle import ShuffleFetchError, ShuffleStore
+
+EXECUTORS = ("thread", "fork")
+
+
+@dataclass
+class StageProfile:
+    """Wall-clock accounting for one executed stage.
+
+    ``busy_seconds`` sums per-task compute time, so
+    ``utilization`` ≈ 1.0 means every worker stayed busy for the whole
+    stage and ≈ 1/workers means the stage was effectively serial.
+    """
+
+    stage: int  # shuffle_id for map stages, -1 for result stages
+    kind: str  # "map" | "result"
+    executor: str  # "inline" | "thread" | "fork"
+    workers: int
+    tasks: int
+    wall_seconds: float
+    busy_seconds: float
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker-seconds spent computing tasks."""
+        denominator = self.wall_seconds * max(1, self.workers)
+        if denominator <= 0.0:
+            return 0.0
+        return self.busy_seconds / denominator
 
 
 @dataclass
@@ -44,16 +85,38 @@ class JobMetrics:
     task_retries: int = 0
     fetch_failures: int = 0
     injected_failures: int = 0
+    stage_profiles: list[StageProfile] = field(default_factory=list)
+
+    _COUNTER_FIELDS = (
+        "jobs",
+        "stages",
+        "map_tasks",
+        "result_tasks",
+        "task_retries",
+        "fetch_failures",
+        "injected_failures",
+    )
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self.jobs = 0
-        self.stages = 0
-        self.map_tasks = 0
-        self.result_tasks = 0
-        self.task_retries = 0
-        self.fetch_failures = 0
-        self.injected_failures = 0
+        """Zero every counter and drop recorded stage profiles."""
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, 0)
+        self.stage_profiles.clear()
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the integer counters (used to compute the deltas
+        a forked worker ships back)."""
+        return {name: getattr(self, name) for name in self._COUNTER_FIELDS}
+
+    def merge_counters(self, delta: dict[str, int]) -> None:
+        """Fold a forked worker's counter deltas into the driver copy."""
+        for name, amount in delta.items():
+            if name in self._COUNTER_FIELDS:
+                setattr(self, name, getattr(self, name) + amount)
+
+    def stage_wall_seconds(self) -> float:
+        """Total recorded stage wall clock (retrain instrumentation)."""
+        return sum(profile.wall_seconds for profile in self.stage_profiles)
 
 
 class InjectedFailure(RuntimeError):
@@ -69,11 +132,19 @@ class FailureInjector:
     result-task partition index similarly. ``lost_outputs`` lists
     ``(shuffle_id, map_partition)`` outputs to silently drop after they
     are first written, forcing a fetch failure downstream.
+    ``worker_kills`` lists partition indices whose fork worker dies
+    (``os._exit``) just before running them — the process-level failure
+    mode the thread executor cannot express.
+
+    Consumed entries are recorded in the active task-effect capture, so
+    a forked worker's consumption replays onto the driver's injector and
+    retry budgets stay exact across process boundaries.
     """
 
     map_failures: dict = field(default_factory=dict)
     result_failures: dict = field(default_factory=dict)
     lost_outputs: set = field(default_factory=set)
+    worker_kills: set = field(default_factory=set)
     _lock: RLock = field(default_factory=RLock, repr=False)
 
     def maybe_fail_map(self, shuffle_id: int, partition: int) -> None:
@@ -83,6 +154,7 @@ class FailureInjector:
             remaining = self.map_failures.get(key, 0)
             if remaining > 0:
                 self.map_failures[key] = remaining - 1
+                self._record_consumed("map", key)
                 raise InjectedFailure(f"injected map failure at {key}")
 
     def maybe_fail_result(self, partition: int) -> None:
@@ -91,6 +163,7 @@ class FailureInjector:
             remaining = self.result_failures.get(partition, 0)
             if remaining > 0:
                 self.result_failures[partition] = remaining - 1
+                self._record_consumed("result", partition)
                 raise InjectedFailure(
                     f"injected result failure at partition {partition}"
                 )
@@ -101,16 +174,52 @@ class FailureInjector:
             key = (shuffle_id, map_partition)
             if key in self.lost_outputs:
                 self.lost_outputs.discard(key)
+                self._record_consumed("lost_output", key)
                 return True
             return False
+
+    def should_kill_worker(self, partition: int) -> bool:
+        """Whether a fork worker about to run ``partition`` should die.
+
+        Deliberately non-consuming: the worker dies before it can report
+        anything, so the *driver* consumes the kill when it notices the
+        lost partition (:meth:`consume_worker_kill`)."""
+        with self._lock:
+            return partition in self.worker_kills
+
+    def consume_worker_kill(self, partition: int) -> bool:
+        """Clear a configured worker kill; True if one was pending."""
+        with self._lock:
+            if partition in self.worker_kills:
+                self.worker_kills.discard(partition)
+                return True
+            return False
+
+    def apply_consumed_events(self, events: list) -> None:
+        """Replay a forked worker's consumption onto this injector."""
+        with self._lock:
+            for kind, key in events:
+                if kind == "map" and self.map_failures.get(key, 0) > 0:
+                    self.map_failures[key] -= 1
+                elif kind == "result" and self.result_failures.get(key, 0) > 0:
+                    self.result_failures[key] -= 1
+                elif kind == "lost_output":
+                    self.lost_outputs.discard(key)
+
+    def _record_consumed(self, kind: str, key) -> None:
+        effects = active_effects()
+        if effects is not None:
+            effects.injector_events.append((kind, key))
 
 
 class DAGScheduler:
     """Executes dataset lineage graphs.
 
-    ``parallelism`` > 1 runs the tasks of each stage on a thread pool;
+    ``parallelism`` > 1 runs the tasks of each stage on a worker pool;
     1 runs them inline (deterministic, easiest to debug, and what the
-    latency benchmarks use).
+    latency benchmarks use). ``executor`` picks the pool: ``"thread"``
+    (default) or ``"fork"`` (process-based; falls back to threads when
+    ``fork`` is unavailable on the platform).
     """
 
     def __init__(
@@ -118,6 +227,7 @@ class DAGScheduler:
         parallelism: int = 1,
         max_task_attempts: int = 4,
         injector: FailureInjector | None = None,
+        executor: str = "thread",
     ):
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
@@ -125,9 +235,14 @@ class DAGScheduler:
             raise ValueError(
                 f"max_task_attempts must be >= 1, got {max_task_attempts}"
             )
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         self.parallelism = parallelism
         self.max_task_attempts = max_task_attempts
         self.injector = injector
+        self.executor = executor
         self.shuffle_store = ShuffleStore()
         self.metrics = JobMetrics()
         self._materialized_shuffles: set[int] = set()
@@ -140,11 +255,18 @@ class DAGScheduler:
         dataset: Dataset,
         result_fn: Callable[[Iterator], object],
         partitions: list[int] | None = None,
+        local_only: bool = False,
     ) -> list:
         """Compute ``result_fn(iter(partition))`` for each requested
-        partition of ``dataset``; returns results in partition order."""
+        partition of ``dataset``; returns results in partition order.
+
+        ``local_only`` pins every stage of this job to the in-process
+        (inline/thread) path — required when ``result_fn`` exists to
+        mutate driver state (``foreach``, ``save_to_table``), which a
+        forked worker could not make visible.
+        """
         self.metrics.jobs += 1
-        self._ensure_shuffles(dataset)
+        self._ensure_shuffles(dataset, local_only=local_only)
         targets = list(range(dataset.num_partitions)) if partitions is None else partitions
         ctx = TaskContext(self.shuffle_store, self.metrics)
         self.metrics.stages += 1
@@ -158,7 +280,9 @@ class DAGScheduler:
                 is_map=False,
             )
 
-        return self._run_tasks(result_task, targets)
+        return self._run_tasks(
+            result_task, targets, stage=-1, kind="result", local_only=local_only
+        )
 
     def invalidate_shuffle(self, shuffle_id: int) -> None:
         """Forget a materialized shuffle (tests / memory reclamation)."""
@@ -185,16 +309,18 @@ class DAGScheduler:
                     stack.append(dep.parent)
         return found
 
-    def _ensure_shuffles(self, dataset: Dataset) -> None:
+    def _ensure_shuffles(self, dataset: Dataset, local_only: bool = False) -> None:
         """Materialize every shuffle upstream of ``dataset``, bottom-up."""
         for dep in self._collect_shuffle_deps(dataset):
             if dep.shuffle_id in self._materialized_shuffles:
                 continue
-            self._ensure_shuffles(dep.parent)
-            self._run_shuffle_map_stage(dep)
+            self._ensure_shuffles(dep.parent, local_only=local_only)
+            self._run_shuffle_map_stage(dep, local_only=local_only)
             self._materialized_shuffles.add(dep.shuffle_id)
 
-    def _run_shuffle_map_stage(self, dep: ShuffleDependency) -> None:
+    def _run_shuffle_map_stage(
+        self, dep: ShuffleDependency, local_only: bool = False
+    ) -> None:
         self.metrics.stages += 1
         ctx = TaskContext(self.shuffle_store, self.metrics)
 
@@ -207,15 +333,78 @@ class DAGScheduler:
                 is_map=True,
             )
 
-        self._run_tasks(map_task, list(range(dep.parent.num_partitions)))
+        self._run_tasks(
+            map_task,
+            list(range(dep.parent.num_partitions)),
+            stage=dep.shuffle_id,
+            kind="map",
+            local_only=local_only,
+        )
 
     # -- task execution ----------------------------------------------------------
 
-    def _run_tasks(self, task: Callable[[int], object], partitions: list[int]) -> list:
+    def _run_tasks(
+        self,
+        task: Callable[[int], object],
+        partitions: list[int],
+        stage: int = -1,
+        kind: str = "result",
+        local_only: bool = False,
+    ) -> list:
+        start = time.perf_counter()
+        workers = 1
+        executor_used = "inline"
+        busy = 0.0
         if self.parallelism == 1 or len(partitions) <= 1:
-            return [task(p) for p in partitions]
-        with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
-            return list(pool.map(task, partitions))
+            results = []
+            for partition in partitions:
+                task_start = time.perf_counter()
+                results.append(task(partition))
+                busy += time.perf_counter() - task_start
+        elif (
+            self.executor == "fork"
+            and not local_only
+            and forkexec.fork_available()
+        ):
+            workers = min(self.parallelism, len(partitions))
+            executor_used = "fork"
+            results, busy = forkexec.run_forked(
+                task,
+                partitions,
+                workers,
+                metrics=self.metrics,
+                shuffle_store=self.shuffle_store,
+                injector=self.injector,
+                max_attempts=self.max_task_attempts,
+            )
+        else:
+            workers = min(self.parallelism, len(partitions))
+            executor_used = "thread"
+            timings: list[float] = []
+
+            def timed(partition: int):
+                """One task, with its wall clock recorded."""
+                task_start = time.perf_counter()
+                try:
+                    return task(partition)
+                finally:
+                    timings.append(time.perf_counter() - task_start)
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(timed, partitions))
+            busy = sum(timings)
+        self.metrics.stage_profiles.append(
+            StageProfile(
+                stage=stage,
+                kind=kind,
+                executor=executor_used,
+                workers=workers,
+                tasks=len(partitions),
+                wall_seconds=time.perf_counter() - start,
+                busy_seconds=busy,
+            )
+        )
+        return results
 
     def _run_with_retry(
         self, body: Callable[[], object], stage: int, partition: int, is_map: bool

@@ -6,13 +6,113 @@ the ALS driver uses both patterns (frozen factor matrices per
 half-iteration; solver diagnostics). In-process these are thin wrappers,
 but they make the intent explicit, catch use-after-unpersist bugs, and
 keep job closures free of accidental mutable capture.
+
+Process execution changes the contract. Under the fork executor a task
+runs in a forked child, so any mutation it makes to driver objects —
+``Accumulator.add``, shuffle-store writes, failure-injector bookkeeping
+— lands in the child's copy-on-write memory and would silently vanish
+at ``_exit``. The :class:`TaskEffects` capture below closes that hole:
+inside a forked worker every such mutation is *also* recorded as a
+delta, shipped back to the driver with the task result, and replayed
+there (:func:`replay_effects`) in deterministic partition order.
+
+The resulting semantics, which both executors honor:
+
+* **Accumulators** — contributions from forked tasks are collected as
+  deltas and merged at the driver after the owning stage completes, in
+  partition order. ``merge_fn`` must therefore be associative and
+  commutative (the documented Spark contract); driver reads during a
+  stage may observe partial totals under the thread executor and
+  *no* contributions from still-running forked workers.
+* **Broadcasts** — a forked task sees a snapshot of the broadcast value
+  as of ``fork()``. Driver-side ``unpersist()`` therefore cannot poison
+  in-flight forked tasks (they keep their snapshot); it only affects
+  tasks started afterwards. Under the thread executor ``unpersist()``
+  is immediately visible, so the driver must only call it between jobs
+  — exactly how the ALS loop uses it. A task-side ``unpersist()`` in a
+  forked worker is local to that child and never leaks to the driver.
 """
 
 from __future__ import annotations
 
+import weakref
+from dataclasses import dataclass, field
+from itertools import count
 from threading import RLock
 
 from repro.common.errors import BatchExecutionError
+
+
+@dataclass
+class TaskEffects:
+    """Driver-state mutations recorded by one task in a forked worker.
+
+    Shipped back through the result pipe and replayed on the driver by
+    :func:`replay_effects`. Every payload must be picklable.
+    """
+
+    #: (registry_id, amount) per ``Accumulator.add`` call, in call order.
+    accumulator_adds: list = field(default_factory=list)
+    #: (shuffle_id, map_partition, buckets) per shuffle-store write.
+    shuffle_writes: list = field(default_factory=list)
+    #: (shuffle_id, map_partition) per shuffle-store drop.
+    shuffle_drops: list = field(default_factory=list)
+    #: ("map" | "result" | "lost_output", key) per consumed injector
+    #: entry, so retry budgets stay in sync with the driver's injector.
+    injector_events: list = field(default_factory=list)
+
+
+#: Active capture for the *current* task. Only ever set inside a forked
+#: worker (which is single-threaded), so a plain module global is safe.
+_ACTIVE_EFFECTS: TaskEffects | None = None
+
+#: Driver-side registry used to resolve shipped accumulator deltas back
+#: to their live instances. Keyed by a process-global registry id (the
+#: per-context ``accumulator_id`` is only unique within one context).
+_LIVE_ACCUMULATORS: "weakref.WeakValueDictionary[int, Accumulator]" = (
+    weakref.WeakValueDictionary()
+)
+_REGISTRY_IDS = count()
+
+
+def begin_effect_capture() -> TaskEffects:
+    """Start recording task side effects (called in forked workers)."""
+    global _ACTIVE_EFFECTS
+    _ACTIVE_EFFECTS = TaskEffects()
+    return _ACTIVE_EFFECTS
+
+
+def end_effect_capture() -> TaskEffects:
+    """Stop recording and return what was captured."""
+    global _ACTIVE_EFFECTS
+    effects, _ACTIVE_EFFECTS = _ACTIVE_EFFECTS, None
+    if effects is None:
+        raise BatchExecutionError("end_effect_capture without begin")
+    return effects
+
+
+def active_effects() -> TaskEffects | None:
+    """The capture for the current task, or None outside forked workers."""
+    return _ACTIVE_EFFECTS
+
+
+def replay_effects(effects: TaskEffects, shuffle_store, injector=None) -> None:
+    """Apply one task's captured side effects to driver state.
+
+    Called by the scheduler once per completed forked task, in partition
+    order, so accumulator merge order is deterministic (it matches what
+    inline execution would have produced).
+    """
+    for registry_id, amount in effects.accumulator_adds:
+        accumulator = _LIVE_ACCUMULATORS.get(registry_id)
+        if accumulator is not None:
+            accumulator.add(amount)
+    for shuffle_id, map_partition, buckets in effects.shuffle_writes:
+        shuffle_store.write(shuffle_id, map_partition, buckets)
+    for shuffle_id, map_partition in effects.shuffle_drops:
+        shuffle_store.drop(shuffle_id, map_partition)
+    if injector is not None:
+        injector.apply_consumed_events(effects.injector_events)
 
 
 class Broadcast:
@@ -20,6 +120,8 @@ class Broadcast:
 
     ``unpersist()`` releases the value; any later access raises, which
     surfaces the classic use-after-free of broadcast handles eagerly.
+    Forked tasks read a fork-time snapshot (see the module docstring for
+    the full executor contract).
     """
 
     _MISSING = object()
@@ -43,12 +145,14 @@ class Broadcast:
 
 
 class Accumulator:
-    """A write-only-from-tasks, read-from-driver counter.
+    """A write-only-from-tasks, read-from-driver aggregate.
 
     Tasks call ``add``; only the driver should read ``value``. Additions
-    are serialized, so accumulators are safe under the threaded
-    scheduler. ``merge_fn`` defaults to ``+`` (sums), but any
-    associative, commutative function works.
+    are serialized under the threaded scheduler; under the fork executor
+    each ``add`` is captured as a delta and merged at the driver when
+    the stage's results land (module docstring has the full contract).
+    ``merge_fn`` defaults to ``+`` (sums), but any associative,
+    commutative function works.
     """
 
     def __init__(self, accumulator_id: int, zero, merge_fn=None):
@@ -56,9 +160,14 @@ class Accumulator:
         self._value = zero
         self._merge = merge_fn if merge_fn is not None else (lambda a, b: a + b)
         self._lock = RLock()
+        self._registry_id = next(_REGISTRY_IDS)
+        _LIVE_ACCUMULATORS[self._registry_id] = self
 
     def add(self, amount) -> None:
         """Merge one contribution (called from tasks)."""
+        effects = _ACTIVE_EFFECTS
+        if effects is not None:
+            effects.accumulator_adds.append((self._registry_id, amount))
         with self._lock:
             self._value = self._merge(self._value, amount)
 

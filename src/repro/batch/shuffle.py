@@ -15,6 +15,7 @@ from threading import RLock
 
 from repro.common.errors import BatchExecutionError
 from repro.common.rng import stable_hash
+from repro.batch.shared import active_effects
 
 
 class ShuffleFetchError(BatchExecutionError):
@@ -53,7 +54,16 @@ class ShuffleStore:
         self.records_written = 0
 
     def write(self, shuffle_id: int, map_partition: int, buckets: list[list]) -> None:
-        """Store one map task's buckets."""
+        """Store one map task's buckets.
+
+        Inside a forked worker the write also lands in the task's effect
+        capture, so the driver can replay it into *its* store — a map
+        output written only to a child's copy-on-write memory would
+        otherwise vanish when the worker exits.
+        """
+        effects = active_effects()
+        if effects is not None:
+            effects.shuffle_writes.append((shuffle_id, map_partition, buckets))
         with self._lock:
             self._outputs[(shuffle_id, map_partition)] = buckets
             self.records_written += sum(len(b) for b in buckets)
@@ -74,6 +84,9 @@ class ShuffleStore:
 
     def drop(self, shuffle_id: int, map_partition: int) -> bool:
         """Discard one map output (used by fault-injection tests)."""
+        effects = active_effects()
+        if effects is not None:
+            effects.shuffle_drops.append((shuffle_id, map_partition))
         with self._lock:
             return self._outputs.pop((shuffle_id, map_partition), None) is not None
 

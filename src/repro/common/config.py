@@ -44,6 +44,11 @@ class VeloxConfig:
         remote_hop_latency: Modeled one-way network latency (seconds)
             charged per remote data access in the cluster simulator.
         remote_bandwidth: Modeled bytes/second for remote payloads.
+        batch_executor: How the batch (sparklite) scheduler runs a
+            stage's tasks: ``"thread"`` (GIL-bound pool sharing driver
+            memory) or ``"fork"`` (process-per-worker, true multicore
+            for CPU-bound retraining; falls back to threads where
+            ``os.fork`` is unavailable).
     """
 
     num_nodes: int = 4
@@ -59,6 +64,7 @@ class VeloxConfig:
     bandit_exploration: float = 0.5
     remote_hop_latency: float = 0.5e-3
     remote_bandwidth: float = 1e9
+    batch_executor: str = "thread"
     extra: dict = field(default_factory=dict)
 
     _VALID_UPDATE_METHODS = (
@@ -67,6 +73,9 @@ class VeloxConfig:
         "sgd",
         "logistic",
     )
+    # Mirrors repro.batch.scheduler.EXECUTORS (kept literal here so the
+    # config layer stays import-free of the batch subsystem).
+    _VALID_BATCH_EXECUTORS = ("thread", "fork")
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -112,6 +121,11 @@ class VeloxConfig:
         if self.remote_bandwidth <= 0:
             raise ConfigError(
                 f"remote_bandwidth must be > 0, got {self.remote_bandwidth}"
+            )
+        if self.batch_executor not in self._VALID_BATCH_EXECUTORS:
+            raise ConfigError(
+                f"batch_executor must be one of {self._VALID_BATCH_EXECUTORS}, "
+                f"got {self.batch_executor!r}"
             )
 
     # -- serialization ------------------------------------------------------

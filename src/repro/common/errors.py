@@ -100,6 +100,12 @@ class TaskFailedError(BatchExecutionError):
             f"after {attempts} attempt(s): {cause!r}"
         )
 
+    def __reduce__(self):
+        # Default Exception pickling replays ``args`` into ``__init__``,
+        # which does not match this signature; forked workers ship task
+        # failures back to the driver by pickle, so spell it out.
+        return (TaskFailedError, (self.stage, self.partition, self.attempts, self.cause))
+
 
 class RoutingError(ReproError):
     """A request could not be routed to an owning node."""

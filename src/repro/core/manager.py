@@ -18,6 +18,7 @@ Responsibilities, mapping to the paper's list:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from threading import RLock
 
@@ -137,6 +138,14 @@ class RetrainEvent:
     #: observations actually trained on when the sampling engine was
     #: used (None = full log).
     sampled_observations: int | None = None
+    #: wall-clock seconds the offline batch job took (train only, not
+    #: the swap/cache repopulation).
+    batch_seconds: float | None = None
+    #: scheduler stages the batch job executed.
+    batch_stages: int | None = None
+    #: fraction of worker-seconds those stages spent computing (see
+    #: :class:`repro.batch.StageProfile`).
+    batch_utilization: float | None = None
 
 
 @dataclass(frozen=True)
@@ -344,12 +353,18 @@ class ModelManager:
                 training_set, sampled = self._training_set(
                     snapshot, sample_fraction, min_per_user
                 )
+                mark = len(self.batch_context.metrics.stage_profiles)
+                train_start = time.perf_counter()
                 new_model, new_user_weights = snapshot.model.retrain(
                     self.batch_context, training_set, snapshot.weights
+                )
+                profile = self._batch_profile(
+                    mark, time.perf_counter() - train_start
                 )
                 return self._swap_retrained(
                     model_name, snapshot, new_model, new_user_weights, reason,
                     sampled_observations=sampled,
+                    batch_profile=profile,
                 )
             finally:
                 self._retraining = False
@@ -390,12 +405,18 @@ class ModelManager:
         def run() -> None:
             """The background retrain body (train, then locked swap)."""
             try:
+                mark = len(self.batch_context.metrics.stage_profiles)
+                train_start = time.perf_counter()
                 new_model, new_user_weights = snapshot.model.retrain(
                     self.batch_context, snapshot.observations, snapshot.weights
                 )
+                profile = self._batch_profile(
+                    mark, time.perf_counter() - train_start
+                )
                 with self._write_lock:
                     event = self._swap_retrained(
-                        model_name, snapshot, new_model, new_user_weights, reason
+                        model_name, snapshot, new_model, new_user_weights,
+                        reason, batch_profile=profile,
                     )
                 handle._finish(event, None)
             except BaseException as err:  # surfaced via handle.wait()
@@ -425,6 +446,26 @@ class ModelManager:
             hot_predictions=self.service.cached_predictions(model_name),
         )
 
+    def _batch_profile(self, mark: int, seconds: float) -> dict:
+        """Summarize the scheduler stages a retrain's batch job ran.
+
+        ``mark`` is the stage-profile list length captured before the
+        job; everything appended since belongs to this retrain (retrains
+        are serialized per context, so the slice is not interleaved).
+        """
+        profiles = self.batch_context.metrics.stage_profiles[mark:]
+        worker_seconds = sum(
+            p.wall_seconds * max(1, p.workers) for p in profiles
+        )
+        busy = sum(p.busy_seconds for p in profiles)
+        return {
+            "batch_seconds": seconds,
+            "batch_stages": len(profiles),
+            "batch_utilization": (
+                busy / worker_seconds if worker_seconds > 0 else None
+            ),
+        }
+
     def _swap_retrained(
         self,
         model_name: str,
@@ -433,6 +474,7 @@ class ModelManager:
         new_user_weights: dict,
         reason: str,
         sampled_observations: int | None = None,
+        batch_profile: dict | None = None,
     ) -> RetrainEvent:
         """Publish the retrained model and repopulate caches (locked)."""
         current = self.registry.get(model_name)
@@ -463,6 +505,7 @@ class ModelManager:
             reason=reason,
             caches_repopulated=repopulated,
             sampled_observations=sampled_observations,
+            **(batch_profile or {}),
         )
         self.retrain_events.append(event)
         return event

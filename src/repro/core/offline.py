@@ -7,6 +7,19 @@ factors fixed (a batch job grouped by uid), then every item's with user
 factors fixed (grouped by item id) — exactly the structure a Spark ALS
 takes. Biases are learned by augmenting each side's features with a
 constant slot.
+
+Two solver implementations share the math. ``solver="scalar"`` is the
+reference: one Python-level ridge solve per entity, features assembled
+per rating. ``solver="vectorized"`` (the default) removes the Python
+interpreter from the inner loop entirely: within each grouped partition
+it gathers every entity's features in one CSR-style indexed read,
+segment-sums per-rating outer products into a ``(B, rank+1, rank+1)``
+Gram tensor, and solves the whole batch as one stacked
+``np.linalg.solve``. The shuffled tuple groups are converted to flat
+arrays once, before the iteration loop, so iterations never touch a
+per-rating Python object. The training-RMSE pass is likewise one
+vectorized residual computation per partition instead of a per-triple
+Python closure.
 """
 
 from __future__ import annotations
@@ -17,6 +30,8 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.common.rng import as_generator
+
+SOLVERS = ("vectorized", "scalar")
 
 
 @dataclass
@@ -31,12 +46,15 @@ class AlsResult:
     train_rmse: list[float] = field(default_factory=list)
 
 
-def _solve_side(pairs, other_factors, other_bias, global_mean, rank, reg):
+def _solve_side(pairs, other_factors, other_bias, global_mean, rank, reg,
+                eye=None, row_of=None):
     """Ridge-solve one entity's factor+bias given the other side fixed.
 
     ``pairs`` is a list of (other_id, rating). Features are
     ``[other_factor, 1]``; the target is ``rating - mu - other_bias``,
     so the solved coefficient on the constant slot is this entity's bias.
+    ``row_of`` maps sparse entity ids to rows of ``other_factors``
+    (None when ids already index the array directly).
 
     Regularization uses the ALS-WR weighting (Zhou et al.): the penalty
     scales with the entity's rating count, which prevents heavy raters
@@ -44,15 +62,152 @@ def _solve_side(pairs, other_factors, other_bias, global_mean, rank, reg):
     error below the noise floor and generalizes poorly.
     """
     count = len(pairs)
+    if eye is None:
+        eye = np.eye(rank + 1)
     features = np.empty((count, rank + 1))
     targets = np.empty(count)
     for row, (other_id, rating) in enumerate(pairs):
-        features[row, :rank] = other_factors[other_id]
+        other_row = other_id if row_of is None else row_of[other_id]
+        features[row, :rank] = other_factors[other_row]
         features[row, rank] = 1.0
-        targets[row] = rating - global_mean - other_bias[other_id]
-    gram = features.T @ features + reg * count * np.eye(rank + 1)
+        targets[row] = rating - global_mean - other_bias[other_row]
+    gram = features.T @ features + reg * count * eye
     solution = np.linalg.solve(gram, features.T @ targets)
     return solution[:rank], float(solution[rank])
+
+
+def _stacked_ridge(features, targets, counts, dim, reg, eye,
+                   scale_reg_by_count):
+    """Solve one ridge regression per entity, all stacked into one call.
+
+    ``features`` is the row-concatenation of every entity's feature
+    matrix (entity blocks contiguous, in entity order), ``targets`` the
+    matching labels, ``counts[e]`` the number of rows of entity ``e``.
+    Per-rating outer products are segment-summed at the entity offsets
+    (``np.add.reduceat``) into a ``(B, dim, dim)`` Gram tensor, so the
+    whole batch resolves as a single stacked ``np.linalg.solve`` — no
+    per-entity Python loop, no per-entity LAPACK dispatch.
+
+    Returns ``(num_entities, dim)`` solutions in entity order.
+    """
+    num_entities = len(counts)
+    offsets = np.zeros(num_entities, dtype=np.intp)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    outer = features[:, :, None] * features[:, None, :]  # (n, dim, dim)
+    gram = np.add.reduceat(outer, offsets, axis=0)  # (B, dim, dim)
+    penalty = reg * counts if scale_reg_by_count else np.full(num_entities, reg)
+    gram += penalty[:, None, None] * eye
+    rhs = np.add.reduceat(features * targets[:, None], offsets, axis=0)
+    return np.linalg.solve(gram, rhs[:, :, None])[:, :, 0]
+
+
+@dataclass
+class _CsrBlock:
+    """One partition's grouped ratings in structure-of-arrays form.
+
+    The tuple-of-Python-objects representation the shuffle produces is
+    converted to flat numpy arrays exactly once, before the iteration
+    loop; every ALS half-iteration then reduces to indexed gathers and
+    stacked solves with no Python-level per-rating work. ``ids`` holds
+    the *other* side's id per rating (entity blocks contiguous, ordered
+    as ``keys``); ``counts[e]`` is entity ``e``'s rating count.
+    """
+
+    keys: np.ndarray  # (num_entities,) entity ids
+    counts: np.ndarray  # (num_entities,) ratings per entity
+    ids: np.ndarray  # (total_ratings,) other-side id per rating
+    ratings: np.ndarray  # (total_ratings,)
+
+
+def _pack_groups(records) -> _CsrBlock:
+    """Convert one grouped partition into a :class:`_CsrBlock`."""
+    entries = list(records)
+    keys = np.fromiter(
+        (key for key, _pairs in entries), dtype=np.intp, count=len(entries)
+    )
+    counts = np.fromiter(
+        (len(pairs) for _key, pairs in entries), dtype=np.intp, count=len(entries)
+    )
+    flat = [pair for _key, pairs in entries for pair in pairs]
+    packed = np.asarray(flat, dtype=np.float64).reshape(len(flat), 2)
+    return _CsrBlock(
+        keys=keys,
+        counts=counts,
+        ids=packed[:, 0].astype(np.intp),
+        ratings=packed[:, 1],
+    )
+
+
+def _solve_block(block: _CsrBlock, other_factors, other_bias, row_of,
+                 global_mean, rank, reg, eye):
+    """Vectorized ridge solves for every entity in one CSR block: one
+    indexed gather builds all features/targets, then one stacked solve.
+
+    Returns ``(keys, solutions)`` arrays — ``solutions[e]`` is entity
+    ``keys[e]``'s ``rank`` factors followed by its bias — so no
+    per-entity Python object is ever built on the hot path.
+    """
+    if block.keys.shape[0] == 0:
+        return block.keys, np.empty((0, rank + 1))
+    rows = block.ids if row_of is None else row_of[block.ids]
+    features = np.empty((rows.shape[0], rank + 1))
+    features[:, :rank] = other_factors[rows]
+    features[:, rank] = 1.0
+    targets = block.ratings - global_mean - other_bias[rows]
+    solutions = _stacked_ridge(
+        features, targets, block.counts, rank + 1, reg, eye,
+        scale_reg_by_count=True,
+    )
+    return block.keys, solutions
+
+
+@dataclass
+class _TripleBlock:
+    """One partition's rating triples, pre-resolved to array indices."""
+
+    user_rows: np.ndarray  # (n,) rows into the dense user matrices
+    item_ids: np.ndarray  # (n,)
+    ratings: np.ndarray  # (n,)
+
+
+def _pack_triples(records, uid_row) -> _TripleBlock:
+    """Convert one partition of rating triples into a :class:`_TripleBlock`."""
+    triples = np.asarray(list(records), dtype=np.float64).reshape(-1, 3)
+    return _TripleBlock(
+        user_rows=uid_row[triples[:, 0].astype(np.intp)],
+        item_ids=triples[:, 1].astype(np.intp),
+        ratings=triples[:, 2],
+    )
+
+
+def _materialize_blocks(batch_context, dataset, packer, n_parts):
+    """Run one job that packs every partition of ``dataset`` with
+    ``packer``, then re-parallelize the packed blocks one per partition.
+
+    This pays the Python-tuples-to-arrays conversion (and any upstream
+    shuffle) exactly once; the returned dataset lives in driver memory,
+    so under the fork executor each iteration's tasks inherit the arrays
+    copy-on-write with no per-iteration serialization.
+    """
+    blocks = dataset.map_partitions(lambda _i, records: [packer(records)]).collect()
+    return batch_context.parallelize(blocks, n_parts)
+
+
+def _sse_block(block: _TripleBlock, user_fac, user_b, item_fac, item_b,
+               global_mean):
+    """(sum_sq_error, count) for one pre-packed partition of triples."""
+    if block.ratings.shape[0] == 0:
+        return (0.0, 0)
+    predicted = (
+        global_mean
+        + user_b[block.user_rows]
+        + item_b[block.item_ids]
+        + np.einsum(
+            "ij,ij->i", user_fac[block.user_rows], item_fac[block.item_ids]
+        )
+    )
+    residual = block.ratings - predicted
+    return (float(residual @ residual), residual.shape[0])
 
 
 def als_train(
@@ -64,13 +219,24 @@ def als_train(
     regularization: float = 0.1,
     seed: int = 11,
     num_partitions: int | None = None,
+    solver: str = "vectorized",
 ) -> AlsResult:
     """Alternating least squares over ``(uid, item_id, rating)`` triples.
 
     Runs as sparklite jobs: the ratings dataset is cached; each half-
-    iteration is a ``group_by_key`` + per-entity ridge solve. Items that
+    iteration is a ``group_by_key`` + grouped ridge solve. Items that
     never appear keep their random initialization (bias 0), matching how
     a deployed recommender handles cold items.
+
+    Determinism: for a fixed ``seed`` and ``num_partitions`` the result
+    is identical whatever the scheduler's executor ("thread"/"fork") or
+    worker count — partitioning fixes the floating-point reduction
+    order, and fork-side results ship back bit-exact. Note the default
+    ``num_partitions`` tracks ``batch_context.default_parallelism``, so
+    cross-worker-count comparisons must pin ``num_partitions``
+    explicitly. ``solver="scalar"`` and ``"vectorized"`` agree to
+    floating-point tolerance, not bit-exactly (batched BLAS reductions
+    associate differently).
     """
     if not ratings:
         raise ValidationError("als_train requires at least one rating")
@@ -80,6 +246,8 @@ def als_train(
         raise ValidationError(f"num_iterations must be >= 1, got {num_iterations}")
     if regularization < 0:
         raise ValidationError(f"regularization must be >= 0, got {regularization}")
+    if solver not in SOLVERS:
+        raise ValidationError(f"solver must be one of {SOLVERS}, got {solver!r}")
     max_item = max(item for _u, item, _r in ratings)
     if max_item >= num_items:
         raise ValidationError(
@@ -89,74 +257,146 @@ def als_train(
     rng = as_generator(seed)
     global_mean = float(np.mean([r for _u, _i, r in ratings]))
 
-    item_factors = rng.normal(0.0, 0.1, (num_items, rank))
-    item_bias = np.zeros(num_items)
+    item_fac = rng.normal(0.0, 0.1, (num_items, rank))
+    item_b = np.zeros(num_items)
     user_ids = sorted({uid for uid, _i, _r in ratings})
-    user_factors = {uid: rng.normal(0.0, 0.1, rank) for uid in user_ids}
-    user_bias = {uid: 0.0 for uid in user_ids}
+    user_fac = rng.normal(0.0, 0.1, (len(user_ids), rank))
+    user_b = np.zeros(len(user_ids))
+    # Sparse uid -> dense row translation, shared with every task.
+    uid_row = np.full(user_ids[-1] + 1, -1, dtype=np.intp)
+    uid_row[user_ids] = np.arange(len(user_ids))
 
     n_parts = num_partitions or batch_context.default_parallelism
     dataset = batch_context.parallelize(ratings, n_parts).cache()
-    by_user = (
-        dataset.map(lambda t: (t[0], (t[1], t[2]))).group_by_key(n_parts).cache()
+    by_user = dataset.map(lambda t: (t[0], (t[1], t[2]))).group_by_key(n_parts)
+    by_item = dataset.map(lambda t: (t[1], (t[0], t[2]))).group_by_key(n_parts)
+
+    # Hoisted out of the iteration loop: the identity used by every
+    # ridge solve. The factor matrices are broadcast *without* copies —
+    # each half-iteration's job completes (and unpersists) before the
+    # driver mutates the arrays it shipped, so no task can observe a
+    # torn update under either executor.
+    eye = np.eye(rank + 1)
+    vectorized = solver == "vectorized"
+
+    if vectorized:
+        # CSR materialization: one job per side converts the shuffled
+        # Python tuple groups into flat arrays; the iteration loop then
+        # touches only numpy (gathers + stacked solves), never a
+        # per-rating Python object.
+        user_blocks = _materialize_blocks(
+            batch_context, by_user, _pack_groups, n_parts
+        )
+        item_blocks = _materialize_blocks(
+            batch_context, by_item, _pack_groups, n_parts
+        )
+    else:
+        by_user = by_user.cache()
+        by_item = by_item.cache()
+    # The RMSE pass is packed in both modes — the solver ablation
+    # compares the ridge-solve implementations, not the residual pass.
+    rating_blocks = _materialize_blocks(
+        batch_context, dataset,
+        lambda records: _pack_triples(records, uid_row), n_parts,
     )
-    by_item = (
-        dataset.map(lambda t: (t[1], (t[0], t[2]))).group_by_key(n_parts).cache()
-    )
+
+    def solve_stage_vectorized(source, other_factors, other_bias, row_of,
+                               target_fac, target_b, key_row):
+        """One half-iteration: one stacked solve per CSR block, results
+        scattered straight from arrays into the dense target matrices
+        (each entity lives in exactly one partition, so scatter order
+        cannot matter)."""
+        frozen = batch_context.broadcast((other_factors, other_bias))
+        solved = source.map_partitions(
+            lambda _i, records: [
+                _solve_block(
+                    block, frozen.value[0], frozen.value[1], row_of,
+                    global_mean, rank, regularization, eye,
+                )
+                for block in records
+            ]
+        ).collect()
+        frozen.unpersist()
+        for keys, solutions in solved:
+            if keys.shape[0]:
+                rows = keys if key_row is None else key_row[keys]
+                target_fac[rows] = solutions[:, :rank]
+                target_b[rows] = solutions[:, rank]
+
+    def solve_stage_scalar(source, other_factors, other_bias, row_of):
+        """One half-iteration via the reference per-entity scalar loop."""
+        frozen = batch_context.broadcast((other_factors, other_bias))
+        solved = source.map_values(
+            lambda pairs: _solve_side(
+                pairs, frozen.value[0], frozen.value[1],
+                global_mean, rank, regularization, eye, row_of,
+            )
+        ).collect_as_map()
+        frozen.unpersist()
+        return solved
 
     train_rmse: list[float] = []
     for _iteration in range(num_iterations):
         # User step: solve each user's ridge with item factors fixed.
         # The frozen side ships to tasks as a broadcast, the Spark idiom
-        # for large read-only state captured by closures.
-        items_bc = batch_context.broadcast(
-            (item_factors.copy(), item_bias.copy())
-        )
-        solved_users = by_user.map_values(
-            lambda pairs: _solve_side(
-                pairs, items_bc.value[0], items_bc.value[1],
-                global_mean, rank, regularization,
-            )
-        ).collect_as_map()
-        items_bc.unpersist()
-        for uid, (factor, bias) in solved_users.items():
-            user_factors[uid] = factor
-            user_bias[uid] = bias
+        # for large read-only state captured by closures (under the fork
+        # executor the broadcast is inherited copy-on-write — no
+        # serialization at all).
+        if vectorized:
+            solve_stage_vectorized(user_blocks, item_fac, item_b,
+                                   row_of=None, target_fac=user_fac,
+                                   target_b=user_b, key_row=uid_row)
+            # Item step: solve each item's ridge with user factors fixed.
+            solve_stage_vectorized(item_blocks, user_fac, user_b,
+                                   row_of=uid_row, target_fac=item_fac,
+                                   target_b=item_b, key_row=None)
+        else:
+            solved_users = solve_stage_scalar(by_user, item_fac, item_b,
+                                              row_of=None)
+            if solved_users:
+                rows = uid_row[np.fromiter(solved_users, dtype=np.intp,
+                                           count=len(solved_users))]
+                user_fac[rows] = np.stack(
+                    [f for f, _b in solved_users.values()]
+                )
+                user_b[rows] = np.fromiter(
+                    (b for _f, b in solved_users.values()), dtype=np.float64,
+                    count=len(solved_users),
+                )
 
-        # Item step: solve each item's ridge with user factors fixed.
-        users_bc = batch_context.broadcast(
-            (dict(user_factors), dict(user_bias))
-        )
-        solved_items = by_item.map_values(
-            lambda pairs: _solve_side(
-                pairs, users_bc.value[0], users_bc.value[1],
-                global_mean, rank, regularization,
-            )
-        ).collect_as_map()
-        users_bc.unpersist()
-        for item_id, (factor, bias) in solved_items.items():
-            item_factors[item_id] = factor
-            item_bias[item_id] = bias
+            # Item step: solve each item's ridge with user factors fixed.
+            solved_items = solve_stage_scalar(by_item, user_fac, user_b,
+                                              row_of=uid_row)
+            if solved_items:
+                rows = np.fromiter(solved_items, dtype=np.intp,
+                                   count=len(solved_items))
+                item_fac[rows] = np.stack(
+                    [f for f, _b in solved_items.values()]
+                )
+                item_b[rows] = np.fromiter(
+                    (b for _f, b in solved_items.values()), dtype=np.float64,
+                    count=len(solved_items),
+                )
 
-        # Training RMSE for convergence monitoring.
-        def _sq_err(t):
-            uid, item_id, rating = t
-            predicted = (
-                global_mean
-                + user_bias[uid]
-                + item_bias[item_id]
-                + float(user_factors[uid] @ item_factors[item_id])
-            )
-            return (rating - predicted) ** 2
-
-        mse = dataset.map(_sq_err).mean()
-        train_rmse.append(float(np.sqrt(mse)))
+        # Training RMSE for convergence monitoring: one vectorized
+        # residual pass per pre-packed partition (no per-triple Python
+        # closure or dict lookups).
+        sse_counts = rating_blocks.map_partitions(
+            lambda _i, records: [
+                _sse_block(block, user_fac, user_b, item_fac, item_b,
+                           global_mean)
+                for block in records
+            ]
+        ).collect()
+        total_sse = sum(sse for sse, _n in sse_counts)
+        total_n = sum(n for _sse, n in sse_counts)
+        train_rmse.append(float(np.sqrt(total_sse / total_n)))
 
     return AlsResult(
-        user_factors=user_factors,
-        user_bias=user_bias,
-        item_factors=item_factors,
-        item_bias=item_bias,
+        user_factors={uid: user_fac[uid_row[uid]].copy() for uid in user_ids},
+        user_bias={uid: float(user_b[uid_row[uid]]) for uid in user_ids},
+        item_factors=item_fac,
+        item_bias=item_b,
         global_mean=global_mean,
         train_rmse=train_rmse,
     )
@@ -168,6 +408,7 @@ def solve_user_weights(
     feature_fn,
     dimension: int,
     regularization: float = 0.1,
+    solver: str = "vectorized",
 ) -> dict[int, np.ndarray]:
     """Batch re-solve of every user's ridge regression in a feature space.
 
@@ -175,23 +416,50 @@ def solve_user_weights(
     retrain changes θ (and therefore the feature space), every user's
     weights must be re-estimated against the *new* features — carrying
     old weights across feature spaces produces garbage. One sparklite
-    job, grouped by uid.
+    job, grouped by uid. ``feature_fn`` is an opaque UDF so feature rows
+    are still assembled per observation, but the per-user solves are
+    batched into one stacked ``np.linalg.solve`` per partition
+    (``solver="scalar"`` keeps the one-solve-per-user reference path).
     """
+    if solver not in SOLVERS:
+        raise ValidationError(f"solver must be one of {SOLVERS}, got {solver!r}")
+    eye = np.eye(dimension)
+
     def solve_user(pairs: list) -> np.ndarray:
         """Ridge-solve one user's weights in this feature space."""
         f_matrix = np.vstack([feature_fn(x) for x, _y in pairs])
         labels = np.asarray([y for _x, y in pairs], dtype=float)
-        gram = f_matrix.T @ f_matrix + regularization * np.eye(dimension)
+        gram = f_matrix.T @ f_matrix + regularization * eye
         return np.linalg.solve(gram, f_matrix.T @ labels)
 
-    return (
-        batch_context.parallelize(
-            [(ob.uid, (ob.item_data, ob.label)) for ob in observations]
+    def solve_partition(records) -> list:
+        """Batched ridge solves for every user grouped in a partition."""
+        entries = list(records)
+        if not entries:
+            return []
+        keys = [key for key, _pairs in entries]
+        counts = np.array([len(pairs) for _key, pairs in entries], dtype=np.intp)
+        features = np.vstack(
+            [feature_fn(x) for _key, pairs in entries for x, _y in pairs]
+        ).astype(np.float64, copy=False)
+        targets = np.fromiter(
+            (y for _key, pairs in entries for _x, y in pairs),
+            dtype=np.float64, count=int(counts.sum()),
         )
-        .group_by_key()
-        .map_values(solve_user)
-        .collect_as_map()
-    )
+        solutions = _stacked_ridge(
+            features, targets, counts, dimension, regularization, eye,
+            scale_reg_by_count=False,
+        )
+        return [(key, solutions[index]) for index, key in enumerate(keys)]
+
+    grouped = batch_context.parallelize(
+        [(ob.uid, (ob.item_data, ob.label)) for ob in observations]
+    ).group_by_key()
+    if solver == "vectorized":
+        return grouped.map_partitions(
+            lambda _i, records: solve_partition(records)
+        ).collect_as_map()
+    return grouped.map_values(solve_user).collect_as_map()
 
 
 def predict_rating(result: AlsResult, uid: int, item_id: int) -> float:

@@ -73,7 +73,8 @@ class Velox:
             num_nodes=cfg.num_nodes, router_factory=router_factory, network=network
         )
         batch_context = BatchContext(
-            default_parallelism=batch_parallelism or cfg.num_nodes
+            default_parallelism=batch_parallelism or cfg.num_nodes,
+            executor=cfg.batch_executor,
         )
         return cls(cfg, cluster, batch_context, auto_retrain=auto_retrain)
 

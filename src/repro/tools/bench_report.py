@@ -5,10 +5,15 @@
 prints them as one markdown document — the raw appendix behind
 EXPERIMENTS.md. Useful after a fresh ``pytest benchmarks/
 --benchmark-only`` run to eyeball every series in one place.
+
+Benchmarks that need a machine-readable artifact (CI gates, the
+``BENCH_*.json`` summaries at the repo root) emit it through
+:func:`write_json_summary`.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -29,7 +34,25 @@ KNOWN_EXPERIMENTS = [
     ("ablation_topk_engines", "Ablation — efficient top-K engines"),
     ("ablation_model_selection", "Ablation — dynamic model selection"),
     ("ablation_sampled_retrain", "Ablation — sampled retraining"),
+    ("ablation_wire", "Ablation — wire transport: binary framed pipelining"),
+    ("ablation_batch", "Ablation — batch tier: fork executor + vectorized ALS"),
 ]
+
+
+def write_json_summary(out_path: str | Path, experiment: str, data: dict) -> Path:
+    """Write one benchmark's machine-readable summary as JSON.
+
+    ``data`` must be JSON-serializable (convert numpy scalars first).
+    Returns the written path. The file round-trips through ``json`` so
+    CI jobs and the driver can assert on recorded numbers without
+    parsing the human-oriented ``.txt`` series.
+    """
+    path = Path(out_path)
+    payload = {"experiment": experiment, **data}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def build_report(results_dir: str | Path) -> str:

@@ -1,0 +1,302 @@
+"""Fork executor: frame transport, effect replay, recovery, fallback."""
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchContext, FailureInjector
+from repro.batch import forkexec
+from repro.batch.scheduler import JobMetrics
+from repro.batch.shuffle import ShuffleStore
+from repro.common.errors import BatchExecutionError, TaskFailedError
+
+pytestmark = pytest.mark.skipif(
+    not forkexec.fork_available(), reason="platform has no os.fork"
+)
+
+
+@pytest.fixture
+def fork_ctx():
+    return BatchContext(default_parallelism=3, executor="fork")
+
+
+class TestFrameCodec:
+    def roundtrip(self, obj, shm_min_bytes=None):
+        out = io.BytesIO()
+        forkexec.write_frame(out, forkexec._FRAME_TASK, obj, shm_min_bytes)
+        kind, decoded = forkexec.read_frame(io.BytesIO(out.getvalue()))
+        assert kind == forkexec._FRAME_TASK
+        return decoded
+
+    def test_plain_object(self):
+        assert self.roundtrip({"partition": 3, "ok": True}) == {
+            "partition": 3,
+            "ok": True,
+        }
+
+    def test_numpy_out_of_band(self):
+        array = np.arange(1000, dtype=np.float64).reshape(50, 20)
+        decoded = self.roundtrip({"value": array})
+        assert np.array_equal(decoded["value"], array)
+        assert decoded["value"].dtype == array.dtype
+
+    def test_shared_memory_path(self):
+        # Threshold 1 forces every out-of-band buffer through shm.
+        array = np.arange(512, dtype=np.float64)
+        decoded = self.roundtrip([array, array * 2], shm_min_bytes=1)
+        assert np.array_equal(decoded[0], array)
+        assert np.array_equal(decoded[1], array * 2)
+
+    def test_truncated_stream_returns_none(self):
+        out = io.BytesIO()
+        forkexec.write_frame(out, forkexec._FRAME_TASK, list(range(100)))
+        truncated = out.getvalue()[:-5]
+        assert forkexec.read_frame(io.BytesIO(truncated)) is None
+
+    def test_empty_stream_returns_none(self):
+        assert forkexec.read_frame(io.BytesIO(b"")) is None
+
+
+class TestForkExecution:
+    def test_collect_matches_serial(self, fork_ctx):
+        data = list(range(100))
+        serial = BatchContext(default_parallelism=1)
+        assert (
+            fork_ctx.parallelize(data, 6).map(lambda x: x * 3).collect()
+            == serial.parallelize(data, 6).map(lambda x: x * 3).collect()
+        )
+
+    def test_shuffle_job(self, fork_ctx):
+        pairs = fork_ctx.parallelize([(i % 5, 1) for i in range(50)], 6)
+        assert pairs.reduce_by_key(lambda a, b: a + b).collect_as_map() == {
+            k: 10 for k in range(5)
+        }
+
+    def test_numpy_results_bit_exact(self, fork_ctx):
+        rng = np.random.default_rng(7)
+        arrays = [rng.normal(size=(40, 8)) for _ in range(6)]
+        doubled = (
+            fork_ctx.parallelize(arrays, 3).map(lambda a: a * 2.0).collect()
+        )
+        for original, result in zip(arrays, doubled):
+            assert np.array_equal(result, original * 2.0)
+
+    def test_shared_memory_transport(self, fork_ctx, monkeypatch):
+        # Shrink the threshold so real task results take the shm path;
+        # children inherit the patched module global through fork.
+        monkeypatch.setattr(forkexec, "SHM_MIN_BYTES", 64)
+        arrays = [np.full((100,), float(i)) for i in range(6)]
+        results = fork_ctx.parallelize(arrays, 3).map(lambda a: a + 1).collect()
+        for i, result in enumerate(results):
+            assert np.array_equal(result, np.full((100,), float(i)) + 1)
+
+    def test_stage_profile_records_fork(self, fork_ctx):
+        fork_ctx.parallelize(range(30), 6).map(lambda x: x).collect()
+        profile = fork_ctx.metrics.stage_profiles[-1]
+        assert profile.executor == "fork"
+        assert profile.workers == 3
+        assert profile.tasks == 6
+        assert profile.wall_seconds > 0
+        assert 0 <= profile.utilization <= 1.5  # timer noise tolerance
+
+    def test_inline_when_single_partition(self, fork_ctx):
+        fork_ctx.parallelize([1], 1).collect()
+        assert fork_ctx.metrics.stage_profiles[-1].executor == "inline"
+
+    def test_fallback_to_threads(self, monkeypatch):
+        monkeypatch.setattr(forkexec, "fork_available", lambda: False)
+        ctx = BatchContext(default_parallelism=3, executor="fork")
+        assert ctx.parallelize(range(20), 4).map(lambda x: -x).collect() == [
+            -x for x in range(20)
+        ]
+        assert ctx.metrics.stage_profiles[-1].executor == "thread"
+
+
+class TestForkSideEffects:
+    def test_accumulator_adds_do_not_vanish(self, fork_ctx):
+        counter = fork_ctx.accumulator(0)
+        result = (
+            fork_ctx.parallelize(range(60), 6)
+            .map(lambda x: counter.add(1) or x)
+            .collect()
+        )
+        assert result == list(range(60))
+        assert counter.value == 60
+
+    def test_accumulator_custom_merge(self, fork_ctx):
+        collector = fork_ctx.accumulator([], merge_fn=lambda a, b: a + [b])
+        fork_ctx.parallelize([4, 5, 6], 3).map(
+            lambda x: collector.add(x) or x
+        ).collect()
+        assert sorted(collector.value) == [4, 5, 6]
+
+    def test_accumulator_merge_order_is_partition_order(self, fork_ctx):
+        # With an order-sensitive merge_fn the fork executor must match
+        # inline execution: deltas replay in partition order.
+        def run(ctx):
+            trace = ctx.accumulator([], merge_fn=lambda a, b: a + [b])
+            ctx.parallelize(range(8), 4).map(
+                lambda x: trace.add(x) or x
+            ).collect()
+            return trace.value
+
+        assert run(fork_ctx) == run(BatchContext(default_parallelism=1))
+
+    def test_foreach_mutates_driver_state(self, fork_ctx):
+        # foreach is pinned local_only: driver-side mutation must be
+        # visible even under the fork executor.
+        seen = []
+        fork_ctx.parallelize(range(10), 4).foreach(seen.append)
+        assert sorted(seen) == list(range(10))
+
+    def test_save_to_table_under_fork(self, fork_ctx):
+        from repro.store import VeloxStore
+
+        table = VeloxStore(default_partitions=2).create_table("t")
+        written = fork_ctx.parallelize(
+            [(i, i * 10) for i in range(20)], 4
+        ).save_to_table(table)
+        assert written == 20
+        assert table.get(7) == 70
+
+    def test_driver_unpersist_between_jobs_is_safe(self, fork_ctx):
+        first = fork_ctx.broadcast(100)
+        result = (
+            fork_ctx.parallelize(range(6), 3)
+            .map(lambda x: x + first.value)
+            .collect()
+        )
+        assert result == [x + 100 for x in range(6)]
+        first.unpersist()
+        second = fork_ctx.broadcast(200)
+        assert fork_ctx.parallelize([1], 1).map(
+            lambda x: x + second.value
+        ).collect() == [201]
+
+    def test_task_side_unpersist_does_not_leak_to_driver(self, fork_ctx):
+        handle = fork_ctx.broadcast(42)
+
+        def read_then_unpersist(x):
+            value = handle.value
+            handle.unpersist()  # local to the forked child
+            return x + value
+
+        # One record per partition: each forked child reads once, then
+        # poisons only its own copy-on-write copy of the handle.
+        result = (
+            fork_ctx.parallelize(range(2), 2).map(read_then_unpersist).collect()
+        )
+        assert result == [x + 42 for x in range(2)]
+        assert handle.value == 42  # driver copy untouched
+
+
+class TestForkFailures:
+    def test_task_error_propagates_with_cause(self, fork_ctx):
+        def boom(x):
+            if x == 7:
+                raise RuntimeError("bad record")
+            return x
+
+        with pytest.raises(TaskFailedError) as exc:
+            fork_ctx.parallelize(range(10), 4).map(boom).collect()
+        assert isinstance(exc.value.cause, RuntimeError)
+
+    def test_unpicklable_error_is_summarized(self, fork_ctx):
+        def boom(x):
+            raise RuntimeError(lambda: None)  # lambda arg defeats pickle
+
+        # The wrapper keeps its TaskFailedError shape; only the
+        # unpicklable cause is replaced with a summary.
+        with pytest.raises(TaskFailedError) as exc:
+            fork_ctx.parallelize([1, 2], 2).map(boom).collect()
+        assert isinstance(exc.value.cause, BatchExecutionError)
+        assert "RuntimeError" in str(exc.value.cause)
+
+    def test_worker_kill_recovered(self):
+        injector = FailureInjector(worker_kills={1})
+        ctx = BatchContext(
+            default_parallelism=3, executor="fork", injector=injector
+        )
+        assert ctx.parallelize(range(12), 4).map(lambda x: x * 2).collect() == [
+            x * 2 for x in range(12)
+        ]
+        assert injector.worker_kills == set()  # consumed by the driver
+        assert ctx.metrics.injected_failures >= 1
+        assert ctx.metrics.task_retries >= 1
+
+    def test_worker_kill_loses_only_unreported_partitions(self):
+        # Partition 3 is killed; 0-2 complete in the first round and
+        # must not be recomputed (their accumulator adds land once).
+        injector = FailureInjector(worker_kills={3})
+        ctx = BatchContext(
+            default_parallelism=4, executor="fork", injector=injector
+        )
+        counter = ctx.accumulator(0)
+        result = ctx.parallelize(range(8), 4).map(
+            lambda x: counter.add(1) or x
+        ).collect()
+        assert result == list(range(8))
+        assert counter.value == 8
+
+    def test_persistent_worker_death_exhausts_attempts(self):
+        class AlwaysKill:
+            """An injector whose kill never clears (hard crash loop)."""
+
+            def should_kill_worker(self, partition):
+                return partition == 1
+
+            def consume_worker_kill(self, partition):
+                return False
+
+            def apply_consumed_events(self, events):
+                pass
+
+        metrics = JobMetrics()
+        with pytest.raises(TaskFailedError) as exc:
+            forkexec.run_forked(
+                lambda p: p,
+                [0, 1, 2],
+                num_workers=2,
+                metrics=metrics,
+                shuffle_store=ShuffleStore(),
+                injector=AlwaysKill(),
+                max_attempts=3,
+            )
+        assert exc.value.attempts == 3
+        assert isinstance(exc.value.cause, BatchExecutionError)
+
+    def test_surviving_results_still_replayed_after_failure(self, fork_ctx):
+        # A failing task must not discard sibling tasks' accumulator
+        # deltas from the same stage.
+        counter = fork_ctx.accumulator(0)
+
+        def count_or_boom(x):
+            counter.add(1)
+            if x == 0:
+                raise RuntimeError("boom")
+            return x
+
+        with pytest.raises(TaskFailedError):
+            fork_ctx.parallelize(range(6), 3).map(count_or_boom).collect()
+        assert counter.value >= 4  # the two surviving partitions landed
+
+
+class TestForkDeterminism:
+    def test_matches_thread_executor_bitwise(self):
+        rng = np.random.default_rng(3)
+        data = [(int(k), rng.normal(size=4)) for k in range(40) for _ in range(3)]
+
+        def run(executor):
+            ctx = BatchContext(default_parallelism=4, executor=executor)
+            return (
+                ctx.parallelize(data, 6)
+                .reduce_by_key(lambda a, b: a + b)
+                .collect_as_map()
+            )
+
+        forked, threaded = run("fork"), run("thread")
+        assert set(forked) == set(threaded)
+        for key in forked:
+            assert np.array_equal(forked[key], threaded[key])

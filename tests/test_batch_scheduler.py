@@ -123,6 +123,70 @@ class TestThreadedExecution:
         assert joined[4] == (4, 8)
 
 
+class TestWorkerKillInjection:
+    def test_killed_fork_worker_partition_recomputed(self):
+        from repro.batch import forkexec
+
+        if not forkexec.fork_available():
+            pytest.skip("platform has no os.fork")
+        injector = FailureInjector(worker_kills={2})
+        ctx = BatchContext(
+            default_parallelism=4, executor="fork", injector=injector
+        )
+        pairs = ctx.parallelize([(i % 3, 1) for i in range(12)], 4)
+        assert pairs.reduce_by_key(lambda a, b: a + b).collect_as_map() == {
+            0: 4, 1: 4, 2: 4
+        }
+        assert injector.worker_kills == set()
+        assert ctx.metrics.injected_failures >= 1
+
+    def test_worker_kills_ignored_by_thread_executor(self):
+        # The thread executor has no process to kill; configured kills
+        # simply never fire.
+        injector = FailureInjector(worker_kills={0})
+        ctx = BatchContext(
+            default_parallelism=2, executor="thread", injector=injector
+        )
+        assert ctx.parallelize(range(4), 2).collect() == list(range(4))
+        assert injector.worker_kills == {0}
+
+
+class TestStageProfiles:
+    def test_profiles_recorded_per_stage(self):
+        ctx = BatchContext(default_parallelism=1)
+        pairs = ctx.parallelize([(i % 2, i) for i in range(8)], 4)
+        pairs.reduce_by_key(lambda a, b: a + b).collect()
+        kinds = [p.kind for p in ctx.metrics.stage_profiles]
+        assert kinds == ["map", "result"]
+        for profile in ctx.metrics.stage_profiles:
+            assert profile.executor == "inline"
+            assert profile.wall_seconds >= 0
+            assert profile.busy_seconds >= 0
+
+    def test_thread_profile_worker_count(self):
+        ctx = BatchContext(default_parallelism=3)
+        ctx.parallelize(range(12), 6).map(lambda x: x).collect()
+        profile = ctx.metrics.stage_profiles[-1]
+        assert profile.executor == "thread"
+        assert profile.workers == 3
+        assert profile.tasks == 6
+
+    def test_stage_wall_seconds_sums(self):
+        ctx = BatchContext(default_parallelism=1)
+        ctx.parallelize(range(4), 2).collect()
+        total = ctx.metrics.stage_wall_seconds()
+        assert total == pytest.approx(
+            sum(p.wall_seconds for p in ctx.metrics.stage_profiles)
+        )
+
+    def test_reset_clears_profiles(self):
+        ctx = BatchContext(default_parallelism=1)
+        ctx.parallelize(range(4), 2).collect()
+        ctx.metrics.reset()
+        assert ctx.metrics.stage_profiles == []
+        assert ctx.metrics.jobs == 0
+
+
 class TestValidation:
     def test_invalid_parallelism(self):
         with pytest.raises(ValueError):
@@ -133,3 +197,7 @@ class TestValidation:
 
         with pytest.raises(ValueError):
             DAGScheduler(max_task_attempts=0)
+
+    def test_invalid_executor(self):
+        with pytest.raises(ValueError):
+            BatchContext(default_parallelism=2, executor="greenlet")

@@ -93,6 +93,77 @@ class TestSaveToTable:
         assert len(table) == 500
 
 
+class TestEffectCapture:
+    """The capture/replay protocol the fork executor ships deltas with."""
+
+    def test_accumulator_adds_recorded(self, ctx):
+        from repro.batch.shared import begin_effect_capture, end_effect_capture
+
+        counter = ctx.accumulator(0)
+        begin_effect_capture()
+        counter.add(3)
+        counter.add(4)
+        effects = end_effect_capture()
+        assert effects.accumulator_adds == [
+            (counter._registry_id, 3),
+            (counter._registry_id, 4),
+        ]
+
+    def test_replay_applies_deltas_to_live_accumulator(self, ctx):
+        from repro.batch.shared import TaskEffects, replay_effects
+        from repro.batch.shuffle import ShuffleStore
+
+        counter = ctx.accumulator(0)
+        effects = TaskEffects(
+            accumulator_adds=[(counter._registry_id, 5), (counter._registry_id, 2)]
+        )
+        replay_effects(effects, ShuffleStore())
+        assert counter.value == 7
+
+    def test_replay_skips_dead_accumulators(self, ctx):
+        # A worker may ship a delta for an accumulator the driver has
+        # already dropped; replay must not crash.
+        from repro.batch.shared import TaskEffects, replay_effects
+        from repro.batch.shuffle import ShuffleStore
+
+        counter = ctx.accumulator(0)
+        dead_id = counter._registry_id
+        del counter
+        replay_effects(
+            TaskEffects(accumulator_adds=[(dead_id, 1)]), ShuffleStore()
+        )  # no live target: silently dropped
+
+    def test_shuffle_writes_recorded_and_replayed(self):
+        from repro.batch.shared import begin_effect_capture, end_effect_capture, replay_effects
+        from repro.batch.shuffle import ShuffleStore
+
+        capture_store = ShuffleStore()
+        begin_effect_capture()
+        capture_store.write(9, 0, [[(1, "a")], [(2, "b")]])
+        effects = end_effect_capture()
+        assert effects.shuffle_writes == [(9, 0, [[(1, "a")], [(2, "b")]])]
+
+        driver_store = ShuffleStore()
+        replay_effects(effects, driver_store)
+        assert driver_store.fetch(9, 0, 0) == [(1, "a")]
+        assert driver_store.fetch(9, 0, 1) == [(2, "b")]
+
+    def test_end_without_begin_raises(self):
+        from repro.batch.shared import end_effect_capture
+
+        with pytest.raises(BatchExecutionError):
+            end_effect_capture()
+
+    def test_no_capture_outside_workers(self, ctx):
+        from repro.batch.shared import active_effects
+
+        assert active_effects() is None
+        counter = ctx.accumulator(0)
+        counter.add(1)  # plain driver-side add, nothing recorded
+        assert active_effects() is None
+        assert counter.value == 1
+
+
 class TestCheckpoint:
     def test_checkpoint_preserves_data(self, ctx):
         ds = ctx.parallelize(range(20), 4).map(lambda x: x * 2)

@@ -40,6 +40,8 @@ class TestVeloxConfigValidation:
             {"staleness_loss_ratio": 0.5},
             {"staleness_window": 0},
             {"online_update_method": "magic"},
+            {"batch_executor": "greenlet"},
+            {"batch_executor": ""},
             {"bandit_exploration": -1.0},
             {"remote_hop_latency": -1e-3},
             {"remote_bandwidth": 0.0},
@@ -56,6 +58,18 @@ class TestVeloxConfigValidation:
     def test_zero_cache_capacity_allowed(self):
         cfg = VeloxConfig(feature_cache_capacity=0, prediction_cache_capacity=0)
         assert cfg.feature_cache_capacity == 0
+
+    def test_valid_batch_executors_accepted(self):
+        for executor in ("thread", "fork"):
+            assert VeloxConfig(batch_executor=executor).batch_executor == executor
+
+    def test_batch_executor_survives_json_roundtrip(self):
+        original = VeloxConfig(batch_executor="fork")
+        assert VeloxConfig.from_json(original.to_json()).batch_executor == "fork"
+
+    def test_invalid_batch_executor_rejected_from_json(self):
+        with pytest.raises(ConfigError):
+            VeloxConfig.from_json('{"batch_executor": "greenlet"}')
 
 
 class TestConfigSerialization:

@@ -133,6 +133,26 @@ class TestRetrain:
         assert len(events) == 1
         assert events[0].reason == "scheduled"
 
+    def test_retrain_event_carries_batch_profile(self, deployed_velox, small_split):
+        for r in small_split.stream[:30]:
+            deployed_velox.observe(uid=r.uid, x=r.item_id, y=r.rating)
+        event = deployed_velox.retrain(reason="profiled")
+        assert event.batch_seconds is not None
+        assert event.batch_seconds > 0
+        assert event.batch_stages is not None
+        assert event.batch_stages >= 1
+        if event.batch_utilization is not None:
+            assert 0 < event.batch_utilization <= 1.5  # timer noise tolerance
+
+    def test_deploy_wires_batch_executor(self):
+        from repro.common import VeloxConfig
+        from repro.core.velox import Velox
+
+        velox = Velox.deploy(
+            VeloxConfig(batch_executor="fork"), auto_retrain=False
+        )
+        assert velox.batch_context.executor == "fork"
+
     def test_caches_repopulated_on_retrain(self, deployed_velox, small_split):
         # Warm caches with some traffic, then retrain.
         for uid in range(10):

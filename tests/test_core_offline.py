@@ -88,6 +88,123 @@ class TestAlsOutputs:
         assert np.array_equal(a.item_factors, b.item_factors)
 
 
+def _dense_ratings(num_users=12, num_items=15):
+    return [
+        (u, i, float(2 + (u * 3 + i) % 4))
+        for u in range(num_users)
+        for i in range(num_items)
+        if (u + i) % 3  # irregular per-entity counts
+    ]
+
+
+class TestSolverEquivalence:
+    def test_vectorized_matches_scalar(self, batch_ctx):
+        ratings = _dense_ratings()
+        vec = als_train(batch_ctx, ratings, rank=3, num_items=15,
+                        num_iterations=4, seed=9, solver="vectorized")
+        sca = als_train(batch_ctx, ratings, rank=3, num_items=15,
+                        num_iterations=4, seed=9, solver="scalar")
+        assert np.allclose(vec.item_factors, sca.item_factors, atol=1e-9)
+        assert np.allclose(vec.item_bias, sca.item_bias, atol=1e-9)
+        for uid in vec.user_factors:
+            assert np.allclose(vec.user_factors[uid], sca.user_factors[uid],
+                               atol=1e-9)
+        assert np.allclose(vec.train_rmse, sca.train_rmse, atol=1e-10)
+
+    def test_invalid_solver_rejected(self, batch_ctx):
+        with pytest.raises(ValidationError):
+            als_train(batch_ctx, [(0, 0, 3.0)], rank=1, num_items=1,
+                      solver="gpu")
+
+    def test_stacked_ridge_matches_per_entity_solves(self):
+        from repro.core.offline import _stacked_ridge
+
+        rng = np.random.default_rng(4)
+        counts = np.array([3, 1, 5, 2], dtype=np.intp)
+        dim = 4
+        features = rng.normal(size=(int(counts.sum()), dim))
+        targets = rng.normal(size=int(counts.sum()))
+        eye = np.eye(dim)
+        batched = _stacked_ridge(features, targets, counts, dim, 0.3, eye,
+                                 scale_reg_by_count=True)
+        offset = 0
+        for index, count in enumerate(counts):
+            block = features[offset:offset + count]
+            labels = targets[offset:offset + count]
+            gram = block.T @ block + 0.3 * count * eye
+            expected = np.linalg.solve(gram, block.T @ labels)
+            assert np.allclose(batched[index], expected, atol=1e-10)
+            offset += count
+
+
+class TestExecutorDeterminism:
+    """Seeded ALS is bit-identical whatever runs the tasks, as long as
+    the partitioning (the floating-point reduction order) is pinned."""
+
+    def _train(self, executor, parallelism, ratings):
+        ctx = BatchContext(default_parallelism=parallelism, executor=executor)
+        return als_train(ctx, ratings, rank=4, num_items=15,
+                         num_iterations=3, seed=21, num_partitions=4)
+
+    def _assert_identical(self, a, b):
+        assert np.array_equal(a.item_factors, b.item_factors)
+        assert np.array_equal(a.item_bias, b.item_bias)
+        assert set(a.user_factors) == set(b.user_factors)
+        for uid in a.user_factors:
+            assert np.array_equal(a.user_factors[uid], b.user_factors[uid])
+        assert a.user_bias == b.user_bias
+        assert a.train_rmse == b.train_rmse
+
+    def test_thread_worker_count_invariant(self):
+        ratings = _dense_ratings()
+        self._assert_identical(
+            self._train("thread", 1, ratings), self._train("thread", 4, ratings)
+        )
+
+    def test_fork_matches_serial(self):
+        from repro.batch import forkexec
+
+        if not forkexec.fork_available():
+            pytest.skip("platform has no os.fork")
+        ratings = _dense_ratings()
+        serial = self._train("thread", 1, ratings)
+        self._assert_identical(serial, self._train("fork", 2, ratings))
+        self._assert_identical(serial, self._train("fork", 4, ratings))
+
+
+class TestSolveUserWeights:
+    def _observations(self):
+        from repro.store.oblog import Observation
+
+        rng = np.random.default_rng(6)
+        return [
+            Observation(uid=uid, item_id=i, label=float(rng.normal()),
+                        item_data=i, timestamp=float(i))
+            for uid in range(6)
+            for i in range(3 + uid)  # varying per-user counts
+        ]
+
+    def test_vectorized_matches_scalar(self, batch_ctx):
+        from repro.core.offline import solve_user_weights
+
+        observations = self._observations()
+        feature_fn = lambda i: np.array([1.0, float(i), float(i) ** 2])
+        vec = solve_user_weights(batch_ctx, observations, feature_fn, 3,
+                                 solver="vectorized")
+        sca = solve_user_weights(batch_ctx, observations, feature_fn, 3,
+                                 solver="scalar")
+        assert set(vec) == set(sca) == set(range(6))
+        for uid in vec:
+            assert np.allclose(vec[uid], sca[uid], atol=1e-10)
+
+    def test_invalid_solver_rejected(self, batch_ctx):
+        from repro.core.offline import solve_user_weights
+
+        with pytest.raises(ValidationError):
+            solve_user_weights(batch_ctx, [], lambda x: np.zeros(2), 2,
+                               solver="quantum")
+
+
 class TestAlsValidation:
     def test_empty_ratings_rejected(self, batch_ctx):
         with pytest.raises(ValidationError):
