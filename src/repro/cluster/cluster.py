@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.common.errors import RoutingError
 from repro.cluster.network import NetworkModel
-from repro.cluster.node import Node
+from repro.cluster.node import Node, NodeStats
 from repro.cluster.partitioner import HashPartitioner, ModuloPartitioner, Partitioner
 from repro.cluster.router import Router, UserAwareRouter
 from repro.store import VeloxStore
@@ -36,6 +36,18 @@ class VeloxCluster:
         else:
             self.router = router_factory(self.nodes)
         self.network = network if network is not None else NetworkModel()
+        #: the ReplicationManager when replication is enabled (attached
+        #: by :meth:`attach_replication`); None for single-copy clusters.
+        self.replication = None
+
+    def attach_replication(self, replication) -> None:
+        """Enable replication: wire the manager into router and store.
+
+        The manager has already registered the store's tables; this hook
+        makes the cluster's routing and restart paths replication-aware.
+        """
+        self.replication = replication
+        self.router.attach_replication(replication)
 
     @property
     def num_nodes(self) -> int:
@@ -74,10 +86,30 @@ class VeloxCluster:
 
     def restart_node(self, node_id: int) -> int:
         """Bring a node back: recovers its shards from journals; returns
-        the number of journal records replayed."""
+        the number of journal records replayed.
+
+        The restarted node begins a fresh epoch with zeroed
+        :class:`NodeStats`, and the router must observe exactly the
+        restarted node object — otherwise post-restart serving counters
+        would silently accumulate onto a stale pre-failure entry.
+        """
         node = self._node(node_id)
         replayed = self.store.recover_node(node_id)
+        previous_epoch = node.epoch
         node.restart()
+        node.stats = NodeStats()  # defensive: never carry counters across epochs
+        router_view = self.router.nodes[node_id]
+        if router_view is not node or router_view.node_id != node_id:
+            raise RoutingError(
+                f"restarted node {node_id} did not propagate to the router "
+                f"(router sees node {router_view.node_id})"
+            )
+        if node.epoch != previous_epoch + 1 or not router_view.alive:
+            raise RoutingError(
+                f"restarted node {node_id} is not in a fresh alive epoch"
+            )
+        if self.replication is not None:
+            self.replication.on_node_restart(node_id)
         return replayed
 
     def _node(self, node_id: int) -> Node:

@@ -32,12 +32,17 @@ class Node:
     node_id: int
     alive: bool = True
     stats: NodeStats = field(default_factory=NodeStats)
+    #: incremented on every restart; counters always belong to exactly
+    #: one (node_id, epoch), so post-restart accounting never mixes the
+    #: pre-failure epoch's numbers with the new one's.
+    epoch: int = 0
 
     def fail(self) -> None:
         """Mark the node dead (router will skip it)."""
         self.alive = False
 
     def restart(self) -> None:
-        """Mark the node alive again with fresh counters."""
+        """Mark the node alive again in a new epoch with fresh counters."""
         self.alive = True
+        self.epoch += 1
         self.stats = NodeStats()

@@ -27,6 +27,25 @@ class Router(ABC):
         if not nodes:
             raise RoutingError("router requires at least one node")
         self.nodes = nodes
+        #: the cluster's ReplicationManager when replication is enabled;
+        #: routers that understand replica sets (user-aware routing)
+        #: consult it to send a dead owner's requests to the node hosting
+        #: the promoted follower instead of an arbitrary alive node.
+        self.replication = None
+
+    def attach_replication(self, replication) -> None:
+        """Teach the router the cluster's replica placement."""
+        self.replication = replication
+
+    def replica_set(self, uid: int) -> list[int]:
+        """``[primary, *followers]`` node ids for this uid's weights.
+
+        Without replication the set is just the owner; with it, the
+        shared user-namespace placement from the replication manager.
+        """
+        raise RoutingError(
+            f"{type(self).__name__} does not track replica sets"
+        )
 
     def _alive(self) -> list[Node]:
         alive = [n for n in self.nodes if n.alive]
@@ -63,13 +82,31 @@ class UserAwareRouter(Router):
             )
         self.partitioner = partitioner
 
+    def replica_set(self, uid: int) -> list[int]:
+        """``[primary, *followers]`` node ids for this uid's weights."""
+        partition = self.partitioner.partition(uid)
+        if self.replication is None:
+            return [partition]
+        return self.replication.user_replica_set(partition)
+
     def route(self, uid: int) -> Node:
-        """The node that should serve this user's request."""
-        owner = self.nodes[self.partitioner.partition(uid)]
+        """The node that should serve this user's request.
+
+        With replication attached, a dead owner's requests go to the
+        node hosting the promoted follower for that user partition (the
+        replica actually holding the shipped weights); otherwise they
+        fall over to an arbitrary alive node as before.
+        """
+        partition = self.partitioner.partition(uid)
+        owner = self.nodes[partition]
         if owner.alive:
             return owner
+        if self.replication is not None:
+            serving = self.replication.serving_node_for_user_partition(partition)
+            if serving is not None and self.nodes[serving].alive:
+                return self.nodes[serving]
         alive = self._alive()
-        return alive[self.partitioner.partition(uid) % len(alive)]
+        return alive[partition % len(alive)]
 
 
 class RandomRouter(Router):

@@ -49,6 +49,14 @@ class VeloxConfig:
             memory) or ``"fork"`` (process-per-worker, true multicore
             for CPU-bound retraining; falls back to threads where
             ``os.fork`` is unavailable).
+        replication_factor: Copies of each user-weight/item partition
+            (1 = the paper's single-copy store recovered by lineage
+            replay only; N > 1 adds N-1 journal-shipped followers with
+            heartbeat failure detection and automatic promotion, so
+            serving survives node loss with bounded-stale reads).
+            Must not exceed ``num_nodes``. Replication tuning knobs
+            (heartbeat interval/timeout, max lag records, virtual
+            nodes) ride in ``extra`` as ``replication_*`` keys.
     """
 
     num_nodes: int = 4
@@ -65,6 +73,7 @@ class VeloxConfig:
     remote_hop_latency: float = 0.5e-3
     remote_bandwidth: float = 1e9
     batch_executor: str = "thread"
+    replication_factor: int = 1
     extra: dict = field(default_factory=dict)
 
     _VALID_UPDATE_METHODS = (
@@ -126,6 +135,16 @@ class VeloxConfig:
             raise ConfigError(
                 f"batch_executor must be one of {self._VALID_BATCH_EXECUTORS}, "
                 f"got {self.batch_executor!r}"
+            )
+        if self.replication_factor < 1:
+            raise ConfigError(
+                f"replication_factor must be >= 1, got {self.replication_factor}"
+            )
+        if self.replication_factor > self.num_nodes:
+            raise ConfigError(
+                f"replication_factor {self.replication_factor} exceeds "
+                f"num_nodes {self.num_nodes}: every replica needs a "
+                "distinct node"
             )
 
     # -- serialization ------------------------------------------------------

@@ -111,6 +111,15 @@ class RoutingError(ReproError):
     """A request could not be routed to an owning node."""
 
 
+class ReplicationError(ReproError):
+    """A replication-layer invariant was violated.
+
+    Raised for invalid replica placement (e.g. a replication factor the
+    ring cannot satisfy), out-of-order journal shipping, and promotion
+    of a replica whose partition still has a live primary.
+    """
+
+
 class StaleModelError(ReproError):
     """An operation referenced a model version that has been retired."""
 

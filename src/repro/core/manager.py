@@ -25,7 +25,7 @@ from threading import RLock
 import numpy as np
 
 from repro.common.config import VeloxConfig
-from repro.common.errors import ValidationError
+from repro.common.errors import PartitionError, ValidationError
 from repro.core.model import ModelRegistry, VeloxModel
 from repro.core.online import UserModelState, make_updater
 from repro.core.bootstrap import UserWeightAverager
@@ -267,6 +267,27 @@ class ModelManager:
         with self._write_lock:
             return self._observe_locked(model_name, uid, x, y, validation)
 
+    def _user_table_op(self, fn):
+        """Run one user-state table read/write, retrying once after
+        follower promotion.
+
+        Keeps online weight updates flowing during a node failure: a
+        :class:`PartitionError` is reported to the replication layer
+        (promoting a follower immediately) and the operation retried —
+        the promoted view journals the write, so the durable journal
+        stays the single source of truth. Wrapping the individual table
+        operation (not the whole observe) keeps the observation-log
+        append exactly-once across the retry.
+        """
+        try:
+            return fn()
+        except PartitionError:
+            from repro.replication.manager import report_dead_nodes
+
+            if not report_dead_nodes(self.cluster):
+                raise
+            return fn()
+
     def _observe_locked(
         self, model_name: str, uid: int, x: object, y: float, validation: bool
     ) -> ObserveResult:
@@ -290,7 +311,7 @@ class ModelManager:
         features, _hit, _latency = self.service.get_features(model, x, node.node_id)
         self.cluster.charge_user_access(node.node_id, uid, model.dimension * 8)
 
-        state = table.get_or_default(uid)
+        state = self._user_table_op(lambda: table.get_or_default(uid))
         if state is None:
             state = self._bootstrap_state(model, model_name)
         prediction_before = state.predict(features)
@@ -303,7 +324,7 @@ class ModelManager:
 
         self.updater.update(state, features, float(y))
         state.weight_version += 1
-        table.put(uid, state)
+        self._user_table_op(lambda: table.put(uid, state))
         self.averagers[model_name].update(uid, state.weights)
 
         retrained = False

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.config import VeloxConfig
-from repro.common.errors import UserNotFoundError, ValidationError
+from repro.common.errors import PartitionError, UserNotFoundError, ValidationError
 from repro.core.bandits import BanditPolicy, GreedyPolicy
 from repro.core.model import ModelRegistry
 from repro.core.online import UserModelState
@@ -66,6 +66,10 @@ class PredictionResult:
     feature_cache_hit: bool = False
     prediction_cache_hit: bool = False
     modeled_network_latency: float = 0.0
+    #: True when the user's weights were served by a promoted follower
+    #: that had not received the full journal at promotion time — the
+    #: bounded-staleness flag replication surfaces to clients.
+    stale: bool = False
 
 
 class PredictionService:
@@ -158,6 +162,35 @@ class PredictionService:
             return averager.mean(), None, network_latency
         return model.initial_user_weights(), None, network_latency
 
+    # -- replication awareness ----------------------------------------------
+
+    def _read_is_stale(self, uid: int) -> bool:
+        """Whether this uid's weights are being served bounded-stale
+        (a lagging follower was promoted for the user's partition)."""
+        replication = getattr(self.cluster, "replication", None)
+        if replication is None:
+            return False
+        return replication.user_read_is_stale(self.cluster.owner_of_user(uid))
+
+    def _serve_with_failover(self, fn):
+        """Run a read, retrying once after follower promotion.
+
+        A :class:`PartitionError` in the serving path is direct evidence
+        the partition's owner is gone. With replication enabled the
+        error is reported (promoting the first alive follower
+        immediately — failover latency is bounded by the serving path,
+        not the heartbeat interval) and the read retried against the
+        promoted replica; without replication it propagates unchanged.
+        """
+        try:
+            return fn()
+        except PartitionError:
+            from repro.replication.manager import report_dead_nodes
+
+            if not report_dead_nodes(self.cluster):
+                raise
+            return fn()
+
     # -- the Listing 1 surface --------------------------------------------------
 
     def predict(self, model_name: str, uid: int, x: object) -> PredictionResult:
@@ -172,7 +205,9 @@ class PredictionService:
             recorder = LatencyRecorder(f"predict:{model_name}")
             self.serving_latency[model_name] = recorder
         with recorder.time():
-            return self._predict(model_name, uid, x)
+            return self._serve_with_failover(
+                lambda: self._predict(model_name, uid, x)
+            )
 
     def _predict(self, model_name: str, uid: int, x: object) -> PredictionResult:
         model = self.registry.get(model_name)
@@ -183,6 +218,7 @@ class PredictionService:
         # routing); the user's weight_version is part of the cache key,
         # so entries from before an online weight update never hit.
         weights, state, user_latency = self._user_weights(model, uid, node.node_id)
+        stale = self._read_is_stale(uid)
         weight_version = state.weight_version if state is not None else 0
         cache_key = (model.name, model.version, uid, weight_version, item_cache_key(x))
         cached = prediction_cache.get(cache_key)
@@ -197,6 +233,7 @@ class PredictionService:
                 node_id=node.node_id,
                 prediction_cache_hit=True,
                 modeled_network_latency=user_latency,
+                stale=stale,
             )
         features, feature_hit, item_latency = self.get_features(
             model, x, node.node_id
@@ -213,6 +250,7 @@ class PredictionService:
             node_id=node.node_id,
             feature_cache_hit=feature_hit,
             modeled_network_latency=user_latency + item_latency,
+            stale=stale,
         )
 
     def predict_batch(
@@ -240,7 +278,9 @@ class PredictionService:
             recorder = LatencyRecorder(f"predict_batch:{model_name}")
             self.batch_serving_latency[model_name] = recorder
         with recorder.time():
-            return self._predict_batch(model_name, list(user_ids), list(xs))
+            return self._serve_with_failover(
+                lambda: self._predict_batch(model_name, list(user_ids), list(xs))
+            )
 
     def _predict_batch(
         self, model_name: str, user_ids: list[int], xs: list
@@ -251,13 +291,16 @@ class PredictionService:
         for node in nodes:
             node.stats.requests_served += 1
         item_keys = [item_cache_key(x) for x in xs]
-        # One weight/state read per distinct user in the batch.
+        # One weight/state read (and one staleness check) per distinct
+        # user in the batch.
         weights_by_uid: dict[int, tuple] = {}
+        stale_by_uid: dict[int, bool] = {}
         for i, uid in enumerate(user_ids):
             if uid not in weights_by_uid:
                 weights_by_uid[uid] = self._user_weights(
                     model, uid, nodes[i].node_id
                 )
+                stale_by_uid[uid] = self._read_is_stale(uid)
         results: list[PredictionResult | None] = [None] * n
         misses: list[tuple[int, tuple]] = []  # (batch index, cache key)
         for i, (uid, x) in enumerate(zip(user_ids, xs)):
@@ -276,6 +319,7 @@ class PredictionService:
                     node_id=nodes[i].node_id,
                     prediction_cache_hit=True,
                     modeled_network_latency=user_latency,
+                    stale=stale_by_uid[uid],
                 )
             else:
                 misses.append((i, cache_key))
@@ -316,6 +360,7 @@ class PredictionService:
                 node_id=nodes[i].node_id,
                 feature_cache_hit=feature_hit,
                 modeled_network_latency=user_latency + item_latency,
+                stale=stale_by_uid[uid],
             )
         return results
 
@@ -327,6 +372,13 @@ class PredictionService:
         The degraded serving path used under overload — answers what the
         cache already knows without paying feature or scoring cost.
         """
+        return self._serve_with_failover(
+            lambda: self._predict_cached(model_name, uid, x)
+        )
+
+    def _predict_cached(
+        self, model_name: str, uid: int, x: object
+    ) -> PredictionResult | None:
         model = self.registry.get(model_name)
         node = self.cluster.router.route(uid)
         table = self._user_state_table_for(model.name)
@@ -346,6 +398,7 @@ class PredictionService:
             uncertainty=cached_uncertainty,
             node_id=node.node_id,
             prediction_cache_hit=True,
+            stale=self._read_is_stale(uid),
         )
 
     def top_k_cached(

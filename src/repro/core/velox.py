@@ -72,6 +72,26 @@ class Velox:
         cluster = VeloxCluster(
             num_nodes=cfg.num_nodes, router_factory=router_factory, network=network
         )
+        if cfg.replication_factor > 1:
+            from repro.replication import ReplicationManager
+
+            extra = cfg.extra
+            replication = ReplicationManager(
+                cluster,
+                replication_factor=cfg.replication_factor,
+                virtual_nodes=int(extra.get("replication_virtual_nodes", 64)),
+                max_lag_records=int(extra.get("replication_max_lag_records", 128)),
+                heartbeat_interval=float(
+                    extra.get("replication_heartbeat_interval", 0.02)
+                ),
+                heartbeat_timeout=float(
+                    extra.get("replication_heartbeat_timeout", 0.1)
+                ),
+            )
+            # Attach before any model deploys so every user-state table
+            # created later gets replica sets via the store listener.
+            cluster.attach_replication(replication)
+            replication.start()
         batch_context = BatchContext(
             default_parallelism=batch_parallelism or cfg.num_nodes,
             executor=cfg.batch_executor,
@@ -177,6 +197,22 @@ class Velox:
     def health(self, model_name: str | None = None):
         """The model's live health tracker."""
         return self.manager.health_report(self._model_name(model_name))
+
+    # -- replication ---------------------------------------------------------------------
+
+    @property
+    def replication(self):
+        """The cluster's :class:`~repro.replication.ReplicationManager`
+        (None when ``replication_factor == 1``)."""
+        return self.cluster.replication
+
+    def shutdown(self) -> None:
+        """Stop background machinery (the replication heartbeat loop).
+
+        Idempotent; deployments without replication have nothing to stop.
+        """
+        if self.cluster.replication is not None:
+            self.cluster.replication.stop()
 
     # -- serving under load -------------------------------------------------------------
 

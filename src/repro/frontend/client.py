@@ -182,6 +182,9 @@ class VeloxClient:
             "score": result.score,
             "node": result.node_id,
             "prediction_cache_hit": result.prediction_cache_hit,
+            # Bounded-staleness marker: the weights came from a promoted
+            # follower that was lagging at promotion (failover serving).
+            "stale": result.stale,
         }
 
     @staticmethod
@@ -189,7 +192,8 @@ class VeloxClient:
         return {
             "items": [
                 {"item": _wire_item(r.item), "score": r.score} for r in results
-            ]
+            ],
+            "stale": any(r.stale for r in results),
         }
 
     def _dispatch(self, request) -> ApiResponse:
@@ -282,6 +286,9 @@ class VeloxClient:
             status = reporting.snapshot(self.velox)
             payload = asdict(status)
             payload["report"] = reporting.render(status)
+            replication = getattr(self.velox.cluster, "replication", None)
+            if replication is not None:
+                payload["replication"] = replication.metrics.snapshot()
             return ApiResponse(ok=True, payload=payload)
         return ApiResponse(
             ok=False, error=f"unknown request type {type(request).__name__}"

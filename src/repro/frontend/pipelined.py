@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future
 
@@ -67,6 +68,9 @@ class PipelinedClient:
         self._rfile = self._sock.makefile("rb")
         self._lock = threading.Lock()
         self._closed = False
+        #: set on any fatal transport error (reader death, failed send)
+        #: — the connection is unusable even though close() wasn't called.
+        self._dead = False
         self._next_corr = 0
         #: corr id -> future (binary) / FIFO of futures (JSON fallback).
         self._pending: dict[int, Future] = {}
@@ -108,7 +112,7 @@ class PipelinedClient:
         :class:`~repro.frontend.api.ApiResponse`."""
         future: Future = Future()
         with self._lock:
-            if self._closed:
+            if self._closed or self._dead:
                 raise TransportError("client is closed")
             if self.protocol == PROTOCOL_BINARY:
                 corr_id = self._next_corr
@@ -148,6 +152,13 @@ class PipelinedClient:
         with self._lock:
             return len(self._pending) + len(self._fifo)
 
+    @property
+    def closed(self) -> bool:
+        """Whether this connection can no longer carry requests —
+        explicitly closed, or dead after a transport failure."""
+        with self._lock:
+            return self._closed or self._dead
+
     # -- reader thread -------------------------------------------------------
 
     def _read_loop(self) -> None:
@@ -184,7 +195,12 @@ class PipelinedClient:
                 self._teardown()
 
     def _fail_pending_locked(self, cause: Exception) -> None:
-        """Fail every outstanding future; callers hold ``self._lock``."""
+        """Fail every outstanding future; callers hold ``self._lock``.
+
+        Also marks the connection dead: every caller has just hit a
+        fatal transport condition, so pools must stop routing onto it.
+        """
+        self._dead = True
         error = (
             cause
             if isinstance(cause, TransportError)
@@ -235,11 +251,15 @@ class PipelinedClient:
 
 
 class ConnectionPool:
-    """A fixed pool of :class:`PipelinedClient` connections.
+    """A self-healing pool of :class:`PipelinedClient` connections.
 
     ``submit``/``call`` round-robin across the pool, so a load generator
     gets both pipelining depth (per connection) and connection
-    parallelism without managing sockets itself.
+    parallelism without managing sockets itself. Dead connections (a
+    restarted server, a dropped socket) are detected at pick time and
+    transparently reconnected with a doubling, capped backoff — the
+    pool never round-robins onto a closed socket forever. Reconnect
+    attempts and successes are surfaced as counters.
     """
 
     def __init__(
@@ -249,22 +269,48 @@ class ConnectionPool:
         size: int = 4,
         timeout: float = 10.0,
         prefer_binary: bool = True,
+        reconnect_backoff: float = 0.05,
+        max_reconnect_backoff: float = 2.0,
     ):
         if size < 1:
             raise TransportError(f"pool size must be >= 1, got {size}")
-        self._clients: list[PipelinedClient] = []
+        if reconnect_backoff <= 0 or max_reconnect_backoff < reconnect_backoff:
+            raise TransportError(
+                "reconnect backoff must satisfy "
+                f"0 < initial ({reconnect_backoff}) <= "
+                f"cap ({max_reconnect_backoff})"
+            )
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._prefer_binary = prefer_binary
+        self._initial_backoff = reconnect_backoff
+        self._max_backoff = max_reconnect_backoff
+        self._clients: list[PipelinedClient | None] = []
+        #: per-slot current backoff and earliest next attempt (monotonic).
+        self._backoff: list[float] = [reconnect_backoff] * size
+        self._retry_at: list[float] = [0.0] * size
+        #: successful transparent reconnections across the pool's life.
+        self.reconnects = 0
+        #: reconnect attempts that failed (the server was still down).
+        self.failed_reconnects = 0
+        self._closed = False
         try:
             for _ in range(size):
-                self._clients.append(
-                    PipelinedClient(
-                        host, port, timeout=timeout, prefer_binary=prefer_binary
-                    )
-                )
+                self._clients.append(self._connect())
         except Exception:
             self.close()
             raise
         self._lock = threading.Lock()
         self._next = 0
+
+    def _connect(self) -> PipelinedClient:
+        return PipelinedClient(
+            self._host,
+            self._port,
+            timeout=self._timeout,
+            prefer_binary=self._prefer_binary,
+        )
 
     def __len__(self) -> int:
         return len(self._clients)
@@ -272,26 +318,71 @@ class ConnectionPool:
     @property
     def protocol(self) -> str:
         """The negotiated protocol (uniform across the pool)."""
-        return self._clients[0].protocol
+        for client in self._clients:
+            if client is not None:
+                return client.protocol
+        raise TransportError("every pooled connection is down")
+
+    def _reconnect_locked(self, index: int) -> PipelinedClient | None:
+        """Try to heal one dead slot; None while in backoff or still down."""
+        now = time.monotonic()
+        if now < self._retry_at[index]:
+            return None
+        try:
+            client = self._connect()
+        except Exception:
+            self.failed_reconnects += 1
+            self._retry_at[index] = now + self._backoff[index]
+            self._backoff[index] = min(
+                self._backoff[index] * 2, self._max_backoff
+            )
+            self._clients[index] = None
+            return None
+        self._clients[index] = client
+        self._backoff[index] = self._initial_backoff
+        self._retry_at[index] = 0.0
+        self.reconnects += 1
+        return client
 
     def _pick(self) -> PipelinedClient:
+        """The next usable connection, healing dead slots on the way.
+
+        Scans at most one full round: live slots win immediately; dead
+        slots whose backoff has elapsed get one reconnect attempt. When
+        every slot is down (and backing off), the submission fails with
+        :class:`TransportError` rather than blocking.
+        """
         with self._lock:
-            client = self._clients[self._next % len(self._clients)]
-            self._next += 1
-            return client
+            if self._closed:
+                raise TransportError("pool is closed")
+            for _ in range(len(self._clients)):
+                index = self._next % len(self._clients)
+                self._next += 1
+                client = self._clients[index]
+                if client is not None and not client.closed:
+                    return client
+                healed = self._reconnect_locked(index)
+                if healed is not None:
+                    return healed
+            raise TransportError(
+                f"all {len(self._clients)} pooled connections are down "
+                f"({self.failed_reconnects} failed reconnects so far)"
+            )
 
     def submit(self, request) -> "Future[ApiResponse]":
-        """Submit on the next connection (round-robin)."""
+        """Submit on the next usable connection (round-robin)."""
         return self._pick().submit(request)
 
     def call(self, request, timeout: float | None = None) -> ApiResponse:
-        """Blocking submit + wait on the next connection."""
+        """Blocking submit + wait on the next usable connection."""
         return self._pick().call(request, timeout=timeout)
 
     def close(self) -> None:
         """Close every pooled connection."""
+        self._closed = True
         for client in self._clients:
-            client.close()
+            if client is not None:
+                client.close()
 
     def __enter__(self) -> "ConnectionPool":
         return self

@@ -175,6 +175,34 @@ class _ThreadedTcpServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: sockets of connections currently being served; closed on
+        #: stop() so clients observe a restart as a dead socket instead
+        #: of a silently idle one.
+        self._active_connections: set = set()
+        self._connections_lock = threading.Lock()
+
+    def process_request(self, request, client_address) -> None:
+        with self._connections_lock:
+            self._active_connections.add(request)
+        super().process_request(request, client_address)
+
+    def close_request(self, request) -> None:
+        with self._connections_lock:
+            self._active_connections.discard(request)
+        super().close_request(request)
+
+    def close_active_connections(self) -> None:
+        """Tear down every in-flight connection (server shutdown)."""
+        with self._connections_lock:
+            connections = list(self._active_connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already gone
+
 
 class VeloxServer:
     """Serves a Velox deployment on a TCP port.
@@ -236,6 +264,7 @@ class VeloxServer:
             return
         self._server.shutdown()
         self._server.server_close()
+        self._server.close_active_connections()
         self._thread.join(timeout=5)
         self._thread = None
         if self._engine is not None:

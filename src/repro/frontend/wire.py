@@ -157,15 +157,28 @@ def pack_value(out: bytearray, value: object) -> None:
         out += _U32.pack(len(value))
         for key, element in value.items():
             if not isinstance(key, str):
-                raise ValidationError(
-                    f"wire dicts need string keys, got {key!r}"
-                )
+                key = _coerce_key(key)
             raw = key.encode("utf-8")
             out += _U32.pack(len(raw))
             out += raw
             pack_value(out, element)
     else:
         raise ValidationError(f"cannot serialize wire value {value!r}")
+
+
+def _coerce_key(key: object) -> str:
+    """Non-string dict keys become the strings ``json.dumps`` would
+    emit, so both codecs put identical payloads on the wire.
+    """
+    if isinstance(key, bool):
+        return "true" if key else "false"
+    if isinstance(key, int):
+        return str(key)
+    if isinstance(key, float):
+        return repr(key)
+    if key is None:
+        return "null"
+    raise ValidationError(f"wire dicts need string keys, got {key!r}")
 
 
 def _pack_homogeneous(out: bytearray, value) -> bool:

@@ -1,0 +1,120 @@
+"""Replication observability: lag, shipping volume, failover accounting.
+
+The replication manager (:mod:`repro.replication`) keeps exactly one
+:class:`ReplicationMetrics`. Everything is thread-safe — the heartbeat
+loop, serving workers reporting read failures, and the reporting layer
+all touch it concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.serving import Histogram
+
+
+class ReplicationMetrics:
+    """Counters and distributions for one replication manager."""
+
+    def __init__(self, name: str = "replication"):
+        self.name = name
+        self._lock = threading.Lock()
+        #: per-ship observed lag in records (how far behind a follower
+        #: was when shipping started) — the bounded-staleness evidence.
+        self.lag = Histogram(f"{name}:lag_records")
+        #: wall-clock seconds from failure verdict to promoted serving.
+        self.promotion_time = LatencyRecorder(f"{name}:promotion")
+        self._records_shipped = 0
+        self._snapshot_transfers = 0
+        self._failovers = 0
+        self._promotions = 0
+        self._demotions = 0
+        self._stale_reads = 0
+        self._failure_reports = 0
+
+    # -- writers -------------------------------------------------------------
+
+    def on_shipped(self, records: int) -> None:
+        with self._lock:
+            self._records_shipped += records
+
+    def on_snapshot_transfer(self) -> None:
+        with self._lock:
+            self._snapshot_transfers += 1
+
+    def on_failover(self) -> None:
+        """One node's partitions moved to followers (counted per node)."""
+        with self._lock:
+            self._failovers += 1
+
+    def on_promotion(self) -> None:
+        """One partition's follower began serving (counted per partition)."""
+        with self._lock:
+            self._promotions += 1
+
+    def on_demotion(self) -> None:
+        with self._lock:
+            self._demotions += 1
+
+    def on_stale_read(self) -> None:
+        with self._lock:
+            self._stale_reads += 1
+
+    def on_failure_report(self) -> None:
+        with self._lock:
+            self._failure_reports += 1
+
+    # -- readers -------------------------------------------------------------
+
+    @property
+    def records_shipped(self) -> int:
+        with self._lock:
+            return self._records_shipped
+
+    @property
+    def snapshot_transfers(self) -> int:
+        with self._lock:
+            return self._snapshot_transfers
+
+    @property
+    def failover_count(self) -> int:
+        with self._lock:
+            return self._failovers
+
+    @property
+    def promotion_count(self) -> int:
+        with self._lock:
+            return self._promotions
+
+    @property
+    def stale_reads(self) -> int:
+        with self._lock:
+            return self._stale_reads
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot for status endpoints and benchmarks."""
+        with self._lock:
+            counters = {
+                "records_shipped": self._records_shipped,
+                "snapshot_transfers": self._snapshot_transfers,
+                "failovers": self._failovers,
+                "promotions": self._promotions,
+                "demotions": self._demotions,
+                "stale_reads": self._stale_reads,
+                "failure_reports": self._failure_reports,
+            }
+        counters["lag_mean_records"] = self.lag.mean()
+        # String bucket keys so the snapshot reads the same in-process
+        # and through either wire codec (JSON coerces keys to strings).
+        counters["lag_counts"] = {
+            str(bucket): count for bucket, count in self.lag.counts().items()
+        }
+        if len(self.promotion_time):
+            summary = self.promotion_time.summary()
+            counters["promotion_mean_s"] = summary.mean
+            counters["promotion_max_s"] = summary.max
+        else:
+            counters["promotion_mean_s"] = 0.0
+            counters["promotion_max_s"] = 0.0
+        return counters

@@ -1,0 +1,25 @@
+"""Replication & failover: replicated partitions over the veloxstore.
+
+The paper's Velox leans on Tachyon for durability and recovers lost
+partitions by lineage replay — a node failure takes its users'
+personalized predictions offline until the node restarts. This package
+adds the missing serving-availability half: N-way replica placement on
+a consistent-hash ring, asynchronous journal shipping from primaries to
+followers (bounded lag, snapshot fallback past the compaction horizon),
+heartbeat failure detection, and automatic follower promotion so reads
+keep succeeding (flagged bounded-stale) through a node loss.
+"""
+
+from repro.replication.failure import FailureDetector
+from repro.replication.manager import ReplicationManager, USER_NAMESPACE_PREFIX
+from repro.replication.replica import PartitionReplica, PromotedPartitionView
+from repro.replication.ring import HashRing
+
+__all__ = [
+    "FailureDetector",
+    "HashRing",
+    "PartitionReplica",
+    "PromotedPartitionView",
+    "ReplicationManager",
+    "USER_NAMESPACE_PREFIX",
+]

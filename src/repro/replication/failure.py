@@ -1,0 +1,83 @@
+"""Heartbeat-based failure detection.
+
+Every node is expected to heartbeat at least once per ``timeout``
+seconds; a node whose last heartbeat is older than that is declared
+dead exactly once (``check`` returns it in the newly-dead list and the
+detector remembers the verdict until the node heartbeats again).
+
+Two evidence channels drive the verdict, mirroring production servers:
+
+* the periodic heartbeat scan (``check``), the slow-path backstop, and
+* explicit failure reports (``report_failure``) from callers that just
+  hit a connection/partition error — a read against a dead primary is
+  stronger and *faster* evidence than a missed heartbeat, so failover
+  latency is bounded by the serving path, not the heartbeat interval.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import ReplicationError
+
+
+class FailureDetector:
+    """Tracks per-node heartbeat freshness against a timeout."""
+
+    def __init__(self, node_ids, timeout: float, clock: Clock | None = None):
+        if timeout <= 0:
+            raise ReplicationError(f"timeout must be > 0, got {timeout}")
+        self.timeout = timeout
+        self.clock = clock if clock is not None else SystemClock()
+        now = self.clock.now()
+        # Every node starts trusted: the grace period before the first
+        # heartbeat equals one full timeout.
+        self._last_heartbeat: dict[int, float] = {n: now for n in node_ids}
+        self._dead: set[int] = set()
+
+    # -- evidence -----------------------------------------------------------
+
+    def heartbeat(self, node_id: int, now: float | None = None) -> None:
+        """Record one heartbeat; clears any standing death verdict."""
+        at = now if now is not None else self.clock.now()
+        self._last_heartbeat[node_id] = at
+        self._dead.discard(node_id)
+
+    def report_failure(self, node_id: int) -> bool:
+        """Direct failure evidence (e.g. a read error against the node).
+
+        Ages the node's heartbeat past the timeout so the next ``check``
+        declares it dead immediately. Returns True when this report is
+        new evidence (the node was not already declared dead).
+        """
+        if node_id in self._dead:
+            return False
+        self._last_heartbeat[node_id] = (
+            self.clock.now() - self.timeout - 1.0
+        )
+        return True
+
+    # -- verdicts -----------------------------------------------------------
+
+    def is_dead(self, node_id: int) -> bool:
+        """Whether the node is currently declared dead."""
+        return node_id in self._dead
+
+    def check(self, now: float | None = None) -> list[int]:
+        """Scan heartbeat freshness; returns nodes newly declared dead.
+
+        A node appears in the result exactly once per death: repeated
+        checks against the same stale heartbeat return an empty list.
+        """
+        at = now if now is not None else self.clock.now()
+        newly_dead = []
+        for node_id, last in self._last_heartbeat.items():
+            if node_id in self._dead:
+                continue
+            if at - last > self.timeout:
+                self._dead.add(node_id)
+                newly_dead.append(node_id)
+        return sorted(newly_dead)
+
+    def dead_nodes(self) -> list[int]:
+        """All nodes currently declared dead."""
+        return sorted(self._dead)

@@ -1,0 +1,204 @@
+"""Follower-side partition replicas and the promoted failover view.
+
+A :class:`PartitionReplica` is one follower's copy of one (table,
+partition): a key → (value, version) dict plus the journal sequence it
+has applied through. Followers learn mutations exclusively by **journal
+shipping** — the primary's journal records from ``applied_sequence``
+onward, applied in order (values deep-copied, modeling serialization
+across the wire, so a replica never aliases primary state). When the
+primary has compacted past a replica's ack point the records are gone
+and catch-up falls back to a **snapshot transfer**: the primary's full
+state replaces the replica wholesale.
+
+On primary failure the replica can be **promoted**: it serves reads from
+whatever prefix was shipped before the failure (bounded staleness —
+``promotion_lag`` records were in the journal but never shipped) and
+accepts writes, which it applies locally *and* appends to the durable
+journal, keeping the journal the single source of truth. When the
+failed node restarts, replaying the full journal reproduces both the
+unshipped tail and every failover-era write, in order, so primary and
+replicas reconverge.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterator
+
+from repro.common.errors import ReplicationError
+from repro.store.journal import JournalOp, JournalRecord
+
+
+class PartitionReplica:
+    """One follower's copy of one table partition."""
+
+    def __init__(self, table_name: str, partition_index: int, node_id: int):
+        self.table_name = table_name
+        self.partition_index = partition_index
+        #: the physical node hosting this replica.
+        self.node_id = node_id
+        self._data: dict[object, tuple[object, int]] = {}
+        #: journal records applied so far (next expected sequence).
+        self.applied_sequence = 0
+        self.promoted = False
+        #: records the primary had journaled but never shipped, frozen
+        #: at promotion time — the staleness bound for follower reads.
+        self.promotion_lag = 0
+        self.snapshot_transfers = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    # -- journal shipping ----------------------------------------------------
+
+    def apply(self, record: JournalRecord) -> None:
+        """Apply one shipped journal record, enforcing sequence order."""
+        if record.sequence != self.applied_sequence:
+            raise ReplicationError(
+                f"replica of {self.table_name}[{self.partition_index}] at "
+                f"sequence {self.applied_sequence} got record "
+                f"{record.sequence}; journal shipping must be gapless"
+            )
+        self._apply_op(record.op, record.key, copy.deepcopy(record.value),
+                       record.version)
+        self.applied_sequence = record.sequence + 1
+
+    def _apply_op(self, op: JournalOp, key, value, version: int) -> None:
+        if op is JournalOp.PUT:
+            self._data[key] = (value, version)
+        elif op is JournalOp.DELETE:
+            self._data.pop(key, None)
+        elif op is JournalOp.TRUNCATE:
+            self._data.clear()
+
+    def install_snapshot(
+        self, state: dict[object, tuple[object, int]], sequence: int
+    ) -> None:
+        """Replace the replica wholesale (catch-up past compaction)."""
+        self._data = copy.deepcopy(state)
+        self.applied_sequence = sequence
+        self.snapshot_transfers += 1
+
+    def lag(self, journal_head: int) -> int:
+        """Records the primary has journaled that this replica lacks."""
+        return max(0, journal_head - self.applied_sequence)
+
+    def reset(self) -> None:
+        """Drop all replica state (the hosting node lost its memory).
+
+        The replica restarts from sequence 0; the next shipping round
+        either replays the whole journal or, when the journal has been
+        compacted past 0, falls back to a snapshot transfer.
+        """
+        self._data = {}
+        self.applied_sequence = 0
+
+    # -- promoted serving ----------------------------------------------------
+
+    def promote(self, journal_head: int) -> int:
+        """Become the serving copy; returns the frozen staleness bound."""
+        self.promotion_lag = self.lag(journal_head)
+        self.promoted = True
+        return self.promotion_lag
+
+    def demote(self) -> None:
+        """Stop serving (the real primary recovered)."""
+        self.promoted = False
+        self.promotion_lag = 0
+
+    # -- mapping reads (used by the failover view) ---------------------------
+
+    def get(self, key: object) -> tuple[object, int] | None:
+        """``(value, version)`` or None — the shipped view of the key."""
+        return self._data.get(key)
+
+    def keys(self) -> Iterator[object]:
+        return iter(list(self._data.keys()))
+
+    def items(self) -> Iterator[tuple[object, object]]:
+        return iter([(k, v) for k, (v, _) in self._data.items()])
+
+    def local_put(self, key: object, value: object) -> int:
+        """Apply a failover-era write locally; returns the new version."""
+        existing = self._data.get(key)
+        version = 1 if existing is None else existing[1] + 1
+        self._data[key] = (value, version)
+        return version
+
+    def local_delete(self, key: object) -> bool:
+        """Apply a failover-era delete locally."""
+        return self._data.pop(key, None) is not None
+
+    def local_truncate(self) -> None:
+        """Apply a failover-era truncate locally."""
+        self._data.clear()
+
+
+class PromotedPartitionView:
+    """The failover delegate a failed :class:`~repro.store.Partition`
+    routes its operations through.
+
+    Reads serve the promoted replica's shipped state. Writes journal to
+    the *durable* journal first (it survives node loss — the Tachyon
+    lineage tier), then apply to the replica, so a later ``recover()``
+    of the real partition replays failover-era writes after the
+    unshipped tail and every copy reconverges.
+    """
+
+    def __init__(self, replica: PartitionReplica, journal, on_write=None):
+        if not replica.promoted:
+            raise ReplicationError(
+                f"replica of {replica.table_name}[{replica.partition_index}] "
+                "must be promoted before serving"
+            )
+        self.replica = replica
+        self._journal = journal
+        #: callable(replica) fired after each failover-era mutation.
+        self._on_write = on_write
+
+    def get(self, key: object) -> tuple[object, int] | None:
+        return self.replica.get(key)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.replica
+
+    def __len__(self) -> int:
+        return len(self.replica)
+
+    def keys(self) -> Iterator[object]:
+        return self.replica.keys()
+
+    def items(self) -> Iterator[tuple[object, object]]:
+        return self.replica.items()
+
+    def put(self, key: object, value: object) -> int:
+        version = self.replica.local_put(key, value)
+        self._journal.append(JournalOp.PUT, key, copy.deepcopy(value), version)
+        if self._on_write is not None:
+            self._on_write(self.replica)
+        return version
+
+    def install(self, key: object, value: object, version: int) -> None:
+        if version < 1:
+            raise ValueError(f"version must be >= 1, got {version}")
+        self.replica._data[key] = (copy.deepcopy(value), version)
+        self._journal.append(JournalOp.PUT, key, copy.deepcopy(value), version)
+        if self._on_write is not None:
+            self._on_write(self.replica)
+
+    def delete(self, key: object) -> bool:
+        existed = self.replica.local_delete(key)
+        if existed:
+            self._journal.append(JournalOp.DELETE, key, None, 0)
+            if self._on_write is not None:
+                self._on_write(self.replica)
+        return existed
+
+    def truncate(self) -> None:
+        self.replica.local_truncate()
+        self._journal.append(JournalOp.TRUNCATE, None, None, 0)
+        if self._on_write is not None:
+            self._on_write(self.replica)

@@ -1,0 +1,99 @@
+"""Consistent-hash ring with virtual nodes: N-way replica placement.
+
+The replication layer needs a placement function that (a) spreads each
+partition's followers across the cluster, (b) is a pure function of the
+node set (no placement map to gossip), and (c) moves few replica
+assignments when a node joins or leaves. A consistent-hash ring with
+virtual nodes gives all three: every physical node owns ``virtual_nodes``
+points on a 64-bit ring, and the replicas for a key are the first N
+distinct physical nodes clockwise from the key's hash.
+
+Placement here chooses *followers*; primaries stay with the partition
+owner (the cluster's partitioner), so the storage layer and the router
+keep agreeing on who serves a partition in the healthy case.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.common.errors import ReplicationError
+from repro.common.rng import stable_hash
+
+
+class HashRing:
+    """A consistent-hash ring over integer node ids.
+
+    ``replicas(key, n)`` walks clockwise from ``hash(key)`` and returns
+    the first ``n`` *distinct* node ids — deterministic, uniform in
+    expectation, and stable under node churn (removing one node only
+    reassigns the vnode arcs it owned).
+    """
+
+    def __init__(self, node_ids, virtual_nodes: int = 64):
+        if virtual_nodes < 1:
+            raise ReplicationError(
+                f"virtual_nodes must be >= 1, got {virtual_nodes}"
+            )
+        self.virtual_nodes = virtual_nodes
+        self._nodes: set[int] = set()
+        #: sorted (point, node_id) pairs; rebuilt incrementally on churn.
+        self._points: list[tuple[int, int]] = []
+        for node_id in node_ids:
+            self.add_node(node_id)
+        if not self._nodes:
+            raise ReplicationError("hash ring requires at least one node")
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_ids(self) -> list[int]:
+        """Sorted physical node ids currently on the ring."""
+        return sorted(self._nodes)
+
+    def _vnode_points(self, node_id: int) -> list[tuple[int, int]]:
+        return [
+            (stable_hash(f"ring:{node_id}#{v}"), node_id)
+            for v in range(self.virtual_nodes)
+        ]
+
+    def add_node(self, node_id: int) -> None:
+        """Place a node's virtual nodes on the ring (idempotent)."""
+        if node_id in self._nodes:
+            return
+        self._nodes.add(node_id)
+        self._points.extend(self._vnode_points(node_id))
+        self._points.sort()
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node's virtual nodes from the ring (idempotent)."""
+        if node_id not in self._nodes:
+            return
+        self._nodes.discard(node_id)
+        self._points = [p for p in self._points if p[1] != node_id]
+
+    def replicas(self, key: object, n: int) -> list[int]:
+        """The first ``n`` distinct nodes clockwise from ``hash(key)``.
+
+        Returns fewer than ``n`` ids when the ring holds fewer physical
+        nodes (a 2-node cluster cannot give 3-way placement).
+        """
+        if n < 1:
+            raise ReplicationError(f"replica count must be >= 1, got {n}")
+        start = bisect.bisect_left(self._points, (stable_hash(key), -1))
+        chosen: list[int] = []
+        seen: set[int] = set()
+        for offset in range(len(self._points)):
+            _, node_id = self._points[(start + offset) % len(self._points)]
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            chosen.append(node_id)
+            if len(chosen) == n:
+                break
+        return chosen
+
+    def primary(self, key: object) -> int:
+        """The first node clockwise from ``hash(key)``."""
+        return self.replicas(key, 1)[0]

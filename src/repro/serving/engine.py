@@ -43,6 +43,13 @@ class ServingEngine:
     The synchronous in-process path (``velox.predict`` etc.) remains
     untouched; the engine is an optional layer the frontend server and
     benchmarks opt into.
+
+    With replication enabled, batch reads that hit a dead primary are
+    retried against the promoted follower inside
+    :meth:`~repro.core.prediction.PredictionService.predict_batch`
+    (which reports the failure, triggering immediate promotion), so a
+    node loss surfaces as bounded-stale results — flagged via
+    ``PredictionResult.stale`` — rather than request failures.
     """
 
     def __init__(

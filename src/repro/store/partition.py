@@ -33,14 +33,29 @@ class Partition:
         self._snapshot: dict[object, tuple[object, int]] | None = None
         self._snapshot_sequence = 0
         self._failed = False
+        #: failover delegate (duck-typed like this partition's mapping
+        #: surface). When set on a *failed* partition, reads and writes
+        #: route through it instead of raising — the replication layer
+        #: installs a promoted follower replica here so serving survives
+        #: the owner node's loss.
+        self.failover = None
+        #: optional callable(partition) fired after every journaled
+        #: mutation; the replication layer uses it to bound replica lag.
+        self.on_mutate = None
 
     # -- basic state ---------------------------------------------------
 
     def __len__(self) -> int:
+        delegate = self._delegate()
+        if delegate is not None:
+            return len(delegate)
         self._check_alive()
         return len(self._data)
 
     def __contains__(self, key: object) -> bool:
+        delegate = self._delegate()
+        if delegate is not None:
+            return key in delegate
         self._check_alive()
         return key in self._data
 
@@ -50,9 +65,20 @@ class Partition:
         return self._failed
 
     @property
+    def journal(self) -> Journal:
+        """The durable journal (survives :meth:`fail`; the lineage tier)."""
+        return self._journal
+
+    @property
     def journal_length(self) -> int:
         """Total records ever appended to the journal."""
         return len(self._journal)
+
+    def _delegate(self):
+        """The failover target serving this partition, when failed."""
+        if self._failed and self.failover is not None:
+            return self.failover
+        return None
 
     def _check_alive(self) -> None:
         if self._failed:
@@ -60,20 +86,33 @@ class Partition:
                 f"partition {self.index} is failed; call recover() first"
             )
 
+    def _mutated(self) -> None:
+        if self.on_mutate is not None:
+            self.on_mutate(self)
+
     # -- reads ----------------------------------------------------------
 
     def get(self, key: object) -> tuple[object, int] | None:
         """Return ``(value, version)`` or ``None`` when absent."""
+        delegate = self._delegate()
+        if delegate is not None:
+            return delegate.get(key)
         self._check_alive()
         return self._data.get(key)
 
     def keys(self) -> Iterator[object]:
         """Snapshot of the partition's keys."""
+        delegate = self._delegate()
+        if delegate is not None:
+            return delegate.keys()
         self._check_alive()
         return iter(list(self._data.keys()))
 
     def items(self) -> Iterator[tuple[object, object]]:
         """Iterate ``(key, value)`` pairs (versions stripped)."""
+        delegate = self._delegate()
+        if delegate is not None:
+            return delegate.items()
         self._check_alive()
         return iter([(k, v) for k, (v, _) in self._data.items()])
 
@@ -81,11 +120,15 @@ class Partition:
 
     def put(self, key: object, value: object) -> int:
         """Insert or overwrite; returns the new per-key version."""
+        delegate = self._delegate()
+        if delegate is not None:
+            return delegate.put(key, value)
         self._check_alive()
         existing = self._data.get(key)
         version = 1 if existing is None else existing[1] + 1
         self._journal.append(JournalOp.PUT, key, value, version)
         self._data[key] = (value, version)
+        self._mutated()
         return version
 
     def install(self, key: object, value: object, version: int) -> None:
@@ -97,24 +140,38 @@ class Partition:
         """
         if version < 1:
             raise ValueError(f"version must be >= 1, got {version}")
+        delegate = self._delegate()
+        if delegate is not None:
+            delegate.install(key, value, version)
+            return
         self._check_alive()
         self._journal.append(JournalOp.PUT, key, value, version)
         self._data[key] = (value, version)
+        self._mutated()
 
     def delete(self, key: object) -> bool:
         """Remove a key; returns whether it existed."""
+        delegate = self._delegate()
+        if delegate is not None:
+            return delegate.delete(key)
         self._check_alive()
         if key not in self._data:
             return False
         self._journal.append(JournalOp.DELETE, key, None, 0)
         del self._data[key]
+        self._mutated()
         return True
 
     def truncate(self) -> None:
         """Remove every key (journaled as a single record)."""
+        delegate = self._delegate()
+        if delegate is not None:
+            delegate.truncate()
+            return
         self._check_alive()
         self._journal.append(JournalOp.TRUNCATE, None, None, 0)
         self._data.clear()
+        self._mutated()
 
     # -- durability & recovery -------------------------------------------
 
@@ -131,13 +188,8 @@ class Partition:
         self._data = {}
         self._failed = True
 
-    def recover(self) -> int:
-        """Rebuild state from snapshot + journal replay.
-
-        Returns the number of journal records replayed. Idempotent on a
-        healthy partition (replaying a journal over its own snapshot-plus-
-        suffix state reproduces the same dict).
-        """
+    def _rebuild_from_journal(self) -> tuple[dict, int]:
+        """Reconstruct ``(state, records_replayed)`` from snapshot + journal."""
         base: dict[object, tuple[object, int]] = (
             copy.deepcopy(self._snapshot) if self._snapshot is not None else {}
         )
@@ -150,6 +202,27 @@ class Partition:
                 base.pop(record.key, None)
             elif record.op is JournalOp.TRUNCATE:
                 base.clear()
-        self._data = base
+        return base, replayed
+
+    def recover(self) -> int:
+        """Rebuild state from snapshot + journal replay.
+
+        Returns the number of journal records replayed. Idempotent on a
+        healthy partition (replaying a journal over its own snapshot-plus-
+        suffix state reproduces the same dict).
+        """
+        self._data, replayed = self._rebuild_from_journal()
         self._failed = False
         return replayed
+
+    def export_state(self) -> tuple[dict[object, tuple[object, int]], int]:
+        """A ``(state, sequence)`` copy for replica snapshot transfer.
+
+        Valid even while failed: the durable snapshot + journal are
+        replayed without reviving the partition, so a follower that fell
+        behind the compaction horizon can still be caught up.
+        """
+        if not self._failed:
+            return copy.deepcopy(self._data), self._journal.next_sequence
+        state, _ = self._rebuild_from_journal()
+        return state, self._journal.next_sequence

@@ -30,6 +30,15 @@ class VeloxStore:
         self.default_partitions = default_partitions
         self._tables: dict[str, Table] = {}
         self._logs: dict[str, ObservationLog] = {}
+        #: callables(table) invoked on every table creation; the
+        #: replication layer subscribes so tables created after
+        #: replication is enabled (e.g. per-model user-state tables)
+        #: get replica sets too.
+        self._table_listeners: list[Callable[[Table], None]] = []
+
+    def add_table_listener(self, listener: Callable[[Table], None]) -> None:
+        """Subscribe to table creation; fires for future tables only."""
+        self._table_listeners.append(listener)
 
     # -- tables -------------------------------------------------------------
 
@@ -48,6 +57,8 @@ class VeloxStore:
             partitioner=partitioner,
         )
         self._tables[name] = table
+        for listener in self._table_listeners:
+            listener(table)
         return table
 
     def table(self, name: str) -> Table:

@@ -36,6 +36,10 @@ KNOWN_EXPERIMENTS = [
     ("ablation_sampled_retrain", "Ablation — sampled retraining"),
     ("ablation_wire", "Ablation — wire transport: binary framed pipelining"),
     ("ablation_batch", "Ablation — batch tier: fork executor + vectorized ALS"),
+    (
+        "ablation_replication",
+        "Ablation — replication & failover: promotion latency, stale reads",
+    ),
 ]
 
 

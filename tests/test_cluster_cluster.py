@@ -75,3 +75,65 @@ class TestNodeLifecycle:
     def test_unknown_node_rejected(self):
         with pytest.raises(RoutingError):
             VeloxCluster(num_nodes=2).fail_node(9)
+
+
+class TestRestartAccounting:
+    """restart_node: fresh epoch, zeroed stats, router propagation."""
+
+    def test_restart_begins_a_fresh_epoch_with_zeroed_stats(self):
+        cluster = VeloxCluster(num_nodes=2)
+        node = cluster.nodes[0]
+        node.stats.requests_served = 41
+        node.stats.observations_applied = 7
+        assert node.epoch == 0
+        cluster.fail_node(0)
+        cluster.restart_node(0)
+        assert node.epoch == 1
+        assert node.alive
+        assert node.stats.requests_served == 0
+        assert node.stats.observations_applied == 0
+
+    def test_epoch_counts_every_restart(self):
+        cluster = VeloxCluster(num_nodes=2)
+        for expected_epoch in (1, 2, 3):
+            cluster.fail_node(1)
+            cluster.restart_node(1)
+            assert cluster.nodes[1].epoch == expected_epoch
+
+    def test_router_sees_the_restarted_node_object(self):
+        """The router and the cluster must share one Node instance, or
+        post-restart counters would accumulate onto a stale entry."""
+        cluster = VeloxCluster(num_nodes=2)
+        cluster.fail_node(0)
+        cluster.restart_node(0)
+        assert cluster.router.nodes[0] is cluster.nodes[0]
+        assert cluster.router.route(0).stats.requests_served == 0
+
+    @staticmethod
+    def _cluster_with_detached_router():
+        """A router holding its own copy of the node list, so a stale
+        entry can exist without also corrupting the cluster's list."""
+        from repro.cluster import ModuloPartitioner, UserAwareRouter
+
+        return VeloxCluster(
+            num_nodes=2,
+            router_factory=lambda nodes: UserAwareRouter(
+                list(nodes), ModuloPartitioner(len(nodes))
+            ),
+        )
+
+    def test_stale_router_entry_is_detected(self):
+        from repro.cluster.node import Node
+
+        cluster = self._cluster_with_detached_router()
+        cluster.fail_node(0)
+        cluster.router.nodes[0] = Node(0)  # a detached impostor
+        with pytest.raises(RoutingError):
+            cluster.restart_node(0)
+
+    def test_mislabeled_router_entry_is_detected(self):
+        cluster = self._cluster_with_detached_router()
+        cluster.fail_node(0)
+        cluster.router.nodes[0] = cluster.nodes[1]  # wrong node id
+        with pytest.raises(RoutingError):
+            cluster.restart_node(0)

@@ -89,3 +89,72 @@ class TestNode:
         node.restart()
         assert node.alive
         assert node.stats.requests_served == 0
+
+
+class _FakeReplication:
+    """Just enough of a ReplicationManager for routing tests."""
+
+    def __init__(self, replica_sets, serving=None):
+        self._replica_sets = replica_sets
+        self._serving = serving or {}
+
+    def user_replica_set(self, partition):
+        return self._replica_sets[partition]
+
+    def serving_node_for_user_partition(self, partition):
+        return self._serving.get(partition)
+
+
+class TestReplicationAwareRouting:
+    def test_replica_set_without_replication_is_just_the_owner(self):
+        router = UserAwareRouter(make_nodes(3), ModuloPartitioner(3))
+        assert router.replica_set(4) == [1]
+
+    def test_replica_set_comes_from_replication_placement(self):
+        router = UserAwareRouter(make_nodes(3), ModuloPartitioner(3))
+        router.attach_replication(
+            _FakeReplication({0: [0, 2], 1: [1, 0], 2: [2, 1]})
+        )
+        assert router.replica_set(4) == [1, 0]
+        assert router.replica_set(5) == [2, 1]
+
+    def test_baseline_routers_do_not_track_replica_sets(self):
+        router = RandomRouter(make_nodes(2), rng=0)
+        with pytest.raises(RoutingError):
+            router.replica_set(0)
+
+    def test_dead_owner_routes_to_promoted_follower(self):
+        nodes = make_nodes(3)
+        router = UserAwareRouter(nodes, ModuloPartitioner(3))
+        router.attach_replication(
+            _FakeReplication({1: [1, 2]}, serving={1: 2})
+        )
+        nodes[1].fail()
+        assert router.route(4).node_id == 2
+
+    def test_unpromoted_partition_falls_back_to_any_alive(self):
+        nodes = make_nodes(3)
+        router = UserAwareRouter(nodes, ModuloPartitioner(3))
+        router.attach_replication(_FakeReplication({}, serving={}))
+        nodes[1].fail()
+        assert router.route(4).alive
+
+    def test_dead_promoted_follower_falls_back(self):
+        """A promotion record pointing at a node that also died must not
+        route traffic into it."""
+        nodes = make_nodes(3)
+        router = UserAwareRouter(nodes, ModuloPartitioner(3))
+        router.attach_replication(
+            _FakeReplication({1: [1, 2]}, serving={1: 2})
+        )
+        nodes[1].fail()
+        nodes[2].fail()
+        assert router.route(4).node_id == 0
+
+    def test_alive_owner_ignores_replication(self):
+        nodes = make_nodes(3)
+        router = UserAwareRouter(nodes, ModuloPartitioner(3))
+        router.attach_replication(
+            _FakeReplication({1: [1, 2]}, serving={1: 2})
+        )
+        assert router.route(4).node_id == 1

@@ -106,3 +106,23 @@ class TestConfigSerialization:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(ConfigError):
             VeloxConfig.from_file(tmp_path / "ghost.json")
+
+
+class TestReplicationFactor:
+    def test_default_is_single_copy(self):
+        assert VeloxConfig().replication_factor == 1
+
+    def test_must_be_at_least_one(self):
+        with pytest.raises(ConfigError):
+            VeloxConfig(replication_factor=0)
+
+    def test_cannot_exceed_cluster_size(self):
+        with pytest.raises(ConfigError):
+            VeloxConfig(num_nodes=2, replication_factor=3)
+
+    def test_full_replication_allowed(self):
+        assert VeloxConfig(num_nodes=3, replication_factor=3).replication_factor == 3
+
+    def test_round_trips_through_json(self):
+        original = VeloxConfig(num_nodes=4, replication_factor=2)
+        assert VeloxConfig.from_json(original.to_json()) == original

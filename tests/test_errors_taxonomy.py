@@ -17,6 +17,7 @@ ALL_ERRORS = [
     errors.BatchExecutionError,
     errors.TaskFailedError,
     errors.RoutingError,
+    errors.ReplicationError,
     errors.StaleModelError,
     errors.ValidationError,
 ]

@@ -1,0 +1,71 @@
+"""Heartbeat failure detector: timeouts, one-shot verdicts, reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import ReplicationError
+from repro.replication import FailureDetector
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def detector(clock):
+    return FailureDetector([0, 1, 2], timeout=1.0, clock=clock)
+
+
+class TestVerdicts:
+    def test_rejects_nonpositive_timeout(self, clock):
+        with pytest.raises(ReplicationError):
+            FailureDetector([0], timeout=0.0, clock=clock)
+
+    def test_fresh_nodes_are_alive(self, detector):
+        assert detector.check() == []
+        assert detector.dead_nodes() == []
+
+    def test_grace_period_is_one_timeout(self, clock, detector):
+        clock.advance(0.9)
+        assert detector.check() == []
+        clock.advance(0.2)
+        assert detector.check() == [0, 1, 2]
+
+    def test_heartbeat_keeps_node_alive(self, clock, detector):
+        clock.advance(0.9)
+        detector.heartbeat(1)
+        clock.advance(0.5)
+        assert detector.check() == [0, 2]
+        assert detector.is_dead(0) and not detector.is_dead(1)
+
+    def test_death_reported_exactly_once(self, clock, detector):
+        clock.advance(2.0)
+        assert detector.check() == [0, 1, 2]
+        assert detector.check() == []
+        assert detector.dead_nodes() == [0, 1, 2]
+
+    def test_heartbeat_revives(self, clock, detector):
+        clock.advance(2.0)
+        detector.check()
+        detector.heartbeat(1)
+        assert not detector.is_dead(1)
+        assert detector.dead_nodes() == [0, 2]
+        # ...and a revived node can die again (a second one-shot verdict).
+        clock.advance(2.0)
+        assert detector.check() == [1]
+
+
+class TestFailureReports:
+    def test_report_makes_next_check_declare_dead(self, detector):
+        """Direct read-failure evidence beats the heartbeat timeout —
+        no clock advancement is needed for the verdict."""
+        assert detector.report_failure(2) is True
+        assert detector.check() == [2]
+
+    def test_report_on_already_dead_node_is_old_news(self, clock, detector):
+        clock.advance(2.0)
+        detector.check()
+        assert detector.report_failure(0) is False

@@ -1,0 +1,90 @@
+"""Consistent-hash ring: placement determinism, balance, churn stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ReplicationError
+from repro.replication import HashRing
+
+
+class TestConstruction:
+    def test_requires_at_least_one_node(self):
+        with pytest.raises(ReplicationError):
+            HashRing([])
+
+    def test_rejects_nonpositive_virtual_nodes(self):
+        with pytest.raises(ReplicationError):
+            HashRing([0, 1], virtual_nodes=0)
+
+    def test_node_ids_sorted(self):
+        assert HashRing([3, 1, 2]).node_ids == [1, 2, 3]
+
+    def test_len_counts_physical_nodes(self):
+        assert len(HashRing([0, 1, 2], virtual_nodes=8)) == 3
+
+
+class TestReplicas:
+    def test_deterministic(self):
+        a = HashRing([0, 1, 2, 3])
+        b = HashRing([0, 1, 2, 3])
+        for key in ("user:0", "user:17", 42, ("t", 3)):
+            assert a.replicas(key, 2) == b.replicas(key, 2)
+
+    def test_distinct_physical_nodes(self):
+        ring = HashRing(range(5))
+        for key in range(50):
+            chosen = ring.replicas(key, 3)
+            assert len(chosen) == len(set(chosen)) == 3
+
+    def test_caps_at_ring_size(self):
+        ring = HashRing([0, 1])
+        assert sorted(ring.replicas("k", 5)) == [0, 1]
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ReplicationError):
+            HashRing([0]).replicas("k", 0)
+
+    def test_primary_is_first_replica(self):
+        ring = HashRing(range(4))
+        for key in range(20):
+            assert ring.primary(key) == ring.replicas(key, 3)[0]
+
+    def test_rough_balance(self):
+        """Virtual nodes spread primaries across the cluster (no node
+        owns everything, none is starved)."""
+        ring = HashRing(range(4), virtual_nodes=64)
+        counts = {n: 0 for n in range(4)}
+        for key in range(400):
+            counts[ring.primary(f"partition:{key}")] += 1
+        assert min(counts.values()) > 0
+        assert max(counts.values()) < 400 * 0.6
+
+
+class TestChurn:
+    def test_remove_only_reassigns_departed_nodes_keys(self):
+        """Consistent hashing's point: removing a node leaves every key
+        that did not map to it untouched."""
+        ring = HashRing(range(4))
+        before = {key: ring.replicas(key, 1)[0] for key in range(200)}
+        ring.remove_node(2)
+        for key, owner in before.items():
+            if owner != 2:
+                assert ring.replicas(key, 1)[0] == owner
+            else:
+                assert ring.replicas(key, 1)[0] != 2
+
+    def test_add_then_remove_round_trips(self):
+        ring = HashRing(range(3))
+        before = {key: ring.replicas(key, 2) for key in range(100)}
+        ring.add_node(9)
+        ring.remove_node(9)
+        after = {key: ring.replicas(key, 2) for key in range(100)}
+        assert before == after
+
+    def test_add_and_remove_idempotent(self):
+        ring = HashRing(range(3))
+        ring.add_node(1)
+        assert len(ring) == 3
+        ring.remove_node(7)
+        assert len(ring) == 3

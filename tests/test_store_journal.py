@@ -74,3 +74,73 @@ class TestCompaction:
         record = journal.append(JournalOp.PUT, "x", 1, 1)
         assert record.sequence == 3
         assert len(journal) == 4
+
+
+class TestCompactReplayInteraction:
+    """replay(start) against a compacted journal must either resume
+    cleanly (start at or past the horizon) or raise — never silently
+    skip records the caller thinks it is getting."""
+
+    def test_replay_from_exact_horizon_resumes_cleanly(self):
+        journal = Journal()
+        for i in range(6):
+            journal.append(JournalOp.PUT, i, i, 1)
+        journal.compact(3)
+        records = list(journal.replay(3))
+        assert [r.sequence for r in records] == [3, 4, 5]
+        assert [r.key for r in records] == [3, 4, 5]
+
+    def test_replay_one_before_horizon_raises(self):
+        journal = Journal()
+        for i in range(6):
+            journal.append(JournalOp.PUT, i, i, 1)
+        journal.compact(3)
+        with pytest.raises(ValueError):
+            list(journal.replay(2))
+
+    def test_replayed_sequences_are_gapless_after_compaction(self):
+        journal = Journal()
+        for i in range(8):
+            journal.append(JournalOp.PUT, i, i, 1)
+        journal.compact(5)
+        sequences = [r.sequence for r in journal.replay(5)]
+        assert sequences == list(range(5, 8))
+
+    def test_replay_from_head_of_compacted_journal_is_empty(self):
+        """start == next_sequence is a clean no-op, not an error — the
+        replication shipper polls this constantly."""
+        journal = Journal()
+        for i in range(4):
+            journal.append(JournalOp.PUT, i, i, 1)
+        journal.compact(4)
+        assert list(journal.replay(4)) == []
+
+    def test_append_after_compact_then_replay_from_horizon(self):
+        journal = Journal()
+        for i in range(3):
+            journal.append(JournalOp.PUT, i, i, 1)
+        journal.compact(3)
+        journal.append(JournalOp.PUT, "late", 9, 1)
+        records = list(journal.replay(3))
+        assert [(r.sequence, r.key) for r in records] == [(3, "late")]
+
+    def test_repeated_compaction_moves_the_raise_boundary(self):
+        journal = Journal()
+        for i in range(10):
+            journal.append(JournalOp.PUT, i, i, 1)
+        journal.compact(4)
+        journal.compact(7)
+        with pytest.raises(ValueError):
+            list(journal.replay(6))
+        assert [r.key for r in journal.replay(7)] == [7, 8, 9]
+
+    def test_error_fires_even_for_lazy_iteration(self):
+        """The generator must not defer the horizon check past the point
+        where a caller could mistake it for an empty journal."""
+        journal = Journal()
+        for i in range(4):
+            journal.append(JournalOp.PUT, i, i, 1)
+        journal.compact(2)
+        iterator = journal.replay(0)
+        with pytest.raises(ValueError):
+            next(iterator)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import io
+import json
 import socket
 import socketserver
 import threading
@@ -146,6 +147,28 @@ class TestBinaryCodec:
         binary = wire.encode_request_frame(request, 0)
         json_line = (encode_request(request) + "\n").encode("utf-8")
         assert len(binary) < len(json_line)
+
+    def test_non_string_dict_keys_coerced_like_json(self):
+        # Histogram counts and similar metrics dicts carry int keys;
+        # both codecs must deliver them as the same strings.
+        payload = {
+            "lag_counts": {0: 3, 17: 1},
+            "by_float": {2.5: "x"},
+            "by_bool": {True: 1, False: 2},
+            "by_none": {None: "n"},
+        }
+        response = ApiResponse(ok=True, payload=payload)
+        frame = wire.encode_response_frame(response, corr_id=1)
+        _, _, raw = wire.read_frame(io.BytesIO(frame))
+        via_binary = wire.decode_response_payload(raw).payload
+        via_json = json.loads(json.dumps(payload))
+        assert via_binary == via_json
+
+    def test_unserializable_dict_key_rejected(self):
+        with pytest.raises(ValidationError):
+            wire.encode_response_frame(
+                ApiResponse(ok=True, payload={(1, 2): "tuple key"}), 0
+            )
 
 
 class TestCodecEquivalence:
