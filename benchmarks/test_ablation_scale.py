@@ -1,0 +1,277 @@
+"""Ablation: columnar slab user-weight store vs boxed dict states at scale.
+
+The paper's serving story needs user-weight lookups to stay memory-speed
+as the user base grows. This ablation sweeps deployments at 10k / 100k /
+1M users and measures, for both physical layouts (``user_weight_store``
+= "slab" vs "dict"):
+
+* **Per-request latency** — p50/p99 of point predictions over random
+  users; the slab claim is *flat* latency across three orders of
+  magnitude of users.
+* **Per-user resident bytes** — slab: one ``rank*8``-byte row plus an
+  index slot; dict: a boxed ``UserModelState`` per user (priors, online
+  learning scaffolding, per-object headers).
+* **Snapshot install** — replica snapshot transfer (export + install)
+  per layout; the slab path is an O(bytes) array copy, the dict path a
+  deep copy per state.
+
+Also asserts the wire codec's single-copy ndarray encode: a contiguous
+feature vector crosses ``pack_value`` without a forced intermediate
+copy.
+
+Writes the human series to ``benchmarks/results/ablation_scale.txt`` and
+the machine-readable ``BENCH_scale.json`` at the repo root.
+
+Set ``SCALE_SMOKE=1`` for the fast CI configuration (10k tier only).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro import Velox, VeloxConfig
+from repro.core.models import MatrixFactorizationModel
+from repro.frontend import PredictApiRequest, wire
+from repro.replication import PartitionReplica
+from repro.store import ArrayMapping
+from repro.tools.bench_report import write_json_summary
+
+from conftest import write_result
+
+SMOKE = os.environ.get("SCALE_SMOKE", "") not in ("", "0")
+
+RANK = 10
+NUM_ITEMS = 200
+NUM_NODES = 8
+USER_TIERS = [10_000] if SMOKE else [10_000, 100_000, 1_000_000]
+NUM_PREDICTIONS = 500 if SMOKE else 2000
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _deploy(num_users: int, store: str) -> tuple[Velox, MatrixFactorizationModel]:
+    rng = np.random.default_rng(13)
+    model = MatrixFactorizationModel(
+        "scale",
+        item_factors=rng.normal(0, 0.1, (NUM_ITEMS, RANK)),
+        item_bias=rng.normal(0, 0.1, NUM_ITEMS),
+        global_mean=3.5,
+    )
+    ids = np.arange(num_users, dtype=np.int64)
+    matrix = rng.normal(0, 0.1, (num_users, model.dimension))
+    velox = Velox.deploy(
+        VeloxConfig(
+            num_nodes=NUM_NODES,
+            user_weight_store=store,
+            # Keep caches out of the measurement: every predict must hit
+            # the user-weight store, not a memoized score.
+            prediction_cache_capacity=1,
+        ),
+        auto_retrain=False,
+    )
+    velox.add_model(model, initial_user_weights=ArrayMapping(ids, matrix))
+    return velox, model
+
+
+def _latency_quantiles(velox: Velox, num_users: int) -> dict:
+    rng = np.random.default_rng(99)
+    uids = rng.integers(num_users, size=NUM_PREDICTIONS)
+    items = rng.integers(NUM_ITEMS, size=NUM_PREDICTIONS)
+    samples = np.empty(NUM_PREDICTIONS)
+    for i in range(NUM_PREDICTIONS):
+        start = time.perf_counter()
+        velox.predict(None, int(uids[i]), int(items[i]))
+        samples[i] = time.perf_counter() - start
+    return {
+        "p50_us": round(float(np.percentile(samples, 50)) * 1e6, 2),
+        "p99_us": round(float(np.percentile(samples, 99)) * 1e6, 2),
+    }
+
+
+def _object_bytes(value: object) -> int:
+    """Shallow-ish footprint of one boxed state: the object, its dict,
+    and its immediate array/list attributes."""
+    total = sys.getsizeof(value)
+    attrs = getattr(value, "__dict__", None)
+    if attrs is None:
+        return total
+    total += sys.getsizeof(attrs)
+    for attr in attrs.values():
+        if isinstance(attr, np.ndarray):
+            total += sys.getsizeof(attr)
+        elif isinstance(attr, list):
+            total += sys.getsizeof(attr) + sum(sys.getsizeof(x) for x in attr)
+        else:
+            total += sys.getsizeof(attr)
+    return total
+
+
+def _per_user_bytes(velox: Velox, num_users: int, store: str) -> float:
+    table = velox.manager.user_state_table("scale")
+    if store == "slab":
+        return table.memory_bytes() / num_users
+    # Dict mode: sample boxed states and add the container overhead.
+    rng = np.random.default_rng(7)
+    sample = rng.integers(num_users, size=min(200, num_users))
+    state_bytes = float(
+        np.mean([_object_bytes(table.get(int(uid))) for uid in sample])
+    )
+    container = sum(
+        sys.getsizeof(table.partition(i)._store.objects)
+        for i in range(table.num_partitions)
+    )
+    entry_tuple = sys.getsizeof(("x", 1))
+    return state_bytes + entry_tuple + container / num_users
+
+
+def _snapshot_transfer_seconds(velox: Velox) -> dict:
+    """Export + install every partition onto a fresh replica (the
+    snapshot-transfer catch-up path), timed separately."""
+    table = velox.manager.user_state_table("scale")
+    export_s = install_s = 0.0
+    for index in range(table.num_partitions):
+        partition = table.partition(index)
+        start = time.perf_counter()
+        state, sequence = partition.export_state()
+        export_s += time.perf_counter() - start
+        replica = PartitionReplica(
+            table.name, index, node_id=0,
+            value_policy=getattr(table, "value_policy", None),
+        )
+        start = time.perf_counter()
+        replica.install_snapshot(state, sequence)
+        install_s += time.perf_counter() - start
+    return {
+        "export_s": round(export_s, 4),
+        "install_s": round(install_s, 4),
+        "total_s": round(export_s + install_s, 4),
+    }
+
+
+def _measure_tier(num_users: int, store: str) -> dict:
+    velox, _model = _deploy(num_users, store)
+    try:
+        row = {"users": num_users, "store": store}
+        row.update(_latency_quantiles(velox, num_users))
+        row["per_user_bytes"] = round(_per_user_bytes(velox, num_users, store), 1)
+        row["snapshot"] = _snapshot_transfer_seconds(velox)
+        return row
+    finally:
+        velox.shutdown()
+
+
+def test_scale_summary():
+    # The wire codec's single-copy claim: a contiguous feature vector is
+    # appended straight from its buffer, never through an intermediate
+    # materialization.
+    wire.reset_ndarray_forced_copies()
+    feature = np.ascontiguousarray(np.random.default_rng(3).normal(size=256))
+    frame = wire.encode_request_frame(PredictApiRequest(uid=1, item=feature), 0)
+    assert len(frame) > feature.nbytes
+    forced_copies = wire.ndarray_forced_copies()
+    assert forced_copies == 0
+
+    rows = []
+    for num_users in USER_TIERS:
+        for store in ("slab", "dict"):
+            rows.append(_measure_tier(num_users, store))
+
+    by_tier = {
+        users: {row["store"]: row for row in rows if row["users"] == users}
+        for users in USER_TIERS
+    }
+
+    # -- shape claims ------------------------------------------------------
+    # Flat per-request latency across the sweep (slab path).
+    slab_p50 = [by_tier[u]["slab"]["p50_us"] for u in USER_TIERS]
+    assert max(slab_p50) < 3.0 * min(slab_p50), slab_p50
+
+    # >= 2x per-user memory reduction vs boxed dict states, every tier.
+    for users in USER_TIERS:
+        slab_b = by_tier[users]["slab"]["per_user_bytes"]
+        dict_b = by_tier[users]["dict"]["per_user_bytes"]
+        assert dict_b >= 2.0 * slab_b, (users, slab_b, dict_b)
+
+    # Snapshot install at the largest tier: O(bytes) array adoption vs a
+    # per-state deep copy.
+    largest = USER_TIERS[-1]
+    slab_install = by_tier[largest]["slab"]["snapshot"]["install_s"]
+    dict_install = by_tier[largest]["dict"]["snapshot"]["install_s"]
+    required = 3.0 if SMOKE else 10.0
+    assert dict_install >= required * slab_install, (slab_install, dict_install)
+
+    # -- report ------------------------------------------------------------
+    lines = [
+        f"== user-weight store scale sweep (rank {RANK}, dim {RANK + 2}, "
+        f"{NUM_NODES} nodes, {NUM_PREDICTIONS} predictions/tier"
+        f"{', SMOKE' if SMOKE else ''}) ==",
+        "users      store  p50_us   p99_us   bytes/user  export_s  install_s",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['users']:<11d}{row['store']:<7}{row['p50_us']:<9.1f}"
+            f"{row['p99_us']:<9.1f}{row['per_user_bytes']:<12.1f}"
+            f"{row['snapshot']['export_s']:<10.4f}"
+            f"{row['snapshot']['install_s']:.4f}"
+        )
+    lines.append("")
+    for users in USER_TIERS:
+        tier = by_tier[users]
+        memory_x = tier["dict"]["per_user_bytes"] / tier["slab"]["per_user_bytes"]
+        install_x = (
+            tier["dict"]["snapshot"]["install_s"]
+            / max(tier["slab"]["snapshot"]["install_s"], 1e-9)
+        )
+        lines.append(
+            f"{users} users: slab saves {memory_x:.1f}x memory/user, "
+            f"installs snapshots {install_x:.1f}x faster"
+        )
+    lines.append("")
+    lines.append(
+        f"slab p50 across tiers: {slab_p50} us "
+        f"(max/min {max(slab_p50) / min(slab_p50):.2f}x)"
+    )
+    lines.append(f"wire ndarray forced copies for contiguous encode: {forced_copies}")
+    write_result("ablation_scale", lines)
+
+    write_json_summary(
+        REPO_ROOT / "BENCH_scale.json",
+        "ablation_scale",
+        {
+            "smoke": SMOKE,
+            "workload": {
+                "rank": RANK,
+                "dimension": RANK + 2,
+                "num_items": NUM_ITEMS,
+                "num_nodes": NUM_NODES,
+                "predictions_per_tier": NUM_PREDICTIONS,
+                "user_tiers": USER_TIERS,
+            },
+            "tiers": rows,
+            "slab_p50_flatness_max_over_min": round(
+                max(slab_p50) / min(slab_p50), 3
+            ),
+            "memory_reduction_x": {
+                str(u): round(
+                    by_tier[u]["dict"]["per_user_bytes"]
+                    / by_tier[u]["slab"]["per_user_bytes"],
+                    2,
+                )
+                for u in USER_TIERS
+            },
+            "snapshot_install_speedup_x": {
+                str(u): round(
+                    by_tier[u]["dict"]["snapshot"]["install_s"]
+                    / max(by_tier[u]["slab"]["snapshot"]["install_s"], 1e-9),
+                    2,
+                )
+                for u in USER_TIERS
+            },
+            "wire_forced_copies_contiguous": forced_copies,
+        },
+    )

@@ -57,6 +57,13 @@ class VeloxConfig:
             Must not exceed ``num_nodes``. Replication tuning knobs
             (heartbeat interval/timeout, max lag records, virtual
             nodes) ride in ``extra`` as ``replication_*`` keys.
+        user_weight_store: Physical layout of the per-model user-weight
+            tables: ``"slab"`` (contiguous columnar numpy partitions —
+            row reads/writes, fancy-index batch gathers, O(bytes)
+            snapshot transfer) or ``"dict"`` (one boxed state object
+            per user key, the historical layout). Both are observably
+            equivalent; slab is the default because per-request cost
+            stays flat as user count grows.
     """
 
     num_nodes: int = 4
@@ -74,6 +81,7 @@ class VeloxConfig:
     remote_bandwidth: float = 1e9
     batch_executor: str = "thread"
     replication_factor: int = 1
+    user_weight_store: str = "slab"
     extra: dict = field(default_factory=dict)
 
     _VALID_UPDATE_METHODS = (
@@ -85,6 +93,7 @@ class VeloxConfig:
     # Mirrors repro.batch.scheduler.EXECUTORS (kept literal here so the
     # config layer stays import-free of the batch subsystem).
     _VALID_BATCH_EXECUTORS = ("thread", "fork")
+    _VALID_USER_WEIGHT_STORES = ("slab", "dict")
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -139,6 +148,12 @@ class VeloxConfig:
         if self.replication_factor < 1:
             raise ConfigError(
                 f"replication_factor must be >= 1, got {self.replication_factor}"
+            )
+        if self.user_weight_store not in self._VALID_USER_WEIGHT_STORES:
+            raise ConfigError(
+                f"user_weight_store must be one of "
+                f"{self._VALID_USER_WEIGHT_STORES}, "
+                f"got {self.user_weight_store!r}"
             )
         if self.replication_factor > self.num_nodes:
             raise ConfigError(

@@ -27,10 +27,11 @@ import numpy as np
 from repro.common.config import VeloxConfig
 from repro.common.errors import PartitionError, ValidationError
 from repro.core.model import ModelRegistry, VeloxModel
-from repro.core.online import UserModelState, make_updater
+from repro.core.online import UserModelState, UserStateCodec, make_updater
 from repro.core.bootstrap import UserWeightAverager
 from repro.metrics.streaming import StreamingMeanVar, WindowedMean
 from repro.store.oblog import Observation
+from repro.store.slab import ArrayMapping, SlabPolicy
 
 
 @dataclass
@@ -217,19 +218,69 @@ class ModelManager:
             self._state_table_name(model.name),
             num_partitions=self.cluster.num_nodes,
             partitioner=self.cluster.user_partitioner,
+            value_policy=self._user_weight_policy(model),
         )
         log = store.create_log(self._log_name(model.name))
         self.health[model.name] = ModelHealth(window=self.config.staleness_window)
         averager = UserWeightAverager(model.dimension)
         self.averagers[model.name] = averager
         if initial_user_weights:
-            for uid, weights in initial_user_weights.items():
-                state = self._make_state(model, np.asarray(weights, float))
-                table.put(uid, state)
-                averager.update(uid, state.weights)
+            self._install_user_weights(
+                model, table, averager, initial_user_weights
+            )
         if seed_observations:
             for observation in seed_observations:
                 log.append(observation)
+
+    def _user_weight_policy(self, model: VeloxModel) -> SlabPolicy | None:
+        """The storage policy for a model's user-state table.
+
+        ``user_weight_store="slab"`` keeps pristine (never-observed)
+        user states as contiguous slab rows via the lossless
+        :class:`~repro.core.online.UserStateCodec`; observed states stay
+        dict-resident objects. ``"dict"`` keeps the historical layout.
+        """
+        if self.config.user_weight_store != "slab":
+            return None
+        return SlabPolicy(
+            model.dimension,
+            codec=UserStateCodec(model.dimension, self.config.regularization),
+        )
+
+    def _install_user_weights(
+        self, model, table, averager, user_weights
+    ) -> None:
+        """Install offline-trained user weights as fresh pristine states.
+
+        Slab-backed tables take the bulk path: one columnar load per
+        partition (a single journaled record) instead of a per-user
+        encode/journal/put.
+        """
+        if table.value_policy is not None and table.value_policy.rank == model.dimension:
+            if isinstance(user_weights, ArrayMapping):
+                ids, matrix = user_weights.arrays()
+                ids = np.asarray(ids, dtype=np.int64)
+                matrix = np.asarray(matrix, dtype=float)
+            else:
+                ids = np.fromiter(
+                    user_weights.keys(), dtype=np.int64, count=len(user_weights)
+                )
+                matrix = np.array(
+                    [np.asarray(w, float) for w in user_weights.values()]
+                )
+            if matrix.shape != (len(ids), model.dimension):
+                raise ValidationError(
+                    f"user weights must be ({len(ids)}, {model.dimension}), "
+                    f"got {matrix.shape}"
+                )
+            table.load_weight_rows(ids, matrix)
+            for uid, row in zip(ids.tolist(), matrix):
+                averager.update(uid, row)
+            return
+        for uid, weights in user_weights.items():
+            state = self._make_state(model, np.asarray(weights, float))
+            table.put(uid, state)
+            averager.update(uid, state.weights)
 
     def user_state_table(self, model_name: str):
         """The store table holding this model's per-user states."""
@@ -458,11 +509,17 @@ class ModelManager:
         log = self.observation_log(model_name)
         offset = log.snapshot_offset()
         table = self.user_state_table(model_name)
+        if table.value_policy is not None:
+            # One columnar copy per partition instead of a per-user
+            # object decode + weight copy.
+            weights = table.export_weight_matrix()
+        else:
+            weights = {uid: table.get(uid).weights.copy() for uid in table.keys()}
         return _RetrainSnapshot(
             model=model,
             offset=offset,
             observations=log.read_range(0, offset),
-            weights={uid: table.get(uid).weights.copy() for uid in table.keys()},
+            weights=weights,
             hot_features=self.service.cached_feature_items(model_name),
             hot_predictions=self.service.cached_predictions(model_name),
         )
@@ -506,14 +563,13 @@ class ModelManager:
         )
 
         # Install fresh user states; the retrained weights become the
-        # prior so subsequent online updates adapt from them.
+        # prior so subsequent online updates adapt from them. Observed
+        # users collapse back into the slab here: the fresh states are
+        # pristine again.
         table = self.user_state_table(model_name)
         averager = UserWeightAverager(new_model.dimension)
         self.averagers[model_name] = averager
-        for uid, weights in new_user_weights.items():
-            state = self._make_state(new_model, np.asarray(weights, float))
-            table.put(uid, state)
-            averager.update(uid, state.weights)
+        self._install_user_weights(new_model, table, averager, new_user_weights)
 
         repopulated = self._repopulate_caches(
             new_model, snapshot.hot_features, snapshot.hot_predictions, table

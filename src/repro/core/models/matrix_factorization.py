@@ -138,11 +138,23 @@ class MatrixFactorizationModel(VeloxModel):
             global_mean=result.global_mean,
             version=self.version + 1,
         )
-        new_user_weights = {
-            uid: new_model.pack_user_weights(result.user_factors[uid], result.user_bias[uid])
-            for uid in result.user_factors
-        }
-        return new_model, new_user_weights
+        # Pack every user's serving vector [latent, 1, mu + bias] in one
+        # vectorized concatenate; the ArrayMapping keeps dict-style
+        # access while the manager's swap consumes the matrix directly.
+        from repro.store.slab import ArrayMapping
+
+        ids, latents = result.user_factors.arrays()
+        _bias_ids, biases = result.user_bias.arrays()
+        n = len(ids)
+        matrix = np.concatenate(
+            [
+                np.asarray(latents, dtype=float),
+                np.ones((n, 1)),
+                new_model.global_mean + np.asarray(biases, dtype=float)[:, None],
+            ],
+            axis=1,
+        )
+        return new_model, ArrayMapping(ids, matrix)
 
     # -- weight layout helpers ------------------------------------------------
 

@@ -24,22 +24,31 @@ Python closure.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.common.rng import as_generator
+from repro.store.slab import ArrayMapping
 
 SOLVERS = ("vectorized", "scalar")
 
 
 @dataclass
 class AlsResult:
-    """Output of one ALS run."""
+    """Output of one ALS run.
 
-    user_factors: dict[int, np.ndarray]
-    user_bias: dict[int, float]
+    ``user_factors`` and ``user_bias`` are columnar
+    :class:`~repro.store.slab.ArrayMapping` views over the solver's
+    dense factor arrays — dict-compatible (``[uid]``, ``.get``,
+    ``.items()``) without materializing a per-user array copy, and bulk
+    consumers read the backing arrays via ``.arrays()``.
+    """
+
+    user_factors: Mapping
+    user_bias: Mapping
     item_factors: np.ndarray
     item_bias: np.ndarray
     global_mean: float
@@ -392,9 +401,12 @@ def als_train(
         total_n = sum(n for _sse, n in sse_counts)
         train_rmse.append(float(np.sqrt(total_sse / total_n)))
 
+    # Columnar views aligned with user_ids — no per-user copies.
+    id_arr = np.asarray(user_ids, dtype=np.int64)
+    rows = uid_row[id_arr]
     return AlsResult(
-        user_factors={uid: user_fac[uid_row[uid]].copy() for uid in user_ids},
-        user_bias={uid: float(user_b[uid_row[uid]]) for uid in user_ids},
+        user_factors=ArrayMapping(id_arr, user_fac[rows]),
+        user_bias=ArrayMapping(id_arr, user_b[rows]),
         item_factors=item_fac,
         item_bias=item_b,
         global_mean=global_mean,
@@ -466,7 +478,7 @@ def predict_rating(result: AlsResult, uid: int, item_id: int) -> float:
     """Score a pair with an :class:`AlsResult` (cold users/items fall back
     to biases only)."""
     factor = result.user_factors.get(uid)
-    bias = result.user_bias.get(uid, 0.0)
+    bias = float(result.user_bias.get(uid, 0.0))
     base = result.global_mean + bias + result.item_bias[item_id]
     if factor is None:
         return float(base)

@@ -118,6 +118,92 @@ class UserModelState:
         self.observation_count += 1
 
 
+class PristineServingState:
+    """Shared read-only stand-in for slab-resident (pristine) user states.
+
+    Every never-observed user of a model has byte-identical derived
+    state — ``weight_version == 0`` and the closed-form prior
+    uncertainty — so one shared shim serves fast reads for all of them
+    without materializing a :class:`UserModelState` per lookup.
+    """
+
+    __slots__ = ("_lam",)
+
+    #: Pristine states have never had a weight update.
+    weight_version = 0
+
+    def __init__(self, regularization: float):
+        self._lam = max(regularization, 1e-12)
+
+    def uncertainty(self, features: np.ndarray) -> float:
+        """Prior confidence width: A = lambda I, no matrix needed."""
+        return float(np.sqrt(max(0.0, features @ features) / self._lam))
+
+
+class UserStateCodec:
+    """Lossless slab codec for pristine :class:`UserModelState` values.
+
+    A user state is slab-eligible exactly while nothing but its prior
+    mean distinguishes it: no observations, no history, no allocated
+    covariance, weights still equal to the prior. Such states round-trip
+    through a bare ``(dimension,)`` float64 row — ``decode`` rebuilds an
+    equal state from scratch. Anything observed stays an object.
+    """
+
+    kind = "user_state"
+
+    def __init__(self, dimension: int, regularization: float):
+        self.dimension = int(dimension)
+        self.regularization = float(regularization)
+        self._serving = PristineServingState(regularization)
+
+    def encode(self, state: object) -> np.ndarray | None:
+        """The state's weight row if it is pristine, else ``None``."""
+        if type(state) is not UserModelState:
+            return None
+        if (
+            state.dimension != self.dimension
+            or state.regularization != self.regularization
+            or state.weight_version != 0
+            or state.observation_count != 0
+            or state.feature_history
+            or state.label_history
+            or state._a_inv is not None
+            or state.progressive_loss.count
+        ):
+            return None
+        weights = state.weights
+        if weights.dtype != np.float64 or weights.shape != (self.dimension,):
+            return None
+        if state.b.any() or not np.array_equal(weights, state.prior_mean):
+            return None
+        return weights
+
+    def decode(self, vector: np.ndarray) -> UserModelState:
+        """An equal pristine state (owns a copy of the row)."""
+        return UserModelState(
+            self.dimension,
+            self.regularization,
+            prior_mean=np.array(vector, dtype=float),
+        )
+
+    def weights_of(self, value: object) -> np.ndarray | None:
+        """The weight row of a dict-resident value, for fast reads."""
+        return getattr(value, "weights", None)
+
+    def serving_state(self) -> PristineServingState:
+        """The shared shim fast reads of slab rows return as state."""
+        return self._serving
+
+    def manifest_info(self) -> dict:
+        """JSON-serializable self-description for checkpoint manifests."""
+        return {
+            "kind": self.kind,
+            "dimension": self.dimension,
+            "regularization": self.regularization,
+        }
+
+
 class OnlineUpdater(ABC):
     """Updates a :class:`UserModelState` with one observation."""
 

@@ -104,6 +104,23 @@ _I64 = struct.Struct(">q")
 _F64 = struct.Struct(">d")
 _U32 = struct.Struct(">I")
 
+#: How many ndarray encodes were forced to materialize a contiguous
+#: copy before writing (non-contiguous input). Contiguous arrays are
+#: appended straight from their buffer — exactly one copy, into the
+#: output bytearray — and do not bump this. Benchmarks assert on it.
+_ndarray_forced_copies = 0
+
+
+def ndarray_forced_copies() -> int:
+    """Count of ndarray encodes that needed a contiguity copy."""
+    return _ndarray_forced_copies
+
+
+def reset_ndarray_forced_copies() -> None:
+    """Zero the forced-copy counter (benchmark/test isolation)."""
+    global _ndarray_forced_copies
+    _ndarray_forced_copies = 0
+
 
 def pack_value(out: bytearray, value: object) -> None:
     """Append one tagged value to ``out``.
@@ -136,15 +153,24 @@ def pack_value(out: bytearray, value: object) -> None:
         if value.dtype.hasobject:
             raise ValidationError("cannot serialize object-dtype ndarray")
         dtype = value.dtype.str.encode("ascii")
-        raw = np.ascontiguousarray(value).tobytes()
+        # Single-copy encode: append straight from the array's buffer
+        # into the output bytearray. Only non-contiguous input pays an
+        # intermediate materialization (counted for benchmarks); the
+        # old path's ``.tobytes()`` double-copied every array.
+        if value.flags.c_contiguous:
+            arr = value
+        else:
+            global _ndarray_forced_copies
+            _ndarray_forced_copies += 1
+            arr = np.ascontiguousarray(value)
         out.append(_T_NDARRAY)
         out.append(len(dtype))
         out += dtype
         out.append(value.ndim)
         for dim in value.shape:
             out += _U32.pack(dim)
-        out += _U32.pack(len(raw))
-        out += raw
+        out += _U32.pack(arr.nbytes)
+        out += memoryview(arr).cast("B")
     elif isinstance(value, (list, tuple)):
         if _pack_homogeneous(out, value):
             return

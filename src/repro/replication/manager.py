@@ -172,7 +172,10 @@ class ReplicationManager:
                 if key in self._replicas:
                     continue
                 self._replicas[key] = [
-                    PartitionReplica(table.name, index, node_id)
+                    PartitionReplica(
+                        table.name, index, node_id,
+                        value_policy=getattr(table, "value_policy", None),
+                    )
                     for node_id in self.follower_nodes(table.name, index)
                 ]
                 self._pending[key] = 0
@@ -360,7 +363,8 @@ class ReplicationManager:
                 continue
             replica.promote(partition.journal.next_sequence)
             partition.failover = PromotedPartitionView(
-                replica, partition.journal
+                replica, partition.journal,
+                value_policy=getattr(partition, "value_policy", None),
             )
             self._promoted[key] = replica
             if self._namespace(table_name) == "user":

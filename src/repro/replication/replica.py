@@ -1,14 +1,18 @@
 """Follower-side partition replicas and the promoted failover view.
 
 A :class:`PartitionReplica` is one follower's copy of one (table,
-partition): a key → (value, version) dict plus the journal sequence it
-has applied through. Followers learn mutations exclusively by **journal
-shipping** — the primary's journal records from ``applied_sequence``
-onward, applied in order (values deep-copied, modeling serialization
-across the wire, so a replica never aliases primary state). When the
-primary has compacted past a replica's ack point the records are gone
-and catch-up falls back to a **snapshot transfer**: the primary's full
-state replaces the replica wholesale.
+partition): a :class:`~repro.store.slab.HybridStore` (the same physical
+layout the primary uses — columnar slab rows plus a dict for object
+values) plus the journal sequence it has applied through. Followers
+learn mutations exclusively by **journal shipping** — the primary's
+journal records from ``applied_sequence`` onward, applied in order
+(object values deep-copied, modeling serialization across the wire, so
+a replica never aliases primary state; slab rows are copied into the
+follower's own arrays by the install itself). When the primary has
+compacted past a replica's ack point the records are gone and catch-up
+falls back to a **snapshot transfer**: the primary's full state replaces
+the replica wholesale — for slab-backed tables an O(bytes) columnar copy
+whose arrays the follower adopts outright.
 
 On primary failure the replica can be **promoted**: it serves reads from
 whatever prefix was shipped before the failure (bounded staleness —
@@ -27,17 +31,40 @@ from typing import Iterator
 
 from repro.common.errors import ReplicationError
 from repro.store.journal import JournalOp, JournalRecord
+from repro.store.slab import HybridExport, HybridStore, SlabRow, SlabSnapshot
+
+
+def _wire_copy(value: object) -> object:
+    """Model serialization of a shipped value across the wire.
+
+    Slab payloads (rows and snapshots) are immutable read-only arrays
+    and are *copied by the install that applies them*, so they ship
+    as-is; everything else is deep-copied so replicas never alias
+    primary state.
+    """
+    if isinstance(value, (SlabRow, SlabSnapshot)):
+        return value
+    return copy.deepcopy(value)
 
 
 class PartitionReplica:
     """One follower's copy of one table partition."""
 
-    def __init__(self, table_name: str, partition_index: int, node_id: int):
+    def __init__(
+        self,
+        table_name: str,
+        partition_index: int,
+        node_id: int,
+        value_policy=None,
+    ):
         self.table_name = table_name
         self.partition_index = partition_index
         #: the physical node hosting this replica.
         self.node_id = node_id
-        self._data: dict[object, tuple[object, int]] = {}
+        #: storage policy shared with the primary partition, so shipped
+        #: SlabRow values land in a follower-local slab.
+        self.value_policy = value_policy
+        self._store = HybridStore(value_policy)
         #: journal records applied so far (next expected sequence).
         self.applied_sequence = 0
         self.promoted = False
@@ -47,10 +74,15 @@ class PartitionReplica:
         self.snapshot_transfers = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        return len(self._store)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._data
+        return key in self._store
+
+    @property
+    def store(self) -> HybridStore:
+        """The replica's physical store (tests compare slabs through it)."""
+        return self._store
 
     # -- journal shipping ----------------------------------------------------
 
@@ -62,23 +94,32 @@ class PartitionReplica:
                 f"sequence {self.applied_sequence} got record "
                 f"{record.sequence}; journal shipping must be gapless"
             )
-        self._apply_op(record.op, record.key, copy.deepcopy(record.value),
+        self._apply_op(record.op, record.key, _wire_copy(record.value),
                        record.version)
         self.applied_sequence = record.sequence + 1
 
     def _apply_op(self, op: JournalOp, key, value, version: int) -> None:
         if op is JournalOp.PUT:
-            self._data[key] = (value, version)
+            self._store.set(key, value, version)
         elif op is JournalOp.DELETE:
-            self._data.pop(key, None)
+            self._store.delete(key)
         elif op is JournalOp.TRUNCATE:
-            self._data.clear()
+            self._store.clear()
+        elif op is JournalOp.LOAD:
+            self._store.bulk_install(value)
 
-    def install_snapshot(
-        self, state: dict[object, tuple[object, int]], sequence: int
-    ) -> None:
-        """Replace the replica wholesale (catch-up past compaction)."""
-        self._data = copy.deepcopy(state)
+    def install_snapshot(self, state, sequence: int) -> None:
+        """Replace the replica wholesale (catch-up past compaction).
+
+        Dict exports are deep-copied as before; slab exports
+        (:class:`~repro.store.slab.HybridExport`) carry owned arrays the
+        replica adopts outright — the O(bytes) transfer path.
+        """
+        self._store = HybridStore(self.value_policy)
+        if isinstance(state, HybridExport):
+            self._store.load_export(state, copy_objects=False)
+        else:
+            self._store.load_export(state, copy_objects=True)
         self.applied_sequence = sequence
         self.snapshot_transfers += 1
 
@@ -93,7 +134,7 @@ class PartitionReplica:
         either replays the whole journal or, when the journal has been
         compacted past 0, falls back to a snapshot transfer.
         """
-        self._data = {}
+        self._store = HybridStore(self.value_policy)
         self.applied_sequence = 0
 
     # -- promoted serving ----------------------------------------------------
@@ -112,29 +153,34 @@ class PartitionReplica:
     # -- mapping reads (used by the failover view) ---------------------------
 
     def get(self, key: object) -> tuple[object, int] | None:
-        """``(value, version)`` or None — the shipped view of the key."""
-        return self._data.get(key)
+        """``(raw value, version)`` or None — the shipped view of the
+        key (slab-resident entries come back as SlabRow wrappers; the
+        partition in front decodes them)."""
+        return self._store.get(key)
 
     def keys(self) -> Iterator[object]:
-        return iter(list(self._data.keys()))
+        return iter(self._store.keys())
 
     def items(self) -> Iterator[tuple[object, object]]:
-        return iter([(k, v) for k, (v, _) in self._data.items()])
+        return iter(self._store.items_raw())
 
-    def local_put(self, key: object, value: object) -> int:
+    def local_put(self, key: object, raw: object) -> int:
         """Apply a failover-era write locally; returns the new version."""
-        existing = self._data.get(key)
-        version = 1 if existing is None else existing[1] + 1
-        self._data[key] = (value, version)
+        version = self._store.version(key) + 1
+        self._store.set(key, raw, version)
         return version
+
+    def local_install(self, key: object, raw: object, version: int) -> None:
+        """Apply a failover-era install at an explicit version."""
+        self._store.set(key, raw, version)
 
     def local_delete(self, key: object) -> bool:
         """Apply a failover-era delete locally."""
-        return self._data.pop(key, None) is not None
+        return self._store.delete(key)
 
     def local_truncate(self) -> None:
         """Apply a failover-era truncate locally."""
-        self._data.clear()
+        self._store.clear()
 
 
 class PromotedPartitionView:
@@ -145,10 +191,13 @@ class PromotedPartitionView:
     the *durable* journal first (it survives node loss — the Tachyon
     lineage tier), then apply to the replica, so a later ``recover()``
     of the real partition replays failover-era writes after the
-    unshipped tail and every copy reconverges.
+    unshipped tail and every copy reconverges. Domain values are routed
+    through the table's storage policy exactly as the primary would, so
+    journal records written during failover replay identically.
     """
 
-    def __init__(self, replica: PartitionReplica, journal, on_write=None):
+    def __init__(self, replica: PartitionReplica, journal, on_write=None,
+                 value_policy=None):
         if not replica.promoted:
             raise ReplicationError(
                 f"replica of {replica.table_name}[{replica.partition_index}] "
@@ -156,8 +205,18 @@ class PromotedPartitionView:
             )
         self.replica = replica
         self._journal = journal
+        self.value_policy = (
+            value_policy if value_policy is not None else replica.value_policy
+        )
         #: callable(replica) fired after each failover-era mutation.
         self._on_write = on_write
+
+    def _encode(self, key: object, value: object) -> object:
+        if self.value_policy is not None:
+            row = self.value_policy.encode(key, value)
+            if row is not None:
+                return SlabRow(row)
+        return value
 
     def get(self, key: object) -> tuple[object, int] | None:
         return self.replica.get(key)
@@ -175,8 +234,9 @@ class PromotedPartitionView:
         return self.replica.items()
 
     def put(self, key: object, value: object) -> int:
-        version = self.replica.local_put(key, value)
-        self._journal.append(JournalOp.PUT, key, copy.deepcopy(value), version)
+        stored = self._encode(key, value)
+        version = self.replica.local_put(key, stored)
+        self._journal.append(JournalOp.PUT, key, _wire_copy(stored), version)
         if self._on_write is not None:
             self._on_write(self.replica)
         return version
@@ -184,8 +244,9 @@ class PromotedPartitionView:
     def install(self, key: object, value: object, version: int) -> None:
         if version < 1:
             raise ValueError(f"version must be >= 1, got {version}")
-        self.replica._data[key] = (copy.deepcopy(value), version)
-        self._journal.append(JournalOp.PUT, key, copy.deepcopy(value), version)
+        stored = self._encode(key, value)
+        self.replica.local_install(key, _wire_copy(stored), version)
+        self._journal.append(JournalOp.PUT, key, _wire_copy(stored), version)
         if self._on_write is not None:
             self._on_write(self.replica)
 

@@ -10,12 +10,24 @@ item feature tables, and the observation log. It provides:
   (drop the in-memory partition, replay the journal),
 * table snapshots and restores,
 * an append-only :class:`ObservationLog` that batch jobs read by offset,
-* a stats-tracking :class:`LRUCache` reused by the serving tier.
+* a stats-tracking :class:`LRUCache` reused by the serving tier,
+* columnar slab storage (:mod:`repro.store.slab`) for tables whose
+  values are fixed-rank float vectors.
 """
 
 from repro.store.lru import LRUCache, CacheStats
 from repro.store.journal import Journal, JournalRecord
 from repro.store.partition import Partition
+from repro.store.slab import (
+    ArrayMapping,
+    HybridExport,
+    HybridStore,
+    SlabPolicy,
+    SlabRow,
+    SlabSnapshot,
+    SlabStorage,
+    WeightRead,
+)
 from repro.store.table import Table, VersionedValue
 from repro.store.store import VeloxStore
 from repro.store.oblog import ObservationLog, Observation
@@ -24,14 +36,22 @@ from repro.store.persistence import checkpoint_store, restore_store
 __all__ = [
     "checkpoint_store",
     "restore_store",
+    "ArrayMapping",
+    "HybridExport",
+    "HybridStore",
     "LRUCache",
     "CacheStats",
     "Journal",
     "JournalRecord",
     "Partition",
+    "SlabPolicy",
+    "SlabRow",
+    "SlabSnapshot",
+    "SlabStorage",
     "Table",
     "VersionedValue",
     "VeloxStore",
     "ObservationLog",
     "Observation",
+    "WeightRead",
 ]

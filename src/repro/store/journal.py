@@ -18,6 +18,12 @@ class JournalOp(Enum):
     PUT = "put"
     DELETE = "delete"
     TRUNCATE = "truncate"
+    #: One bulk columnar install: ``value`` is a
+    #: :class:`~repro.store.slab.SlabSnapshot` whose entries merge in at
+    #: their recorded versions. Lets a million-row retrain swap or
+    #: checkpoint restore journal as a single record instead of a
+    #: million PUTs.
+    LOAD = "load"
 
 
 @dataclass(frozen=True)

@@ -1,18 +1,34 @@
-"""A single partition of a veloxstore table: dict state + journal + snapshot.
+"""A single partition of a veloxstore table: hybrid state + journal + snapshot.
 
 Partitions are the unit of placement (the cluster assigns partitions to
 nodes) and the unit of failure/recovery. ``fail()`` drops the volatile
-dict, modeling a node losing its memory; ``recover()`` rebuilds it from
+state, modeling a node losing its memory; ``recover()`` rebuilds it from
 the last snapshot plus journal replay — the Tachyon lineage story.
+
+Physical storage is a :class:`~repro.store.slab.HybridStore`: tables
+that declare a :class:`~repro.store.slab.SlabPolicy` keep fixed-rank
+vector values in one contiguous columnar array per partition (row
+reads/writes, fancy-index gathers, O(bytes) snapshot copies) while
+everything else stays in a plain dict. Policy-less tables behave exactly
+like the historical dict-only partition, including the shape of
+``export_state``.
 """
 
 from __future__ import annotations
 
-import copy
 from typing import Iterator
+
+import numpy as np
 
 from repro.common.errors import PartitionError
 from repro.store.journal import Journal, JournalOp
+from repro.store.slab import (
+    HybridStore,
+    SlabPolicy,
+    SlabRow,
+    SlabSnapshot,
+    WeightRead,
+)
 
 
 class Partition:
@@ -24,20 +40,22 @@ class Partition:
     like Tachyon block generations).
     """
 
-    def __init__(self, index: int):
+    def __init__(self, index: int, value_policy: SlabPolicy | None = None):
         if index < 0:
             raise ValueError(f"partition index must be >= 0, got {index}")
         self.index = index
-        self._data: dict[object, tuple[object, int]] = {}
+        self.value_policy = value_policy
+        self._store = HybridStore(value_policy)
         self._journal = Journal()
-        self._snapshot: dict[object, tuple[object, int]] | None = None
+        self._snapshot = None  # dict export or HybridExport
         self._snapshot_sequence = 0
         self._failed = False
         #: failover delegate (duck-typed like this partition's mapping
-        #: surface). When set on a *failed* partition, reads and writes
-        #: route through it instead of raising — the replication layer
-        #: installs a promoted follower replica here so serving survives
-        #: the owner node's loss.
+        #: surface, but trafficking in *raw* values — SlabRow wrappers
+        #: for slab-resident entries). When set on a *failed* partition,
+        #: reads and writes route through it instead of raising — the
+        #: replication layer installs a promoted follower replica here
+        #: so serving survives the owner node's loss.
         self.failover = None
         #: optional callable(partition) fired after every journaled
         #: mutation; the replication layer uses it to bound replica lag.
@@ -50,14 +68,14 @@ class Partition:
         if delegate is not None:
             return len(delegate)
         self._check_alive()
-        return len(self._data)
+        return len(self._store)
 
     def __contains__(self, key: object) -> bool:
         delegate = self._delegate()
         if delegate is not None:
             return key in delegate
         self._check_alive()
-        return key in self._data
+        return key in self._store
 
     @property
     def failed(self) -> bool:
@@ -90,15 +108,40 @@ class Partition:
         if self.on_mutate is not None:
             self.on_mutate(self)
 
+    # -- value routing ---------------------------------------------------
+
+    def _encode(self, key: object, value: object) -> object:
+        """Route a domain value: a SlabRow when the policy accepts it,
+        the value itself otherwise."""
+        if self.value_policy is not None:
+            row = self.value_policy.encode(key, value)
+            if row is not None:
+                return SlabRow(row)
+        return value
+
+    def _present(self, entry):
+        """Decode a raw ``(value, version)`` entry for callers."""
+        if entry is None:
+            return None
+        value, version = entry
+        if isinstance(value, SlabRow):
+            return self.value_policy.decode(value.vector), version
+        return entry
+
+    def _present_value(self, value):
+        if isinstance(value, SlabRow):
+            return self.value_policy.decode(value.vector)
+        return value
+
     # -- reads ----------------------------------------------------------
 
     def get(self, key: object) -> tuple[object, int] | None:
         """Return ``(value, version)`` or ``None`` when absent."""
         delegate = self._delegate()
         if delegate is not None:
-            return delegate.get(key)
+            return self._present(delegate.get(key))
         self._check_alive()
-        return self._data.get(key)
+        return self._present(self._store.get(key))
 
     def keys(self) -> Iterator[object]:
         """Snapshot of the partition's keys."""
@@ -106,15 +149,85 @@ class Partition:
         if delegate is not None:
             return delegate.keys()
         self._check_alive()
-        return iter(list(self._data.keys()))
+        return iter(self._store.keys())
 
     def items(self) -> Iterator[tuple[object, object]]:
-        """Iterate ``(key, value)`` pairs (versions stripped)."""
+        """Iterate ``(key, value)`` pairs (versions stripped).
+
+        The pairs are a consistent snapshot: the slab side is copied
+        columnar before anything is yielded, so concurrent mutation
+        (including free-list reuse of deleted rows) cannot alter or
+        reorder entries mid-iteration.
+        """
         delegate = self._delegate()
         if delegate is not None:
-            return delegate.items()
+            return iter(
+                [(k, self._present_value(v)) for k, v in delegate.items()]
+            )
         self._check_alive()
-        return iter([(k, v) for k, (v, _) in self._data.items()])
+        return iter(
+            [(k, self._present_value(v)) for k, v in self._store.items_raw()]
+        )
+
+    def read_serving(self, key: object) -> WeightRead | None:
+        """Fast-path weight read: the raw row plus a state shim, with no
+        per-read decode. Requires a value policy."""
+        delegate = self._delegate()
+        if delegate is not None:
+            entry = delegate.get(key)
+            if entry is None:
+                return None
+            value, _version = entry
+            if isinstance(value, SlabRow):
+                return WeightRead(value.vector, self.value_policy.serving_state())
+            weights = self.value_policy.object_weights(value)
+            if weights is None:
+                return None
+            codec = self.value_policy.codec
+            return WeightRead(weights, value if codec is not None else None)
+        self._check_alive()
+        return self._store.read_weights(key)
+
+    def read_serving_many(self, keys: list) -> dict:
+        """Fast-path batch read: one fancy-index gather over the slab-
+        resident subset of ``keys``."""
+        delegate = self._delegate()
+        if delegate is not None:
+            out = {}
+            for key in keys:
+                read = self.read_serving(key)
+                if read is not None:
+                    out[key] = read
+            return out
+        self._check_alive()
+        return self._store.read_weights_many(keys)
+
+    def export_weights(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(keys, matrix)`` copies of every entry's weight row — the
+        offline phase's bulk read. Requires a value policy."""
+        delegate = self._delegate()
+        if delegate is not None:
+            keys, rows = [], []
+            for key, value in delegate.items():
+                value = self._present_value(value)
+                weights = self.value_policy.object_weights(value)
+                if weights is None:
+                    continue
+                keys.append(int(key))
+                rows.append(np.asarray(weights, dtype=self.value_policy.dtype))
+            if not keys:
+                empty = SlabSnapshot.empty(
+                    self.value_policy.rank, self.value_policy.dtype
+                )
+                return empty.keys, empty.rows
+            return np.asarray(keys, dtype=np.int64), np.stack(rows)
+        self._check_alive()
+        return self._store.export_weights()
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of this partition's live state."""
+        self._check_alive()
+        return self._store.memory_bytes()
 
     # -- writes (journaled) ----------------------------------------------
 
@@ -124,10 +237,10 @@ class Partition:
         if delegate is not None:
             return delegate.put(key, value)
         self._check_alive()
-        existing = self._data.get(key)
-        version = 1 if existing is None else existing[1] + 1
-        self._journal.append(JournalOp.PUT, key, value, version)
-        self._data[key] = (value, version)
+        stored = self._encode(key, value)
+        version = self._store.version(key) + 1
+        self._journal.append(JournalOp.PUT, key, stored, version)
+        self._store.set(key, stored, version)
         self._mutated()
         return version
 
@@ -145,8 +258,65 @@ class Partition:
             delegate.install(key, value, version)
             return
         self._check_alive()
-        self._journal.append(JournalOp.PUT, key, value, version)
-        self._data[key] = (value, version)
+        stored = self._encode(key, value)
+        self._journal.append(JournalOp.PUT, key, stored, version)
+        self._store.set(key, stored, version)
+        self._mutated()
+
+    def load_rows(self, keys, matrix, live_rows: np.ndarray | None = None) -> None:
+        """Bulk-install slab rows as ONE journal record.
+
+        ``keys``/``matrix`` land at version ``current + 1`` per key
+        (retrain swap semantics). When ``live_rows`` is given (the
+        memory-mapped restore path) the partition must be empty: the
+        journal keeps the read-only snapshot arrays while ``live_rows``
+        — typically a copy-on-write ``np.load(mmap_mode="c")`` mapping
+        of the same file — is adopted as the live slab without copying.
+        """
+        delegate = self._delegate()
+        if delegate is not None:
+            for key, row in zip(np.asarray(keys), np.asarray(matrix)):
+                self.install(
+                    int(key),
+                    self.value_policy.decode(row),
+                    self._store_version_via(delegate, int(key)) + 1,
+                )
+            return
+        self._check_alive()
+        snapshot = self._store.prepare_bulk(keys, matrix)
+        self._journal.append(JournalOp.LOAD, None, snapshot, 0)
+        if live_rows is not None and len(self._store) == 0:
+            self._store.slab.adopt(snapshot.keys, live_rows, snapshot.versions)
+        else:
+            self._store.bulk_install(snapshot)
+        self._mutated()
+
+    @staticmethod
+    def _store_version_via(delegate, key: object) -> int:
+        entry = delegate.get(key)
+        return 0 if entry is None else entry[1]
+
+    def restore_slab(self, keys, rows, versions,
+                     live_rows: np.ndarray | None = None) -> None:
+        """Bulk-install slab rows at explicit versions (checkpoint restore).
+
+        Journaled as one LOAD record. With ``live_rows`` (a second,
+        copy-on-write mapping of the same data) and an empty partition,
+        the arrays are adopted as the live slab without copying — the
+        memory-mapped load-not-parse path; the journal keeps the
+        read-only ``rows`` mapping for replay.
+        """
+        self._check_alive()
+        snapshot = SlabSnapshot(
+            keys=np.asarray(keys, dtype=np.int64),
+            rows=rows,
+            versions=np.asarray(versions, dtype=np.int64),
+        )
+        self._journal.append(JournalOp.LOAD, None, snapshot, 0)
+        if live_rows is not None and len(self._store) == 0:
+            self._store.slab.adopt(snapshot.keys, live_rows, snapshot.versions)
+        else:
+            self._store.bulk_install(snapshot)
         self._mutated()
 
     def delete(self, key: object) -> bool:
@@ -155,10 +325,10 @@ class Partition:
         if delegate is not None:
             return delegate.delete(key)
         self._check_alive()
-        if key not in self._data:
+        if key not in self._store:
             return False
         self._journal.append(JournalOp.DELETE, key, None, 0)
-        del self._data[key]
+        self._store.delete(key)
         self._mutated()
         return True
 
@@ -170,7 +340,7 @@ class Partition:
             return
         self._check_alive()
         self._journal.append(JournalOp.TRUNCATE, None, None, 0)
-        self._data.clear()
+        self._store.clear()
         self._mutated()
 
     # -- durability & recovery -------------------------------------------
@@ -178,51 +348,59 @@ class Partition:
     def snapshot(self) -> None:
         """Checkpoint current state; compacts the journal prefix it covers."""
         self._check_alive()
-        self._snapshot = copy.deepcopy(self._data)
+        self._snapshot = self._store.export_state()
         self._snapshot_sequence = self._journal.next_sequence
         self._journal.compact(self._snapshot_sequence)
 
     def fail(self) -> None:
         """Simulate loss of volatile memory. Journal and snapshot survive
         (they model durable/lineage state)."""
-        self._data = {}
+        self._store = HybridStore(self.value_policy)
         self._failed = True
 
-    def _rebuild_from_journal(self) -> tuple[dict, int]:
-        """Reconstruct ``(state, records_replayed)`` from snapshot + journal."""
-        base: dict[object, tuple[object, int]] = (
-            copy.deepcopy(self._snapshot) if self._snapshot is not None else {}
-        )
+    def _rebuild_from_journal(self) -> tuple[HybridStore, int]:
+        """Reconstruct ``(store, records_replayed)`` from snapshot + journal."""
+        store = HybridStore(self.value_policy)
+        if self._snapshot is not None:
+            store.load_export(self._snapshot, copy_objects=True)
         replayed = 0
         for record in self._journal.replay(self._snapshot_sequence):
             replayed += 1
             if record.op is JournalOp.PUT:
-                base[record.key] = (record.value, record.version)
+                store.set(record.key, record.value, record.version)
             elif record.op is JournalOp.DELETE:
-                base.pop(record.key, None)
+                store.delete(record.key)
             elif record.op is JournalOp.TRUNCATE:
-                base.clear()
-        return base, replayed
+                store.clear()
+            elif record.op is JournalOp.LOAD:
+                store.bulk_install(record.value)
+        return store, replayed
 
     def recover(self) -> int:
         """Rebuild state from snapshot + journal replay.
 
         Returns the number of journal records replayed. Idempotent on a
         healthy partition (replaying a journal over its own snapshot-plus-
-        suffix state reproduces the same dict).
+        suffix state reproduces the same store).
         """
-        self._data, replayed = self._rebuild_from_journal()
+        self._store, replayed = self._rebuild_from_journal()
         self._failed = False
         return replayed
 
-    def export_state(self) -> tuple[dict[object, tuple[object, int]], int]:
+    def export_state(self):
         """A ``(state, sequence)`` copy for replica snapshot transfer.
+
+        Policy-less partitions export the classic deep-copied
+        ``{key: (value, version)}`` dict; slab-backed partitions export
+        a :class:`~repro.store.slab.HybridExport` whose columnar side is
+        an O(bytes) array copy (and whose arrays the receiver may adopt
+        outright — every buffer is owned by the export).
 
         Valid even while failed: the durable snapshot + journal are
         replayed without reviving the partition, so a follower that fell
         behind the compaction horizon can still be caught up.
         """
         if not self._failed:
-            return copy.deepcopy(self._data), self._journal.next_sequence
-        state, _ = self._rebuild_from_journal()
-        return state, self._journal.next_sequence
+            return self._store.export_state(), self._journal.next_sequence
+        store, _ = self._rebuild_from_journal()
+        return store.export_state(), self._journal.next_sequence

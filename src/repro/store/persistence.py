@@ -10,6 +10,15 @@ contents.
 Pickle is the serialization format because table values are arbitrary
 Python objects (numpy arrays, UserModelState instances); checkpoints
 are trusted local state, not an interchange format.
+
+Slab-backed tables (those with a :class:`~repro.store.slab.SlabPolicy`)
+additionally write their columnar side as raw ``.npy`` arrays — one
+(keys, rows, versions) triple per partition — and restore them with
+``np.load(mmap_mode=...)``: recovery maps the weight matrix instead of
+parsing a pickle, and pages materialize copy-on-write as rows are
+touched. The manifest's per-table ``storage`` entry records the policy
+(rank, dtype, codec) so a restore can rebuild it without the caller
+supplying one.
 """
 
 from __future__ import annotations
@@ -18,8 +27,11 @@ import json
 import pickle
 from pathlib import Path
 
+import numpy as np
+
 from repro.common.errors import StorageError
 from repro.store.oblog import Observation, ObservationLog
+from repro.store.slab import SlabPolicy
 from repro.store.store import VeloxStore
 from repro.store.table import Table
 
@@ -46,19 +58,43 @@ def checkpoint_store(store: VeloxStore, directory: str | Path) -> Path:
                     f"cannot checkpoint: table {name!r} partition {index} "
                     "is failed; recover it first"
                 )
-        partitions = []
-        for index in range(table.num_partitions):
-            partition = table.partition(index)
-            partitions.append(
-                {key: partition.get(key) for key in partition.keys()}
-            )
         file_name = f"table_{_safe_name(name)}.pkl"
-        with open(path / file_name, "wb") as handle:
-            pickle.dump(partitions, handle)
-        tables[name] = {
+        entry = {
             "file": file_name,
             "num_partitions": table.num_partitions,
         }
+        if table.value_policy is not None:
+            # Columnar side as raw .npy arrays (memory-mappable on
+            # restore); only the object-resident remainder is pickled.
+            partitions, slab_files = [], []
+            for index in range(table.num_partitions):
+                export, _sequence = table.partition(index).export_state()
+                stem = f"table_{_safe_name(name)}_p{index}"
+                files = {
+                    "keys": f"{stem}_keys.npy",
+                    "rows": f"{stem}_rows.npy",
+                    "versions": f"{stem}_versions.npy",
+                }
+                np.save(path / files["keys"], export.slab.keys)
+                np.save(path / files["rows"], export.slab.rows)
+                np.save(path / files["versions"], export.slab.versions)
+                slab_files.append(files)
+                partitions.append(export.objects)
+            entry["storage"] = {
+                "kind": "slab",
+                "policy": table.value_policy.manifest_info(),
+                "partitions": slab_files,
+            }
+        else:
+            partitions = []
+            for index in range(table.num_partitions):
+                partition = table.partition(index)
+                partitions.append(
+                    {key: partition.get(key) for key in partition.keys()}
+                )
+        with open(path / file_name, "wb") as handle:
+            pickle.dump(partitions, handle)
+        tables[name] = entry
 
     logs = {}
     for name in store.log_names():
@@ -82,6 +118,7 @@ def checkpoint_store(store: VeloxStore, directory: str | Path) -> Path:
 def restore_store(
     directory: str | Path,
     partitioners: dict | None = None,
+    value_policies: dict | None = None,
 ) -> VeloxStore:
     """Rebuild a :class:`VeloxStore` from a checkpoint directory.
 
@@ -90,6 +127,12 @@ def restore_store(
     keys land back in their recorded partitions either way (restore
     writes partition-by-partition), so lookups stay consistent as long
     as the supplied partitioner matches the original.
+
+    Slab-backed tables rebuild their storage policy from the manifest
+    (``value_policies={table_name: policy}`` overrides it) and map their
+    row matrices with ``np.load(mmap_mode="c")`` — a copy-on-write
+    adoption, not a parse. The checkpoint files back the mapping, so
+    they must outlive the restored store.
     """
     path = Path(directory)
     manifest_path = path / MANIFEST_NAME
@@ -104,14 +147,22 @@ def restore_store(
 
     store = VeloxStore(default_partitions=manifest["default_partitions"])
     supplied = partitioners or {}
+    supplied_policies = value_policies or {}
     for name, info in manifest["tables"].items():
         with open(path / info["file"], "rb") as handle:
             partitions = pickle.load(handle)
+        storage = info.get("storage")
+        policy = supplied_policies.get(name)
+        if policy is None and storage is not None:
+            policy = _policy_from_manifest(storage["policy"])
         table = store.create_table(
             name,
             num_partitions=info["num_partitions"],
             partitioner=supplied.get(name),
+            value_policy=policy,
         )
+        if storage is not None:
+            _load_slabs(table, path, storage["partitions"])
         _load_table(table, partitions)
     for name, info in manifest["logs"].items():
         with open(path / info["file"], "rb") as handle:
@@ -124,6 +175,43 @@ def restore_store(
                 )
             log.append(record)
     return store
+
+
+def _load_slabs(table: Table, path: Path, partition_files: list[dict]) -> None:
+    """Adopt each partition's checkpointed slab arrays.
+
+    The journal keeps a read-only mapping of the row matrix for replay;
+    a second, copy-on-write mapping of the same file becomes the live
+    slab — load-not-parse recovery.
+    """
+    for index, files in enumerate(partition_files):
+        keys = np.load(path / files["keys"])
+        if len(keys) == 0:
+            continue
+        versions = np.load(path / files["versions"])
+        journal_rows = np.load(path / files["rows"], mmap_mode="r")
+        live_rows = np.load(path / files["rows"], mmap_mode="c")
+        table.partition(index).restore_slab(
+            keys, journal_rows, versions, live_rows=live_rows
+        )
+
+
+def _policy_from_manifest(info: dict) -> SlabPolicy:
+    """Rebuild a table's storage policy from its manifest entry."""
+    codec = None
+    codec_info = info.get("codec")
+    if codec_info is not None:
+        if codec_info.get("kind") == "user_state":
+            from repro.core.online import UserStateCodec
+
+            codec = UserStateCodec(
+                codec_info["dimension"], codec_info["regularization"]
+            )
+        else:
+            raise StorageError(
+                f"unknown slab codec kind {codec_info.get('kind')!r}"
+            )
+    return SlabPolicy(info["rank"], dtype=np.dtype(info["dtype"]), codec=codec)
 
 
 def _load_table(table: Table, partitions: list[dict]) -> None:

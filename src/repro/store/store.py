@@ -47,14 +47,21 @@ class VeloxStore:
         name: str,
         num_partitions: int | None = None,
         partitioner: Callable[[object], int] | None = None,
+        value_policy=None,
     ) -> Table:
-        """Create a table; raises :class:`StorageError` if it exists."""
+        """Create a table; raises :class:`StorageError` if it exists.
+
+        ``value_policy`` (a :class:`~repro.store.slab.SlabPolicy`) opts
+        the table into columnar slab storage for fixed-rank vector
+        values; ``None`` keeps classic dict partitions.
+        """
         if name in self._tables:
             raise StorageError(f"table {name!r} already exists")
         table = Table(
             name,
             num_partitions=num_partitions or self.default_partitions,
             partitioner=partitioner,
+            value_policy=value_policy,
         )
         self._tables[name] = table
         for listener in self._table_listeners:

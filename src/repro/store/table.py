@@ -11,9 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+import numpy as np
+
 from repro.common.errors import KeyNotFoundError, PartitionError, VersionConflictError
 from repro.common.rng import stable_hash
 from repro.store.partition import Partition
+from repro.store.slab import ArrayMapping, SlabPolicy, WeightRead
 
 
 @dataclass(frozen=True)
@@ -38,6 +41,7 @@ class Table:
         name: str,
         num_partitions: int = 1,
         partitioner: Callable[[object], int] | None = None,
+        value_policy: SlabPolicy | None = None,
     ):
         if not name:
             raise ValueError("table name must be non-empty")
@@ -46,7 +50,12 @@ class Table:
         self.name = name
         self.num_partitions = num_partitions
         self._partitioner = partitioner
-        self._partitions = [Partition(i) for i in range(num_partitions)]
+        #: storage policy routing fixed-rank vector values into the
+        #: columnar slab (None keeps the classic dict-only partitions).
+        self.value_policy = value_policy
+        self._partitions = [
+            Partition(i, value_policy=value_policy) for i in range(num_partitions)
+        ]
 
     # -- partition addressing ---------------------------------------------
 
@@ -116,6 +125,75 @@ class Table:
     def scan_partition(self, index: int) -> list[tuple[object, object]]:
         """All items in one partition — the unit batch jobs read."""
         return list(self.partition(index).items())
+
+    # -- fast weight reads (slab-backed tables) ------------------------------
+
+    def read_weights(self, key: object) -> WeightRead | None:
+        """Fast-path serving read: ``(weight row, state shim)`` with no
+        per-read value decode. Requires a ``value_policy``."""
+        return self._owner(key).read_serving(key)
+
+    def read_weights_batch(self, keys) -> dict:
+        """Fast-path batch read: one fancy-index gather per partition
+        over the slab-resident subset of ``keys``."""
+        groups: dict[int, list] = {}
+        for key in keys:
+            groups.setdefault(self.partition_index(key), []).append(key)
+        out: dict = {}
+        for index, group in groups.items():
+            out.update(self._partitions[index].read_serving_many(group))
+        return out
+
+    def export_weight_matrix(self) -> ArrayMapping:
+        """Every entry's weight row as one ``ArrayMapping`` — the bulk
+        columnar read the offline phase consumes. Requires a
+        ``value_policy``."""
+        if self.value_policy is None:
+            raise PartitionError(
+                f"table {self.name!r} has no value policy; "
+                "export_weight_matrix needs slab-backed storage"
+            )
+        key_parts, row_parts = [], []
+        for partition in self._partitions:
+            keys, rows = partition.export_weights()
+            if len(keys):
+                key_parts.append(keys)
+                row_parts.append(rows)
+        if not key_parts:
+            return ArrayMapping(
+                np.empty(0, dtype=np.int64),
+                np.empty((0, self.value_policy.rank), dtype=self.value_policy.dtype),
+            )
+        return ArrayMapping(np.concatenate(key_parts), np.concatenate(row_parts))
+
+    def load_weight_rows(self, keys, matrix) -> int:
+        """Bulk-install weight rows (one journaled LOAD per partition).
+
+        Each key lands at its current version + 1 — the retrain swap
+        path. Returns the number of rows installed.
+        """
+        if self.value_policy is None:
+            raise PartitionError(
+                f"table {self.name!r} has no value policy; "
+                "load_weight_rows needs slab-backed storage"
+            )
+        keys = np.asarray(keys, dtype=np.int64)
+        matrix = np.asarray(matrix, dtype=self.value_policy.dtype)
+        if self.num_partitions == 1:
+            self._partitions[0].load_rows(keys, matrix)
+            return len(keys)
+        owners = np.fromiter(
+            (self.partition_index(int(k)) for k in keys),
+            dtype=np.intp, count=len(keys),
+        )
+        for index in np.unique(owners):
+            mask = owners == index
+            self._partitions[index].load_rows(keys[mask], matrix[mask])
+        return len(keys)
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes across partitions."""
+        return sum(p.memory_bytes() for p in self._partitions)
 
     # -- writes ---------------------------------------------------------------
 

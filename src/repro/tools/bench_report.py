@@ -40,6 +40,10 @@ KNOWN_EXPERIMENTS = [
         "ablation_replication",
         "Ablation — replication & failover: promotion latency, stale reads",
     ),
+    (
+        "ablation_scale",
+        "Ablation — columnar slab user-weight store at 10k/100k/1M users",
+    ),
 ]
 
 

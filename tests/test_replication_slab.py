@@ -1,0 +1,154 @@
+"""Replication over slab-backed tables.
+
+The journal-shipping and snapshot-transfer paths must reproduce the
+primary's *physical* layout on followers: slab rows land in the
+follower's own columnar arrays (bit-identical to the primary's export),
+snapshot transfers move O(bytes) array copies the follower adopts, and
+a promoted follower serves correct vector reads from whatever prefix
+was shipped before the failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import VeloxCluster
+from repro.common.clock import SimulatedClock
+from repro.common.errors import KeyNotFoundError
+from repro.replication import ReplicationManager
+from repro.store import SlabPolicy
+
+
+NUM_NODES = 4
+TABLE = "user_state:slab"
+RANK = 4
+
+
+def vec(seed: float) -> np.ndarray:
+    return np.arange(RANK, dtype=np.float64) * 0.5 + seed
+
+
+def make_cluster() -> VeloxCluster:
+    cluster = VeloxCluster(num_nodes=NUM_NODES)
+    cluster.store.create_table(
+        TABLE,
+        num_partitions=NUM_NODES,
+        partitioner=cluster.user_partitioner,
+        value_policy=SlabPolicy(RANK),
+    )
+    return cluster
+
+
+def make_manager(cluster: VeloxCluster) -> tuple[ReplicationManager, SimulatedClock]:
+    clock = SimulatedClock()
+    manager = ReplicationManager(
+        cluster, replication_factor=2, heartbeat_timeout=1.0, clock=clock
+    )
+    cluster.attach_replication(manager)
+    return manager, clock
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster()
+
+
+def primary_slab_export(cluster, index):
+    return cluster.store.table(TABLE).partition(index)._store.slab.export()
+
+
+class TestSlabShipping:
+    def test_shipped_rows_land_in_follower_slab(self, cluster):
+        manager, _ = make_manager(cluster)
+        table = cluster.store.table(TABLE)
+        uid = 1
+        table.put(uid, vec(1.0))
+        table.put(uid, vec(2.0))  # overwrite: version 2
+        table.put(uid + NUM_NODES, vec(3.0))  # same partition
+        assert manager.ship() == 3
+        [replica] = manager._replicas[(TABLE, 1)]
+        assert len(replica.store.objects) == 0  # columnar, not boxed
+        assert replica.store.slab.export().equals(primary_slab_export(cluster, 1))
+
+    def test_snapshot_transfer_is_bit_identical(self, cluster):
+        """A follower behind the compaction horizon receives the full
+        HybridExport; its adopted slab matches the primary's bitwise."""
+        manager, _ = make_manager(cluster)
+        table = cluster.store.table(TABLE)
+        uid = 2
+        table.put(uid, vec(4.0))
+        table.put(uid + NUM_NODES, vec(5.0))
+        rich_uid = uid + 2 * NUM_NODES
+        table.put(rich_uid, {"rich": True})  # dict-path remainder
+        partition = table.partition(table.partition_index(uid))
+        index = partition.index
+        partition.snapshot()  # compacts the journal past the replica's ack
+        manager.ship()
+        [replica] = manager._replicas[(TABLE, index)]
+        assert replica.snapshot_transfers == 1
+        assert replica.store.slab.export().equals(primary_slab_export(cluster, index))
+        assert replica.get(rich_uid)[0] == {"rich": True}
+
+    def test_bulk_load_record_ships_to_follower(self, cluster):
+        """One LOAD journal record reproduces the whole bulk install on
+        the follower's slab."""
+        manager, _ = make_manager(cluster)
+        table = cluster.store.table(TABLE)
+        keys = np.arange(0, 40, NUM_NODES, dtype=np.int64)  # one partition
+        matrix = np.stack([vec(float(k)) for k in keys])
+        table.load_weight_rows(keys, matrix)
+        manager.ship()
+        index = table.partition_index(int(keys[0]))
+        [replica] = manager._replicas[(TABLE, index)]
+        assert replica.store.slab.export().equals(primary_slab_export(cluster, index))
+        assert len(replica.store.slab) == len(keys)
+
+
+class TestSlabPromotion:
+    def test_promoted_follower_serves_shipped_prefix(self, cluster):
+        manager, clock = make_manager(cluster)
+        table = cluster.store.table(TABLE)
+        uid = 1
+        index = table.partition_index(uid)
+        primary = manager.primary_node(index)
+        table.put(uid, vec(10.0))
+        manager.ship()
+        unshipped = uid + NUM_NODES
+        table.put(unshipped, vec(11.0))  # journaled but never shipped
+        cluster.fail_node(primary)
+        clock.advance(2.0)
+        assert primary in manager.tick()
+        [replica] = manager._replicas[(TABLE, index)]
+        assert replica.promoted and replica.promotion_lag == 1
+        np.testing.assert_array_equal(table.get(uid), vec(10.0))
+        with pytest.raises(KeyNotFoundError):
+            table.get(unshipped)  # behind the shipped prefix
+
+    def test_failover_writes_land_in_follower_slab(self, cluster):
+        """Writes during failover route through the storage policy, so
+        they live in the promoted replica's slab and journal as slab
+        rows — recovery replays them back into the primary's slab."""
+        manager, clock = make_manager(cluster)
+        table = cluster.store.table(TABLE)
+        uid = 3
+        index = table.partition_index(uid)
+        primary = manager.primary_node(index)
+        table.put(uid, vec(20.0))
+        manager.ship()
+        cluster.fail_node(primary)
+        clock.advance(2.0)
+        manager.tick()
+        failover_uid = uid + NUM_NODES
+        table.put(failover_uid, vec(21.0))
+        [replica] = manager._replicas[(TABLE, index)]
+        assert failover_uid in replica.store.slab
+        assert len(replica.store.objects) == 0
+        # The real node recovers: journal replay reconverges its slab
+        # with everything the promotee served, including failover writes.
+        cluster.restart_node(primary)
+        partition = table.partition(index)
+        assert not partition.failed
+        np.testing.assert_array_equal(table.get(uid), vec(20.0))
+        np.testing.assert_array_equal(table.get(failover_uid), vec(21.0))
+        assert partition._store.slab.export().equals(replica.store.slab.export())

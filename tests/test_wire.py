@@ -142,6 +142,24 @@ class TestBinaryCodec:
                 PredictApiRequest(uid=1, item=object()), 0
             )
 
+    def test_contiguous_ndarray_encodes_without_forced_copy(self):
+        """Contiguous arrays append straight from their buffer: the
+        forced-copy counter stays flat and the bytes round-trip."""
+        wire.reset_ndarray_forced_copies()
+        item = np.arange(32, dtype=np.float64)
+        decoded = binary_roundtrip_request(PredictApiRequest(uid=1, item=item))
+        assert wire.ndarray_forced_copies() == 0
+        np.testing.assert_array_equal(decoded.item, item)
+
+    def test_non_contiguous_ndarray_counts_one_forced_copy(self):
+        wire.reset_ndarray_forced_copies()
+        strided = np.arange(64, dtype=np.float64)[::2]
+        assert not strided.flags.c_contiguous
+        decoded = binary_roundtrip_request(PredictApiRequest(uid=1, item=strided))
+        assert wire.ndarray_forced_copies() == 1
+        np.testing.assert_array_equal(decoded.item, strided)
+        wire.reset_ndarray_forced_copies()
+
     def test_binary_predict_frame_smaller_than_json_for_ndarrays(self):
         request = PredictApiRequest(uid=1, item=np.random.default_rng(0).normal(size=64))
         binary = wire.encode_request_frame(request, 0)
