@@ -1,0 +1,480 @@
+"""Ablation: event-loop front end vs thread-per-connection at scale.
+
+PR 2's thread-per-connection server spends an OS thread (and a tiny
+listen backlog) per socket, so connection count — not offered load — is
+what breaks it: a burst of a thousand concurrent clients overflows the
+accept queue and the thread scheduler long before the serving engine's
+queues fill. The event loop (`repro.frontend.eventloop`) multiplexes
+every connection onto one selector thread, decoupling intake capacity
+from client count.
+
+The experiment holds the *aggregate offered load fixed* (open loop, a
+single multiplexed generator pacing requests on a wall-clock schedule)
+and sweeps how many pipelined connections that load is spread across:
+16 -> 256 -> 1024 -> 2048. If the front end is connection-scalable, the
+latency distribution should not care; p99 stays flat. A closed-loop run
+at 16 connections additionally checks the event loop gives up no
+meaningful throughput where the threaded design is comfortable.
+
+Shape assertions:
+
+* event loop: every connection at the top rung is established and
+  served (nothing refused/lost) and p99 stays within 2x of the
+  16-connection baseline (+5 ms of slack for scheduler noise);
+* threaded: at the 1024+ rungs it visibly breaks — connections miss the
+  establish deadline, requests go unanswered, or p99 blows past 4x its
+  own baseline;
+* throughput at 16 connections: event loop >= 0.9x threaded.
+
+Set ``FRONTEND_SMOKE=1`` for the fast CI configuration (16 -> 256 only;
+the threaded-collapse assertion needs the big rungs and is skipped).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import pathlib
+import selectors
+import socket
+import time
+
+import numpy as np
+
+from repro.frontend import PredictApiRequest, VeloxServer, wire
+from repro.serving import ServingConfig
+from repro.tools.bench_report import write_json_summary
+
+from conftest import build_mf_serving, write_result
+
+SMOKE = os.environ.get("FRONTEND_SMOKE", "") not in ("", "0")
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DIMENSION = 34
+NUM_ITEMS = 1000
+NUM_USERS = 64
+
+RUNGS = [16, 256] if SMOKE else [16, 256, 1024, 2048]
+#: Aggregate offered load (requests/second) held fixed across rungs.
+RATE = 150.0 if SMOKE else 300.0
+OPEN_LOOP_REQUESTS = 600 if SMOKE else 3000
+#: Connections not fully negotiated by this deadline count as refused.
+CONNECT_DEADLINE = 6.0 if SMOKE else 10.0
+DRAIN_DEADLINE = 10.0
+CLOSED_LOOP_REQUESTS = 800 if SMOKE else 3000
+CLOSED_LOOP_WINDOW = 4
+
+
+def _stack(frontend: str) -> VeloxServer:
+    velox = build_mf_serving(
+        DIMENSION, NUM_ITEMS, num_users=NUM_USERS, num_nodes=1
+    )
+    engine = velox.serving_engine(
+        ServingConfig(
+            num_workers=2,
+            max_queue_depth=8192,
+            max_queue_age=10.0,
+            batching="adaptive",
+            max_batch_size=64,
+            slo_p99=0.1,
+        )
+    )
+    return VeloxServer(velox, engine=engine, frontend=frontend)
+
+
+# -- multiplexed load generator ---------------------------------------------
+#
+# Thousands of concurrent clients cannot be thousands of client threads
+# on this box — the generator itself would be the bottleneck. One
+# selectors loop drives every connection: non-blocking connects, the
+# binary hello on each, then paced raw frames with client-side
+# FrameDecoder reassembly. The generator is the mirror image of the
+# server under test.
+
+
+class _Conn:
+    __slots__ = ("sock", "decoder", "outbuf", "mask", "dead")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.decoder = wire.FrameDecoder()
+        self.outbuf = bytearray()
+        self.mask = selectors.EVENT_READ
+        self.dead = False
+
+
+def _establish(
+    host: str, port: int, count: int, deadline_s: float
+) -> tuple[list[socket.socket], int, float]:
+    """Open ``count`` negotiated binary connections concurrently.
+
+    Returns ``(sockets, refused, elapsed_s)`` where refused counts
+    connections that failed or missed the deadline — the observable
+    symptom of an accept path that cannot keep up with a burst.
+    """
+    sel = selectors.DefaultSelector()
+    established: list[socket.socket] = []
+    hello: dict[socket.socket, bytes] = {}
+    refused = 0
+    start = time.monotonic()
+    inflight = 0
+    for _ in range(count):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        err = sock.connect_ex((host, port))
+        if err not in (0, errno.EINPROGRESS, errno.EWOULDBLOCK):
+            refused += 1
+            sock.close()
+            continue
+        sel.register(sock, selectors.EVENT_WRITE, "connecting")
+        inflight += 1
+    deadline = start + deadline_s
+    while inflight and time.monotonic() < deadline:
+        for key, _mask in sel.select(timeout=0.2):
+            sock = key.fileobj
+            if key.data == "connecting":
+                err = sock.getsockopt(socket.SOL_SOCKET, socket.SO_ERROR)
+                if err:
+                    sel.unregister(sock)
+                    sock.close()
+                    refused += 1
+                    inflight -= 1
+                    continue
+                try:
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    sock.sendall(wire.HELLO)
+                except OSError:
+                    sel.unregister(sock)
+                    sock.close()
+                    refused += 1
+                    inflight -= 1
+                    continue
+                hello[sock] = b""
+                sel.modify(sock, selectors.EVENT_READ, "hello")
+                continue
+            try:
+                chunk = sock.recv(64)
+            except (BlockingIOError, InterruptedError):
+                continue
+            except OSError:
+                chunk = b""
+            if not chunk:
+                sel.unregister(sock)
+                sock.close()
+                hello.pop(sock, None)
+                refused += 1
+                inflight -= 1
+                continue
+            hello[sock] += chunk
+            if len(hello[sock]) >= len(wire.HELLO):
+                assert hello[sock] == wire.HELLO, hello[sock]
+                sel.unregister(sock)
+                hello.pop(sock)
+                established.append(sock)
+                inflight -= 1
+    for key in list(sel.get_map().values()):  # missed the deadline
+        sel.unregister(key.fileobj)
+        key.fileobj.close()
+        refused += 1
+    sel.close()
+    return established, refused, time.monotonic() - start
+
+
+def _flush(sel: selectors.DefaultSelector, conn: _Conn) -> None:
+    if conn.dead:
+        return
+    while conn.outbuf:
+        try:
+            sent = conn.sock.send(conn.outbuf)
+        except (BlockingIOError, InterruptedError):
+            break
+        except OSError:
+            conn.dead = True
+            sel.unregister(conn.sock)
+            return
+        del conn.outbuf[:sent]
+    mask = selectors.EVENT_READ | (
+        selectors.EVENT_WRITE if conn.outbuf else 0
+    )
+    if mask != conn.mask:
+        sel.modify(conn.sock, mask, conn)
+        conn.mask = mask
+
+
+def _percentile(values: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q)) if values else float("nan")
+
+
+def _open_loop(
+    socks: list[socket.socket], rate: float, num_requests: int, seed: int
+) -> dict:
+    """Fixed-rate open-loop run: requests fire on a wall-clock schedule
+    round-robin across connections; latency is measured against the
+    *scheduled* send time, so server-side stalls cannot hide by slowing
+    the generator down."""
+    rng = np.random.default_rng(seed)
+    uids = rng.integers(0, NUM_USERS, num_requests)
+    items = rng.integers(0, NUM_ITEMS, num_requests)
+    sel = selectors.DefaultSelector()
+    conns = []
+    for sock in socks:
+        conn = _Conn(sock)
+        sel.register(sock, selectors.EVENT_READ, conn)
+        conns.append(conn)
+    interval = 1.0 / rate
+    send_times: dict[int, float] = {}
+    latencies: list[float] = []
+    errors = 0
+    sent = received = 0
+    start = time.monotonic()
+    next_send = start
+    hard_deadline = start + num_requests * interval + DRAIN_DEADLINE
+    while received < num_requests and time.monotonic() < hard_deadline:
+        now = time.monotonic()
+        if sent < num_requests and now >= next_send:
+            conn = conns[sent % len(conns)]
+            if not conn.dead:
+                request = PredictApiRequest(
+                    uid=int(uids[sent]), item=int(items[sent])
+                )
+                conn.outbuf += wire.encode_request_frame(request, sent)
+                send_times[sent] = next_send
+                _flush(sel, conn)
+            else:
+                received += 1  # a dead conn's slot; count it lost below
+            sent += 1
+            next_send += interval
+            continue
+        wait = 0.05
+        if sent < num_requests:
+            wait = max(0.0, min(next_send - now, wait))
+        for key, mask in sel.select(timeout=wait):
+            conn = key.data
+            if mask & selectors.EVENT_WRITE:
+                _flush(sel, conn)
+            if not (mask & selectors.EVENT_READ) or conn.dead:
+                continue
+            try:
+                chunk = conn.sock.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):
+                continue
+            except OSError:
+                chunk = b""
+            if not chunk:
+                conn.dead = True
+                sel.unregister(conn.sock)
+                continue
+            conn.decoder.feed(chunk)
+            for _opcode, corr_id, payload in conn.decoder.drain():
+                scheduled = send_times.pop(corr_id, None)
+                if scheduled is None:
+                    continue
+                latencies.append(time.monotonic() - scheduled)
+                if not wire.decode_response_payload(payload).ok:
+                    errors += 1
+                received += 1
+    sel.close()
+    return {
+        "offered": num_requests,
+        "answered": len(latencies),
+        "lost": num_requests - len(latencies),
+        "errors": errors,
+        "p50_ms": _percentile(latencies, 50) * 1e3,
+        "p99_ms": _percentile(latencies, 99) * 1e3,
+    }
+
+
+def _closed_loop(
+    socks: list[socket.socket], window: int, num_requests: int, seed: int
+) -> dict:
+    """Closed-loop throughput: each connection keeps ``window`` requests
+    in flight and refills on every response."""
+    rng = np.random.default_rng(seed)
+    uids = rng.integers(0, NUM_USERS, num_requests)
+    items = rng.integers(0, NUM_ITEMS, num_requests)
+    sel = selectors.DefaultSelector()
+    conns = []
+    for sock in socks:
+        conn = _Conn(sock)
+        sel.register(sock, selectors.EVENT_READ, conn)
+        conns.append(conn)
+    sent = received = errors = 0
+
+    def fire(conn: _Conn) -> None:
+        nonlocal sent
+        request = PredictApiRequest(uid=int(uids[sent]), item=int(items[sent]))
+        conn.outbuf += wire.encode_request_frame(request, sent)
+        sent += 1
+        _flush(sel, conn)
+
+    start = time.monotonic()
+    for conn in conns:
+        for _ in range(window):
+            if sent < num_requests:
+                fire(conn)
+    deadline = start + 120.0
+    while received < sent and time.monotonic() < deadline:
+        for key, mask in sel.select(timeout=0.2):
+            conn = key.data
+            if mask & selectors.EVENT_WRITE:
+                _flush(sel, conn)
+            if not (mask & selectors.EVENT_READ) or conn.dead:
+                continue
+            try:
+                chunk = conn.sock.recv(1 << 16)
+            except (BlockingIOError, InterruptedError):
+                continue
+            except OSError:
+                chunk = b""
+            if not chunk:
+                conn.dead = True
+                sel.unregister(conn.sock)
+                continue
+            conn.decoder.feed(chunk)
+            for _opcode, _corr_id, payload in conn.decoder.drain():
+                received += 1
+                if not wire.decode_response_payload(payload).ok:
+                    errors += 1
+                if sent < num_requests:
+                    fire(conn)
+    elapsed = time.monotonic() - start
+    sel.close()
+    return {
+        "completed": received,
+        "errors": errors,
+        "throughput_rps": received / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def _close_all(socks: list[socket.socket]) -> None:
+    for sock in socks:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _sweep(frontend: str) -> list[dict]:
+    rows = []
+    for clients in RUNGS:
+        with _stack(frontend) as server:
+            socks, refused, establish_s = _establish(
+                server.host, server.port, clients, CONNECT_DEADLINE
+            )
+            if socks:
+                result = _open_loop(socks, RATE, OPEN_LOOP_REQUESTS, seed=clients)
+            else:
+                result = {
+                    "offered": OPEN_LOOP_REQUESTS,
+                    "answered": 0,
+                    "lost": OPEN_LOOP_REQUESTS,
+                    "errors": 0,
+                    "p50_ms": float("nan"),
+                    "p99_ms": float("nan"),
+                }
+            _close_all(socks)
+            rows.append(
+                {
+                    "frontend": frontend,
+                    "clients": clients,
+                    "established": len(socks),
+                    "refused": refused,
+                    "establish_s": establish_s,
+                    **result,
+                }
+            )
+    return rows
+
+
+def _throughput16(frontend: str) -> dict:
+    with _stack(frontend) as server:
+        socks, refused, _ = _establish(
+            server.host, server.port, 16, CONNECT_DEADLINE
+        )
+        assert refused == 0, f"{frontend}: refused at 16 connections"
+        result = _closed_loop(
+            socks, CLOSED_LOOP_WINDOW, CLOSED_LOOP_REQUESTS, seed=99
+        )
+        _close_all(socks)
+    return result
+
+
+def test_frontend_summary(benchmark):
+    sweeps = {frontend: _sweep(frontend) for frontend in ("eventloop", "threaded")}
+    throughput = {
+        frontend: _throughput16(frontend)
+        for frontend in ("eventloop", "threaded")
+    }
+
+    lines = [
+        f"== open loop: fixed {RATE:.0f} rps aggregate, "
+        f"{OPEN_LOOP_REQUESTS} predicts, client-count sweep =="
+    ]
+    lines.append(
+        "frontend   clients  established  refused  establish_s  "
+        "answered  lost  p50_ms   p99_ms"
+    )
+    for frontend, rows in sweeps.items():
+        for row in rows:
+            lines.append(
+                f"{frontend:<11}{row['clients']:<9d}{row['established']:<13d}"
+                f"{row['refused']:<9d}{row['establish_s']:<13.2f}"
+                f"{row['answered']:<10d}{row['lost']:<6d}"
+                f"{row['p50_ms']:<9.2f}{row['p99_ms']:.2f}"
+            )
+    lines.append("")
+    lines.append(
+        f"== closed loop: 16 connections x window {CLOSED_LOOP_WINDOW}, "
+        f"{CLOSED_LOOP_REQUESTS} predicts =="
+    )
+    lines.append("frontend   throughput_rps  completed  errors")
+    for frontend, row in throughput.items():
+        lines.append(
+            f"{frontend:<11}{row['throughput_rps']:<16.1f}"
+            f"{row['completed']:<11d}{row['errors']:d}"
+        )
+    write_result("ablation_frontend", lines)
+    write_json_summary(
+        REPO_ROOT / "BENCH_frontend.json",
+        "ablation_frontend",
+        {
+            "smoke": SMOKE,
+            "rate_rps": RATE,
+            "open_loop_requests": OPEN_LOOP_REQUESTS,
+            "rungs": RUNGS,
+            "sweep": sweeps,
+            "throughput_16_clients": throughput,
+        },
+    )
+
+    ev = {row["clients"]: row for row in sweeps["eventloop"]}
+    th = {row["clients"]: row for row in sweeps["threaded"]}
+    ev_base, ev_top = ev[RUNGS[0]], ev[RUNGS[-1]]
+
+    # The tentpole claim: the event loop serves every client at the top
+    # rung and holds p99 within 2x of the 16-connection baseline.
+    assert ev_top["refused"] == 0, f"event loop refused: {ev_top}"
+    assert ev_top["lost"] == 0, f"event loop lost requests: {ev_top}"
+    assert ev_top["p99_ms"] <= max(
+        2.0 * ev_base["p99_ms"], ev_base["p99_ms"] + 5.0
+    ), f"event loop p99 not flat: base={ev_base} top={ev_top}"
+
+    # The event loop gives up no meaningful throughput at a connection
+    # count where thread-per-connection is comfortable.
+    ev_rps = throughput["eventloop"]["throughput_rps"]
+    th_rps = throughput["threaded"]["throughput_rps"]
+    assert ev_rps >= 0.9 * th_rps, f"eventloop {ev_rps:.0f} vs threaded {th_rps:.0f}"
+
+    # The threaded design visibly breaks at the big rungs: refused
+    # connections, unanswered requests, or a p99 blow-up.
+    if RUNGS[-1] >= 1024:
+        th_top, th_base = th[RUNGS[-1]], th[RUNGS[0]]
+        degraded = (
+            th_top["answered"] == 0
+            or not np.isfinite(th_top["p99_ms"])
+            or th_top["p99_ms"] > 4.0 * th_base["p99_ms"]
+        )
+        assert th_top["refused"] > 0 or th_top["lost"] > 0 or degraded, (
+            f"threaded survived the top rung: base={th_base} top={th_top}"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -10,8 +10,12 @@ provides the equivalent for the reproduction:
   negotiated on connect with JSON-lines as the universal fallback,
 * :class:`VeloxClient` — an in-process client binding the API objects
   to a deployed :class:`~repro.core.velox.Velox` instance,
-* :class:`VeloxServer` / :class:`RemoteClient` — a threaded TCP server
-  speaking both protocols, and the simple one-in-flight JSON client,
+* :class:`VeloxServer` / :class:`RemoteClient` — a TCP server speaking
+  both protocols behind a front-end knob (``"eventloop"`` selector
+  server or ``"threaded"`` thread-per-connection fallback), and the
+  simple one-in-flight JSON client,
+* :class:`EventLoopServer` — the selector-based front end itself, for
+  callers that need its tuning knobs (watermarks, frame limits),
 * :class:`PipelinedClient` / :class:`ConnectionPool` — the binary
   pipelined client (many in-flight correlated requests per socket) and
   a small round-robin pool of them.
@@ -32,8 +36,9 @@ from repro.frontend.api import (
     decode_response,
 )
 from repro.frontend.client import VeloxClient
+from repro.frontend.eventloop import EventLoopServer
 from repro.frontend.pipelined import ConnectionPool, PipelinedClient
-from repro.frontend.server import VeloxServer, RemoteClient
+from repro.frontend.server import FRONTENDS, VeloxServer, RemoteClient
 
 __all__ = [
     "PredictApiRequest",
@@ -50,6 +55,8 @@ __all__ = [
     "decode_response",
     "VeloxClient",
     "VeloxServer",
+    "EventLoopServer",
+    "FRONTENDS",
     "RemoteClient",
     "PipelinedClient",
     "ConnectionPool",

@@ -36,6 +36,10 @@ class VeloxClient:
     def __init__(self, velox, engine=None):
         self.velox = velox
         self.engine = engine
+        #: Optional zero-arg callable returning transport counters; set
+        #: by the TCP servers so ``status`` responses expose the front
+        #: end's state (open sockets, backpressure, dispatch depth).
+        self.frontend_status = None
 
     # -- convenience methods (build request objects internally) -------------
 
@@ -97,7 +101,9 @@ class VeloxClient:
         except ReproError as err:
             return ApiResponse(ok=False, error=f"{type(err).__name__}: {err}")
 
-    def dispatch_async(self, request) -> "Future[ApiResponse]":
+    def dispatch_async(
+        self, request, enqueue_time: float | None = None
+    ) -> "Future[ApiResponse]":
         """Execute one API request without blocking the caller.
 
         The pipelined server path: ``predict``/``top_k`` requests with
@@ -109,13 +115,22 @@ class VeloxClient:
         already-completed future. Like :meth:`dispatch`, the future
         always yields an :class:`ApiResponse`; errors become envelopes,
         never exceptions.
+
+        ``enqueue_time`` lets a transport stamp the request when its
+        bytes arrived (the event-loop server stamps at ``recv``), so
+        admission control's age accounting covers frame reassembly and
+        backpressure delay, not just queue residence.
         """
         if self.engine is not None and isinstance(
             request, (PredictApiRequest, TopKApiRequest)
         ):
             # Timestamp at intake, before policy construction or queue
             # routing, so age-bound shedding sees the transport delay.
-            arrived = self.engine.clock.now()
+            arrived = (
+                enqueue_time
+                if enqueue_time is not None
+                else self.engine.clock.now()
+            )
             try:
                 if isinstance(request, PredictApiRequest):
                     inner = self.engine.submit_predict(
@@ -289,6 +304,8 @@ class VeloxClient:
             replication = getattr(self.velox.cluster, "replication", None)
             if replication is not None:
                 payload["replication"] = replication.metrics.snapshot()
+            if self.frontend_status is not None:
+                payload["frontend"] = self.frontend_status()
             return ApiResponse(ok=True, payload=payload)
         return ApiResponse(
             ok=False, error=f"unknown request type {type(request).__name__}"

@@ -1,0 +1,612 @@
+"""Single-threaded event-loop TCP front end: C10k-scale connection intake.
+
+The threaded server (:mod:`repro.frontend.server`) spends one OS thread
+per connection, so its capacity is bounded by thread spawn cost, stack
+memory, and scheduler churn long before the serving engine's queues
+saturate — a few hundred sockets is where it stops holding tail
+latency. This module decouples connection count from thread count the
+way Clipper and InferLine's front ends do: one thread, one
+``selectors`` loop, and per-connection state machines.
+
+Design:
+
+* **Non-blocking everything.** The listener, every accepted socket, and
+  the wake pipe are non-blocking; the loop thread never sleeps inside a
+  read or write. Incoming bytes feed a per-connection incremental
+  reassembler (:class:`~repro.frontend.wire.FrameDecoder` for binary,
+  a line splitter for JSON), so a slow-loris client trickling one byte
+  per call costs one buffer append, not a parked thread.
+* **Same protocols, same negotiation.** A connection opening with the
+  :data:`~repro.frontend.wire.HELLO` preamble is answered in kind and
+  switched to correlated binary frames; anything else is served
+  JSON-lines, strictly in order (a FIFO of response futures preserves
+  the line protocol's ordering even though dispatch is asynchronous).
+  Existing clients — :class:`~repro.frontend.server.RemoteClient` and
+  :class:`~repro.frontend.pipelined.PipelinedClient` — work unmodified.
+* **Engine-coupled dispatch.** Decoded requests enter the serving
+  engine through :meth:`VeloxClient.dispatch_async`, stamped with the
+  loop's ``recv`` time so admission control's age-bound shedding sees
+  transport delay (reassembly + backpressure pauses), not just queue
+  residence. Completion callbacks run on engine worker threads; they
+  only enqueue a closure and wake the loop — all connection state is
+  mutated by the loop thread alone, so no per-connection locks exist.
+* **Write-side backpressure.** Responses queue in a per-connection
+  outbound buffer flushed opportunistically and on writability. A
+  buffer above ``high_water`` stops the socket's reads (the client's
+  own sends eventually block — TCP propagates the pressure); reads
+  resume below ``low_water``. Counters for paused sockets, buffered
+  bytes, and dispatch depth are exported through the status endpoint.
+* **Clean teardown.** ``stop()`` wakes the loop, which closes every
+  connection (paused or mid-drain), the listener, the wake pipe, and
+  the selector before exiting — repeated start/stop cycles leak no
+  file descriptors. In-flight responses for a closed connection are
+  dropped on completion; the peer observes the close as a
+  :class:`~repro.common.errors.TransportError` on its pending futures.
+
+Control-plane requests without an engine path (status, retrain,
+observe) execute inline on the loop thread, exactly as they execute
+inline on a connection thread in the threaded server; the hot path —
+predict/top-k with an engine attached — never blocks the loop.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+from collections import deque
+
+from repro.common.errors import ValidationError
+from repro.frontend import wire
+from repro.frontend.api import ApiResponse, decode_request, encode_response
+from repro.frontend.client import VeloxClient
+from repro.metrics.frontend import FrontendCounters
+
+#: Outbound-buffer high-water mark (bytes): a connection buffering more
+#: unsent response bytes than this stops being read until it drains.
+HIGH_WATER = 1 << 20
+#: Resume reading once the outbound buffer falls below this.
+LOW_WATER = 1 << 16
+#: Per-recv chunk size.
+_RECV_SIZE = 1 << 16
+#: recv() calls per readable event before yielding to other sockets.
+_RECV_ROUNDS = 4
+#: Listen backlog — deep on purpose: connection bursts queue in the
+#: kernel and drain at accept speed instead of being refused.
+_LISTEN_BACKLOG = 1024
+
+#: Selector registration markers for the non-connection fds.
+_ACCEPT = object()
+_WAKE = object()
+
+#: Connection protocol states.
+_NEGOTIATING = 0
+_BINARY = 1
+_JSON = 2
+
+
+class _Connection:
+    """Per-socket state: reassembly buffers, mode, in-flight futures."""
+
+    __slots__ = (
+        "sock",
+        "mode",
+        "inbuf",
+        "decoder",
+        "outbuf",
+        "json_fifo",
+        "pending",
+        "interest",
+        "registered",
+        "read_paused",
+        "draining",
+        "closed",
+        "recv_stamp",
+    )
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.mode = _NEGOTIATING
+        #: Raw bytes before negotiation and JSON-lines residue after.
+        self.inbuf = bytearray()
+        #: Binary frame reassembler (created when binary negotiates).
+        self.decoder: wire.FrameDecoder | None = None
+        self.outbuf = bytearray()
+        #: JSON mode: response futures in request order (the line
+        #: protocol promises in-order responses).
+        self.json_fifo: deque = deque()
+        #: Binary mode: in-flight dispatch futures (order-free).
+        self.pending: set = set()
+        self.interest = 0
+        self.registered = False
+        self.read_paused = False
+        self.draining = False
+        self.closed = False
+        #: Engine-clock stamp of the latest recv (enqueue_time source).
+        self.recv_stamp: float | None = None
+
+
+class EventLoopServer:
+    """Event-loop TCP server over a Velox deployment.
+
+    Usually constructed through :class:`~repro.frontend.server.VeloxServer`
+    (which selects the front end from ``VeloxConfig.frontend``); direct
+    construction exposes the backpressure watermarks and frame-size cap
+    for tests and tuning::
+
+        server = EventLoopServer(velox, engine=engine, high_water=1 << 20)
+        server.start()
+        ... PipelinedClient(*server.server_address) ...
+        server.stop()
+    """
+
+    kind = "eventloop"
+
+    def __init__(
+        self,
+        velox,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine=None,
+        high_water: int = HIGH_WATER,
+        low_water: int = LOW_WATER,
+        max_frame_bytes: int | None = None,
+        sndbuf: int | None = None,
+    ):
+        if not 0 < low_water < high_water:
+            raise ValidationError(
+                f"watermarks must satisfy 0 < low ({low_water}) < "
+                f"high ({high_water})"
+            )
+        self.high_water = high_water
+        self.low_water = low_water
+        self.max_frame_bytes = (
+            wire.MAX_FRAME_BYTES if max_frame_bytes is None else max_frame_bytes
+        )
+        self._sndbuf = sndbuf
+        self.velox_client = VeloxClient(velox, engine=engine)
+        self.counters = FrontendCounters(self.kind)
+        self.velox_client.frontend_status = self.counters.snapshot
+        self._clock = engine.clock if engine is not None else None
+
+        self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listen.bind((host, port))
+            self._listen.listen(_LISTEN_BACKLOG)
+            self._listen.setblocking(False)
+            self._wake_r, self._wake_w = socket.socketpair()
+            self._wake_r.setblocking(False)
+            self._wake_w.setblocking(False)
+        except OSError:
+            self._listen.close()
+            raise
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listen, selectors.EVENT_READ, _ACCEPT)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, _WAKE)
+
+        self._conns: set[_Connection] = set()
+        #: Closures handed from completion callbacks to the loop thread.
+        self._completions: deque = deque()
+        self._thread: threading.Thread | None = None
+        self._stop_requested = False
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def server_address(self) -> tuple:
+        """Bound (host, port)."""
+        return self._listen.getsockname()
+
+    def start(self) -> "EventLoopServer":
+        """Start the loop thread; returns self."""
+        if self._thread is not None:
+            raise ValidationError("server already started")
+        if self._closed:
+            raise ValidationError("server already stopped")
+        self._thread = threading.Thread(
+            target=self._run, name="velox-eventloop", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the loop and release every fd (idempotent).
+
+        Connections with unsent responses or in-flight dispatches are
+        closed outright: their engine futures complete into a closed
+        connection and are dropped, and the peers observe the dead
+        socket as a ``TransportError`` on their pending futures.
+        """
+        if self._thread is None:
+            self._teardown()  # bound but never started: release the fds
+            return
+        self._stop_requested = True
+        self._wake()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\0")
+        except (BlockingIOError, OSError):
+            pass  # a wake byte is already pending, or we are torn down
+
+    def _schedule(self, fn, *args) -> None:
+        """Run ``fn(*args)`` on the loop thread (any-thread safe)."""
+        self._completions.append((fn, args))
+        self._wake()
+
+    # -- the loop -------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            while not self._stop_requested:
+                events = self._selector.select(timeout=1.0)
+                for key, mask in events:
+                    data = key.data
+                    if data is _ACCEPT:
+                        self._on_accept()
+                    elif data is _WAKE:
+                        self._drain_wake()
+                    else:
+                        conn = data
+                        if conn.closed:
+                            continue  # closed earlier in this batch
+                        if mask & selectors.EVENT_WRITE:
+                            self._flush(conn)
+                        if mask & selectors.EVENT_READ and not conn.closed:
+                            self._on_readable(conn)
+                self._drain_completions()
+        finally:
+            self._teardown()
+
+    def _drain_wake(self) -> None:
+        while True:
+            try:
+                if not self._wake_r.recv(4096):
+                    return
+            except (BlockingIOError, OSError):
+                return
+
+    def _drain_completions(self) -> None:
+        while True:
+            try:
+                fn, args = self._completions.popleft()
+            except IndexError:
+                return
+            fn(*args)
+
+    def _teardown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in list(self._conns):
+            self._close(conn)
+        for sock in (self._listen, self._wake_r, self._wake_w):
+            try:
+                self._selector.unregister(sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._selector.close()
+        self._completions.clear()
+
+    # -- accept / read --------------------------------------------------------
+
+    def _on_accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listen.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                if self._sndbuf is not None:
+                    sock.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_SNDBUF, self._sndbuf
+                    )
+            except OSError:
+                pass
+            conn = _Connection(sock)
+            self._conns.add(conn)
+            self.counters.connection_opened()
+            self._set_interest(conn, selectors.EVENT_READ)
+
+    def _on_readable(self, conn: _Connection) -> None:
+        for _ in range(_RECV_ROUNDS):
+            try:
+                chunk = conn.sock.recv(_RECV_SIZE)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._close(conn)
+                return
+            if not chunk:
+                self._start_drain(conn)  # clean EOF: flush, then close
+                return
+            self.counters.add_bytes_in(len(chunk))
+            if self._clock is not None:
+                conn.recv_stamp = self._clock.now()
+            try:
+                self._consume(conn, chunk)
+            except Exception:
+                # Corrupt framing / oversized line: the stream is
+                # unrecoverable; drop the connection like the threaded
+                # server's read loop does.
+                self.counters.protocol_error()
+                self._close(conn)
+                return
+            if conn.closed or conn.read_paused:
+                return
+            if len(chunk) < _RECV_SIZE:
+                return  # socket likely drained; don't spin on recv
+
+    # -- protocol state machine -----------------------------------------------
+
+    def _consume(self, conn: _Connection, chunk: bytes) -> None:
+        if conn.mode == _BINARY:
+            conn.decoder.feed(chunk)
+        else:
+            conn.inbuf += chunk
+            if conn.mode == _NEGOTIATING and not self._negotiate(conn):
+                return
+        if conn.mode == _BINARY:
+            for opcode, corr_id, payload in conn.decoder.drain():
+                if conn.closed:
+                    break  # a write failure killed the socket mid-batch
+                self._dispatch_binary(conn, opcode, corr_id, payload)
+        elif conn.mode == _JSON:
+            self._consume_json(conn)
+
+    def _negotiate(self, conn: _Connection) -> bool:
+        """Decide the protocol from the first bytes; False = need more."""
+        hello = wire.HELLO
+        if conn.inbuf.startswith(hello):
+            conn.mode = _BINARY
+            conn.decoder = wire.FrameDecoder(self.max_frame_bytes)
+            residue = bytes(conn.inbuf[len(hello):])
+            conn.inbuf.clear()
+            if residue:
+                conn.decoder.feed(residue)
+            self._queue_bytes(conn, hello)  # answer in kind
+            return True
+        if hello.startswith(conn.inbuf):
+            return False  # strict prefix: the rest is still in flight
+        conn.mode = _JSON
+        return True
+
+    def _dispatch_binary(
+        self, conn: _Connection, opcode: int, corr_id: int, payload: bytes
+    ) -> None:
+        self.counters.frame_in()
+        try:
+            request = wire.decode_request_payload(opcode, payload)
+        except Exception as err:
+            self._queue_frame(
+                conn,
+                corr_id,
+                ApiResponse(ok=False, error=f"{type(err).__name__}: {err}"),
+            )
+            return
+        future = self.velox_client.dispatch_async(
+            request, enqueue_time=conn.recv_stamp
+        )
+        conn.pending.add(future)
+        self.counters.dispatch_started()
+        future.add_done_callback(
+            lambda done, conn=conn, corr_id=corr_id: self._schedule(
+                self._complete_binary, conn, corr_id, done
+            )
+        )
+
+    def _complete_binary(self, conn: _Connection, corr_id: int, done) -> None:
+        """Loop-thread completion: route a response to its frame."""
+        if done in conn.pending:
+            conn.pending.discard(done)
+            self.counters.dispatch_finished()
+        if conn.closed:
+            return  # the socket died while the engine worked
+        try:
+            response = done.result()
+        except Exception as err:
+            response = ApiResponse(
+                ok=False, error=f"{type(err).__name__}: {err}"
+            )
+        self._queue_frame(conn, corr_id, response)
+        self._maybe_finish_drain(conn)
+
+    def _consume_json(self, conn: _Connection) -> None:
+        while not conn.closed:
+            newline = conn.inbuf.find(b"\n")
+            if newline < 0:
+                if len(conn.inbuf) > self.max_frame_bytes:
+                    raise ValidationError(
+                        f"JSON line exceeds {self.max_frame_bytes} bytes"
+                    )
+                return
+            raw = bytes(conn.inbuf[:newline])
+            del conn.inbuf[: newline + 1]
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            self.counters.json_request()
+            try:
+                request = decode_request(line)
+            except ValidationError as err:
+                # Mirrors the threaded JSON loop: validation failures
+                # become bare-message envelopes on the same connection.
+                future = VeloxClient._completed(
+                    ApiResponse(ok=False, error=str(err))
+                )
+            else:
+                future = self.velox_client.dispatch_async(
+                    request, enqueue_time=conn.recv_stamp
+                )
+            conn.json_fifo.append(future)
+            self.counters.dispatch_started()
+            future.add_done_callback(
+                lambda done, conn=conn: self._schedule(self._pump_json, conn)
+            )
+
+    def _pump_json(self, conn: _Connection) -> None:
+        """Flush completed JSON responses strictly in request order."""
+        flushed = False
+        while conn.json_fifo and conn.json_fifo[0].done():
+            done = conn.json_fifo.popleft()
+            self.counters.dispatch_finished()
+            flushed = True
+            if conn.closed:
+                continue  # keep draining the fifo for exact gauges
+            try:
+                response = done.result()
+            except Exception as err:
+                response = ApiResponse(
+                    ok=False, error=f"{type(err).__name__}: {err}"
+                )
+            try:
+                encoded = (encode_response(response) + "\n").encode("utf-8")
+            except Exception as err:  # unserializable payload
+                encoded = (
+                    encode_response(
+                        ApiResponse(
+                            ok=False, error=f"{type(err).__name__}: {err}"
+                        )
+                    )
+                    + "\n"
+                ).encode("utf-8")
+            self._queue_bytes(conn, encoded)
+        if flushed:
+            self._maybe_finish_drain(conn)
+
+    # -- writes & backpressure ------------------------------------------------
+
+    def _queue_frame(
+        self, conn: _Connection, corr_id: int, response: ApiResponse
+    ) -> None:
+        try:
+            frame = wire.encode_response_frame(response, corr_id)
+        except Exception as err:  # unserializable payload
+            frame = wire.encode_response_frame(
+                ApiResponse(ok=False, error=f"{type(err).__name__}: {err}"),
+                corr_id,
+            )
+        self.counters.frame_out()
+        self._queue_bytes(conn, frame)
+
+    def _queue_bytes(self, conn: _Connection, data: bytes) -> None:
+        if conn.closed:
+            return
+        conn.outbuf += data
+        self._flush(conn)
+
+    def _flush(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        while conn.outbuf:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close(conn)
+                return
+            if sent == 0:
+                break
+            del conn.outbuf[:sent]
+            self.counters.add_bytes_out(sent)
+        if conn.read_paused:
+            if len(conn.outbuf) <= self.low_water:
+                conn.read_paused = False
+                self.counters.read_resume()
+        elif len(conn.outbuf) >= self.high_water:
+            conn.read_paused = True
+            self.counters.read_pause()
+        self._update_interest(conn)
+        self._maybe_finish_drain(conn)
+
+    def _update_interest(self, conn: _Connection) -> None:
+        mask = 0
+        if not conn.draining and not conn.read_paused:
+            mask |= selectors.EVENT_READ
+        if conn.outbuf:
+            mask |= selectors.EVENT_WRITE
+        self._set_interest(conn, mask)
+
+    def _set_interest(self, conn: _Connection, mask: int) -> None:
+        if conn.closed:
+            return
+        try:
+            if mask == 0:
+                if conn.registered:
+                    self._selector.unregister(conn.sock)
+                    conn.registered = False
+            elif not conn.registered:
+                self._selector.register(conn.sock, mask, conn)
+                conn.registered = True
+            elif mask != conn.interest:
+                self._selector.modify(conn.sock, mask, conn)
+        except (KeyError, ValueError, OSError):
+            self._close(conn)
+            return
+        conn.interest = mask
+
+    # -- drain & close --------------------------------------------------------
+
+    def _start_drain(self, conn: _Connection) -> None:
+        """Peer EOF: stop reading, finish in-flight work, then close."""
+        if conn.closed or conn.draining:
+            return
+        conn.draining = True
+        self._update_interest(conn)
+        self._maybe_finish_drain(conn)
+
+    def _maybe_finish_drain(self, conn: _Connection) -> None:
+        if (
+            conn.draining
+            and not conn.closed
+            and not conn.outbuf
+            and not conn.pending
+            and not conn.json_fifo
+        ):
+            self._close(conn)
+
+    def _close(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        if conn.registered:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            conn.registered = False
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self._conns.discard(conn)
+        if conn.read_paused:
+            conn.read_paused = False
+            self.counters.read_resume()
+        # In-flight dispatches are abandoned: their completions find the
+        # connection closed and drop the response. Balance the gauge now
+        # so dispatch_depth never counts work with nowhere to land.
+        for _ in range(len(conn.pending)):
+            self.counters.dispatch_finished()
+        conn.pending.clear()
+        for _ in range(len(conn.json_fifo)):
+            self.counters.dispatch_finished()
+        conn.json_fifo.clear()
+        self.counters.connection_closed()
+
+    def __enter__(self) -> "EventLoopServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -28,7 +28,7 @@ import time
 from collections import deque
 from concurrent.futures import Future
 
-from repro.common.errors import TransportError
+from repro.common.errors import OverloadedError, TransportError
 from repro.frontend import wire
 from repro.frontend.api import (
     ApiResponse,
@@ -53,6 +53,13 @@ class PipelinedClient:
 
     ``timeout`` bounds connect and each blocking ``call``; ``submit``
     itself never blocks on the network beyond the socket send buffer.
+
+    ``max_inflight`` caps the pipelining window. With the default
+    ``block_on_full=True``, ``submit`` waits (up to ``timeout``) for a
+    response to free a slot — a closed-loop generator self-paces to the
+    server instead of queueing unboundedly. With ``block_on_full=False``
+    a full window raises :class:`~repro.common.errors.OverloadedError`
+    immediately, for callers that shed their own load.
     """
 
     def __init__(
@@ -61,12 +68,23 @@ class PipelinedClient:
         port: int,
         timeout: float = 10.0,
         prefer_binary: bool = True,
+        max_inflight: int | None = None,
+        block_on_full: bool = True,
     ):
+        if max_inflight is not None and max_inflight < 1:
+            raise TransportError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self._max_inflight = max_inflight
+        self._block_on_full = block_on_full
         self._timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._rfile = self._sock.makefile("rb")
         self._lock = threading.Lock()
+        #: signalled whenever an in-flight slot frees (response arrived
+        #: or the connection died) — what blocked submits wait on.
+        self._slot = threading.Condition(self._lock)
         self._closed = False
         #: set on any fatal transport error (reader death, failed send)
         #: — the connection is unusable even though close() wasn't called.
@@ -78,6 +96,11 @@ class PipelinedClient:
         self.protocol = (
             self._negotiate() if prefer_binary else PROTOCOL_JSON
         )
+        # ``timeout`` bounds connect and negotiation only. Clear it so
+        # the reader thread blocks indefinitely between responses — an
+        # idle window is not a transport failure; per-call deadlines are
+        # enforced on the futures in ``call``.
+        self._sock.settimeout(None)
         self._reader = threading.Thread(
             target=self._read_loop, name="pipelined-reader", daemon=True
         )
@@ -107,6 +130,32 @@ class PipelinedClient:
 
     # -- submission ----------------------------------------------------------
 
+    def _reserve_slot_locked(self) -> None:
+        """Enforce the ``max_inflight`` window; callers hold the lock."""
+        if self._max_inflight is None:
+            return
+        inflight = len(self._pending) + len(self._fifo)
+        if inflight < self._max_inflight:
+            return
+        if not self._block_on_full:
+            raise OverloadedError(
+                "client-pipeline",
+                f"window full ({inflight}/{self._max_inflight} in flight)",
+            )
+        deadline = time.monotonic() + self._timeout
+        while len(self._pending) + len(self._fifo) >= self._max_inflight:
+            if self._closed or self._dead:
+                raise TransportError("client is closed")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"pipeline window full ({self._max_inflight} in "
+                    f"flight) for {self._timeout}s"
+                )
+            self._slot.wait(remaining)
+        if self._closed or self._dead:
+            raise TransportError("client is closed")
+
     def submit(self, request) -> "Future[ApiResponse]":
         """Send one request without waiting; the future yields its
         :class:`~repro.frontend.api.ApiResponse`."""
@@ -114,6 +163,7 @@ class PipelinedClient:
         with self._lock:
             if self._closed or self._dead:
                 raise TransportError("client is closed")
+            self._reserve_slot_locked()
             if self.protocol == PROTOCOL_BINARY:
                 corr_id = self._next_corr
                 self._next_corr += 1
@@ -176,6 +226,7 @@ class PipelinedClient:
                     response = wire.decode_response_payload(payload)
                     with self._lock:
                         future = self._pending.pop(corr_id, None)
+                        self._slot.notify()
                 else:
                     line = self._rfile.readline()
                     if not line:
@@ -185,6 +236,7 @@ class PipelinedClient:
                         future = (
                             self._fifo.popleft() if self._fifo else None
                         )
+                        self._slot.notify()
                 if future is not None:
                     future.set_result(response)
         except Exception as err:
@@ -214,6 +266,7 @@ class PipelinedClient:
             future = self._fifo.popleft()
             if not future.done():
                 future.set_exception(error)
+        self._slot.notify_all()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -271,6 +324,8 @@ class ConnectionPool:
         prefer_binary: bool = True,
         reconnect_backoff: float = 0.05,
         max_reconnect_backoff: float = 2.0,
+        max_inflight: int | None = None,
+        block_on_full: bool = True,
     ):
         if size < 1:
             raise TransportError(f"pool size must be >= 1, got {size}")
@@ -284,6 +339,8 @@ class ConnectionPool:
         self._port = port
         self._timeout = timeout
         self._prefer_binary = prefer_binary
+        self._max_inflight = max_inflight
+        self._block_on_full = block_on_full
         self._initial_backoff = reconnect_backoff
         self._max_backoff = max_reconnect_backoff
         self._clients: list[PipelinedClient | None] = []
@@ -310,6 +367,8 @@ class ConnectionPool:
             self._port,
             timeout=self._timeout,
             prefer_binary=self._prefer_binary,
+            max_inflight=self._max_inflight,
+            block_on_full=self._block_on_full,
         )
 
     def __len__(self) -> int:

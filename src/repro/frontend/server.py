@@ -1,9 +1,16 @@
-"""A threaded TCP server speaking JSON-lines and the binary framed
-protocol, plus the simple JSON-lines client.
+"""The TCP front-end facade, the threaded fallback server, and the
+simple JSON-lines client.
 
-Every connection starts in negotiation: a peek at the first bytes
-decides the protocol. Clients that open with the
-:data:`~repro.frontend.wire.MAGIC` preamble get the length-prefixed
+:class:`VeloxServer` is the single entry point: it selects the
+transport implementation from ``VeloxConfig.frontend`` — the
+single-threaded event loop (:mod:`repro.frontend.eventloop`, the
+default) or the thread-per-connection server defined here — and runs
+either behind one lifecycle/interface, so deployments, the replication
+stack, and every test drive both the same way.
+
+The threaded implementation: every connection starts in negotiation; a
+peek at the first bytes decides the protocol. Clients that open with
+the :data:`~repro.frontend.wire.MAGIC` preamble get the length-prefixed
 binary framing (:mod:`repro.frontend.wire`) with correlated,
 out-of-order responses — the server decodes frames and feeds them to
 the dispatcher *asynchronously*, so one pipelined connection keeps many
@@ -30,6 +37,11 @@ from repro.frontend.api import (
     encode_response,
 )
 from repro.frontend.client import VeloxClient
+from repro.frontend.eventloop import EventLoopServer
+from repro.metrics.frontend import FrontendCounters
+
+#: Front-end implementations selectable via ``VeloxConfig.frontend``.
+FRONTENDS = ("eventloop", "threaded")
 
 #: How long a closing binary connection waits for in-flight responses.
 _DRAIN_TIMEOUT = 5.0
@@ -76,10 +88,12 @@ class _RequestHandler(socketserver.StreamRequestHandler):
         half-open socket and no response.
         """
         client: VeloxClient = self.server.velox_client
+        counters: FrontendCounters = self.server.counters
         for raw in self.rfile:
             line = raw.decode("utf-8").strip()
             if not line:
                 continue
+            counters.json_request()
             try:
                 request = decode_request(line)
                 response = client.dispatch(request)
@@ -106,6 +120,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
         its response.
         """
         client: VeloxClient = self.server.velox_client
+        counters: FrontendCounters = self.server.counters
         self.rfile.readline()  # consume the hello line
         self.connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         write_lock = threading.Lock()
@@ -122,6 +137,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                     ),
                     corr_id,
                 )
+            counters.frame_out()
             with write_lock:
                 try:
                     self.wfile.write(frame)
@@ -140,6 +156,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             if frame is None:
                 break
             opcode, corr_id, payload = frame
+            counters.frame_in()
             try:
                 request = wire.decode_request_payload(opcode, payload)
             except Exception as err:
@@ -149,6 +166,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 )
                 continue
             future = client.dispatch_async(request)
+            counters.dispatch_started()
             with drained:
                 pending.add(future)
 
@@ -160,6 +178,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                         ok=False, error=f"{type(err).__name__}: {err}"
                     )
                 send(corr_id, response)
+                counters.dispatch_finished()
                 with drained:
                     pending.discard(done)
                     drained.notify_all()
@@ -186,11 +205,14 @@ class _ThreadedTcpServer(socketserver.ThreadingTCPServer):
     def process_request(self, request, client_address) -> None:
         with self._connections_lock:
             self._active_connections.add(request)
+        self.counters.connection_opened()
         super().process_request(request, client_address)
 
     def close_request(self, request) -> None:
         with self._connections_lock:
-            self._active_connections.discard(request)
+            if request in self._active_connections:
+                self._active_connections.discard(request)
+                self.counters.connection_closed()
         super().close_request(request)
 
     def close_active_connections(self) -> None:
@@ -204,6 +226,44 @@ class _ThreadedTcpServer(socketserver.ThreadingTCPServer):
                 pass  # already gone
 
 
+class _ThreadedFrontend:
+    """The thread-per-connection implementation behind the facade."""
+
+    kind = "threaded"
+
+    def __init__(self, velox, host: str, port: int, engine=None):
+        self._tcp = _ThreadedTcpServer((host, port), _RequestHandler)
+        self.counters = FrontendCounters(self.kind)
+        self.velox_client = VeloxClient(velox, engine=engine)
+        self.velox_client.frontend_status = self.counters.snapshot
+        self._tcp.velox_client = self.velox_client
+        self._tcp.counters = self.counters
+        self._thread: threading.Thread | None = None
+
+    @property
+    def server_address(self) -> tuple:
+        return self._tcp.server_address
+
+    def start(self) -> "_ThreadedFrontend":
+        if self._thread is not None:
+            raise ValidationError("server already started")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="velox-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            self._tcp.server_close()  # bound but never started
+            return
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        self._tcp.close_active_connections()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+
 class VeloxServer:
     """Serves a Velox deployment on a TCP port.
 
@@ -214,23 +274,48 @@ class VeloxServer:
         ... RemoteClient("127.0.0.1", server.port) ...
         server.stop()
 
+    The transport implementation is selected by ``frontend`` —
+    ``"eventloop"`` (one selector thread for every connection; see
+    :class:`~repro.frontend.eventloop.EventLoopServer`) or
+    ``"threaded"`` (one OS thread per connection) — defaulting to the
+    deployment's ``VeloxConfig.frontend``. Both speak the same two
+    negotiated protocols behind the same lifecycle, so callers never
+    branch on the choice.
+
     With ``engine`` set to a :class:`~repro.serving.ServingEngine`,
     predict/top-k requests are enqueued through the serving engine
     (adaptive batching across connections, admission control, load
-    shedding) instead of dispatched inline on the connection thread; the
-    engine's lifecycle follows the server's. Both the JSON-lines and the
-    binary framed protocol are served; see
+    shedding) instead of dispatched inline; the engine's lifecycle
+    follows the server's. Both the JSON-lines and the binary framed
+    protocol are served; see
     :class:`~repro.frontend.pipelined.PipelinedClient` for the client
     that exploits the latter.
     """
 
     def __init__(
-        self, velox, host: str = "127.0.0.1", port: int = 0, engine=None
+        self,
+        velox,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine=None,
+        frontend: str | None = None,
     ):
-        self._server = _ThreadedTcpServer((host, port), _RequestHandler)
-        self._server.velox_client = VeloxClient(velox, engine=engine)
+        choice = (
+            frontend
+            if frontend is not None
+            else getattr(velox.config, "frontend", "threaded")
+        )
+        if choice not in FRONTENDS:
+            raise ValidationError(
+                f"frontend must be one of {FRONTENDS}, got {choice!r}"
+            )
+        self.frontend = choice
         self._engine = engine
-        self._thread: threading.Thread | None = None
+        self._started = False
+        if choice == "threaded":
+            self._server = _ThreadedFrontend(velox, host, port, engine=engine)
+        else:
+            self._server = EventLoopServer(velox, host, port, engine=engine)
 
     @property
     def host(self) -> str:
@@ -242,31 +327,32 @@ class VeloxServer:
         """Bound port (useful with port 0 / ephemeral binding)."""
         return self._server.server_address[1]
 
+    @property
+    def counters(self):
+        """The front end's transport counters (status endpoint data)."""
+        return self._server.counters
+
     def start(self) -> "VeloxServer":
         """Start serving on a background thread; returns self.
 
         An attached serving engine that is not yet running is started
         alongside the listener.
         """
-        if self._thread is not None:
+        if self._started:
             raise ValidationError("server already started")
+        self._started = True
         if self._engine is not None and not self._engine.running:
             self._engine.start()
-        self._thread = threading.Thread(
-            target=self._server.serve_forever, name="velox-server", daemon=True
-        )
-        self._thread.start()
+        self._server.start()
         return self
 
     def stop(self) -> None:
         """Shut the server down (and any attached engine), join threads."""
-        if self._thread is None:
+        if not self._started:
+            self._server.stop()  # release the listener bound at construction
             return
-        self._server.shutdown()
-        self._server.server_close()
-        self._server.close_active_connections()
-        self._thread.join(timeout=5)
-        self._thread = None
+        self._server.stop()
+        self._started = False
         if self._engine is not None:
             self._engine.stop()
 

@@ -59,7 +59,8 @@ HELLO = MAGIC + b"\n"
 #: Frame header: u32 total length of (opcode + corr id + payload),
 #: u8 opcode, u64 correlation id.
 _HEADER = struct.Struct(">IBQ")
-#: Refuse frames larger than this (corrupt stream / abuse guard).
+#: Default refusal threshold for frame sizes (corrupt stream / abuse
+#: guard); every decode entry point accepts a narrower override.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 # -- opcodes ----------------------------------------------------------------
@@ -326,13 +327,19 @@ def encode_frame(opcode: int, corr_id: int, payload: bytes) -> bytes:
     return _HEADER.pack(len(payload) + 9, opcode, corr_id) + payload
 
 
-def read_frame(rfile) -> tuple[int, int, bytes] | None:
+def read_frame(
+    rfile, max_frame_bytes: int | None = None
+) -> tuple[int, int, bytes] | None:
     """Read one frame off a buffered binary reader.
 
     Returns ``(opcode, correlation_id, payload)``, or ``None`` on a
-    clean EOF at a frame boundary. EOF inside a frame, or an absurd
-    length prefix, raises :class:`TransportError`.
+    clean EOF at a frame boundary. EOF inside a frame, or a length
+    prefix above ``max_frame_bytes`` (default :data:`MAX_FRAME_BYTES`),
+    raises :class:`TransportError` — the length is validated *before*
+    any payload allocation, so a corrupt prefix can never trigger an
+    unbounded read.
     """
+    limit = MAX_FRAME_BYTES if max_frame_bytes is None else int(max_frame_bytes)
     header = rfile.read(_HEADER.size)
     if not header:
         return None
@@ -341,8 +348,10 @@ def read_frame(rfile) -> tuple[int, int, bytes] | None:
             f"connection closed mid-frame ({len(header)} header bytes)"
         )
     length, opcode, corr_id = _HEADER.unpack(header)
-    if length < 9 or length > MAX_FRAME_BYTES:
-        raise TransportError(f"invalid frame length {length}")
+    if length < 9 or length > limit:
+        raise TransportError(
+            f"invalid frame length {length} (limit {limit})"
+        )
     payload = rfile.read(length - 9)
     if len(payload) < length - 9:
         raise TransportError(
@@ -350,6 +359,71 @@ def read_frame(rfile) -> tuple[int, int, bytes] | None:
             f"{length - 9} payload bytes)"
         )
     return opcode, corr_id, payload
+
+
+class FrameDecoder:
+    """Incremental frame reassembly for non-blocking transports.
+
+    The event-loop server (and any selector-driven client) receives
+    arbitrary byte chunks, not whole frames; this decoder buffers them
+    and yields complete ``(opcode, correlation_id, payload)`` tuples as
+    soon as they close. The length prefix is validated against
+    ``max_frame_bytes`` the moment the 4-byte header is available —
+    *before* the body is buffered — so a corrupt or hostile prefix
+    raises a typed :class:`TransportError` instead of committing the
+    process to an unbounded allocation.
+    """
+
+    __slots__ = ("_buf", "_max")
+
+    def __init__(self, max_frame_bytes: int | None = None):
+        self._buf = bytearray()
+        self._max = (
+            MAX_FRAME_BYTES if max_frame_bytes is None else int(max_frame_bytes)
+        )
+        if self._max < 9:
+            raise ValidationError(
+                f"max_frame_bytes must be >= 9, got {self._max}"
+            )
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently held waiting for a frame to close."""
+        return len(self._buf)
+
+    def feed(self, data) -> None:
+        """Append one received chunk (any bytes-like) to the buffer."""
+        self._buf += data
+
+    def next_frame(self) -> tuple[int, int, bytes] | None:
+        """Pop one complete frame, or ``None`` if more bytes are needed.
+
+        Raises :class:`TransportError` on an invalid length prefix.
+        """
+        buf = self._buf
+        if len(buf) < 4:
+            return None
+        (length,) = _U32.unpack_from(buf, 0)
+        if length < 9 or length > self._max:
+            raise TransportError(
+                f"invalid frame length {length} (limit {self._max})"
+            )
+        total = 4 + length
+        if len(buf) < total:
+            return None
+        opcode = buf[4]
+        (corr_id,) = struct.unpack_from(">Q", buf, 5)
+        payload = bytes(buf[13:total])
+        del buf[:total]
+        return opcode, corr_id, payload
+
+    def drain(self):
+        """Yield every complete frame currently buffered."""
+        while True:
+            frame = self.next_frame()
+            if frame is None:
+                return
+            yield frame
 
 
 # -- request/response codecs ------------------------------------------------

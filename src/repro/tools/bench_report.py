@@ -44,6 +44,11 @@ KNOWN_EXPERIMENTS = [
         "ablation_scale",
         "Ablation — columnar slab user-weight store at 10k/100k/1M users",
     ),
+    (
+        "ablation_frontend",
+        "Ablation — front end: event loop vs thread-per-connection, "
+        "16 to 2048 clients",
+    ),
 ]
 
 

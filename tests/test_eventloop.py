@@ -1,0 +1,494 @@
+"""Event-loop front end: selection knob, framing robustness under
+hostile clients, write-side backpressure, clean teardown, and the
+pipelined client's in-flight window."""
+
+from __future__ import annotations
+
+import io
+import os
+import socket
+import struct
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro import VeloxConfig
+from repro.common.errors import (
+    ConfigError,
+    OverloadedError,
+    TransportError,
+    ValidationError,
+)
+from repro.frontend import (
+    EventLoopServer,
+    PipelinedClient,
+    PredictApiRequest,
+    RemoteClient,
+    StatusApiRequest,
+    VeloxServer,
+    encode_request,
+)
+from repro.frontend import wire
+from repro.frontend.api import decode_response
+from repro.frontend.eventloop import EventLoopServer as _DirectEventLoop
+from repro.frontend.server import _ThreadedFrontend
+from repro.serving import ServingConfig
+
+BOTH_FRONTENDS = pytest.mark.parametrize("frontend", ["eventloop", "threaded"])
+
+
+def _read_hello(sock: socket.socket) -> None:
+    """Consume the server's echoed hello line off a raw socket."""
+    got = b""
+    while not got.endswith(b"\n"):
+        chunk = sock.recv(1)
+        assert chunk, "server closed during negotiation"
+        got += chunk
+    assert got == wire.HELLO
+
+
+def _poll(predicate, timeout: float = 5.0, interval: float = 0.01) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestFrontendSelection:
+    def test_config_rejects_unknown_frontend(self):
+        with pytest.raises(ConfigError, match="frontend"):
+            VeloxConfig(frontend="carrier-pigeon")
+
+    def test_config_accepts_both_frontends(self):
+        assert VeloxConfig(frontend="threaded").frontend == "threaded"
+        assert VeloxConfig().frontend == "eventloop"  # the default
+
+    def test_facade_selects_implementation(self, deployed_velox):
+        ev = VeloxServer(deployed_velox, frontend="eventloop")
+        th = VeloxServer(deployed_velox, frontend="threaded")
+        try:
+            assert isinstance(ev._server, EventLoopServer)
+            assert isinstance(th._server, _ThreadedFrontend)
+            assert ev.frontend == "eventloop"
+            assert th.frontend == "threaded"
+        finally:
+            ev.stop()
+            th.stop()
+
+    def test_facade_defaults_to_config_knob(self, deployed_velox):
+        # deployed_velox uses the default config => eventloop.
+        server = VeloxServer(deployed_velox)
+        try:
+            assert isinstance(server._server, EventLoopServer)
+        finally:
+            server.stop()
+
+    def test_facade_rejects_unknown_frontend(self, deployed_velox):
+        with pytest.raises(ValidationError, match="frontend"):
+            VeloxServer(deployed_velox, frontend="smoke-signals")
+
+    def test_eventloop_rejects_bad_watermarks(self, deployed_velox):
+        with pytest.raises(ValidationError, match="watermark"):
+            EventLoopServer(deployed_velox, high_water=100, low_water=100)
+
+
+class TestSlowAndHostileClients:
+    @BOTH_FRONTENDS
+    def test_byte_at_a_time_binary_request(self, deployed_velox, frontend):
+        """A slow-loris client trickling one byte per send still gets a
+        correct response: both servers reassemble incrementally."""
+        with VeloxServer(deployed_velox, frontend=frontend) as server:
+            sock = socket.create_connection((server.host, server.port), timeout=10)
+            try:
+                request = wire.encode_request_frame(
+                    PredictApiRequest(uid=1, item=2), 77
+                )
+                for i in range(len(wire.HELLO)):
+                    sock.sendall(wire.HELLO[i : i + 1])
+                _read_hello(sock)
+                for i in range(len(request)):
+                    sock.sendall(request[i : i + 1])
+                rfile = sock.makefile("rb")
+                frame = wire.read_frame(rfile)
+                assert frame is not None
+                opcode, corr_id, payload = frame
+                assert opcode == wire.OP_RESPONSE
+                assert corr_id == 77
+                response = wire.decode_response_payload(payload)
+                assert response.ok, response.error
+                assert response.payload["item"] == 2
+            finally:
+                sock.close()
+
+    @BOTH_FRONTENDS
+    def test_byte_at_a_time_json_request(self, deployed_velox, frontend):
+        with VeloxServer(deployed_velox, frontend=frontend) as server:
+            sock = socket.create_connection((server.host, server.port), timeout=10)
+            try:
+                line = (
+                    encode_request(PredictApiRequest(uid=1, item=3)) + "\n"
+                ).encode("utf-8")
+                for i in range(len(line)):
+                    sock.sendall(line[i : i + 1])
+                response = decode_response(
+                    sock.makefile("rb").readline().decode("utf-8")
+                )
+                assert response.ok, response.error
+                assert response.payload["item"] == 3
+            finally:
+                sock.close()
+
+    @BOTH_FRONTENDS
+    def test_mid_frame_disconnect_does_not_wedge(self, deployed_velox, frontend):
+        """A client dying mid-frame must not wedge the server: later
+        connections are served normally."""
+        with VeloxServer(deployed_velox, frontend=frontend) as server:
+            sock = socket.create_connection((server.host, server.port), timeout=10)
+            sock.sendall(wire.HELLO)
+            _read_hello(sock)
+            # Header promising a 1000-byte frame, then vanish mid-body.
+            sock.sendall(struct.pack(">IBQ", 1000, wire.OP_PREDICT, 5))
+            sock.sendall(b"\x00" * 10)
+            sock.close()
+            with PipelinedClient(server.host, server.port) as client:
+                response = client.call(PredictApiRequest(uid=1, item=2))
+                assert response.ok, response.error
+
+    @BOTH_FRONTENDS
+    def test_oversized_frame_rejected_before_allocation(
+        self, deployed_velox, frontend
+    ):
+        """A hostile length prefix drops the connection with a typed
+        error, and the server keeps serving everyone else."""
+        with VeloxServer(deployed_velox, frontend=frontend) as server:
+            sock = socket.create_connection((server.host, server.port), timeout=10)
+            sock.sendall(wire.HELLO)
+            _read_hello(sock)
+            sock.sendall(
+                struct.pack(">IBQ", wire.MAX_FRAME_BYTES + 1, wire.OP_PREDICT, 5)
+            )
+            # The server must close on us rather than buffer toward 64MB.
+            sock.settimeout(5)
+            assert sock.recv(1) == b""
+            sock.close()
+            with PipelinedClient(server.host, server.port) as client:
+                assert client.call(PredictApiRequest(uid=1, item=2)).ok
+
+
+class TestEventLoopServing:
+    def test_pipelined_burst_through_engine(self, deployed_velox):
+        """Many in-flight correlated requests over one socket, through
+        the serving engine, all routed back to the right futures."""
+        engine = deployed_velox.serving_engine(
+            ServingConfig(num_workers=2, batching="adaptive", slo_p99=1.0)
+        )
+        expected = {
+            item: deployed_velox.service.predict("songs", 3, item).score
+            for item in range(40)
+        }
+        with VeloxServer(deployed_velox, engine=engine, frontend="eventloop") as server:
+            with PipelinedClient(server.host, server.port) as client:
+                assert client.protocol == "binary"
+                futures = {
+                    item: client.submit(PredictApiRequest(uid=3, item=item))
+                    for item in range(40)
+                }
+                for item, future in futures.items():
+                    response = future.result(timeout=10)
+                    assert response.ok, response.error
+                    assert response.payload["item"] == item
+                    assert response.payload["score"] == pytest.approx(
+                        expected[item], abs=1e-9
+                    )
+
+    def test_json_lines_stay_ordered_over_async_dispatch(self, deployed_velox):
+        """The JSON-lines contract is strict ordering; the event loop
+        must preserve it even though dispatch is asynchronous."""
+        engine = deployed_velox.serving_engine(
+            ServingConfig(num_workers=2, batching="adaptive", slo_p99=1.0)
+        )
+        with VeloxServer(deployed_velox, engine=engine, frontend="eventloop") as server:
+            sock = socket.create_connection((server.host, server.port), timeout=10)
+            try:
+                items = list(range(12))
+                burst = b"".join(
+                    (encode_request(PredictApiRequest(uid=2, item=item)) + "\n").encode()
+                    for item in items
+                )
+                sock.sendall(burst)
+                rfile = sock.makefile("rb")
+                for item in items:
+                    response = decode_response(rfile.readline().decode("utf-8"))
+                    assert response.ok, response.error
+                    assert response.payload["item"] == item
+            finally:
+                sock.close()
+
+    def test_status_exposes_frontend_counters(self, deployed_velox):
+        with VeloxServer(deployed_velox, frontend="eventloop") as server:
+            with PipelinedClient(server.host, server.port) as client:
+                payload = client.call(StatusApiRequest()).payload
+                counters = payload["frontend"]
+                assert counters["kind"] == "eventloop"
+                assert counters["open_connections"] >= 1
+                assert counters["frames_in"] >= 1
+                assert counters["bytes_in"] > 0
+                assert counters["bytes_out"] > 0
+                assert counters["read_paused"] == 0
+        with VeloxServer(deployed_velox, frontend="threaded") as server:
+            with RemoteClient(server.host, server.port) as client:
+                counters = client.call(StatusApiRequest()).payload["frontend"]
+                assert counters["kind"] == "threaded"
+                assert counters["open_connections"] >= 1
+                assert counters["json_requests"] >= 1
+
+    def test_remote_client_against_eventloop(self, deployed_velox):
+        with VeloxServer(deployed_velox, frontend="eventloop") as server:
+            with RemoteClient(server.host, server.port) as client:
+                response = client.call(PredictApiRequest(uid=4, item=7))
+                assert response.ok, response.error
+                assert response.payload["item"] == 7
+
+
+class TestBackpressure:
+    def test_write_pressure_pauses_and_resumes_reads(self, deployed_velox):
+        """A client that sends but never reads must trip the high-water
+        pause (visible in counters) and resume once it drains."""
+        server = _DirectEventLoop(
+            deployed_velox,
+            high_water=32 * 1024,
+            low_water=4 * 1024,
+            sndbuf=8 * 1024,
+        ).start()
+        host, port = server.server_address
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8 * 1024)
+        try:
+            sock.connect((host, port))
+            sock.sendall(wire.HELLO)
+            _read_hello(sock)
+            total = 1200
+            burst = b"".join(
+                wire.encode_request_frame(PredictApiRequest(uid=1, item=2), i)
+                for i in range(total)
+            )
+            sender = threading.Thread(target=sock.sendall, args=(burst,))
+            sender.start()
+            assert _poll(lambda: server.counters.snapshot()["read_paused"] >= 1), (
+                "outbound pressure never paused reads: "
+                f"{server.counters.snapshot()}"
+            )
+            # Drain every response; the pause must lift.
+            rfile = sock.makefile("rb")
+            seen = 0
+            while seen < total:
+                frame = wire.read_frame(rfile)
+                assert frame is not None
+                seen += 1
+            sender.join(timeout=10)
+            assert not sender.is_alive()
+            snap = server.counters.snapshot()
+            assert snap["pause_events"] >= 1
+            assert _poll(lambda: server.counters.snapshot()["read_paused"] == 0)
+        finally:
+            sock.close()
+            server.stop()
+
+
+class TestTeardown:
+    def test_no_fd_leak_over_restart_cycles(self, deployed_velox):
+        """Repeated start/serve/stop cycles hold the process fd count
+        flat: listener, wake pipe, selector, and conns all released."""
+
+        def cycle() -> None:
+            with VeloxServer(deployed_velox, frontend="eventloop") as server:
+                with PipelinedClient(server.host, server.port) as client:
+                    assert client.call(PredictApiRequest(uid=1, item=2)).ok
+
+        cycle()  # warm up lazily-created interpreter state
+        before = len(os.listdir("/proc/self/fd"))
+        for _ in range(5):
+            cycle()
+        after = len(os.listdir("/proc/self/fd"))
+        assert after <= before + 2, f"fd count grew {before} -> {after}"
+
+    def test_stop_fails_pending_client_futures(self, deployed_velox):
+        """Stopping the server mid-flight surfaces TransportError on the
+        client's pending futures instead of hanging them."""
+        server = VeloxServer(deployed_velox, frontend="eventloop").start()
+        stuck: Future = Future()  # never completes
+        server._server.velox_client.dispatch_async = (
+            lambda request, enqueue_time=None: stuck
+        )
+        client = PipelinedClient(server.host, server.port)
+        try:
+            future = client.submit(PredictApiRequest(uid=1, item=2))
+            server.stop()
+            with pytest.raises(TransportError):
+                future.result(timeout=10)
+        finally:
+            client.close()
+            server.stop()
+
+    def test_stop_before_start_releases_listener(self, deployed_velox):
+        before = len(os.listdir("/proc/self/fd"))
+        for _ in range(3):
+            VeloxServer(deployed_velox, frontend="eventloop").stop()
+            VeloxServer(deployed_velox, frontend="threaded").stop()
+        after = len(os.listdir("/proc/self/fd"))
+        assert after <= before + 2
+
+
+class _SilentBinaryServer:
+    """Accepts connections, answers the binary hello, then swallows all
+    frames without ever responding — a black hole for in-flight tests."""
+
+    def __init__(self):
+        self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listen.bind(("127.0.0.1", 0))
+        self._listen.listen(8)
+        self.host, self.port = self._listen.getsockname()
+        self._conns: list[socket.socket] = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listen.accept()
+            except OSError:
+                return
+            self._conns.append(conn)
+            threading.Thread(
+                target=self._swallow, args=(conn,), daemon=True
+            ).start()
+
+    def _swallow(self, conn: socket.socket) -> None:
+        try:
+            got = b""
+            while not got.endswith(b"\n"):
+                chunk = conn.recv(1)
+                if not chunk:
+                    return
+                got += chunk
+            conn.sendall(wire.HELLO)
+            while conn.recv(65536):
+                pass
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._listen.close()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "_SilentBinaryServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class TestMaxInflight:
+    def test_fail_fast_raises_overloaded(self):
+        with _SilentBinaryServer() as stub:
+            with PipelinedClient(
+                stub.host, stub.port, max_inflight=2, block_on_full=False
+            ) as client:
+                client.submit(PredictApiRequest(uid=1, item=1))
+                client.submit(PredictApiRequest(uid=1, item=2))
+                with pytest.raises(OverloadedError, match="window full"):
+                    client.submit(PredictApiRequest(uid=1, item=3))
+                assert client.in_flight == 2
+
+    def test_blocking_submit_times_out(self):
+        with _SilentBinaryServer() as stub:
+            with PipelinedClient(
+                stub.host, stub.port, timeout=0.3, max_inflight=1
+            ) as client:
+                client.submit(PredictApiRequest(uid=1, item=1))
+                start = time.monotonic()
+                with pytest.raises(TransportError, match="window full"):
+                    client.submit(PredictApiRequest(uid=1, item=2))
+                assert time.monotonic() - start >= 0.25
+
+    def test_window_rejects_nonpositive(self):
+        with pytest.raises(TransportError, match="max_inflight"):
+            PipelinedClient("127.0.0.1", 1, max_inflight=0)
+
+    def test_blocking_window_paces_against_live_server(self, deployed_velox):
+        """With a responsive server the window never exceeds the cap and
+        every submission eventually lands."""
+        with VeloxServer(deployed_velox, frontend="eventloop") as server:
+            with PipelinedClient(
+                server.host, server.port, max_inflight=4
+            ) as client:
+                futures = []
+                for item in range(50):
+                    futures.append(
+                        client.submit(PredictApiRequest(uid=1, item=item))
+                    )
+                    assert client.in_flight <= 4
+                for item, future in enumerate(futures):
+                    response = future.result(timeout=10)
+                    assert response.ok, response.error
+                    assert response.payload["item"] == item
+
+
+class TestFrameDecoder:
+    def test_incremental_single_bytes(self):
+        frame = wire.encode_request_frame(PredictApiRequest(uid=9, item=4), 123)
+        decoder = wire.FrameDecoder()
+        for i in range(len(frame) - 1):
+            decoder.feed(frame[i : i + 1])
+            assert decoder.next_frame() is None
+        decoder.feed(frame[-1:])
+        opcode, corr_id, payload = decoder.next_frame()
+        assert opcode == wire.OP_PREDICT
+        assert corr_id == 123
+        request = wire.decode_request_payload(opcode, payload)
+        assert request == PredictApiRequest(uid=9, item=4)
+        assert decoder.buffered == 0
+
+    def test_drain_yields_every_buffered_frame(self):
+        frames = [
+            wire.encode_request_frame(PredictApiRequest(uid=1, item=i), i)
+            for i in range(5)
+        ]
+        decoder = wire.FrameDecoder()
+        decoder.feed(b"".join(frames))
+        corr_ids = [corr_id for _, corr_id, _ in decoder.drain()]
+        assert corr_ids == [0, 1, 2, 3, 4]
+        assert decoder.next_frame() is None
+
+    def test_oversized_prefix_rejected_with_only_four_bytes(self):
+        decoder = wire.FrameDecoder(max_frame_bytes=64)
+        decoder.feed(struct.pack(">I", 1_000_000))
+        with pytest.raises(TransportError, match="invalid frame length"):
+            decoder.next_frame()
+
+    def test_undersized_prefix_rejected(self):
+        decoder = wire.FrameDecoder()
+        decoder.feed(struct.pack(">I", 3))  # below the 9-byte header floor
+        with pytest.raises(TransportError, match="invalid frame length"):
+            decoder.next_frame()
+
+    def test_decoder_rejects_absurd_limit(self):
+        with pytest.raises(ValidationError, match="max_frame_bytes"):
+            wire.FrameDecoder(max_frame_bytes=4)
+
+    def test_read_frame_honours_custom_limit(self):
+        frame = wire.encode_frame(wire.OP_PREDICT, 1, b"\x00" * 100)
+        with pytest.raises(TransportError, match="invalid frame length"):
+            wire.read_frame(io.BytesIO(frame), max_frame_bytes=50)
+        # The same frame passes under the default limit.
+        opcode, corr_id, payload = wire.read_frame(io.BytesIO(frame))
+        assert (opcode, corr_id, len(payload)) == (wire.OP_PREDICT, 1, 100)
