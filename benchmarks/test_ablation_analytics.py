@@ -1,0 +1,321 @@
+"""Ablation: MV-routed analytics vs log scans over the observation log.
+
+The analytics tier's claim is architectural: dashboard rollups answered
+from incrementally-maintained materialized views cost whatever the
+answer *touches* (one key, a few hundred group entries), while the
+fallback pays the full log. At 100k+ observations that gap should be
+orders of magnitude — and because maintenance runs inline with append,
+the routed answers are provably the same numbers the scan would
+produce (the integrity replay checks every key).
+
+Three measurements:
+
+* **Routing speedup** — per-query latency of the planner-routed path vs
+  ``force_scan=True`` on reporting shapes whose fallback is a full log
+  scan (per-item breakdown, windowed range rollup, global scalar). The
+  tentpole assertion: >= 10x on at least the two breakdown shapes. The
+  user-filtered shape is reported too, but its fallback is the indexed
+  per-user scan (itself a PR-9 satellite), so the gap is honest but
+  smaller.
+* **Integrity** — the MV catalog replayed against the log prefix at its
+  own high-watermark must match exactly: every key, every count, zero
+  sum drift.
+* **Serving interference** — closed-loop predict p99 through the TCP
+  front end with a concurrent analytics query stream hammering the same
+  node, vs the same loop with analytics idle. MV routing (plus the
+  client-side analytics side pool keeping queries off the event-loop
+  thread) should hold p99 within 1.3x of baseline.
+
+Set ``ANALYTICS_SMOKE=1`` for the fast CI configuration (smaller log,
+fewer repetitions; the assertions are unchanged).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import threading
+import time
+
+import numpy as np
+
+from repro.analytics import AnalyticsQuery
+from repro.frontend import AnalyticsApiRequest, PipelinedClient, PredictApiRequest, VeloxServer
+from repro.store import Observation
+from repro.tools.bench_report import write_json_summary
+
+from conftest import build_mf_serving, write_result
+
+SMOKE = os.environ.get("ANALYTICS_SMOKE", "") not in ("", "0")
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DIMENSION = 12
+NUM_ITEMS = 500
+NUM_USERS = 200
+NUM_OBSERVATIONS = 12_000 if SMOKE else 120_000
+ROUTED_REPS = 20 if SMOKE else 50
+SCAN_REPS = 3 if SMOKE else 5
+SERVING_REQUESTS = 300 if SMOKE else 1200
+#: p99-interference bound: within 1.3x of baseline (+2 ms noise floor).
+INTERFERENCE_RATIO = 1.3
+INTERFERENCE_SLACK_MS = 2.0
+#: Dashboard-style pacing for the concurrent analytics stream (500 qps
+#: across the shape mix — far above any human-driven dashboard).
+STREAM_INTERVAL_S = 0.002
+WARMUP_REQUESTS = 50
+
+
+def _build() -> tuple:
+    """A serving deployment with a 100k+ observation corpus loaded
+    straight into the log (canonical ``timestamp = offset`` stamping),
+    maintaining every MV inline along the way."""
+    velox = build_mf_serving(
+        DIMENSION, NUM_ITEMS, num_users=NUM_USERS, num_nodes=1
+    )
+    log = velox.manager.observation_log("bench")
+    rng = np.random.default_rng(17)
+    uids = rng.integers(0, NUM_USERS, NUM_OBSERVATIONS)
+    items = rng.integers(0, NUM_ITEMS, NUM_OBSERVATIONS)
+    labels = rng.normal(3.5, 1.0, NUM_OBSERVATIONS)
+    load_start = time.perf_counter()
+    for i in range(NUM_OBSERVATIONS):
+        log.append(
+            Observation(
+                uid=int(uids[i]),
+                item_id=int(items[i]),
+                label=float(labels[i]),
+                timestamp=float(len(log)),
+            )
+        )
+    load_s = time.perf_counter() - load_start
+    return velox, log, load_s
+
+
+def _median_latency_ms(run, reps: int) -> float:
+    samples = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        run()
+        samples.append((time.perf_counter() - start) * 1e3)
+    return float(np.median(samples))
+
+
+def _query_shapes(width: int) -> list[tuple[str, AnalyticsQuery, bool]]:
+    """(name, query, counts_toward_10x_claim). The claim shapes are the
+    ones whose forced fallback is a *full* log scan."""
+    span = (NUM_OBSERVATIONS // (2 * width)) * width  # aligned half-log
+    return [
+        ("item_mean_breakdown", AnalyticsQuery(group_by="item", agg="mean"), True),
+        (
+            "window_range_count",
+            AnalyticsQuery(
+                time_start=0.0, time_end=float(span),
+                group_by="window", agg="count",
+            ),
+            True,
+        ),
+        ("global_label_sum", AnalyticsQuery(agg="sum"), True),
+        ("user_count", AnalyticsQuery(uid=7, agg="count"), False),
+    ]
+
+
+def _measure_routing(velox) -> list[dict]:
+    rows = []
+    for name, query, claim in _query_shapes(velox.analytics.window_width):
+        routed = velox.analytics_query(query)
+        scanned = velox.analytics_query(query, force_scan=True)
+        routed_ms = _median_latency_ms(
+            lambda: velox.analytics_query(query), ROUTED_REPS
+        )
+        scan_ms = _median_latency_ms(
+            lambda: velox.analytics_query(query, force_scan=True), SCAN_REPS
+        )
+        if query.group_by is None:
+            agree = (
+                routed.value == scanned.value
+                or abs(routed.value - scanned.value)
+                <= 1e-9 * max(1.0, abs(scanned.value))
+            )
+        else:
+            agree = routed.groups == scanned.groups
+        rows.append(
+            {
+                "shape": name,
+                "route": routed.plan.route,
+                "scan_route": scanned.plan.route,
+                "routed_ms": routed_ms,
+                "scan_ms": scan_ms,
+                "speedup": scan_ms / routed_ms if routed_ms > 0 else float("inf"),
+                "answers_agree": agree,
+                "claim_shape": claim,
+            }
+        )
+    return rows
+
+
+def _measure_integrity(velox, log) -> dict:
+    report = velox.analytics_integrity()
+    return {
+        "ok": report.ok,
+        "log_length": len(log),
+        "views": [verdict.payload() for verdict in report.views],
+    }
+
+
+def _predict_p99_ms(server, analytics_stream: bool) -> dict:
+    """Closed-loop predict RTTs through the TCP front end; optionally
+    with a second connection streaming analytics queries throughout."""
+    rng = np.random.default_rng(23)
+    uids = rng.integers(0, NUM_USERS, SERVING_REQUESTS)
+    items = rng.integers(0, NUM_ITEMS, SERVING_REQUESTS)
+    stop = threading.Event()
+    analytics_queries = 0
+    streamer = None
+    if analytics_stream:
+        def stream() -> None:
+            nonlocal analytics_queries
+            # A dashboard-shaped mix: one full per-item breakdown plus
+            # scoped lookups (single user, recent window range).
+            width = 100
+            hi = (NUM_OBSERVATIONS // width) * width
+            shapes = [
+                AnalyticsApiRequest(group_by="item", agg="mean"),
+                AnalyticsApiRequest(uid=3, agg="count"),
+                AnalyticsApiRequest(
+                    time_start=float(max(0, hi - 10 * width)),
+                    time_end=float(hi),
+                    group_by="window",
+                    agg="sum",
+                ),
+            ]
+            with PipelinedClient(server.host, server.port) as client:
+                index = 0
+                while not stop.is_set():
+                    response = client.call(shapes[index % len(shapes)])
+                    assert response.ok, response.error
+                    analytics_queries += 1
+                    index += 1
+                    stop.wait(STREAM_INTERVAL_S)
+
+        streamer = threading.Thread(target=stream, daemon=True)
+        streamer.start()
+        time.sleep(0.05)  # let the stream reach steady state
+    latencies = []
+    with PipelinedClient(server.host, server.port) as client:
+        for i in range(WARMUP_REQUESTS):
+            client.call(PredictApiRequest(uid=int(uids[i]), item=int(items[i])))
+        for i in range(SERVING_REQUESTS):
+            start = time.perf_counter()
+            response = client.call(
+                PredictApiRequest(uid=int(uids[i]), item=int(items[i]))
+            )
+            latencies.append((time.perf_counter() - start) * 1e3)
+            assert response.ok, response.error
+    stop.set()
+    if streamer is not None:
+        streamer.join(timeout=10)
+    return {
+        "requests": SERVING_REQUESTS,
+        "p50_ms": float(np.percentile(latencies, 50)),
+        "p99_ms": float(np.percentile(latencies, 99)),
+        "analytics_queries_concurrent": analytics_queries,
+    }
+
+
+def test_analytics_summary(benchmark):
+    velox, log, load_s = _build()
+    routing = _measure_routing(velox)
+    integrity = _measure_integrity(velox, log)
+    with VeloxServer(velox) as server:
+        baseline = _predict_p99_ms(server, analytics_stream=False)
+        contended = _predict_p99_ms(server, analytics_stream=True)
+    maintenance = velox.analytics.metrics.snapshot()
+
+    lines = [
+        f"== MV routing vs log scan: {NUM_OBSERVATIONS} observations, "
+        f"{NUM_USERS} users x {NUM_ITEMS} items "
+        f"(corpus load {load_s:.2f}s incl. inline maintenance) =="
+    ]
+    lines.append(
+        "shape                 route       scan_route       "
+        "routed_ms  scan_ms   speedup  agree"
+    )
+    for row in routing:
+        lines.append(
+            f"{row['shape']:<22}{row['route']:<12}{row['scan_route']:<17}"
+            f"{row['routed_ms']:<11.3f}{row['scan_ms']:<10.3f}"
+            f"{row['speedup']:<9.1f}{row['answers_agree']}"
+        )
+    lines.append("")
+    lines.append(
+        f"== integrity: replay at watermark {integrity['log_length']} =="
+    )
+    for verdict in integrity["views"]:
+        lines.append(
+            f"view={verdict['view']:<8} watermark={verdict['high_watermark']} "
+            f"keys={verdict['keys_checked']} "
+            f"mismatched={verdict['mismatched_keys']} "
+            f"drift={verdict['max_abs_drift']:.1e} ok={verdict['ok']}"
+        )
+    lines.append("")
+    lines.append("== serving p99 with a concurrent analytics stream ==")
+    lines.append(
+        f"baseline : p50={baseline['p50_ms']:.3f}ms "
+        f"p99={baseline['p99_ms']:.3f}ms"
+    )
+    lines.append(
+        f"contended: p50={contended['p50_ms']:.3f}ms "
+        f"p99={contended['p99_ms']:.3f}ms "
+        f"({contended['analytics_queries_concurrent']} analytics queries "
+        "ran alongside)"
+    )
+    lines.append(
+        f"maintenance: {maintenance['maintenance_applies']} view applies, "
+        f"{maintenance['maintenance_seconds'] * 1e6 / max(1, maintenance['maintenance_applies']):.1f}us/apply"
+    )
+    write_result("ablation_analytics", lines)
+    write_json_summary(
+        REPO_ROOT / "BENCH_analytics.json",
+        "ablation_analytics",
+        {
+            "smoke": SMOKE,
+            "num_observations": NUM_OBSERVATIONS,
+            "num_users": NUM_USERS,
+            "num_items": NUM_ITEMS,
+            "corpus_load_s": load_s,
+            "routing": routing,
+            "integrity": integrity,
+            "serving_baseline": baseline,
+            "serving_with_analytics": contended,
+            "maintenance": maintenance,
+        },
+    )
+
+    # Tentpole: >= 10x on the full-scan reporting shapes, answers agree.
+    claim_rows = [row for row in routing if row["claim_shape"]]
+    assert len(claim_rows) >= 2
+    for row in claim_rows:
+        assert row["scan_route"] == "scan", row
+        assert row["speedup"] >= 10.0, (
+            f"{row['shape']}: {row['speedup']:.1f}x < 10x "
+            f"(routed {row['routed_ms']:.3f}ms vs scan {row['scan_ms']:.3f}ms)"
+        )
+    assert all(row["answers_agree"] for row in routing), routing
+
+    # Integrity: exact MV-vs-scan match at the common offset prefix.
+    assert integrity["ok"], integrity
+    for verdict in integrity["views"]:
+        assert verdict["high_watermark"] == integrity["log_length"]
+        assert verdict["max_abs_drift"] == 0.0
+
+    # Interference: analytics alongside serving holds predict p99.
+    assert contended["analytics_queries_concurrent"] > 0
+    bound = max(
+        INTERFERENCE_RATIO * baseline["p99_ms"],
+        baseline["p99_ms"] + INTERFERENCE_SLACK_MS,
+    )
+    assert contended["p99_ms"] <= bound, (
+        f"p99 {contended['p99_ms']:.3f}ms vs baseline "
+        f"{baseline['p99_ms']:.3f}ms (bound {bound:.3f}ms)"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""MV-first analytics over the observation log.
+
+The serving store's answer to reporting traffic: a catalog of
+incrementally-maintained rollups (per-user, per-item, per-time-window)
+updated inline with every appended observation, a small
+filter/group-by/aggregate query model, a cost-based planner that routes
+each query to the cheapest covering view (falling back to a log scan),
+and an integrity checker that proves routed answers against a replay of
+the same log prefix.
+"""
+
+from repro.analytics.query import (
+    AGGREGATES,
+    GROUP_DIMENSIONS,
+    AnalyticsQuery,
+    AnalyticsResult,
+)
+from repro.analytics.views import (
+    ItemRollup,
+    RollupView,
+    UserRollup,
+    WindowRollup,
+)
+from repro.analytics.catalog import DEFAULT_WINDOW_WIDTH, MVCatalog
+from repro.analytics.planner import (
+    ROUTE_SCAN,
+    ROUTE_USER_INDEX,
+    CostBasedPlanner,
+    QueryPlan,
+    execute_scan,
+)
+from repro.analytics.integrity import (
+    IntegrityChecker,
+    IntegrityReport,
+    ViewIntegrity,
+    check_view,
+)
+from repro.analytics.engine import AnalyticsEngine
+
+__all__ = [
+    "AGGREGATES",
+    "GROUP_DIMENSIONS",
+    "AnalyticsQuery",
+    "AnalyticsResult",
+    "RollupView",
+    "UserRollup",
+    "ItemRollup",
+    "WindowRollup",
+    "DEFAULT_WINDOW_WIDTH",
+    "MVCatalog",
+    "QueryPlan",
+    "CostBasedPlanner",
+    "execute_scan",
+    "ROUTE_SCAN",
+    "ROUTE_USER_INDEX",
+    "IntegrityChecker",
+    "IntegrityReport",
+    "ViewIntegrity",
+    "check_view",
+    "AnalyticsEngine",
+]

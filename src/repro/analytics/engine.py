@@ -1,0 +1,122 @@
+"""The analytics tier for one node: catalogs, planner, metering.
+
+:class:`AnalyticsEngine` subscribes to its store's log-creation hook,
+so every observation log — including per-model logs created after the
+engine — gets an :class:`~repro.analytics.catalog.MVCatalog` the moment
+it exists, backfilled atomically from whatever the log already holds.
+``query`` plans and runs one :class:`AnalyticsQuery` against a named
+log, meters the outcome, and returns the answer with its plan
+provenance; ``integrity`` replays catalogs against their logs on
+demand. ``describe`` is the status-endpoint payload.
+
+This is the serving-store analogue of the paper's "low latency,
+scalable model management" pitch applied to reporting traffic: the
+same store that serves predictions answers dashboard rollups from
+inline-maintained MVs instead of handing every question a full log
+scan.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analytics.catalog import DEFAULT_WINDOW_WIDTH, MVCatalog
+from repro.analytics.integrity import IntegrityChecker, IntegrityReport
+from repro.analytics.planner import CostBasedPlanner
+from repro.analytics.query import AnalyticsQuery, AnalyticsResult
+from repro.common.errors import StorageError
+from repro.metrics.analytics import AnalyticsMetrics
+
+
+class AnalyticsEngine:
+    """Materialized-view analytics over every observation log of a store."""
+
+    def __init__(
+        self,
+        store,
+        window_width: int = DEFAULT_WINDOW_WIDTH,
+        metrics: AnalyticsMetrics | None = None,
+    ):
+        self.store = store
+        self.window_width = int(window_width)
+        self.metrics = metrics if metrics is not None else AnalyticsMetrics()
+        self._catalogs: dict[str, MVCatalog] = {}
+        self._planners: dict[str, CostBasedPlanner] = {}
+        # Future logs arrive via the hook; logs that already exist (an
+        # engine enabled on a warm store) are attached here, each one
+        # backfilled through replay-on-register.
+        store.add_log_listener(self._attach)
+        for name in store.log_names():
+            self._attach(name, store.log(name))
+
+    def _attach(self, name: str, log) -> None:
+        catalog = MVCatalog(
+            name, log, window_width=self.window_width, metrics=self.metrics
+        )
+        self._catalogs[name] = catalog
+        self._planners[name] = CostBasedPlanner(catalog)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def catalog(self, log_name: str) -> MVCatalog:
+        """The MV catalog for one observation log."""
+        try:
+            return self._catalogs[log_name]
+        except KeyError:
+            raise StorageError(
+                f"no analytics catalog for log {log_name!r}"
+            ) from None
+
+    def catalog_names(self) -> list[str]:
+        """Sorted names of all logs with catalogs."""
+        return sorted(self._catalogs)
+
+    # -- querying -------------------------------------------------------------
+
+    def query(
+        self, log_name: str, query: AnalyticsQuery, force_scan: bool = False
+    ) -> AnalyticsResult:
+        """Plan, execute, and meter one query against one log."""
+        planner = self._planners.get(log_name)
+        if planner is None:
+            raise StorageError(f"no analytics catalog for log {log_name!r}")
+        started = time.perf_counter()
+        result = planner.execute(query, force_scan=force_scan)
+        self.metrics.record_query(
+            result.plan.route,
+            time.perf_counter() - started,
+            staleness_records=result.plan.staleness_records,
+        )
+        return result
+
+    # -- integrity ------------------------------------------------------------
+
+    def integrity(
+        self, log_name: str, tolerance: float = 0.0
+    ) -> IntegrityReport:
+        """Replay one catalog's views against its log and meter the verdict."""
+        report = IntegrityChecker(self.catalog(log_name)).check(
+            tolerance=tolerance
+        )
+        self.metrics.record_integrity(report.ok)
+        return report
+
+    def integrity_all(self, tolerance: float = 0.0) -> dict[str, IntegrityReport]:
+        """Integrity reports for every catalog, keyed by log name."""
+        return {
+            name: self.integrity(name, tolerance=tolerance)
+            for name in self.catalog_names()
+        }
+
+    # -- export ---------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Status-endpoint payload: counters plus per-catalog summaries."""
+        return {
+            "window_width": self.window_width,
+            "metrics": self.metrics.snapshot(),
+            "catalogs": {
+                name: catalog.describe()
+                for name, catalog in sorted(self._catalogs.items())
+            },
+        }

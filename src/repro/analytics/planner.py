@@ -1,0 +1,165 @@
+"""Cost-based routing: the cheapest covering MV, else a log scan.
+
+The planner enumerates every route that can answer a query *exactly*
+and prices each one in "entries touched":
+
+* a covering materialized view costs the number of materialized entries
+  the answer reads — 1 for an exact-key lookup, the group count for a
+  breakdown;
+* a log scan costs the number of records it must visit — the whole log,
+  or just one user's records when the query filters on ``uid`` (the
+  per-user offset index makes that an indexed scan, not a full pass).
+
+The cheapest route wins (ties prefer the materialized answer, which
+never touches the log). Every executed query carries a
+:class:`QueryPlan` — the chosen route, its estimated cost, every
+candidate considered, and the materialized answer's staleness in
+records — so a dashboard result is always auditable back to how it was
+produced. The scan executor doubles as the reference semantics: any
+covered MV answer must equal what the scan over the same prefix would
+say, which is exactly what :mod:`repro.analytics.integrity` replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.query import AnalyticsQuery, AnalyticsResult, finalize
+from repro.common.errors import ValidationError
+
+#: Route names for the two scan flavors (MV routes are ``mv:<view>``).
+ROUTE_SCAN = "scan"
+ROUTE_USER_INDEX = "scan:user-index"
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """How one query was (or would be) executed."""
+
+    route: str
+    estimated_cost: float
+    #: every route considered, as ``(route, estimated_cost)`` pairs.
+    candidates: tuple
+    #: records the chosen MV lagged the live log by at plan time
+    #: (0 for scans and for inline-maintained views).
+    staleness_records: int = 0
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the chosen route is a materialized view."""
+        return self.route.startswith("mv:")
+
+    def payload(self) -> dict:
+        """The wire-facing provenance dict."""
+        return {
+            "route": self.route,
+            "estimated_cost": self.estimated_cost,
+            "candidates": [[route, cost] for route, cost in self.candidates],
+            "staleness_records": self.staleness_records,
+        }
+
+
+def execute_scan(log, query: AnalyticsQuery, window_width: int):
+    """The fallback (and reference) executor: scan, filter, aggregate.
+
+    Returns ``(value, groups, records_scanned)``. ``uid``-filtered
+    queries read only that user's records through the log's per-user
+    offset index; everything else visits the full log. Group keys use
+    the same dimensions the views materialize — in particular the
+    ``"window"`` dimension buckets by ``timestamp // window_width`` with
+    the catalog's width, so routed and scanned answers are comparable
+    key for key.
+    """
+    if query.uid is not None:
+        records = log.by_user(query.uid)
+    else:
+        records = log.read_all()
+    if query.group_by is None:
+        count = 0
+        total = 0.0
+        for observation in records:
+            if query.matches(observation):
+                count += 1
+                total += observation.label
+        return finalize(query.agg, count, total), {}, len(records)
+    if query.group_by == "uid":
+        key_of = lambda observation: observation.uid  # noqa: E731
+    elif query.group_by == "item":
+        key_of = lambda observation: observation.item_id  # noqa: E731
+    else:  # "window"
+        key_of = lambda observation: int(  # noqa: E731
+            observation.timestamp // window_width
+        )
+    accumulator: dict[int, tuple[int, float]] = {}
+    for observation in records:
+        if not query.matches(observation):
+            continue
+        key = key_of(observation)
+        count, total = accumulator.get(key, (0, 0.0))
+        accumulator[key] = (count + 1, total + observation.label)
+    groups = {
+        key: finalize(query.agg, count, total)
+        for key, (count, total) in accumulator.items()
+    }
+    return None, groups, len(records)
+
+
+class CostBasedPlanner:
+    """Routes queries against one catalog's views and its log."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+    def plan(self, query: AnalyticsQuery, force_scan: bool = False) -> QueryPlan:
+        """Choose the cheapest exact route (see module docstring).
+
+        ``force_scan=True`` prices only the scan routes — the ablation
+        baseline, and the escape hatch for auditing a routed answer.
+        """
+        if not isinstance(query, AnalyticsQuery):
+            raise ValidationError(
+                f"expected an AnalyticsQuery, got {type(query).__name__}"
+            )
+        log = self.catalog.log
+        log_length = len(log)
+        if query.uid is not None:
+            scan_candidate = (
+                ROUTE_USER_INDEX,
+                float(max(1, log.user_record_count(query.uid))),
+            )
+        else:
+            scan_candidate = (ROUTE_SCAN, float(max(1, log_length)))
+        candidates: list[tuple[str, float]] = [scan_candidate]
+        staleness: dict[str, int] = {}
+        if not force_scan:
+            for view in self.catalog.views.values():
+                if view.covers(query):
+                    route = f"mv:{view.name}"
+                    candidates.append((route, view.cost(query)))
+                    staleness[route] = max(0, log_length - view.high_watermark)
+        route, cost = min(
+            candidates,
+            # Ties go to the materialized route: same entry count, but
+            # no log traffic alongside the serving path.
+            key=lambda cand: (cand[1], 0 if cand[0].startswith("mv:") else 1),
+        )
+        return QueryPlan(
+            route=route,
+            estimated_cost=cost,
+            candidates=tuple(candidates),
+            staleness_records=staleness.get(route, 0),
+        )
+
+    def execute(
+        self, query: AnalyticsQuery, force_scan: bool = False
+    ) -> AnalyticsResult:
+        """Plan and run one query; the result carries its plan."""
+        plan = self.plan(query, force_scan=force_scan)
+        if plan.materialized:
+            view = self.catalog.views[plan.route[len("mv:"):]]
+            value, groups = view.answer(query)
+        else:
+            value, groups, _scanned = execute_scan(
+                self.catalog.log, query, self.catalog.window_width
+            )
+        return AnalyticsResult(query=query, value=value, groups=groups, plan=plan)

@@ -1,0 +1,131 @@
+"""The analytics query model: filter, group-by, aggregate over the log.
+
+One :class:`AnalyticsQuery` describes a dashboard/report question about
+the observation stream — "mean label for user 7", "observations per
+item", "label revenue in time window [200, 400)" — small enough for a
+cost-based planner to reason about exactly, yet covering the rollup
+shapes real reporting traffic runs against a serving store.
+
+Semantics: a query selects observations matching every set filter
+(``uid``, ``item_id``, timestamp in ``[time_start, time_end)``), then
+either aggregates them into one scalar (``group_by=None``) or into one
+scalar per group key (``group_by`` of ``"uid"``, ``"item"``, or
+``"window"``, the tumbling time bucket). The aggregate runs over the
+observation ``label``: ``count``, ``sum``, or ``mean``. The mean of an
+empty selection is ``None`` (count 0, sum 0.0), on every execution path,
+so materialized answers and log scans stay comparable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+
+#: Supported aggregates over the observation label.
+AGGREGATES = ("count", "sum", "mean")
+#: Supported grouping dimensions (``"window"`` = tumbling time bucket).
+GROUP_DIMENSIONS = ("uid", "item", "window")
+
+
+@dataclass(frozen=True)
+class AnalyticsQuery:
+    """One filter/group-by/aggregate question over an observation log.
+
+    Attributes:
+        uid: Restrict to this user's observations (None = all users).
+        item_id: Restrict to this item's observations (None = all items).
+        time_start: Inclusive lower timestamp bound (None = open).
+        time_end: Exclusive upper timestamp bound (None = open).
+        group_by: ``None`` for one scalar, or one of
+            :data:`GROUP_DIMENSIONS` for a per-key breakdown.
+        agg: One of :data:`AGGREGATES`, computed over ``label``.
+    """
+
+    uid: int | None = None
+    item_id: int | None = None
+    time_start: float | None = None
+    time_end: float | None = None
+    group_by: str | None = None
+    agg: str = "count"
+
+    def __post_init__(self) -> None:
+        if self.agg not in AGGREGATES:
+            raise ValidationError(
+                f"agg must be one of {AGGREGATES}, got {self.agg!r}"
+            )
+        if self.group_by is not None and self.group_by not in GROUP_DIMENSIONS:
+            raise ValidationError(
+                f"group_by must be one of {GROUP_DIMENSIONS} or None, "
+                f"got {self.group_by!r}"
+            )
+        if self.group_by == "uid" and self.uid is not None:
+            raise ValidationError("cannot group by uid while filtering on uid")
+        if self.group_by == "item" and self.item_id is not None:
+            raise ValidationError(
+                "cannot group by item while filtering on item_id"
+            )
+        if (
+            self.time_start is not None
+            and self.time_end is not None
+            and self.time_end < self.time_start
+        ):
+            raise ValidationError(
+                f"time_end {self.time_end} precedes time_start {self.time_start}"
+            )
+
+    @property
+    def time_filtered(self) -> bool:
+        """Whether either timestamp bound is set."""
+        return self.time_start is not None or self.time_end is not None
+
+    def matches(self, observation) -> bool:
+        """Whether one observation passes every set filter (the scan
+        path's predicate; materialized paths must agree with it)."""
+        if self.uid is not None and observation.uid != self.uid:
+            return False
+        if self.item_id is not None and observation.item_id != self.item_id:
+            return False
+        if self.time_start is not None and observation.timestamp < self.time_start:
+            return False
+        if self.time_end is not None and observation.timestamp >= self.time_end:
+            return False
+        return True
+
+
+def finalize(agg: str, count: int, total: float):
+    """One (count, sum) accumulator -> the query's aggregate value."""
+    if agg == "count":
+        return count
+    if agg == "sum":
+        return total
+    return total / count if count else None
+
+
+@dataclass(frozen=True)
+class AnalyticsResult:
+    """One executed query: the answer plus plan provenance.
+
+    ``value`` holds the scalar for ungrouped queries; ``groups`` holds
+    the per-key breakdown for grouped ones (exactly one of the two is
+    meaningful, per ``query.group_by``). ``plan`` records how the answer
+    was produced — which route won, what the candidates cost, and how
+    many records the materialized answer lagged the live log by.
+    """
+
+    query: AnalyticsQuery
+    value: object = None
+    groups: dict = field(default_factory=dict)
+    plan: object = None
+
+    def payload(self) -> dict:
+        """The wire-facing dict (group keys stringified for JSON)."""
+        body: dict = {"agg": self.query.agg}
+        if self.query.group_by is None:
+            body["value"] = self.value
+        else:
+            body["group_by"] = self.query.group_by
+            body["groups"] = {str(key): val for key, val in self.groups.items()}
+        if self.plan is not None:
+            body["plan"] = self.plan.payload()
+        return body

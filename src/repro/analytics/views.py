@@ -1,0 +1,256 @@
+"""Incrementally-maintained rollups over the observation stream.
+
+Each view keeps one ``{key: (count, label_sum)}`` accumulator — enough
+to answer every supported aggregate (count/sum/mean) exactly — plus a
+**high-watermark offset**: a view at watermark W has folded in precisely
+the log prefix ``[0, W)``, because maintenance runs inline from
+``ObservationLog.append`` in offset order. That is what makes integrity
+checking an equality test rather than a tolerance test: replaying the
+same prefix through the same fold produces bit-identical floats.
+
+Three concrete views mirror the dimensions the query model can filter
+or group on:
+
+* :class:`UserRollup` — keyed by ``uid``,
+* :class:`ItemRollup` — keyed by ``item_id``,
+* :class:`WindowRollup` — keyed by tumbling time bucket
+  ``int(timestamp // width)``, maintained through the streaming layer's
+  :class:`~repro.streaming.operators.TumblingWindowAggregate` (closed
+  windows merge into a compact dict; the open tail window is read from
+  the operator at query time, so live queries see every record).
+
+Views also self-describe to the planner: ``covers(query)`` says whether
+this view can answer a query *exactly*, and ``cost(query)`` estimates
+how many materialized entries the answer touches — the numbers the
+cost-based router compares against a log scan.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+
+from repro.analytics.query import AnalyticsQuery, finalize
+from repro.common.errors import ValidationError
+from repro.streaming.operators import TumblingWindowAggregate
+
+
+class RollupView(ABC):
+    """One incrementally-maintained (count, sum) rollup."""
+
+    #: the query dimension this view is keyed by ("uid"/"item"/"window").
+    dimension: str
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self.high_watermark = 0
+
+    # -- maintenance ---------------------------------------------------------
+
+    def apply(self, offset: int, observation) -> None:
+        """Fold one appended record in; advances the watermark to
+        ``offset + 1``. Called inline from the log's append listener."""
+        with self._lock:
+            self._fold(observation)
+            self.high_watermark = offset + 1
+
+    @abstractmethod
+    def _fold(self, observation) -> None:
+        """Accumulate one record (lock held)."""
+
+    @abstractmethod
+    def key_of(self, observation):
+        """The group key this view files an observation under (the
+        integrity checker rebuilds reference state through this)."""
+
+    @abstractmethod
+    def _state(self) -> dict:
+        """The full ``{key: (count, sum)}`` view state (lock held)."""
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> tuple[dict, int]:
+        """A consistent ``(state, high_watermark)`` copy for integrity
+        replay: the state is exactly the fold of ``log[0:watermark)``."""
+        with self._lock:
+            return dict(self._state()), self.high_watermark
+
+    @property
+    def key_count(self) -> int:
+        """Distinct keys currently materialized."""
+        with self._lock:
+            return len(self._state())
+
+    # -- planner interface ---------------------------------------------------
+
+    @abstractmethod
+    def covers(self, query: AnalyticsQuery) -> bool:
+        """Whether this view answers the query exactly."""
+
+    @abstractmethod
+    def cost(self, query: AnalyticsQuery) -> float:
+        """Estimated materialized entries touched (valid when covered)."""
+
+    # -- answering -----------------------------------------------------------
+
+    def answer(self, query: AnalyticsQuery):
+        """Execute a covered query; returns ``(value, groups)``."""
+        if not self.covers(query):
+            raise ValidationError(
+                f"view {self.name!r} does not cover query {query!r}"
+            )
+        with self._lock:
+            entries = self._select(query)
+            if query.group_by is not None:
+                groups = {
+                    key: finalize(query.agg, count, total)
+                    for key, (count, total) in entries
+                }
+                return None, groups
+            count = 0
+            total = 0.0
+            for _key, (c, t) in entries:
+                count += c
+                total += t
+            return finalize(query.agg, count, total), {}
+
+    def _select(self, query: AnalyticsQuery):
+        """The (key, (count, sum)) entries the query touches (lock held)."""
+        return list(self._state().items())
+
+
+class _KeyedRollup(RollupView):
+    """Shared machinery for views keyed directly by a record field."""
+
+    def __init__(self, name: str, dimension: str):
+        super().__init__(name)
+        self.dimension = dimension
+        self._acc: dict[int, tuple[int, float]] = {}
+
+    def _fold(self, observation) -> None:
+        key = self.key_of(observation)
+        count, total = self._acc.get(key, (0, 0.0))
+        self._acc[key] = (count + 1, total + observation.label)
+
+    def _state(self) -> dict:
+        return self._acc
+
+    def _filter_key(self, query: AnalyticsQuery):
+        """The exact-key filter value this view understands, if set."""
+        return query.uid if self.dimension == "uid" else query.item_id
+
+    def covers(self, query: AnalyticsQuery) -> bool:
+        other_filter = query.item_id if self.dimension == "uid" else query.uid
+        return (
+            other_filter is None
+            and not query.time_filtered
+            and query.group_by in (None, self.dimension)
+        )
+
+    def cost(self, query: AnalyticsQuery) -> float:
+        if self._filter_key(query) is not None:
+            return 1.0
+        return float(max(1, self.key_count))
+
+    def _select(self, query: AnalyticsQuery):
+        key = self._filter_key(query)
+        if key is not None:
+            entry = self._acc.get(key)
+            return [(key, entry)] if entry is not None else []
+        return list(self._acc.items())
+
+
+class UserRollup(_KeyedRollup):
+    """Per-user count/sum/mean over labels."""
+
+    def __init__(self, name: str = "user"):
+        super().__init__(name, "uid")
+
+    def key_of(self, observation) -> int:
+        return observation.uid
+
+
+class ItemRollup(_KeyedRollup):
+    """Per-item count/sum/mean over labels."""
+
+    def __init__(self, name: str = "item"):
+        super().__init__(name, "item")
+
+    def key_of(self, observation) -> int:
+        return observation.item_id
+
+
+class WindowRollup(RollupView):
+    """Per-time-window rollup over tumbling buckets of width ``width``.
+
+    Maintenance runs through the streaming layer's
+    :class:`TumblingWindowAggregate`: each appended record is processed
+    as a one-record micro-batch; windows that close (a bucket reaching
+    ``width`` records — exactly one bucket's worth under the canonical
+    ``timestamp = offset`` stamping) merge into the compact ``_closed``
+    dict. Queries read ``_closed`` plus the operator's still-open
+    windows, so the partially-filled tail bucket is always visible. A
+    key that re-opens after closing (out-of-order timestamps) merges
+    additively, so per-bucket aggregates stay exact regardless of
+    arrival order.
+    """
+
+    dimension = "window"
+
+    def __init__(self, width: int, name: str = "window"):
+        if width < 1:
+            raise ValidationError(f"window width must be >= 1, got {width}")
+        super().__init__(name)
+        self.width = int(width)
+        self._closed: dict[int, tuple[int, float]] = {}
+        self._op = TumblingWindowAggregate(
+            key_fn=self.key_of,
+            zero=(0, 0.0),
+            add=lambda acc, obs: (acc[0] + 1, acc[1] + obs.label),
+            window_size=self.width,
+        )
+
+    def key_of(self, observation) -> int:
+        return int(observation.timestamp // self.width)
+
+    def _fold(self, observation) -> None:
+        for key, (count, total) in self._op.process([observation]):
+            have_count, have_total = self._closed.get(key, (0, 0.0))
+            self._closed[key] = (have_count + count, have_total + total)
+
+    def _state(self) -> dict:
+        merged = dict(self._closed)
+        for key, ((count, total), _n) in self._op.open_windows().items():
+            have_count, have_total = merged.get(key, (0, 0.0))
+            merged[key] = (have_count + count, have_total + total)
+        return merged
+
+    def _bucket_range(self, query: AnalyticsQuery) -> tuple[int | None, int | None]:
+        lo = None if query.time_start is None else int(query.time_start // self.width)
+        hi = None if query.time_end is None else int(query.time_end // self.width)
+        return lo, hi
+
+    def covers(self, query: AnalyticsQuery) -> bool:
+        if query.uid is not None or query.item_id is not None:
+            return False
+        if query.group_by not in (None, "window"):
+            return False
+        aligned = (
+            query.time_start is None or query.time_start % self.width == 0
+        ) and (query.time_end is None or query.time_end % self.width == 0)
+        return aligned
+
+    def cost(self, query: AnalyticsQuery) -> float:
+        lo, hi = self._bucket_range(query)
+        if lo is not None and hi is not None:
+            return float(max(1, hi - lo))
+        return float(max(1, self.key_count))
+
+    def _select(self, query: AnalyticsQuery):
+        lo, hi = self._bucket_range(query)
+        return [
+            (key, entry)
+            for key, entry in self._state().items()
+            if (lo is None or key >= lo) and (hi is None or key < hi)
+        ]

@@ -70,6 +70,15 @@ class VeloxConfig:
             connection — p99 stays flat into the thousands of
             pipelined clients) or ``"threaded"`` (thread per
             connection, the historical fallback).
+        analytics: Whether to stand up the MV-first analytics tier
+            (:class:`~repro.analytics.AnalyticsEngine`): per-user,
+            per-item, and per-time-window rollups maintained inline
+            from every observation append, plus the cost-based query
+            planner behind ``Velox.analytics_query``. Maintenance costs
+            three dict upserts per observe; disable for write-path
+            microbenchmarks that want the log bare. The tumbling-window
+            width (timestamp units) rides in ``extra`` as
+            ``"analytics_window"`` (default 100).
     """
 
     num_nodes: int = 4
@@ -89,6 +98,7 @@ class VeloxConfig:
     replication_factor: int = 1
     user_weight_store: str = "slab"
     frontend: str = "eventloop"
+    analytics: bool = True
     extra: dict = field(default_factory=dict)
 
     _VALID_UPDATE_METHODS = (

@@ -54,6 +54,17 @@ class Velox:
             bootstrap_lookup=self.manager.averagers.get,
         )
         self.manager.service = self.service
+        # The analytics tier attaches its log listener before any model
+        # deploys, so every per-model observation log gets an MV catalog
+        # the moment add_model creates it.
+        self.analytics = None
+        if config.analytics:
+            from repro.analytics import AnalyticsEngine
+
+            self.analytics = AnalyticsEngine(
+                cluster.store,
+                window_width=int(config.extra.get("analytics_window", 100)),
+            )
         self._default_model: str | None = None
 
     @classmethod
@@ -197,6 +208,45 @@ class Velox:
     def health(self, model_name: str | None = None):
         """The model's live health tracker."""
         return self.manager.health_report(self._model_name(model_name))
+
+    # -- analytics ----------------------------------------------------------------------
+
+    def analytics_query(
+        self, query, model_name: str | None = None, force_scan: bool = False
+    ):
+        """Run one :class:`~repro.analytics.AnalyticsQuery` against a
+        model's observation log; returns an
+        :class:`~repro.analytics.AnalyticsResult` carrying its plan.
+
+        ``force_scan=True`` bypasses the materialized views (the audit /
+        ablation path). Raises :class:`~repro.common.errors.ConfigError`
+        when the deployment was configured with ``analytics=False``.
+        """
+        return self._analytics_engine().query(
+            self._analytics_log_name(model_name), query, force_scan=force_scan
+        )
+
+    def analytics_integrity(
+        self, model_name: str | None = None, tolerance: float = 0.0
+    ):
+        """Replay a model's MV catalog against its log; returns an
+        :class:`~repro.analytics.IntegrityReport`."""
+        return self._analytics_engine().integrity(
+            self._analytics_log_name(model_name), tolerance=tolerance
+        )
+
+    def _analytics_engine(self):
+        if self.analytics is None:
+            from repro.common.errors import ConfigError
+
+            raise ConfigError(
+                "analytics is disabled for this deployment "
+                "(VeloxConfig.analytics=False)"
+            )
+        return self.analytics
+
+    def _analytics_log_name(self, model_name: str | None) -> str:
+        return self.manager._log_name(self._model_name(model_name))
 
     # -- replication ---------------------------------------------------------------------
 

@@ -29,6 +29,7 @@ from repro.frontend.api import (
     RetrainApiRequest,
     TopKCatalogApiRequest,
     StatusApiRequest,
+    AnalyticsApiRequest,
     ApiResponse,
     encode_request,
     decode_request,
@@ -48,6 +49,7 @@ __all__ = [
     "RetrainApiRequest",
     "TopKCatalogApiRequest",
     "StatusApiRequest",
+    "AnalyticsApiRequest",
     "ApiResponse",
     "encode_request",
     "decode_request",

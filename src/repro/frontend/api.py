@@ -82,6 +82,41 @@ class StatusApiRequest:
 
 
 @dataclass(frozen=True)
+class AnalyticsApiRequest:
+    """One rollup query over a model's observation log.
+
+    Mirrors :class:`~repro.analytics.AnalyticsQuery` field for field
+    (filters on ``uid``/``item``/timestamp range, optional ``group_by``,
+    aggregate over labels), plus the routing escape hatch
+    ``force_scan`` and the usual optional ``model`` selector.
+    """
+
+    uid: int | None = None
+    item: int | None = None
+    time_start: float | None = None
+    time_end: float | None = None
+    group_by: str | None = None
+    agg: str = "count"
+    force_scan: bool = False
+    model: str | None = None
+    method = "analytics"
+
+    def to_query(self):
+        """The engine-side :class:`~repro.analytics.AnalyticsQuery`
+        (validates filters/aggregate at conversion time)."""
+        from repro.analytics import AnalyticsQuery
+
+        return AnalyticsQuery(
+            uid=self.uid,
+            item_id=self.item,
+            time_start=self.time_start,
+            time_end=self.time_end,
+            group_by=self.group_by,
+            agg=self.agg,
+        )
+
+
+@dataclass(frozen=True)
 class ApiResponse:
     """Uniform response envelope."""
 
@@ -98,6 +133,7 @@ _REQUEST_TYPES = {
     "retrain": RetrainApiRequest,
     "top_k_catalog": TopKCatalogApiRequest,
     "status": StatusApiRequest,
+    "analytics": AnalyticsApiRequest,
 }
 
 
@@ -148,6 +184,17 @@ def encode_request(request) -> str:
         body.update(uid=request.uid, k=request.k, model=request.model)
     elif isinstance(request, StatusApiRequest):
         pass  # no fields
+    elif isinstance(request, AnalyticsApiRequest):
+        body.update(
+            uid=request.uid,
+            item=request.item,
+            time_start=request.time_start,
+            time_end=request.time_end,
+            group_by=request.group_by,
+            agg=request.agg,
+            force_scan=request.force_scan,
+            model=request.model,
+        )
     else:
         raise ValidationError(f"unknown request type {type(request).__name__}")
     return json.dumps(body)
@@ -192,6 +239,21 @@ def decode_request(line: str):
         )
     if method == "status":
         return StatusApiRequest()
+    if method == "analytics":
+        uid = body.get("uid")
+        item = body.get("item")
+        time_start = body.get("time_start")
+        time_end = body.get("time_end")
+        return AnalyticsApiRequest(
+            uid=None if uid is None else int(uid),
+            item=None if item is None else int(item),
+            time_start=None if time_start is None else float(time_start),
+            time_end=None if time_end is None else float(time_end),
+            group_by=body.get("group_by"),
+            agg=body.get("agg", "count"),
+            force_scan=bool(body.get("force_scan", False)),
+            model=body.get("model"),
+        )
     return RetrainApiRequest(
         model=body.get("model"), reason=body.get("reason", "api request")
     )

@@ -7,11 +7,13 @@ whether calls arrive in-process or over the wire.
 
 from __future__ import annotations
 
-from concurrent.futures import Future
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.common.errors import ReproError
 from repro.core.bandits import make_policy
 from repro.frontend.api import (
+    AnalyticsApiRequest,
     ApiResponse,
     HealthApiRequest,
     ObserveApiRequest,
@@ -40,6 +42,11 @@ class VeloxClient:
         #: by the TCP servers so ``status`` responses expose the front
         #: end's state (open sockets, backpressure, dispatch depth).
         self.frontend_status = None
+        # Analytics queries can degrade to log scans; a small side pool
+        # keeps them off the event-loop/serving thread (see
+        # dispatch_async). Created lazily — most clients never query.
+        self._analytics_pool: ThreadPoolExecutor | None = None
+        self._analytics_pool_lock = threading.Lock()
 
     # -- convenience methods (build request objects internally) -------------
 
@@ -90,6 +97,31 @@ class VeloxClient:
     def status(self) -> ApiResponse:
         """Deployment status report via the API envelope."""
         return self.dispatch(StatusApiRequest())
+
+    def analytics(
+        self,
+        uid: int | None = None,
+        item: int | None = None,
+        time_start: float | None = None,
+        time_end: float | None = None,
+        group_by: str | None = None,
+        agg: str = "count",
+        force_scan: bool = False,
+        model: str | None = None,
+    ) -> ApiResponse:
+        """One observation-log rollup query via the API envelope."""
+        return self.dispatch(
+            AnalyticsApiRequest(
+                uid=uid,
+                item=item,
+                time_start=time_start,
+                time_end=time_end,
+                group_by=group_by,
+                agg=agg,
+                force_scan=force_scan,
+                model=model,
+            )
+        )
 
     # -- dispatcher ----------------------------------------------------------
 
@@ -177,6 +209,29 @@ class VeloxClient:
 
             inner.add_done_callback(_complete)
             return outer
+        if isinstance(request, AnalyticsApiRequest):
+            # Analytics may fall back to a log scan; run it on the side
+            # pool so a reporting query never stalls the event-loop
+            # thread between serving requests.
+            pool = self._analytics_pool
+            if pool is None:
+                with self._analytics_pool_lock:
+                    pool = self._analytics_pool
+                    if pool is None:
+                        pool = ThreadPoolExecutor(
+                            max_workers=2, thread_name_prefix="velox-analytics"
+                        )
+                        self._analytics_pool = pool
+
+            def _run_analytics() -> ApiResponse:
+                try:
+                    return self.dispatch(request)
+                except Exception as err:
+                    return ApiResponse(
+                        ok=False, error=f"{type(err).__name__}: {err}"
+                    )
+
+            return pool.submit(_run_analytics)
         try:
             return self._completed(self.dispatch(request))
         except Exception as err:  # dispatch of unknown/broken requests
@@ -293,6 +348,13 @@ class VeloxClient:
                     ]
                 },
             )
+        if isinstance(request, AnalyticsApiRequest):
+            result = self.velox.analytics_query(
+                request.to_query(),
+                model_name=request.model,
+                force_scan=request.force_scan,
+            )
+            return ApiResponse(ok=True, payload=result.payload())
         if isinstance(request, StatusApiRequest):
             from dataclasses import asdict
 
@@ -306,6 +368,9 @@ class VeloxClient:
                 payload["replication"] = replication.metrics.snapshot()
             if self.frontend_status is not None:
                 payload["frontend"] = self.frontend_status()
+            analytics = getattr(self.velox, "analytics", None)
+            if analytics is not None:
+                payload["analytics"] = analytics.describe()
             return ApiResponse(ok=True, payload=payload)
         return ApiResponse(
             ok=False, error=f"unknown request type {type(request).__name__}"

@@ -31,6 +31,7 @@ from concurrent.futures import Future
 from repro.common.errors import OverloadedError, TransportError
 from repro.frontend import wire
 from repro.frontend.api import (
+    AnalyticsApiRequest,
     ApiResponse,
     decode_response,
     encode_request,
@@ -195,6 +196,33 @@ class PipelinedClient:
             raise TransportError(
                 f"no response within {timeout or self._timeout}s"
             ) from err
+
+    def analytics(
+        self,
+        uid: int | None = None,
+        item: int | None = None,
+        time_start: float | None = None,
+        time_end: float | None = None,
+        group_by: str | None = None,
+        agg: str = "count",
+        force_scan: bool = False,
+        model: str | None = None,
+        timeout: float | None = None,
+    ) -> ApiResponse:
+        """Blocking convenience for one observation-log rollup query."""
+        return self.call(
+            AnalyticsApiRequest(
+                uid=uid,
+                item=item,
+                time_start=time_start,
+                time_end=time_end,
+                group_by=group_by,
+                agg=agg,
+                force_scan=force_scan,
+                model=model,
+            ),
+            timeout=timeout,
+        )
 
     @property
     def in_flight(self) -> int:

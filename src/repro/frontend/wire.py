@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.common.errors import TransportError, ValidationError
 from repro.frontend.api import (
+    AnalyticsApiRequest,
     ApiResponse,
     HealthApiRequest,
     ObserveApiRequest,
@@ -72,6 +73,7 @@ OP_HEALTH = 4
 OP_RETRAIN = 5
 OP_TOP_K_CATALOG = 6
 OP_STATUS = 7
+OP_ANALYTICS = 8
 #: Responses share one opcode; the correlation id routes them.
 OP_RESPONSE = 128
 
@@ -83,6 +85,7 @@ REQUEST_OPCODES = {
     RetrainApiRequest: OP_RETRAIN,
     TopKCatalogApiRequest: OP_TOP_K_CATALOG,
     StatusApiRequest: OP_STATUS,
+    AnalyticsApiRequest: OP_ANALYTICS,
 }
 
 # -- tagged binary values ---------------------------------------------------
@@ -460,6 +463,17 @@ def encode_request_frame(request, corr_id: int) -> bytes:
         payload = _pack_values(request.model, request.reason)
     elif opcode == OP_TOP_K_CATALOG:
         payload = _pack_values(request.uid, request.k, request.model)
+    elif opcode == OP_ANALYTICS:
+        payload = _pack_values(
+            request.uid,
+            request.item,
+            request.time_start,
+            request.time_end,
+            request.group_by,
+            request.agg,
+            bool(request.force_scan),
+            request.model,
+        )
     else:  # OP_STATUS
         payload = b""
     return encode_frame(opcode, corr_id, payload)
@@ -495,6 +509,20 @@ def decode_request_payload(opcode: int, payload: bytes):
         return TopKCatalogApiRequest(uid=int(uid), k=int(k), model=model)
     if opcode == OP_STATUS:
         return StatusApiRequest()
+    if opcode == OP_ANALYTICS:
+        uid, item, time_start, time_end, group_by, agg, force_scan, model = (
+            unpack_value(cursor) for _ in range(8)
+        )
+        return AnalyticsApiRequest(
+            uid=None if uid is None else int(uid),
+            item=None if item is None else int(item),
+            time_start=None if time_start is None else float(time_start),
+            time_end=None if time_end is None else float(time_end),
+            group_by=group_by,
+            agg=agg,
+            force_scan=bool(force_scan),
+            model=model,
+        )
     raise ValidationError(f"unknown request opcode {opcode}")
 
 

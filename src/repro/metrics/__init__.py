@@ -16,6 +16,7 @@ from repro.metrics.errors import (
 )
 from repro.metrics.streaming import StreamingMeanVar, WindowedMean, Ewma
 from repro.metrics.latency import LatencyRecorder, Timer
+from repro.metrics.analytics import AnalyticsMetrics
 from repro.metrics.replication import ReplicationMetrics
 from repro.metrics.serving import Histogram, QueueMetrics
 
@@ -34,5 +35,6 @@ __all__ = [
     "Timer",
     "Histogram",
     "QueueMetrics",
+    "AnalyticsMetrics",
     "ReplicationMetrics",
 ]

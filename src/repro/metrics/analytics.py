@@ -1,0 +1,93 @@
+"""Analytics-tier counters, exported by the status endpoint.
+
+One :class:`AnalyticsMetrics` instance meters the whole analytics tier
+of a node: how queries were routed (MV hit vs. indexed vs. full scan),
+what answers cost in latency, how stale the routed views were, what
+inline MV maintenance costs the write path, and whether integrity
+checks have ever failed. Published under the ``"analytics"`` key of the
+status response so the MV-first claim is observable, not asserted.
+
+Maintenance is metered per *view application* (one log append touches
+every registered view, so three applications per observe with the
+standard catalog); the snapshot exposes both the application count and
+the cumulative seconds, from which mean per-apply overhead follows.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class AnalyticsMetrics:
+    """Thread-safe counters for one node's analytics tier.
+
+    Query metering is keyed by plan route: ``mv:*`` routes count as
+    ``mv_hits``, ``scan:user-index`` as ``indexed_scans``, plain
+    ``scan`` as ``full_scans``. ``snapshot`` returns a plain dict safe
+    to serialize over either wire codec.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        # queries
+        self.queries_total = 0
+        self.mv_hits = 0
+        self.indexed_scans = 0
+        self.full_scans = 0
+        self.query_seconds = 0.0
+        self.last_staleness_records = 0
+        self.max_staleness_records = 0
+        # maintenance
+        self.maintenance_applies = 0
+        self.maintenance_seconds = 0.0
+        # integrity
+        self.integrity_checks = 0
+        self.integrity_failures = 0
+
+    def record_query(
+        self, route: str, seconds: float, staleness_records: int = 0
+    ) -> None:
+        """Meter one executed query by its chosen plan route."""
+        with self._lock:
+            self.queries_total += 1
+            self.query_seconds += seconds
+            if route.startswith("mv:"):
+                self.mv_hits += 1
+            elif route == "scan:user-index":
+                self.indexed_scans += 1
+            else:
+                self.full_scans += 1
+            self.last_staleness_records = staleness_records
+            self.max_staleness_records = max(
+                self.max_staleness_records, staleness_records
+            )
+
+    def record_maintenance(self, seconds: float) -> None:
+        """Meter one inline view application on the append path."""
+        with self._lock:
+            self.maintenance_applies += 1
+            self.maintenance_seconds += seconds
+
+    def record_integrity(self, ok: bool) -> None:
+        """Meter one integrity-check run."""
+        with self._lock:
+            self.integrity_checks += 1
+            if not ok:
+                self.integrity_failures += 1
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter (JSON-serializable)."""
+        with self._lock:
+            return {
+                "queries_total": self.queries_total,
+                "mv_hits": self.mv_hits,
+                "indexed_scans": self.indexed_scans,
+                "full_scans": self.full_scans,
+                "query_seconds": self.query_seconds,
+                "last_staleness_records": self.last_staleness_records,
+                "max_staleness_records": self.max_staleness_records,
+                "maintenance_applies": self.maintenance_applies,
+                "maintenance_seconds": self.maintenance_seconds,
+                "integrity_checks": self.integrity_checks,
+                "integrity_failures": self.integrity_failures,
+            }

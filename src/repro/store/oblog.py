@@ -5,12 +5,25 @@ the online learner consumes it immediately, and offline retraining reads
 it later in bulk "from the storage layer". Readers address the log by
 offset so a batch job can consume exactly the records that existed when
 it was triggered, while new observations continue to append.
+
+Two auxiliary structures ride along with the append path:
+
+* a **per-user offset index** so user-scoped reads (``by_user``, the
+  per-user Eq. 2 solves, analytics backfill) cost O(records for that
+  user) instead of a full-log scan, and
+* **append listeners** — callables invoked inline with each durably
+  appended record, under the log lock, in offset order. The analytics
+  tier's materialized-view maintainer subscribes here, which is what
+  makes an MV's high-watermark offset an exact statement: a view at
+  watermark W has folded in precisely ``log[0:W)``.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from threading import RLock
+from typing import Callable
 
 
 @dataclass(frozen=True)
@@ -40,16 +53,45 @@ class ObservationLog:
     def __init__(self):
         self._records: list[Observation] = []
         self._lock = RLock()
+        #: uid -> sorted offsets of that user's records (append-only, so
+        #: appends keep each list sorted for free).
+        self._user_offsets: dict[int, list[int]] = {}
+        self._listeners: list[Callable[[int, Observation], None]] = []
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._records)
 
+    def add_listener(
+        self,
+        listener: Callable[[int, Observation], None],
+        replay: bool = False,
+    ) -> None:
+        """Subscribe to appends: ``listener(offset, observation)`` runs
+        inline for every future record, under the log lock, in offset
+        order. Listeners must not append back into the log.
+
+        ``replay=True`` first feeds every existing record through the
+        listener, atomically with the subscription (the lock serializes
+        appends), so a late subscriber — a materialized view registered
+        against a non-empty log — backfills without ever missing or
+        double-seeing a record.
+        """
+        with self._lock:
+            if replay:
+                for offset, observation in enumerate(self._records):
+                    listener(offset, observation)
+            self._listeners.append(listener)
+
     def append(self, observation: Observation) -> int:
         """Durably append one observation; returns its offset."""
         with self._lock:
+            offset = len(self._records)
             self._records.append(observation)
-            return len(self._records) - 1
+            self._user_offsets.setdefault(observation.uid, []).append(offset)
+            for listener in self._listeners:
+                listener(offset, observation)
+            return offset
 
     def snapshot_offset(self) -> int:
         """Offset one past the last record at call time."""
@@ -75,5 +117,31 @@ class ObservationLog:
         return self.read_range(0)
 
     def by_user(self, uid: int, stop: int | None = None) -> list[Observation]:
-        """All observations for one user up to ``stop`` (for Eq. 2 solves)."""
-        return [ob for ob in self.read_range(0, stop) if ob.uid == uid]
+        """All observations for one user up to ``stop`` (for Eq. 2 solves).
+
+        Served from the per-user offset index: O(records for this user),
+        not a full-log scan. ``stop`` keeps ``read_range`` semantics
+        (must lie within ``[0, len(log)]``).
+        """
+        with self._lock:
+            end = len(self._records) if stop is None else stop
+            if end > len(self._records):
+                raise ValueError(
+                    f"stop {end} is past the end of the log ({len(self._records)})"
+                )
+            if end < 0:
+                raise ValueError(f"stop {end} precedes start 0")
+            offsets = self._user_offsets.get(uid, [])
+            cut = bisect_left(offsets, end)
+            return [self._records[offset] for offset in offsets[:cut]]
+
+    def user_record_count(self, uid: int) -> int:
+        """Records this user has in the log (an O(1) index lookup; the
+        analytics planner's cost estimate for user-scoped scans)."""
+        with self._lock:
+            return len(self._user_offsets.get(uid, []))
+
+    def user_ids(self) -> list[int]:
+        """Distinct user ids present in the log."""
+        with self._lock:
+            return list(self._user_offsets)

@@ -35,10 +35,21 @@ class VeloxStore:
         #: replication is enabled (e.g. per-model user-state tables)
         #: get replica sets too.
         self._table_listeners: list[Callable[[Table], None]] = []
+        #: callables(name, log) invoked on every log creation; the
+        #: analytics tier subscribes so each model's observation log
+        #: gets a materialized-view catalog the moment it exists.
+        self._log_listeners: list[Callable[[str, ObservationLog], None]] = []
 
     def add_table_listener(self, listener: Callable[[Table], None]) -> None:
         """Subscribe to table creation; fires for future tables only."""
         self._table_listeners.append(listener)
+
+    def add_log_listener(
+        self, listener: Callable[[str, ObservationLog], None]
+    ) -> None:
+        """Subscribe to observation-log creation; fires for future logs
+        only (subscribers that attach late can enumerate ``log_names``)."""
+        self._log_listeners.append(listener)
 
     # -- tables -------------------------------------------------------------
 
@@ -103,6 +114,8 @@ class VeloxStore:
             raise StorageError(f"observation log {name!r} already exists")
         log = ObservationLog()
         self._logs[name] = log
+        for listener in self._log_listeners:
+            listener(name, log)
         return log
 
     def log(self, name: str) -> ObservationLog:

@@ -98,6 +98,19 @@ class TumblingWindowAggregate(Operator):
                 self._windows[key] = (aggregate, count)
         return emitted
 
+    def open_windows(self) -> dict[object, tuple[object, int]]:
+        """A ``{key: (aggregate, count)}`` snapshot of windows that have
+        not yet closed.
+
+        Consumers that answer queries over a *live* stream — the
+        analytics tier's windowed rollups — need the partially-filled
+        tail window alongside the closed ones; ``flush`` would emit it
+        but also clear it, ending the window. The dict is a shallow
+        copy: safe to iterate while processing continues, but mutable
+        aggregate objects (e.g. a list ``zero``) are shared.
+        """
+        return dict(self._windows)
+
     def flush(self) -> list:
         """Emit residual window state at end-of-stream."""
         residual = [(key, agg) for key, (agg, __count) in self._windows.items()]

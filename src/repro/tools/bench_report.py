@@ -49,6 +49,11 @@ KNOWN_EXPERIMENTS = [
         "Ablation — front end: event loop vs thread-per-connection, "
         "16 to 2048 clients",
     ),
+    (
+        "ablation_analytics",
+        "Ablation — analytics tier: MV routing vs log scans, integrity, "
+        "serving interference",
+    ),
 ]
 
 

@@ -59,6 +59,31 @@ class TestReads:
         with pytest.raises(ValueError):
             log.read_range(1, 0)
 
+    def test_read_range_stop_beyond_tail_names_the_bound(self):
+        log = ObservationLog()
+        for i in range(3):
+            log.append(make_obs(i, i))
+        with pytest.raises(ValueError, match="past the end"):
+            log.read_range(0, 4)
+        # stop exactly at the tail is the boundary, not an error.
+        assert len(log.read_range(0, 3)) == 3
+
+    def test_read_range_start_equals_stop_is_empty(self):
+        log = ObservationLog()
+        for i in range(3):
+            log.append(make_obs(i, i))
+        assert log.read_range(0, 0) == []
+        assert log.read_range(2, 2) == []
+        # The empty-tail read a caught-up consumer performs.
+        assert log.read_range(3, 3) == []
+
+    def test_read_range_negative_start_rejected(self):
+        log = ObservationLog()
+        with pytest.raises(ValueError, match="start must be >= 0"):
+            log.read_range(-1)
+        with pytest.raises(ValueError, match="start must be >= 0"):
+            log.read_range(-3, 0)
+
     def test_by_user(self):
         log = ObservationLog()
         for i in range(6):
@@ -72,7 +97,73 @@ class TestReads:
             log.append(make_obs(0, i))
         assert len(log.by_user(0, stop=3)) == 3
 
+    def test_by_user_unknown_uid_is_empty(self):
+        log = ObservationLog()
+        log.append(make_obs(1, 1))
+        assert log.by_user(999) == []
+
+    def test_by_user_stop_validation_matches_read_range(self):
+        log = ObservationLog()
+        log.append(make_obs(1, 1))
+        with pytest.raises(ValueError):
+            log.by_user(1, stop=5)
+        with pytest.raises(ValueError):
+            log.by_user(1, stop=-1)
+
     def test_observation_is_immutable(self):
         ob = make_obs(1, 2)
         with pytest.raises(AttributeError):
             ob.label = 5.0
+
+
+class TestUserIndex:
+    def test_user_record_count(self):
+        log = ObservationLog()
+        for i in range(7):
+            log.append(make_obs(i % 3, i))
+        assert log.user_record_count(0) == 3
+        assert log.user_record_count(1) == 2
+        assert log.user_record_count(99) == 0
+
+    def test_user_ids(self):
+        log = ObservationLog()
+        for uid in (5, 2, 5, 9):
+            log.append(make_obs(uid, 0))
+        assert sorted(log.user_ids()) == [2, 5, 9]
+
+    def test_by_user_agrees_with_full_scan(self):
+        log = ObservationLog()
+        for i in range(50):
+            log.append(make_obs(i % 7, i, label=float(i)))
+        for uid in range(7):
+            via_index = log.by_user(uid)
+            via_scan = [ob for ob in log.read_all() if ob.uid == uid]
+            assert via_index == via_scan
+
+
+class TestListeners:
+    def test_listener_sees_offsets_in_order(self):
+        log = ObservationLog()
+        seen = []
+        log.add_listener(lambda off, ob: seen.append((off, ob.item_id)))
+        for i in range(4):
+            log.append(make_obs(0, i))
+        assert seen == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_replay_backfills_existing_records(self):
+        log = ObservationLog()
+        for i in range(3):
+            log.append(make_obs(0, i))
+        seen = []
+        log.add_listener(lambda off, ob: seen.append(off), replay=True)
+        log.append(make_obs(0, 3))
+        # Backfill covered [0, 3); the subscription carried on from 3.
+        assert seen == [0, 1, 2, 3]
+
+    def test_no_replay_sees_only_future_records(self):
+        log = ObservationLog()
+        log.append(make_obs(0, 0))
+        seen = []
+        log.add_listener(lambda off, ob: seen.append(off))
+        log.append(make_obs(0, 1))
+        assert seen == [1]

@@ -86,6 +86,43 @@ class TestOperators:
         with pytest.raises(ValidationError):
             TumblingWindowAggregate(lambda r: r, 0, lambda a, b: a, 0)
 
+    def test_window_spanning_end_of_stream_flushes_partial(self):
+        """A window that never fills must still surface at flush with
+        exactly the records it absorbed — the end-of-stream boundary."""
+        window = TumblingWindowAggregate(
+            key_fn=lambda r: r[0], zero=0.0, add=lambda acc, r: acc + r[1],
+            window_size=3,
+        )
+        assert window.process([("k", 1.0), ("k", 2.0)]) == []
+        assert window.flush() == [("k", 3.0)]
+        # flush ends the window: state is gone, a second flush is empty.
+        assert window.flush() == []
+        assert window.open_windows() == {}
+
+    def test_empty_batch_process_is_a_noop(self):
+        window = TumblingWindowAggregate(
+            key_fn=lambda r: r[0], zero=0, add=lambda acc, r: acc + 1,
+            window_size=2,
+        )
+        assert window.process([]) == []
+        window.process([("k", None)])
+        # An empty batch between records must not close or corrupt the
+        # open window.
+        assert window.process([]) == []
+        assert window.process([("k", None)]) == [("k", 2)]
+
+    def test_open_windows_exposes_partial_state_without_ending_it(self):
+        window = TumblingWindowAggregate(
+            key_fn=lambda r: r[0], zero=0.0, add=lambda acc, r: acc + r[1],
+            window_size=3,
+        )
+        window.process([("a", 1.0), ("a", 2.0), ("b", 7.0)])
+        snapshot = window.open_windows()
+        assert snapshot == {"a": (3.0, 2), "b": (7.0, 1)}
+        # Reading open windows is non-destructive: the next record still
+        # closes a's window with the full aggregate.
+        assert window.process([("a", 4.0)]) == [("a", 7.0)]
+
 
 class TestPipeline:
     def test_end_to_end_transformation(self):

@@ -13,6 +13,7 @@ import pytest
 
 from repro.common.errors import TransportError, ValidationError
 from repro.frontend import (
+    AnalyticsApiRequest,
     ApiResponse,
     ConnectionPool,
     HealthApiRequest,
@@ -54,6 +55,16 @@ REQUEST_CATALOG = [
     RetrainApiRequest(model="songs", reason="drift"),
     TopKCatalogApiRequest(uid=2, k=5, model="songs"),
     StatusApiRequest(),
+    AnalyticsApiRequest(uid=7, agg="mean", model="songs"),
+    AnalyticsApiRequest(
+        item=4,
+        time_start=0.0,
+        time_end=200.0,
+        group_by="window",
+        agg="sum",
+        force_scan=True,
+    ),
+    AnalyticsApiRequest(),
 ]
 
 RESPONSE_CATALOG = [
