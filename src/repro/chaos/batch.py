@@ -1,0 +1,78 @@
+"""Batch-tier worker-kill injection driven by a seeded fault schedule.
+
+The batch scheduler's :class:`~repro.batch.scheduler.FailureInjector`
+predates the chaos layer and enumerates faults explicitly (exact
+partitions to kill). :class:`ScheduledFailureInjector` keeps that class'
+entire API — the scheduler and its tests do not change — but sources
+worker kills from a :class:`~repro.chaos.schedule.FaultSchedule` rule on
+the ``"batch.worker_kill"`` point, keyed by partition index.
+
+Keyed draws matter here: fork workers consult the injector in a child
+process, after ``os.fork``, so nothing mutable can be shared back. A
+decision that is a pure function of ``(seed, rule_index, partition)``
+answers identically in the child and in the driver, which is what keeps
+the driver's :meth:`consume_worker_kill` bookkeeping consistent with the
+kill the child actually performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.batch.scheduler import FailureInjector
+from repro.chaos.schedule import FaultSchedule
+
+WORKER_KILL_POINT = "batch.worker_kill"
+
+
+def scheduled_worker_kills(schedule: FaultSchedule, partitions: int) -> set:
+    """The partition indices a schedule kills, resolved eagerly.
+
+    Evaluates every ``batch.worker_kill`` rule against each partition in
+    ``range(partitions)`` with the partition index as the decision key.
+    Rule fault budgets (``max_faults``) are honoured in partition order;
+    time windows are ignored (batch kills are placement decisions, not
+    wall-clock events).
+    """
+    kills: set = set()
+    for rule_index, rule in schedule.rules_for(WORKER_KILL_POINT):
+        budget = rule.max_faults if rule.max_faults is not None else partitions
+        fired = 0
+        for partition in range(partitions):
+            if fired >= budget:
+                break
+            uniform, _ = schedule.draw(rule_index, partition)
+            if uniform < rule.probability:
+                kills.add(partition)
+                fired += 1
+    return kills
+
+
+@dataclass
+class ScheduledFailureInjector(FailureInjector):
+    """A :class:`FailureInjector` whose worker kills come from a schedule.
+
+    Construct with ``from_schedule`` so the kill set is materialized from
+    the schedule's deterministic draws::
+
+        injector = ScheduledFailureInjector.from_schedule(
+            schedule, partitions=8
+        )
+        ctx = BatchContext(..., injector=injector)
+
+    Everything else (map/result failures, lost outputs, the consuming
+    driver-side APIs) behaves exactly like the base class; the schedule
+    is kept only for provenance.
+    """
+
+    schedule: FaultSchedule | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_schedule(
+        cls, schedule: FaultSchedule, partitions: int
+    ) -> "ScheduledFailureInjector":
+        """Build an injector whose kill set the schedule determines."""
+        return cls(
+            worker_kills=scheduled_worker_kills(schedule, partitions),
+            schedule=schedule,
+        )

@@ -1,0 +1,225 @@
+"""The chaos injector and the process-wide runtime hook.
+
+:class:`ChaosInjector` turns a declarative
+:class:`~repro.chaos.schedule.FaultSchedule` into live decisions at the
+injection points compiled into the library (the wire codec, the
+event-loop front end, replication, the serving engine, the batch tier).
+Every injected fault is recorded as a
+:class:`~repro.chaos.schedule.FaultEvent`; :meth:`signature` reduces the
+event log to a canonical, interleaving-independent form so two runs of
+the same seeded schedule can be compared for exact equality.
+
+Production code consults the injector through the module-level runtime
+(:func:`install` / :func:`active` / :func:`fire` / :func:`latency` /
+:func:`should`). When nothing is installed — the overwhelmingly common
+case — every helper is a single ``None`` check, so the hooks cost
+nothing on the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.chaos.schedule import FaultEvent, FaultSchedule
+from repro.common.clock import Clock, SystemClock
+
+
+class ChaosInjector:
+    """Makes (and records) fault decisions for one schedule run.
+
+    Usage::
+
+        schedule = FaultSchedule([FaultRule("wire.drop_response", 0.1)], seed=7)
+        injector = ChaosInjector(schedule)
+        with chaos.installed(injector):
+            ... run the workload ...
+        injector.signature()   # canonical injected-fault sequence
+
+    Time windows are measured from the injector's *epoch* — set at
+    construction, or reset with :meth:`start` right before the workload
+    begins — against the provided clock (a
+    :class:`~repro.common.clock.SimulatedClock` makes windows fully
+    deterministic in tests).
+    """
+
+    def __init__(self, schedule: FaultSchedule, clock: Clock | None = None):
+        self.schedule = schedule
+        self.clock = clock if clock is not None else SystemClock()
+        self._lock = threading.Lock()
+        self._epoch = self.clock.now()
+        #: consultations per rule (drives unkeyed sequential decisions).
+        self._consults: dict[int, int] = {}
+        #: faults fired per rule (enforces ``max_faults`` budgets).
+        self._fired: dict[int, int] = {}
+        self._events: list[FaultEvent] = []
+
+    def start(self) -> "ChaosInjector":
+        """Reset the window epoch to now; returns self."""
+        with self._lock:
+            self._epoch = self.clock.now()
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        """Schedule-relative seconds since the epoch."""
+        return max(0.0, self.clock.now() - self._epoch)
+
+    # -- decisions -----------------------------------------------------------
+
+    def fire(self, point: str, key: object = None) -> FaultEvent | None:
+        """Consult every rule for ``point``; the first firing rule wins.
+
+        ``key`` makes the decision a pure function of the schedule and
+        the key (order- and process-independent); without it, the
+        decision indexes the rule's own consultation counter, which is
+        deterministic for any single-threaded consultation sequence.
+        Returns the recorded event, or ``None`` when no rule fired.
+        """
+        matches = self.schedule.rules_for(point)
+        if not matches:
+            return None
+        elapsed = self.elapsed
+        with self._lock:
+            for rule_index, rule in matches:
+                count = self._consults.get(rule_index, 0)
+                self._consults[rule_index] = count + 1
+                if not rule.active_at(elapsed):
+                    continue
+                fired = self._fired.get(rule_index, 0)
+                if rule.max_faults is not None and fired >= rule.max_faults:
+                    continue
+                decision_key = key if key is not None else count
+                uniform, jitter_draw = self.schedule.draw(
+                    rule_index, decision_key
+                )
+                if uniform >= rule.probability:
+                    continue
+                magnitude = rule.magnitude + rule.jitter * jitter_draw
+                event = FaultEvent(
+                    point=point,
+                    rule_index=rule_index,
+                    key=decision_key,
+                    magnitude=max(0.0, magnitude),
+                )
+                self._fired[rule_index] = fired + 1
+                self._events.append(event)
+                return event
+        return None
+
+    def should(self, point: str, key: object = None) -> bool:
+        """Boolean convenience around :meth:`fire`."""
+        return self.fire(point, key) is not None
+
+    def latency(self, point: str, key: object = None) -> float:
+        """Seconds of injected delay (0.0 when no rule fired)."""
+        event = self.fire(point, key)
+        return event.magnitude if event is not None else 0.0
+
+    # -- the record ----------------------------------------------------------
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        """Injected faults in firing order (snapshot copy)."""
+        with self._lock:
+            return list(self._events)
+
+    def event_count(self, point: str | None = None) -> int:
+        """Faults injected so far, optionally for one point."""
+        with self._lock:
+            if point is None:
+                return len(self._events)
+            return sum(1 for e in self._events if e.point == point)
+
+    def signature(self) -> tuple:
+        """Canonical, interleaving-independent fault sequence.
+
+        Events are sorted by ``(point, rule_index, key, magnitude)``, so
+        two runs that injected the same set of faults — even if worker
+        threads recorded them in different orders — produce equal
+        signatures. This is the determinism artifact the chaos ablation
+        records and compares across runs.
+        """
+        with self._lock:
+            return tuple(sorted(e.as_tuple() for e in self._events))
+
+    def consultations(self) -> dict[int, int]:
+        """Per-rule consultation counts (observability/testing)."""
+        with self._lock:
+            return dict(self._consults)
+
+
+def garble(frame: bytes) -> bytes:
+    """Deterministically corrupt one frame's payload.
+
+    Flips the first payload byte (the leading value *tag* for every
+    request/response codec) to an out-of-range tag, so the receiver
+    fails with a typed ``TransportError`` instead of silently decoding
+    wrong data. Frames too short to carry a payload are truncated by
+    one byte instead, which trips the length check the same way.
+    """
+    mutated = bytearray(frame)
+    if len(mutated) > 13:  # 4B length + 1B opcode + 8B corr id
+        mutated[13] ^= 0x7F
+        return bytes(mutated)
+    return bytes(mutated[:-1])
+
+
+# -- process-wide runtime ----------------------------------------------------
+
+_active: ChaosInjector | None = None
+_install_lock = threading.Lock()
+
+
+def install(injector: ChaosInjector) -> ChaosInjector:
+    """Make ``injector`` the process-wide active injector."""
+    global _active
+    with _install_lock:
+        _active = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Deactivate chaos; every hook reverts to a no-op."""
+    global _active
+    with _install_lock:
+        _active = None
+
+
+def active() -> ChaosInjector | None:
+    """The installed injector, or None."""
+    return _active
+
+
+@contextmanager
+def installed(injector: ChaosInjector):
+    """Scope an injector to a ``with`` block (tests, benchmarks)."""
+    install(injector)
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+def fire(point: str, key: object = None) -> FaultEvent | None:
+    """Module-level :meth:`ChaosInjector.fire`; None when inactive."""
+    injector = _active
+    if injector is None:
+        return None
+    return injector.fire(point, key)
+
+
+def should(point: str, key: object = None) -> bool:
+    """Module-level :meth:`ChaosInjector.should`; False when inactive."""
+    injector = _active
+    if injector is None:
+        return False
+    return injector.should(point, key)
+
+
+def latency(point: str, key: object = None) -> float:
+    """Module-level :meth:`ChaosInjector.latency`; 0.0 when inactive."""
+    injector = _active
+    if injector is None:
+        return 0.0
+    return injector.latency(point, key)

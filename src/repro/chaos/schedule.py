@@ -1,0 +1,238 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`FaultSchedule` is a list of :class:`FaultRule` entries plus a
+seed. Each rule names one *injection point* (a string like
+``"wire.drop_response"``), a firing probability, an optional magnitude
+(seconds, for latency-like faults), an optional active time window, and
+an optional fault budget. The schedule itself is pure data — it decides
+nothing — so it can be serialized into a benchmark artifact
+(``to_dict``/``from_dict``) and replayed bit-for-bit by a fresh
+:class:`~repro.chaos.injector.ChaosInjector`.
+
+Determinism model: every decision a rule makes is a pure function of
+``(schedule seed, rule index, decision key)``, where the key is either
+an explicit caller-provided value (e.g. a partition index or node id)
+or the rule's own consultation counter. Keyed decisions are therefore
+independent of thread interleaving and even of process boundaries —
+the property the batch tier's fork workers and the chaos ablation's
+two-run determinism check both rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DEFAULT_SEED, stable_hash
+
+#: The injection points the library consults, with the subsystem that
+#: owns each. A schedule may name points outside this list (custom test
+#: hooks); these are the ones wired into production code paths.
+KNOWN_POINTS = (
+    # wire codec (response path of the TCP front ends)
+    "wire.delay_response",   # magnitude: seconds of added latency
+    "wire.drop_response",    # response frame silently discarded
+    "wire.garble_response",  # one payload byte corrupted (typed decode error)
+    "wire.reset",            # connection closed mid-conversation
+    # frontend (event-loop intake)
+    "frontend.slow_accept",  # magnitude: seconds before reads begin
+    "frontend.stall_write",  # magnitude: seconds the outbound buffer stalls
+    # replication
+    "replication.ship_delay",  # magnitude: seconds added to a ship round
+    "replication.dead_node",   # key: node id — node is killed
+    "replication.slow_node",   # key: node id — heartbeat suppressed one tick
+    # serving engine
+    "engine.slow_handler",   # magnitude: seconds added before batch compute
+    # batch tier (fork executor)
+    "batch.worker_kill",     # key: partition — fork worker dies pre-task
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault source: where, how often, how hard, and for how long.
+
+    Attributes:
+        point: Injection-point name this rule applies to.
+        probability: Chance each consultation fires, in [0, 1].
+        magnitude: Seconds of delay for latency-like points (ignored by
+            boolean points like drops and resets).
+        jitter: Uniform ±jitter added to ``magnitude`` per firing, drawn
+            from the same deterministic stream as the firing decision.
+        max_faults: Fault budget — the rule stops firing after this many
+            faults (None = unbounded).
+        start: Schedule-relative activation time (seconds since the
+            injector's epoch). Decisions before this never fire.
+        stop: Schedule-relative deactivation time (exclusive).
+    """
+
+    point: str
+    probability: float = 1.0
+    magnitude: float = 0.0
+    jitter: float = 0.0
+    max_faults: int | None = None
+    start: float = 0.0
+    stop: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.point:
+            raise ConfigError("fault rule needs a non-empty point name")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.magnitude < 0:
+            raise ConfigError(f"magnitude must be >= 0, got {self.magnitude}")
+        if self.jitter < 0:
+            raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
+        if self.jitter > self.magnitude:
+            raise ConfigError(
+                f"jitter {self.jitter} exceeds magnitude {self.magnitude}: "
+                "a fault delay cannot go negative"
+            )
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ConfigError(
+                f"max_faults must be >= 0, got {self.max_faults}"
+            )
+        if self.start < 0:
+            raise ConfigError(f"start must be >= 0, got {self.start}")
+        if self.stop <= self.start:
+            raise ConfigError(
+                f"window must satisfy start ({self.start}) < stop ({self.stop})"
+            )
+
+    def active_at(self, elapsed: float) -> bool:
+        """Whether the rule's window covers ``elapsed`` schedule seconds."""
+        return self.start <= elapsed < self.stop
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe; ``inf`` stop becomes ``None``)."""
+        return {
+            "point": self.point,
+            "probability": self.probability,
+            "magnitude": self.magnitude,
+            "jitter": self.jitter,
+            "max_faults": self.max_faults,
+            "start": self.start,
+            "stop": None if math.isinf(self.stop) else self.stop,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        """Inverse of :meth:`to_dict`, rejecting unknown keys loudly."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"fault rule must be an object, got {type(data).__name__}"
+            )
+        known = {
+            "point", "probability", "magnitude", "jitter", "max_faults",
+            "start", "stop",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(f"unknown fault rule keys: {unknown}")
+        body = dict(data)
+        if body.get("stop") is None:
+            body["stop"] = math.inf
+        return cls(**body)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded by the injector.
+
+    ``key`` is the decision key: the caller-provided value for keyed
+    points (partition index, node id) or the rule's consultation index.
+    ``magnitude`` is the jittered delay actually applied (0.0 for
+    boolean faults). Events are hashable and ordered, so two runs'
+    fault sequences compare directly.
+    """
+
+    point: str
+    rule_index: int
+    key: object
+    magnitude: float
+
+    def as_tuple(self) -> tuple:
+        """Canonical comparable form."""
+        return (self.point, self.rule_index, repr(self.key), self.magnitude)
+
+
+class FaultSchedule:
+    """A seed plus an ordered list of :class:`FaultRule`.
+
+    The schedule is immutable data; hand it to a
+    :class:`~repro.chaos.injector.ChaosInjector` to make decisions.
+    Rules are matched to a consultation in declaration order, and the
+    first rule that fires wins, so placing a narrow windowed rule before
+    a broad background rule gives the window precedence.
+    """
+
+    def __init__(self, rules, seed: int = DEFAULT_SEED):
+        self.rules: tuple[FaultRule, ...] = tuple(rules)
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise ConfigError(
+                    f"schedule rules must be FaultRule, got {type(rule).__name__}"
+                )
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def rules_for(self, point: str) -> list[tuple[int, FaultRule]]:
+        """``(rule_index, rule)`` pairs matching one injection point."""
+        return [
+            (index, rule)
+            for index, rule in enumerate(self.rules)
+            if rule.point == point
+        ]
+
+    def points(self) -> list[str]:
+        """Every distinct injection point named by this schedule."""
+        seen: dict[str, None] = {}
+        for rule in self.rules:
+            seen.setdefault(rule.point, None)
+        return list(seen)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form recorded into benchmark artifacts."""
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        """Inverse of :meth:`to_dict`."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"fault schedule must be an object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"seed", "rules"})
+        if unknown:
+            raise ConfigError(f"unknown fault schedule keys: {unknown}")
+        return cls(
+            rules=[FaultRule.from_dict(r) for r in data.get("rules", [])],
+            seed=data.get("seed", DEFAULT_SEED),
+        )
+
+    # -- deterministic draws -------------------------------------------------
+
+    def draw(self, rule_index: int, key: object) -> tuple[float, float]:
+        """The (uniform firing draw, jitter draw in [-1, 1]) for a decision.
+
+        A pure function of ``(seed, rule_index, key)``: the same
+        schedule asked about the same decision always answers the same,
+        regardless of call order, thread, or process.
+        """
+        import numpy as np
+
+        entropy = (
+            self.seed & 0xFFFFFFFFFFFFFFFF,
+            rule_index,
+            stable_hash(key),
+        )
+        rng = np.random.default_rng(np.random.SeedSequence(entropy))
+        return float(rng.random()), float(rng.uniform(-1.0, 1.0))

@@ -140,6 +140,52 @@ class TransportError(ReproError):
     """
 
 
+class DeadlineExceededError(ReproError):
+    """A request's end-to-end deadline budget ran out before service.
+
+    Raised by admission control (the budget was already spent when the
+    request reached the queue) and by the pre-compute shed in the
+    serving workers (the budget expired while the request waited).
+    Requests are only ever shed *before* model compute — a request that
+    starts scoring is always completed and delivered, even late — so
+    this error means no work was wasted on an answer nobody would wait
+    for. Retryable if the caller still holds budget.
+    """
+
+    def __init__(self, where: str, detail: str):
+        self.where = where
+        self.detail = detail
+        super().__init__(f"deadline exceeded at {where}: {detail}")
+
+
+class DegradedError(ReproError):
+    """Every rung of the degradation ladder failed for this request.
+
+    The resilient serving path degrades in order — fresh predict,
+    cached-only answer, bounded-stale follower read — before giving up;
+    this error is the typed bottom rung, raised when even the prediction
+    cache has nothing for the key. Callers distinguish it from
+    transport/overload errors because retrying will not help until the
+    cache warms or the cluster heals.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is refusing calls to a failing target.
+
+    Raised at pick time — before any network I/O — while the breaker is
+    open. Carries when the breaker will next allow a probe so callers
+    can route around the target instead of waiting out a timeout.
+    """
+
+    def __init__(self, target: str, retry_after: float):
+        self.target = target
+        self.retry_after = retry_after
+        super().__init__(
+            f"circuit open for {target!r} (probe in {retry_after:.3f}s)"
+        )
+
+
 class OverloadedError(ReproError):
     """The serving tier shed this request instead of queueing it.
 

@@ -18,7 +18,10 @@ provides the equivalent for the reproduction:
   callers that need its tuning knobs (watermarks, frame limits),
 * :class:`PipelinedClient` / :class:`ConnectionPool` — the binary
   pipelined client (many in-flight correlated requests per socket) and
-  a small round-robin pool of them.
+  a small round-robin pool of them,
+* :class:`ResilientClient` — the policy stack on top of pooled
+  connections: retries under a token budget, hedged reads, per-endpoint
+  circuit breaking, and the degradation ladder.
 """
 
 from repro.frontend.api import (
@@ -39,6 +42,13 @@ from repro.frontend.api import (
 from repro.frontend.client import VeloxClient
 from repro.frontend.eventloop import EventLoopServer
 from repro.frontend.pipelined import ConnectionPool, PipelinedClient
+from repro.frontend.resilient import (
+    CircuitBreaker,
+    HedgePolicy,
+    ResilientClient,
+    RetryBudget,
+    RetryPolicy,
+)
 from repro.frontend.server import FRONTENDS, VeloxServer, RemoteClient
 
 __all__ = [
@@ -62,4 +72,9 @@ __all__ = [
     "RemoteClient",
     "PipelinedClient",
     "ConnectionPool",
+    "ResilientClient",
+    "CircuitBreaker",
+    "HedgePolicy",
+    "RetryBudget",
+    "RetryPolicy",
 ]

@@ -18,21 +18,37 @@ from repro.common.errors import ValidationError
 
 @dataclass(frozen=True)
 class PredictApiRequest:
-    """Point prediction for (uid, item)."""
+    """Point prediction for (uid, item).
+
+    ``deadline`` is the request's remaining end-to-end budget in seconds
+    (relative, so it survives clock skew between client and server); the
+    serving engine sheds the request — always before model compute —
+    once the budget is spent. ``degraded`` asks for the cache-only rung
+    of the degradation ladder: answer from the prediction cache without
+    queueing, or fail fast. Both are optional trailing wire fields, so
+    old peers interoperate unchanged.
+    """
     uid: int
     item: object
     model: str | None = None
+    deadline: float | None = None
+    degraded: bool = False
     method = "predict"
 
 
 @dataclass(frozen=True)
 class TopKApiRequest:
-    """Best-k over a provided candidate set."""
+    """Best-k over a provided candidate set.
+
+    ``deadline``/``degraded`` as on :class:`PredictApiRequest`.
+    """
     uid: int
     items: tuple
     k: int = 1
     model: str | None = None
     policy: str | None = None
+    deadline: float | None = None
+    degraded: bool = False
     method = "top_k"
 
 
@@ -160,6 +176,10 @@ def encode_request(request) -> str:
     body = {"method": request.method}
     if isinstance(request, PredictApiRequest):
         body.update(uid=request.uid, item=_jsonable_item(request.item), model=request.model)
+        if request.deadline is not None:
+            body["deadline"] = request.deadline
+        if request.degraded:
+            body["degraded"] = True
     elif isinstance(request, TopKApiRequest):
         body.update(
             uid=request.uid,
@@ -168,6 +188,10 @@ def encode_request(request) -> str:
             model=request.model,
             policy=request.policy,
         )
+        if request.deadline is not None:
+            body["deadline"] = request.deadline
+        if request.degraded:
+            body["degraded"] = True
     elif isinstance(request, ObserveApiRequest):
         body.update(
             uid=request.uid,
@@ -210,18 +234,24 @@ def decode_request(line: str):
     if method not in _REQUEST_TYPES:
         raise ValidationError(f"unknown API method {method!r}")
     if method == "predict":
+        deadline = body.get("deadline")
         return PredictApiRequest(
             uid=int(body["uid"]),
             item=_item_from_json(body["item"]),
             model=body.get("model"),
+            deadline=None if deadline is None else float(deadline),
+            degraded=bool(body.get("degraded", False)),
         )
     if method == "top_k":
+        deadline = body.get("deadline")
         return TopKApiRequest(
             uid=int(body["uid"]),
             items=tuple(_item_from_json(i) for i in body["items"]),
             k=int(body.get("k", 1)),
             model=body.get("model"),
             policy=body.get("policy"),
+            deadline=None if deadline is None else float(deadline),
+            degraded=bool(body.get("degraded", False)),
         )
     if method == "observe":
         return ObserveApiRequest(

@@ -153,6 +153,14 @@ class VeloxClient:
         admission control's age accounting covers frame reassembly and
         backpressure delay, not just queue residence.
         """
+        if isinstance(request, (PredictApiRequest, TopKApiRequest)) and (
+            request.degraded
+        ):
+            # The degradation ladder's cache-only rung: answer from the
+            # prediction cache without touching the engine queues, or
+            # fail fast with the typed bottom rung. Serving it inline
+            # keeps degraded reads sub-queue-latency by construction.
+            return self._completed(self._dispatch_degraded(request))
         if self.engine is not None and isinstance(
             request, (PredictApiRequest, TopKApiRequest)
         ):
@@ -170,6 +178,7 @@ class VeloxClient:
                         request.item,
                         model=request.model,
                         enqueue_time=arrived,
+                        deadline=request.deadline,
                     )
                     build = self._predict_payload
                 else:
@@ -187,6 +196,7 @@ class VeloxClient:
                         model=request.model,
                         policy=policy,
                         enqueue_time=arrived,
+                        deadline=request.deadline,
                     )
                     build = self._top_k_payload
             except ReproError as err:
@@ -245,6 +255,61 @@ class VeloxClient:
         future.set_result(response)
         return future
 
+    def _dispatch_degraded(self, request) -> ApiResponse:
+        """Serve a ``degraded=True`` request from the prediction cache.
+
+        Never enqueues, never scores: a cache hit answers immediately
+        (payload flagged ``degraded``), a miss is the ladder's typed
+        bottom — a ``DegradedError`` envelope the client cannot confuse
+        with overload or transport trouble.
+        """
+        service = self.velox.service
+        model_name = self.velox._model_name(request.model)
+        resilience = self.engine.resilience if self.engine is not None else None
+        if isinstance(request, PredictApiRequest):
+            result = service.predict_cached(
+                model_name, request.uid, request.item
+            )
+            if result is None:
+                if resilience is not None:
+                    resilience.on_degraded("error")
+                return ApiResponse(
+                    ok=False,
+                    error=(
+                        "DegradedError: no cached prediction for "
+                        f"user {request.uid}"
+                    ),
+                )
+            payload = self._predict_payload(result)
+        else:
+            policy = (
+                make_policy(request.policy, self.velox.config.bandit_exploration)
+                if request.policy
+                else None
+            )
+            results = service.top_k_cached(
+                model_name,
+                request.uid,
+                list(request.items),
+                k=request.k,
+                policy=policy,
+            )
+            if not results:
+                if resilience is not None:
+                    resilience.on_degraded("error")
+                return ApiResponse(
+                    ok=False,
+                    error=(
+                        "DegradedError: no cached candidates for "
+                        f"user {request.uid}"
+                    ),
+                )
+            payload = self._top_k_payload(results)
+        payload["degraded"] = True
+        if resilience is not None:
+            resilience.on_degraded("cached")
+        return ApiResponse(ok=True, payload=payload)
+
     @staticmethod
     def _predict_payload(result) -> dict:
         return {
@@ -267,10 +332,17 @@ class VeloxClient:
         }
 
     def _dispatch(self, request) -> ApiResponse:
+        if isinstance(request, (PredictApiRequest, TopKApiRequest)) and (
+            request.degraded
+        ):
+            return self._dispatch_degraded(request)
         if isinstance(request, PredictApiRequest):
             if self.engine is not None:
                 result = self.engine.predict(
-                    request.uid, request.item, model=request.model
+                    request.uid,
+                    request.item,
+                    model=request.model,
+                    deadline=request.deadline,
                 )
             else:
                 result = self.velox.predict_detailed(
@@ -290,6 +362,7 @@ class VeloxClient:
                     k=request.k,
                     model=request.model,
                     policy=policy,
+                    deadline=request.deadline,
                 )
             else:
                 results = self.velox.service.top_k(
@@ -371,6 +444,8 @@ class VeloxClient:
             analytics = getattr(self.velox, "analytics", None)
             if analytics is not None:
                 payload["analytics"] = analytics.describe()
+            if self.engine is not None:
+                payload["resilience"] = self.engine.resilience.snapshot()
             return ApiResponse(ok=True, payload=payload)
         return ApiResponse(
             ok=False, error=f"unknown request type {type(request).__name__}"

@@ -56,6 +56,7 @@ import socket
 import threading
 from collections import deque
 
+from repro import chaos
 from repro.common.errors import ValidationError
 from repro.frontend import wire
 from repro.frontend.api import ApiResponse, decode_request, encode_response
@@ -102,6 +103,7 @@ class _Connection:
         "draining",
         "closed",
         "recv_stamp",
+        "stalled",
     )
 
     def __init__(self, sock: socket.socket):
@@ -124,6 +126,9 @@ class _Connection:
         self.closed = False
         #: Engine-clock stamp of the latest recv (enqueue_time source).
         self.recv_stamp: float | None = None
+        #: Injected write stall (chaos ``frontend.stall_write``): while
+        #: set, the outbound buffer accumulates but nothing is sent.
+        self.stalled = False
 
 
 class EventLoopServer:
@@ -188,6 +193,8 @@ class EventLoopServer:
         self._conns: set[_Connection] = set()
         #: Closures handed from completion callbacks to the loop thread.
         self._completions: deque = deque()
+        #: Live chaos-delay timers (cancelled on teardown).
+        self._timers: set[threading.Timer] = set()
         self._thread: threading.Thread | None = None
         self._stop_requested = False
         self._closed = False
@@ -238,6 +245,25 @@ class EventLoopServer:
         self._completions.append((fn, args))
         self._wake()
 
+    def _later(self, delay: float, fn, *args) -> None:
+        """Run ``fn(*args)`` on the loop thread after ``delay`` seconds.
+
+        Used only by chaos injection: the delay ticks on a timer thread
+        so an injected latency spike never blocks the loop itself (one
+        slow connection must not stall the other thousands).
+        """
+        timer: threading.Timer | None = None
+
+        def fire() -> None:
+            self._timers.discard(timer)
+            if not self._closed:
+                self._schedule(fn, *args)
+
+        timer = threading.Timer(delay, fire)
+        timer.daemon = True
+        self._timers.add(timer)
+        timer.start()
+
     # -- the loop -------------------------------------------------------------
 
     def _run(self) -> None:
@@ -282,6 +308,9 @@ class EventLoopServer:
         if self._closed:
             return
         self._closed = True
+        for timer in list(self._timers):
+            timer.cancel()
+        self._timers.clear()
         for conn in list(self._conns):
             self._close(conn)
         for sock in (self._listen, self._wake_r, self._wake_w):
@@ -316,6 +345,15 @@ class EventLoopServer:
             conn = _Connection(sock)
             self._conns.add(conn)
             self.counters.connection_opened()
+            accept_delay = chaos.latency("frontend.slow_accept")
+            if accept_delay > 0.0:
+                # Injected slow accept: the connection exists but is not
+                # read until the delay elapses.
+                self._later(
+                    accept_delay, self._set_interest, conn,
+                    selectors.EVENT_READ,
+                )
+                continue
             self._set_interest(conn, selectors.EVENT_READ)
 
     def _on_readable(self, conn: _Connection) -> None:
@@ -366,17 +404,17 @@ class EventLoopServer:
 
     def _negotiate(self, conn: _Connection) -> bool:
         """Decide the protocol from the first bytes; False = need more."""
-        hello = wire.HELLO
-        if conn.inbuf.startswith(hello):
-            conn.mode = _BINARY
-            conn.decoder = wire.FrameDecoder(self.max_frame_bytes)
-            residue = bytes(conn.inbuf[len(hello):])
-            conn.inbuf.clear()
-            if residue:
-                conn.decoder.feed(residue)
-            self._queue_bytes(conn, hello)  # answer in kind
-            return True
-        if hello.startswith(conn.inbuf):
+        for hello in wire.HELLO_VERSIONS:
+            if conn.inbuf.startswith(hello):
+                conn.mode = _BINARY
+                conn.decoder = wire.FrameDecoder(self.max_frame_bytes)
+                residue = bytes(conn.inbuf[len(hello):])
+                conn.inbuf.clear()
+                if residue:
+                    conn.decoder.feed(residue)
+                self._queue_bytes(conn, hello)  # answer in kind
+                return True
+        if any(hello.startswith(conn.inbuf) for hello in wire.HELLO_VERSIONS):
             return False  # strict prefix: the rest is still in flight
         conn.mode = _JSON
         return True
@@ -496,6 +534,22 @@ class EventLoopServer:
                 ApiResponse(ok=False, error=f"{type(err).__name__}: {err}"),
                 corr_id,
             )
+        if chaos.active() is not None:
+            # Wire-codec fault injection, response path. Evaluated per
+            # frame, keyed-free (consultation order on the loop thread
+            # is the request completion order).
+            if chaos.should("wire.reset"):
+                self._close(conn)
+                return
+            if chaos.should("wire.drop_response"):
+                return
+            if chaos.should("wire.garble_response"):
+                frame = chaos.garble(frame)
+            delay = chaos.latency("wire.delay_response")
+            if delay > 0.0:
+                self.counters.frame_out()
+                self._later(delay, self._queue_bytes, conn, frame)
+                return
         self.counters.frame_out()
         self._queue_bytes(conn, frame)
 
@@ -503,12 +557,25 @@ class EventLoopServer:
         if conn.closed:
             return
         conn.outbuf += data
+        if (
+            not conn.stalled
+            and chaos.active() is not None
+        ):
+            stall = chaos.latency("frontend.stall_write")
+            if stall > 0.0:
+                conn.stalled = True
+                self._later(stall, self._unstall, conn)
+        self._flush(conn)
+
+    def _unstall(self, conn: _Connection) -> None:
+        """End an injected write stall and drain what accumulated."""
+        conn.stalled = False
         self._flush(conn)
 
     def _flush(self, conn: _Connection) -> None:
         if conn.closed:
             return
-        while conn.outbuf:
+        while not conn.stalled and conn.outbuf:
             try:
                 sent = conn.sock.send(conn.outbuf)
             except (BlockingIOError, InterruptedError):
@@ -534,7 +601,9 @@ class EventLoopServer:
         mask = 0
         if not conn.draining and not conn.read_paused:
             mask |= selectors.EVENT_READ
-        if conn.outbuf:
+        # A stalled connection must not watch writability: the socket is
+        # writable the whole time, and the loop would spin on it.
+        if conn.outbuf and not conn.stalled:
             mask |= selectors.EVENT_WRITE
         self._set_interest(conn, mask)
 

@@ -94,6 +94,16 @@ class PipelinedClient:
         #: corr id -> future (binary) / FIFO of futures (JSON fallback).
         self._pending: dict[int, Future] = {}
         self._fifo: deque[Future] = deque()
+        #: JSON-mode futures whose callers gave up waiting. They keep
+        #: their deque position (FIFO response matching needs it) but no
+        #: longer consume a ``max_inflight`` slot; the reader discards
+        #: their responses on arrival.
+        self._abandoned: set[Future] = set()
+        #: calls abandoned at timeout (window slots recovered).
+        self.timed_out = 0
+        #: binary payload dialect negotiated with the server (2 adds the
+        #: optional trailing deadline/degraded request fields).
+        self.wire_version = 1
         self.protocol = (
             self._negotiate() if prefer_binary else PROTOCOL_JSON
         )
@@ -108,19 +118,24 @@ class PipelinedClient:
         self._reader.start()
 
     def _negotiate(self) -> str:
-        """Offer binary; accept whatever the server answers.
+        """Offer binary v2; accept whatever the server answers.
 
-        A binary server echoes the hello line; a JSON-lines server
-        answers the (to it, malformed) hello with a one-line error
-        envelope, which tells us to fall back.
+        A v2 binary server echoes the v2 hello line; a v1 binary server
+        may echo the v1 hello (we speak v1 frames to it); a JSON-lines
+        server answers the (to it, malformed) hello with a one-line
+        error envelope, which tells us to fall back.
         """
         try:
-            self._sock.sendall(wire.HELLO)
+            self._sock.sendall(wire.HELLO_V2)
             answer = self._rfile.readline()
         except OSError as err:
             self._teardown()
             raise TransportError(f"protocol negotiation failed: {err}") from err
+        if answer == wire.HELLO_V2:
+            self.wire_version = 2
+            return PROTOCOL_BINARY
         if answer == wire.HELLO:
+            self.wire_version = 1
             return PROTOCOL_BINARY
         if answer.startswith(b"{"):
             return PROTOCOL_JSON  # old server: its error reply is discarded
@@ -131,11 +146,15 @@ class PipelinedClient:
 
     # -- submission ----------------------------------------------------------
 
+    def _inflight_locked(self) -> int:
+        """Window occupancy; abandoned FIFO tombstones don't count."""
+        return len(self._pending) + len(self._fifo) - len(self._abandoned)
+
     def _reserve_slot_locked(self) -> None:
         """Enforce the ``max_inflight`` window; callers hold the lock."""
         if self._max_inflight is None:
             return
-        inflight = len(self._pending) + len(self._fifo)
+        inflight = self._inflight_locked()
         if inflight < self._max_inflight:
             return
         if not self._block_on_full:
@@ -144,7 +163,7 @@ class PipelinedClient:
                 f"window full ({inflight}/{self._max_inflight} in flight)",
             )
         deadline = time.monotonic() + self._timeout
-        while len(self._pending) + len(self._fifo) >= self._max_inflight:
+        while self._inflight_locked() >= self._max_inflight:
             if self._closed or self._dead:
                 raise TransportError("client is closed")
             remaining = deadline - time.monotonic()
@@ -168,7 +187,10 @@ class PipelinedClient:
             if self.protocol == PROTOCOL_BINARY:
                 corr_id = self._next_corr
                 self._next_corr += 1
-                frame = wire.encode_request_frame(request, corr_id)
+                frame = wire.encode_request_frame(
+                    request, corr_id, wire_version=self.wire_version
+                )
+                future._velox_corr = corr_id
                 self._pending[corr_id] = future
                 try:
                     self._sock.sendall(frame)
@@ -188,14 +210,39 @@ class PipelinedClient:
         return future
 
     def call(self, request, timeout: float | None = None) -> ApiResponse:
-        """Blocking convenience: submit and wait for the response."""
+        """Blocking convenience: submit and wait for the response.
+
+        A timed-out call abandons its future — the window slot is
+        reclaimed (``timed_out`` counts these) instead of leaking until
+        the connection dies.
+        """
         future = self.submit(request)
         try:
             return future.result(timeout if timeout is not None else self._timeout)
         except TimeoutError as err:
+            self._abandon(future)
             raise TransportError(
                 f"no response within {timeout or self._timeout}s"
             ) from err
+
+    def _abandon(self, future: Future) -> None:
+        """Release a timed-out call's window slot.
+
+        Binary mode drops the correlation entry outright (a late
+        response for an unknown id is ignored by the reader). JSON mode
+        must keep the future's FIFO position so subsequent responses
+        still match their callers; it is tombstoned instead and skipped
+        by the window accounting.
+        """
+        with self._lock:
+            self.timed_out += 1
+            corr_id = getattr(future, "_velox_corr", None)
+            if corr_id is not None:
+                if self._pending.pop(corr_id, None) is not None:
+                    self._slot.notify()
+            elif future in self._fifo and future not in self._abandoned:
+                self._abandoned.add(future)
+                self._slot.notify()
 
     def analytics(
         self,
@@ -228,7 +275,7 @@ class PipelinedClient:
     def in_flight(self) -> int:
         """Number of submitted requests still awaiting responses."""
         with self._lock:
-            return len(self._pending) + len(self._fifo)
+            return self._inflight_locked()
 
     @property
     def closed(self) -> bool:
@@ -264,6 +311,11 @@ class PipelinedClient:
                         future = (
                             self._fifo.popleft() if self._fifo else None
                         )
+                        if future is not None and future in self._abandoned:
+                            # The caller timed out long ago; its slot was
+                            # already released. Discard the response.
+                            self._abandoned.discard(future)
+                            future = None
                         self._slot.notify()
                 if future is not None:
                     future.set_result(response)
@@ -292,8 +344,9 @@ class PipelinedClient:
         self._pending.clear()
         while self._fifo:
             future = self._fifo.popleft()
-            if not future.done():
+            if future not in self._abandoned and not future.done():
                 future.set_exception(error)
+        self._abandoned.clear()
         self._slot.notify_all()
 
     # -- lifecycle -----------------------------------------------------------
@@ -354,7 +407,14 @@ class ConnectionPool:
         max_reconnect_backoff: float = 2.0,
         max_inflight: int | None = None,
         block_on_full: bool = True,
+        breaker=None,
     ):
+        """``breaker`` (optional) is a
+        :class:`~repro.frontend.resilient.CircuitBreaker` guarding this
+        pool's target: every submit/call asks it for permission first
+        (raising :class:`~repro.common.errors.CircuitOpenError` while
+        open) and reports transport success/failure back to it.
+        """
         if size < 1:
             raise TransportError(f"pool size must be >= 1, got {size}")
         if reconnect_backoff <= 0 or max_reconnect_backoff < reconnect_backoff:
@@ -371,6 +431,7 @@ class ConnectionPool:
         self._block_on_full = block_on_full
         self._initial_backoff = reconnect_backoff
         self._max_backoff = max_reconnect_backoff
+        self._breaker = breaker
         self._clients: list[PipelinedClient | None] = []
         #: per-slot current backoff and earliest next attempt (monotonic).
         self._backoff: list[float] = [reconnect_backoff] * size
@@ -380,12 +441,21 @@ class ConnectionPool:
         #: reconnect attempts that failed (the server was still down).
         self.failed_reconnects = 0
         self._closed = False
-        try:
-            for _ in range(size):
+        # Connect eagerly but tolerate a down endpoint: a dead slot is
+        # left None (in backoff) and healed by the reconnect path on a
+        # later pick. A resilience stack (breaker/retry) sitting on top
+        # of the pool must be constructible while its target is down.
+        now = time.monotonic()
+        for index in range(size):
+            try:
                 self._clients.append(self._connect())
-        except Exception:
-            self.close()
-            raise
+            except (TransportError, OSError):
+                self.failed_reconnects += 1
+                self._clients.append(None)
+                self._retry_at[index] = now + self._backoff[index]
+                self._backoff[index] = min(
+                    self._backoff[index] * 2, self._max_backoff
+                )
         self._lock = threading.Lock()
         self._next = 0
 
@@ -458,11 +528,28 @@ class ConnectionPool:
 
     def submit(self, request) -> "Future[ApiResponse]":
         """Submit on the next usable connection (round-robin)."""
-        return self._pick().submit(request)
+        if self._breaker is not None:
+            self._breaker.before_call()
+        try:
+            return self._pick().submit(request)
+        except TransportError:
+            if self._breaker is not None:
+                self._breaker.on_failure()
+            raise
 
     def call(self, request, timeout: float | None = None) -> ApiResponse:
         """Blocking submit + wait on the next usable connection."""
-        return self._pick().call(request, timeout=timeout)
+        if self._breaker is not None:
+            self._breaker.before_call()
+        try:
+            response = self._pick().call(request, timeout=timeout)
+        except TransportError:
+            if self._breaker is not None:
+                self._breaker.on_failure()
+            raise
+        if self._breaker is not None:
+            self._breaker.on_success()
+        return response
 
     def close(self) -> None:
         """Close every pooled connection."""

@@ -1,0 +1,624 @@
+"""Client-side resilience: retries, hedged reads, circuit breaking,
+and the degradation ladder.
+
+:class:`ResilientClient` wraps one or more server endpoints behind the
+policy stack the chaos ablation exercises:
+
+* **Retry with jittered exponential backoff** (:class:`RetryPolicy`)
+  for *idempotent reads only* — predict/top-k/status-class requests.
+  Writes (``observe``, ``retrain``) are never retried: a lost response
+  does not prove the write was lost.
+* **A per-client retry budget** (:class:`RetryBudget`, a token bucket
+  fed by successful first attempts) so a broken server sees a trickle
+  of retries, not a storm that finishes it off.
+* **Hedged reads** (:class:`HedgePolicy`): when a response is slower
+  than the client's own recent latency percentile, a duplicate request
+  is launched on another connection and the first answer wins — the
+  classic tail-at-scale trade of a few percent extra load for a
+  collapsed p99.
+* **A per-endpoint circuit breaker** (:class:`CircuitBreaker`,
+  closed → open → half-open) consulted before every send, so a dead
+  node costs one timeout per reset interval instead of one per request.
+* **The degradation ladder**: fresh predict → cached-only answer
+  (``degraded=True`` wire flag, served off the server's prediction
+  cache without queueing) → bounded-stale follower read (server-side
+  automatic on node failure; responses arrive flagged ``stale``) →
+  typed :class:`~repro.common.errors.DegradedError`.
+
+Everything time-like is injectable and every random draw comes from a
+seeded generator, so tests drive the whole stack deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import (
+    CircuitOpenError,
+    DegradedError,
+    OverloadedError,
+    TransportError,
+    ValidationError,
+)
+from repro.common.rng import DEFAULT_SEED
+from repro.frontend.api import (
+    ApiResponse,
+    PredictApiRequest,
+    TopKApiRequest,
+)
+from repro.frontend.pipelined import ConnectionPool
+from repro.metrics.resilience import ResilienceMetrics
+
+#: Error-envelope prefixes that mark a *retryable* server-side failure.
+RETRYABLE_ERRORS = ("OverloadedError", "DeadlineExceededError")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for idempotent reads.
+
+    ``max_attempts`` counts the first try: 3 means one try plus at most
+    two retries. Backoff for retry ``n`` (0-based) is
+    ``min(base * multiplier**n, cap)`` scaled by a uniform jitter in
+    ``[1 - jitter, 1]`` — full-jitter style, so synchronized clients
+    desynchronize instead of retrying in lockstep.
+    """
+
+    max_attempts: int = 3
+    base_backoff: float = 0.01
+    multiplier: float = 2.0
+    max_backoff: float = 0.5
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff < 0 or self.max_backoff < self.base_backoff:
+            raise ValidationError(
+                "backoff must satisfy 0 <= base "
+                f"({self.base_backoff}) <= cap ({self.max_backoff})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff(self, retry_index: int, uniform: float) -> float:
+        """Sleep before retry ``retry_index``; ``uniform`` is a [0,1) draw."""
+        raw = min(
+            self.base_backoff * (self.multiplier ** retry_index),
+            self.max_backoff,
+        )
+        return raw * (1.0 - self.jitter * uniform)
+
+
+class RetryBudget:
+    """A token bucket bounding the client's retry rate.
+
+    Every *first* attempt deposits ``ratio`` tokens (capped); every
+    retry withdraws one. Under a healthy server the bucket stays full
+    and retries are free; under a broken one the client can retry at
+    most ``ratio`` of its request rate — no retry storms.
+    """
+
+    def __init__(self, ratio: float = 0.2, max_tokens: float = 10.0):
+        if ratio < 0 or max_tokens <= 0:
+            raise ValidationError(
+                f"retry budget needs ratio >= 0 ({ratio}) and "
+                f"max_tokens > 0 ({max_tokens})"
+            )
+        self.ratio = ratio
+        self.max_tokens = max_tokens
+        self._lock = threading.Lock()
+        self._tokens = max_tokens  # start full: first incident is covered
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def deposit(self) -> None:
+        """Credit one first attempt."""
+        with self._lock:
+            self._tokens = min(self.max_tokens, self._tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry token; False means the budget is dry."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+
+#: Circuit breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """A per-target closed / open / half-open circuit breaker.
+
+    Closed: calls flow; ``failure_threshold`` *consecutive* failures
+    trip it open. Open: every call is refused at pick time with
+    :class:`~repro.common.errors.CircuitOpenError` until
+    ``reset_timeout`` elapses. Half-open: exactly one probe call is let
+    through — success closes the breaker, failure reopens it (and
+    restarts the timeout). Concurrent callers during half-open are
+    refused rather than piled onto a maybe-dead target.
+    """
+
+    def __init__(
+        self,
+        target: str,
+        failure_threshold: int = 3,
+        reset_timeout: float = 0.5,
+        time_source=time.monotonic,
+        metrics: ResilienceMetrics | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ValidationError(
+                f"reset_timeout must be > 0, got {reset_timeout}"
+            )
+        self.target = target
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._now = time_source
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _transition_locked(self, new: str) -> None:
+        old = self._state
+        if old == new:
+            return
+        self._state = new
+        if self._metrics is not None:
+            self._metrics.on_breaker_transition(self.target, old, new)
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == OPEN
+            and self._now() - self._opened_at >= self.reset_timeout
+        ):
+            self._transition_locked(HALF_OPEN)
+            self._probe_inflight = False
+
+    def before_call(self) -> None:
+        """Gate one call; raises :class:`CircuitOpenError` when refused."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == CLOSED:
+                return
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True  # this caller is the probe
+                return
+            retry_after = max(
+                0.0, self.reset_timeout - (self._now() - self._opened_at)
+            )
+            if self._metrics is not None:
+                self._metrics.on_breaker_rejection()
+            raise CircuitOpenError(self.target, retry_after)
+
+    def on_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            if self._state != CLOSED:
+                self._transition_locked(CLOSED)
+
+    def on_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_inflight = False
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open.
+                self._opened_at = self._now()
+                self._transition_locked(OPEN)
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._now()
+                self._transition_locked(OPEN)
+
+
+class HedgePolicy:
+    """Latency-percentile hedging trigger.
+
+    Tracks the last ``window`` observed latencies; once ``min_samples``
+    have accumulated, :meth:`hedge_delay` is the ``percentile`` of that
+    window — wait that long for the primary, then launch the hedge.
+    Before the window warms up, hedging is disabled (returns ``None``):
+    the client has no idea yet what "slow" means.
+    """
+
+    def __init__(
+        self,
+        percentile: float = 95.0,
+        window: int = 128,
+        min_samples: int = 16,
+        max_delay: float = 1.0,
+        max_hedges: int = 1,
+    ):
+        if not 0.0 < percentile <= 100.0:
+            raise ValidationError(
+                f"percentile must be in (0, 100], got {percentile}"
+            )
+        if window < 1 or min_samples < 1 or min_samples > window:
+            raise ValidationError(
+                f"need 1 <= min_samples ({min_samples}) <= window ({window})"
+            )
+        if max_delay <= 0:
+            raise ValidationError(f"max_delay must be > 0, got {max_delay}")
+        if max_hedges < 0:
+            raise ValidationError(
+                f"max_hedges must be >= 0, got {max_hedges}"
+            )
+        self.percentile = percentile
+        self.min_samples = min_samples
+        self.max_delay = max_delay
+        #: Duplicate sends allowed per logical call beyond the primary.
+        #: 1 is the classic tail-at-scale hedge; raising it lets the
+        #: client survive the (rare) case where the hedge's response is
+        #: *also* lost without stalling for the whole call budget.
+        self.max_hedges = max_hedges
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=window)
+
+    def observe(self, latency: float) -> None:
+        """Record one completed call's latency (seconds)."""
+        with self._lock:
+            self._window.append(max(0.0, latency))
+
+    def hedge_delay(self) -> float | None:
+        """Seconds to wait before hedging, or ``None`` (don't hedge)."""
+        with self._lock:
+            if len(self._window) < self.min_samples:
+                return None
+            delay = float(
+                np.percentile(np.asarray(self._window), self.percentile)
+            )
+        return min(max(delay, 1e-4), self.max_delay)
+
+
+class ResilientClient:
+    """Retries, hedges, breaks circuits, and degrades — in that order.
+
+    Usage::
+
+        client = ResilientClient([(host, port)], pool_size=4)
+        response = client.predict(uid=7, item=42, deadline=0.05)
+        client.close()
+
+    ``endpoints`` is a list of ``(host, port)`` targets, each fronted by
+    its own :class:`~repro.frontend.pipelined.ConnectionPool` and
+    :class:`CircuitBreaker`. Reads rotate across healthy endpoints;
+    hedges prefer a *different* endpoint than the primary attempt.
+
+    The full read path: circuit-gated call → hedge if slow → retry
+    (budget permitting, idempotent only) with jittered backoff on a
+    retryable failure → cache-only degraded request → typed
+    :class:`~repro.common.errors.DegradedError`. Every step is counted
+    in :attr:`metrics`.
+    """
+
+    def __init__(
+        self,
+        endpoints,
+        pool_size: int = 2,
+        timeout: float = 10.0,
+        retry: RetryPolicy | None = None,
+        budget: RetryBudget | None = None,
+        hedge: HedgePolicy | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 0.5,
+        degrade: bool = True,
+        seed: int = DEFAULT_SEED,
+        max_inflight: int | None = None,
+    ):
+        targets = list(endpoints)
+        if not targets:
+            raise ValidationError("ResilientClient needs at least one endpoint")
+        self.metrics = ResilienceMetrics("client")
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.budget = budget if budget is not None else RetryBudget()
+        self.hedge = hedge if hedge is not None else HedgePolicy()
+        self.degrade = degrade
+        self._timeout = timeout
+        self._rng = np.random.default_rng(seed)
+        self._rng_lock = threading.Lock()
+        self._pick_lock = threading.Lock()
+        self._next_endpoint = 0
+        self._breakers: list[CircuitBreaker] = []
+        self._pools: list[ConnectionPool] = []
+        try:
+            for host, port in targets:
+                breaker = CircuitBreaker(
+                    f"{host}:{port}",
+                    failure_threshold=breaker_threshold,
+                    reset_timeout=breaker_reset,
+                    metrics=self.metrics,
+                )
+                self._breakers.append(breaker)
+                self._pools.append(
+                    ConnectionPool(
+                        host,
+                        port,
+                        size=pool_size,
+                        timeout=timeout,
+                        breaker=breaker,
+                        max_inflight=max_inflight,
+                    )
+                )
+        except Exception:
+            self.close()
+            raise
+
+    # -- endpoint selection ---------------------------------------------------
+
+    def _pick_pools(self) -> list[tuple[ConnectionPool, CircuitBreaker]]:
+        """Every pool, healthy breakers first, starting round-robin."""
+        with self._pick_lock:
+            start = self._next_endpoint
+            self._next_endpoint = (self._next_endpoint + 1) % len(self._pools)
+        order = [
+            (self._pools[(start + i) % len(self._pools)],
+             self._breakers[(start + i) % len(self._pools)])
+            for i in range(len(self._pools))
+        ]
+        order.sort(key=lambda pair: pair[1].state == OPEN)  # open ones last
+        return order
+
+    def _uniform(self) -> float:
+        with self._rng_lock:
+            return float(self._rng.random())
+
+    # -- the read path --------------------------------------------------------
+
+    def call(
+        self,
+        request,
+        idempotent: bool = True,
+        timeout: float | None = None,
+    ) -> ApiResponse:
+        """One request through the full policy stack.
+
+        Raises :class:`DegradedError` when every rung fails;
+        server-side error envelopes that are not retryable are returned
+        as-is (the caller sees exactly what a plain client would).
+        """
+        deadline_wall = time.monotonic() + (
+            timeout if timeout is not None else self._timeout
+        )
+        last_error: Exception | None = None
+        attempts = self.retry.max_attempts if idempotent else 1
+        for attempt in range(attempts):
+            if attempt > 0:
+                if not self.budget.try_spend():
+                    self.metrics.on_retry_budget_exhausted()
+                    break
+                self.metrics.on_retry()
+                time.sleep(self.retry.backoff(attempt - 1, self._uniform()))
+                if time.monotonic() >= deadline_wall:
+                    break
+            try:
+                response = self._attempt(
+                    request,
+                    hedge=idempotent,
+                    remaining=max(0.05, deadline_wall - time.monotonic()),
+                )
+            except (TransportError, CircuitOpenError, OverloadedError) as err:
+                last_error = err
+                continue
+            if attempt == 0:
+                self.budget.deposit()
+            if response.ok:
+                if response.payload.get("stale"):
+                    # Bounded-stale follower read: the replication layer
+                    # promoted a lagging follower under us. Count the
+                    # ladder rung; the payload keeps its flag.
+                    self.metrics.on_degraded("stale")
+                return response
+            if not response.error.startswith(RETRYABLE_ERRORS):
+                return response
+            last_error = OverloadedError("resilient-client", response.error)
+        if idempotent and self.degrade:
+            degraded = self._degraded_call(request)
+            if degraded is not None:
+                return degraded
+        self.metrics.on_degraded("error")
+        raise DegradedError(
+            f"every rung failed for {type(request).__name__}: "
+            f"{type(last_error).__name__ if last_error else 'no attempt ran'}"
+            f"{f': {last_error}' if last_error else ''}"
+        )
+
+    def _attempt(self, request, hedge: bool, remaining: float) -> ApiResponse:
+        """One (possibly hedged) send across the endpoint set.
+
+        The pool reports *submit-time* transport errors to its breaker
+        itself; failures that surface later through a future are
+        reported here, so a node that accepts sends but never answers
+        still trips its breaker.
+        """
+        order = self._pick_pools()
+        primary_pool, primary_breaker = order[0]
+        start = time.monotonic()
+        primary = primary_pool.submit(request)
+        meta = {primary: (False, primary_breaker)}  # future -> (is_hedge, breaker)
+        hedge_delay = self.hedge.hedge_delay() if hedge else None
+        hedges_left = self.hedge.max_hedges if hedge_delay is not None else 0
+        next_source = 1  # hedges prefer a different endpoint than the primary
+        futures = list(meta)
+        while True:
+            wait_left = remaining - (time.monotonic() - start)
+            if wait_left <= 0:
+                for future in futures:
+                    meta[future][1].on_failure()
+                raise TransportError(
+                    f"no response within {remaining:.3f}s (hedged: "
+                    f"{len(meta) > 1})"
+                )
+            # While hedges remain, wait only one hedge_delay at a time:
+            # every expiry launches one more duplicate send, so a lost
+            # response costs a tail percentile, not the whole budget.
+            patience = wait_left
+            if hedges_left > 0 and hedge_delay < wait_left:
+                patience = hedge_delay
+            done, pending = wait(
+                futures, timeout=patience, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                if hedges_left > 0:
+                    hedges_left -= 1
+                    hedge_pool, hedge_breaker = order[next_source % len(order)]
+                    next_source += 1
+                    try:
+                        hedged = hedge_pool.submit(request)
+                        meta[hedged] = (True, hedge_breaker)
+                        futures = list(pending) + [hedged]
+                        self.metrics.on_hedge_launched()
+                    except (TransportError, CircuitOpenError, OverloadedError):
+                        pass  # hedge target down; earlier sends still run
+                continue
+            winner: ApiResponse | None = None
+            won_hedge = False
+            errors = []
+            for future in done:
+                is_hedge, breaker = meta[future]
+                try:
+                    winner = future.result()
+                    breaker.on_success()
+                    won_hedge = is_hedge
+                    break
+                except Exception as err:
+                    breaker.on_failure()
+                    errors.append(err)
+            if winner is not None:
+                self.hedge.observe(time.monotonic() - start)
+                if won_hedge:
+                    self.metrics.on_hedge_won()
+                return winner
+            futures = list(pending)
+            if not futures:
+                raise errors[0] if errors else TransportError(
+                    "every attempt failed"
+                )
+
+    def _degraded_call(self, request) -> ApiResponse | None:
+        """The cache-only rung: re-send with the ``degraded`` wire flag.
+
+        Returns ``None`` when the request type has no degraded form or
+        the transport is entirely gone (the caller falls through to the
+        typed error).
+        """
+        if isinstance(request, PredictApiRequest):
+            fallback = PredictApiRequest(
+                uid=request.uid,
+                item=request.item,
+                model=request.model,
+                degraded=True,
+            )
+        elif isinstance(request, TopKApiRequest):
+            fallback = TopKApiRequest(
+                uid=request.uid,
+                items=request.items,
+                k=request.k,
+                model=request.model,
+                policy=request.policy,
+                degraded=True,
+            )
+        else:
+            return None
+        for pool, breaker in self._pick_pools():
+            try:
+                response = pool.call(fallback, timeout=self._timeout)
+            except (TransportError, CircuitOpenError, OverloadedError):
+                continue
+            if response.ok:
+                self.metrics.on_degraded("cached")
+                return response
+            return None  # DegradedError envelope: the cache is empty too
+        return None
+
+    # -- convenience read/write methods ---------------------------------------
+
+    def predict(
+        self,
+        uid: int,
+        item: object,
+        model: str | None = None,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> ApiResponse:
+        """Resilient point prediction (idempotent: full ladder)."""
+        return self.call(
+            PredictApiRequest(
+                uid=uid, item=item, model=model, deadline=deadline
+            ),
+            idempotent=True,
+            timeout=timeout,
+        )
+
+    def top_k(
+        self,
+        uid: int,
+        items,
+        k: int = 1,
+        model: str | None = None,
+        policy: str | None = None,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> ApiResponse:
+        """Resilient best-k (idempotent: full ladder)."""
+        return self.call(
+            TopKApiRequest(
+                uid=uid, items=tuple(items), k=k, model=model,
+                policy=policy, deadline=deadline,
+            ),
+            idempotent=True,
+            timeout=timeout,
+        )
+
+    def write(self, request, timeout: float | None = None) -> ApiResponse:
+        """Non-idempotent dispatch: one attempt, no hedge, no retry."""
+        return self.call(request, idempotent=False, timeout=timeout)
+
+    def breaker_states(self) -> dict[str, str]:
+        """Current breaker state per endpoint."""
+        return {b.target: b.state for b in self._breakers}
+
+    def close(self) -> None:
+        """Close every pooled connection."""
+        for pool in self._pools:
+            try:
+                pool.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -63,17 +63,17 @@ class _RequestHandler(socketserver.StreamRequestHandler):
         always decides; a short read that is still a strict prefix of
         the magic waits briefly for the rest.
         """
-        magic = wire.MAGIC
+        magics = (wire.MAGIC, wire.MAGIC_V2)
         while True:
             try:
-                data = self.connection.recv(len(magic), socket.MSG_PEEK)
+                data = self.connection.recv(len(wire.MAGIC), socket.MSG_PEEK)
             except OSError:
                 return False
             if not data:
                 return False
-            if data == magic:
+            if data in magics:
                 return True
-            if not magic.startswith(data):
+            if not any(magic.startswith(data) for magic in magics):
                 return False
             time.sleep(0.005)  # strict prefix: the rest is still in flight
 
@@ -121,7 +121,9 @@ class _RequestHandler(socketserver.StreamRequestHandler):
         """
         client: VeloxClient = self.server.velox_client
         counters: FrontendCounters = self.server.counters
-        self.rfile.readline()  # consume the hello line
+        hello = self.rfile.readline()  # consume the hello line
+        if hello not in wire.HELLO_VERSIONS:
+            hello = wire.HELLO  # peeked binary but line went missing
         self.connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         write_lock = threading.Lock()
         pending: set = set()
@@ -146,7 +148,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                     pass  # client went away; nothing to tell it
 
         with write_lock:
-            self.wfile.write(wire.HELLO)
+            self.wfile.write(hello)  # echo the version the client asked for
             self.wfile.flush()
         while True:
             try:

@@ -56,6 +56,17 @@ MAGIC = b"VLXB1"
 #: The full negotiation line: magic + newline, so a JSON-lines server
 #: consumes it as one (malformed) request line and stays in sync.
 HELLO = MAGIC + b"\n"
+#: Protocol version 2 adds optional trailing deadline/degraded fields
+#: to predict and top-k request payloads. A v2 client opens with this
+#: preamble; a v2 server echoes it back. A v1-only binary server — or a
+#: JSON-lines server — answers with something else, and the client
+#: falls back (to v1 frames or JSON-lines respectively). V1 *decoders*
+#: already ignore trailing payload bytes, so the version split exists
+#: to make the capability explicit, not to protect old parsers.
+MAGIC_V2 = b"VLXB2"
+HELLO_V2 = MAGIC_V2 + b"\n"
+#: Hellos a binary server accepts, mapped to the protocol version.
+HELLO_VERSIONS = {HELLO: 1, HELLO_V2: 2}
 
 #: Frame header: u32 total length of (opcode + corr id + payload),
 #: u8 opcode, u64 correlation id.
@@ -432,23 +443,47 @@ class FrameDecoder:
 # -- request/response codecs ------------------------------------------------
 
 
-def encode_request_frame(request, corr_id: int) -> bytes:
-    """One API request object -> one framed binary request."""
+def encode_request_frame(request, corr_id: int, wire_version: int = 2) -> bytes:
+    """One API request object -> one framed binary request.
+
+    ``wire_version`` selects the payload dialect: version 2 appends the
+    optional trailing ``deadline``/``degraded`` fields to predict and
+    top-k requests; version 1 omits them (for peers that negotiated the
+    original :data:`HELLO`). The fields are trailing precisely so a v1
+    decoder that *does* receive them ignores the extra bytes.
+    """
     opcode = REQUEST_OPCODES.get(type(request))
     if opcode is None:
         raise ValidationError(f"unknown request type {type(request).__name__}")
     if opcode == OP_PREDICT:
-        payload = _pack_values(
-            request.uid, _wire_item(request.item), request.model
-        )
+        if wire_version >= 2:
+            payload = _pack_values(
+                request.uid, _wire_item(request.item), request.model,
+                request.deadline, bool(request.degraded),
+            )
+        else:
+            payload = _pack_values(
+                request.uid, _wire_item(request.item), request.model
+            )
     elif opcode == OP_TOP_K:
-        payload = _pack_values(
-            request.uid,
-            request.k,
-            request.model,
-            request.policy,
-            [_wire_item(x) for x in request.items],
-        )
+        if wire_version >= 2:
+            payload = _pack_values(
+                request.uid,
+                request.k,
+                request.model,
+                request.policy,
+                [_wire_item(x) for x in request.items],
+                request.deadline,
+                bool(request.degraded),
+            )
+        else:
+            payload = _pack_values(
+                request.uid,
+                request.k,
+                request.model,
+                request.policy,
+                [_wire_item(x) for x in request.items],
+            )
     elif opcode == OP_OBSERVE:
         payload = _pack_values(
             request.uid,
@@ -479,17 +514,34 @@ def encode_request_frame(request, corr_id: int) -> bytes:
     return encode_frame(opcode, corr_id, payload)
 
 
+def _unpack_request_extras(cursor: _Cursor) -> tuple[float | None, bool]:
+    """The optional trailing (deadline, degraded) fields, if present.
+
+    A v1 peer's payload ends before them; a v2 peer always writes both.
+    """
+    if cursor.done():
+        return None, False
+    deadline = unpack_value(cursor)
+    degraded = False if cursor.done() else bool(unpack_value(cursor))
+    return (None if deadline is None else float(deadline)), degraded
+
+
 def decode_request_payload(opcode: int, payload: bytes):
     """One frame's opcode + payload -> one API request object."""
     cursor = _Cursor(payload)
     if opcode == OP_PREDICT:
         uid, item, model = (unpack_value(cursor) for _ in range(3))
-        return PredictApiRequest(uid=int(uid), item=item, model=model)
+        deadline, degraded = _unpack_request_extras(cursor)
+        return PredictApiRequest(
+            uid=int(uid), item=item, model=model,
+            deadline=deadline, degraded=degraded,
+        )
     if opcode == OP_TOP_K:
         uid, k, model, policy, items = (unpack_value(cursor) for _ in range(5))
+        deadline, degraded = _unpack_request_extras(cursor)
         return TopKApiRequest(
             uid=int(uid), items=tuple(items), k=int(k), model=model,
-            policy=policy,
+            policy=policy, deadline=deadline, degraded=degraded,
         )
     if opcode == OP_OBSERVE:
         uid, item, label, model, validation = (

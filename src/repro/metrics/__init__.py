@@ -18,6 +18,7 @@ from repro.metrics.streaming import StreamingMeanVar, WindowedMean, Ewma
 from repro.metrics.latency import LatencyRecorder, Timer
 from repro.metrics.analytics import AnalyticsMetrics
 from repro.metrics.replication import ReplicationMetrics
+from repro.metrics.resilience import ResilienceMetrics
 from repro.metrics.serving import Histogram, QueueMetrics
 
 __all__ = [
@@ -37,4 +38,5 @@ __all__ = [
     "QueueMetrics",
     "AnalyticsMetrics",
     "ReplicationMetrics",
+    "ResilienceMetrics",
 ]

@@ -1,0 +1,160 @@
+"""Resilience counters: retries, hedges, breaker transitions, sheds.
+
+One :class:`ResilienceMetrics` instance aggregates everything the
+resilience machinery does on behalf of requests — retries taken (and
+ones the budget refused), hedged reads launched and won, circuit-breaker
+state transitions, deadline-exceeded sheds by stage, and degraded
+responses by ladder rung. The serving engine owns one (exported through
+the status endpoint) and every
+:class:`~repro.frontend.resilient.ResilientClient` owns its own.
+
+Thread-safe; all writers take one lock and snapshots are plain dicts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+
+class ResilienceMetrics:
+    """Counters for one resilience domain (a client or an engine)."""
+
+    def __init__(self, name: str = "resilience"):
+        self.name = name
+        self._lock = threading.Lock()
+        self._retries = 0
+        self._retry_budget_exhausted = 0
+        self._hedges_launched = 0
+        self._hedges_won = 0
+        self._breaker_transitions: Counter = Counter()
+        self._breaker_rejections = 0
+        self._deadline_sheds: Counter = Counter()
+        self._degraded: Counter = Counter()
+        self._timed_out = 0
+
+    # -- writers -------------------------------------------------------------
+
+    def on_retry(self) -> None:
+        """One retry attempt actually sent."""
+        with self._lock:
+            self._retries += 1
+
+    def on_retry_budget_exhausted(self) -> None:
+        """A retry the token budget refused (storm prevention)."""
+        with self._lock:
+            self._retry_budget_exhausted += 1
+
+    def on_hedge_launched(self) -> None:
+        """A hedged duplicate read was sent."""
+        with self._lock:
+            self._hedges_launched += 1
+
+    def on_hedge_won(self) -> None:
+        """The hedge answered before the primary attempt."""
+        with self._lock:
+            self._hedges_won += 1
+
+    def on_breaker_transition(self, target: str, old: str, new: str) -> None:
+        """One circuit-breaker state change (``closed``→``open`` etc.)."""
+        with self._lock:
+            self._breaker_transitions[f"{target}:{old}->{new}"] += 1
+
+    def on_breaker_rejection(self) -> None:
+        """A call refused at pick time because the breaker was open."""
+        with self._lock:
+            self._breaker_rejections += 1
+
+    def on_deadline_shed(self, where: str) -> None:
+        """A request shed because its deadline budget ran out.
+
+        ``where`` names the shed stage: ``"admission"``, ``"queue"`` or
+        ``"pre-compute"`` — never a post-compute stage, by construction.
+        """
+        with self._lock:
+            self._deadline_sheds[where] += 1
+
+    def on_degraded(self, rung: str) -> None:
+        """A response served from a degradation-ladder rung
+        (``"cached"``, ``"stale"``) or the typed bottom (``"error"``).
+        """
+        with self._lock:
+            self._degraded[rung] += 1
+
+    def on_timed_out(self) -> None:
+        """A pipelined call abandoned by its caller at timeout."""
+        with self._lock:
+            self._timed_out += 1
+
+    # -- readers -------------------------------------------------------------
+
+    @property
+    def retries(self) -> int:
+        with self._lock:
+            return self._retries
+
+    @property
+    def hedges_launched(self) -> int:
+        with self._lock:
+            return self._hedges_launched
+
+    @property
+    def hedges_won(self) -> int:
+        with self._lock:
+            return self._hedges_won
+
+    @property
+    def deadline_sheds(self) -> int:
+        """Total deadline-exceeded sheds across all stages."""
+        with self._lock:
+            return sum(self._deadline_sheds.values())
+
+    @property
+    def degraded_responses(self) -> int:
+        """Responses served degraded (any rung except the typed error)."""
+        with self._lock:
+            return sum(
+                count for rung, count in self._degraded.items()
+                if rung != "error"
+            )
+
+    @property
+    def timed_out(self) -> int:
+        with self._lock:
+            return self._timed_out
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot for status endpoints and benchmarks."""
+        with self._lock:
+            return {
+                "retries": self._retries,
+                "retry_budget_exhausted": self._retry_budget_exhausted,
+                "hedges_launched": self._hedges_launched,
+                "hedges_won": self._hedges_won,
+                "breaker_transitions": dict(
+                    sorted(self._breaker_transitions.items())
+                ),
+                "breaker_rejections": self._breaker_rejections,
+                "deadline_sheds": dict(sorted(self._deadline_sheds.items())),
+                "deadline_sheds_total": sum(self._deadline_sheds.values()),
+                "degraded": dict(sorted(self._degraded.items())),
+                "timed_out": self._timed_out,
+            }
+
+    def merge(self, other: "ResilienceMetrics") -> "ResilienceMetrics":
+        """Fold another instance's counters into this one; returns self."""
+        incoming = other.snapshot()
+        with self._lock:
+            self._retries += incoming["retries"]
+            self._retry_budget_exhausted += incoming["retry_budget_exhausted"]
+            self._hedges_launched += incoming["hedges_launched"]
+            self._hedges_won += incoming["hedges_won"]
+            for key, count in incoming["breaker_transitions"].items():
+                self._breaker_transitions[key] += count
+            self._breaker_rejections += incoming["breaker_rejections"]
+            for where, count in incoming["deadline_sheds"].items():
+                self._deadline_sheds[where] += count
+            for rung, count in incoming["degraded"].items():
+                self._degraded[rung] += count
+            self._timed_out += incoming["timed_out"]
+        return self

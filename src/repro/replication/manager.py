@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import threading
 
+from repro import chaos
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import ReplicationError
 from repro.metrics.replication import ReplicationMetrics
@@ -117,6 +118,9 @@ class ReplicationManager:
         self._pending: dict[tuple[str, int], int] = {}
         self._heartbeat_thread: threading.Thread | None = None
         self._stop_event = threading.Event()
+        #: Heartbeat rounds run so far (chaos decision keys combine the
+        #: tick index with the node id so per-tick faults re-draw).
+        self._tick_count = 0
         # Replicate existing tables and subscribe to future ones.
         for name in cluster.store.table_names():
             self._register_table(cluster.store.table(name))
@@ -283,12 +287,31 @@ class ReplicationManager:
         lag is bounded by the tick cadence even without write pressure.
         """
         at = now if now is not None else self.clock.now()
+        tick = self._tick_count
+        self._tick_count = tick + 1
+        inject = chaos.active() is not None
         for node in self.cluster.nodes:
-            if node.alive:
-                self.detector.heartbeat(node.node_id, at)
+            if not node.alive:
+                continue
+            if inject and chaos.should(
+                "replication.dead_node", key=node.node_id
+            ):
+                # Injected node kill: the node goes down hard; liveness
+                # and failover flow through the normal detection path.
+                self.cluster.fail_node(node.node_id)
+                continue
+            if inject and chaos.should(
+                "replication.slow_node", key=(node.node_id, tick)
+            ):
+                continue  # heartbeat suppressed this tick
+            self.detector.heartbeat(node.node_id, at)
         newly_dead = self.detector.check(at)
         for node_id in newly_dead:
             self.fail_over(node_id)
+        if inject:
+            delay = chaos.latency("replication.ship_delay", key=tick)
+            if delay > 0.0:
+                self.clock.advance(delay)
         self.ship()
         return newly_dead
 

@@ -15,9 +15,15 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future
 
+from repro import chaos
 from repro.common.clock import Clock, SystemClock
-from repro.common.errors import OverloadedError, ValidationError
+from repro.common.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ValidationError,
+)
 from repro.core.bandits import GreedyPolicy
+from repro.metrics.resilience import ResilienceMetrics
 from repro.metrics.serving import QueueMetrics
 from repro.serving.batching import BatchFormer, make_batching_policy
 from repro.serving.config import ServingConfig
@@ -69,6 +75,9 @@ class ServingEngine:
         self._scan_offset = 0
         self._workers: list[threading.Thread] = []
         self._running = False
+        #: Engine-side resilience counters (deadline sheds, degraded
+        #: responses); exported through the status endpoint.
+        self.resilience = ResilienceMetrics("engine")
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -127,6 +136,7 @@ class ServingEngine:
         x: object,
         model: str | None = None,
         enqueue_time: float | None = None,
+        deadline: float | None = None,
     ) -> Future:
         """Enqueue one point prediction; the future yields a
         :class:`~repro.core.prediction.PredictionResult`.
@@ -134,16 +144,19 @@ class ServingEngine:
         ``enqueue_time`` lets a transport layer timestamp the request at
         frame-decode time, so queue-age accounting (and age-bound
         shedding) covers time spent between the wire and the queue.
+        ``deadline`` is the request's remaining budget in *relative*
+        seconds (measured from ``enqueue_time``); once it is spent the
+        engine sheds the request — before compute, never after.
         """
         model_name = self.velox._model_name(model)
+        stamp = enqueue_time if enqueue_time is not None else self.clock.now()
         request = QueuedRequest(
             kind="predict",
             model=model_name,
             uid=uid,
-            enqueue_time=(
-                enqueue_time if enqueue_time is not None else self.clock.now()
-            ),
+            enqueue_time=stamp,
             item=x,
+            deadline=None if deadline is None else stamp + float(deadline),
         )
         return self._submit(request)
 
@@ -156,34 +169,42 @@ class ServingEngine:
         policy=None,
         item_filter=None,
         enqueue_time: float | None = None,
+        deadline: float | None = None,
     ) -> Future:
         """Enqueue a best-k query; the future yields a list of
         :class:`~repro.core.prediction.PredictionResult`.
 
-        ``enqueue_time`` behaves as in :meth:`submit_predict`.
+        ``enqueue_time``/``deadline`` behave as in :meth:`submit_predict`.
         """
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
         model_name = self.velox._model_name(model)
+        stamp = enqueue_time if enqueue_time is not None else self.clock.now()
         request = QueuedRequest(
             kind="top_k",
             model=model_name,
             uid=uid,
-            enqueue_time=(
-                enqueue_time if enqueue_time is not None else self.clock.now()
-            ),
+            enqueue_time=stamp,
             items=tuple(items),
             k=k,
             policy=policy,
             item_filter=item_filter,
+            deadline=None if deadline is None else stamp + float(deadline),
         )
         return self._submit(request)
 
     def predict(
-        self, uid: int, x: object, model: str | None = None, timeout: float | None = None
+        self,
+        uid: int,
+        x: object,
+        model: str | None = None,
+        timeout: float | None = None,
+        deadline: float | None = None,
     ):
         """Blocking convenience around :meth:`submit_predict`."""
-        return self.submit_predict(uid, x, model=model).result(timeout)
+        return self.submit_predict(uid, x, model=model, deadline=deadline).result(
+            timeout
+        )
 
     def top_k(
         self,
@@ -194,16 +215,27 @@ class ServingEngine:
         policy=None,
         item_filter=None,
         timeout: float | None = None,
+        deadline: float | None = None,
     ):
         """Blocking convenience around :meth:`submit_top_k`."""
         future = self.submit_top_k(
-            uid, items, k=k, model=model, policy=policy, item_filter=item_filter
+            uid, items, k=k, model=model, policy=policy,
+            item_filter=item_filter, deadline=deadline,
         )
         return future.result(timeout)
 
     def _submit(self, request: QueuedRequest) -> Future:
         key = (request.model, self.velox.cluster.router.route_index(request.uid))
         queue, metrics = self._queue_for(key)
+        if request.deadline_expired(self.clock.now()):
+            # The budget was spent before the request even reached a
+            # queue (wire delay, stalled frontend). Shed at admission:
+            # queueing work nobody will wait for only hurts neighbours.
+            self.resilience.on_deadline_shed("admission")
+            metrics.on_shed(at_admission=True)
+            raise DeadlineExceededError(
+                "admission", f"budget spent before enqueue on {queue.name}"
+            )
         if not queue.offer(request):
             if (
                 request.kind == "top_k"
@@ -212,6 +244,7 @@ class ServingEngine:
                 # Graceful degradation: answer from the prediction cache
                 # only (possibly fewer than k items) instead of rejecting.
                 metrics.on_degraded()
+                self.resilience.on_degraded("cached")
                 request.future.set_result(
                     self.velox.service.top_k_cached(
                         request.model,
@@ -287,6 +320,16 @@ class ServingEngine:
                         f"{self.config.max_queue_age}s",
                     )
                 )
+            for dead in queue.pop_deadline_expired(now):
+                self.resilience.on_deadline_shed("queue")
+                metrics.on_shed(at_admission=False)
+                dead.future.set_exception(
+                    DeadlineExceededError(
+                        "queue",
+                        f"budget spent after {dead.age(now):.4f}s on "
+                        f"{queue.name}",
+                    )
+                )
             batch = former.form(queue, now)
             if batch:
                 self._scan_offset = (index + 1) % num_queues
@@ -301,6 +344,30 @@ class ServingEngine:
         metrics = self._metrics[key]
         former = self._formers[key]
         start = self.clock.now()
+        # Last deadline gate, *before* any compute (or injected handler
+        # delay): a request whose budget is already spent is shed here;
+        # one that starts scoring is always completed and delivered,
+        # even late. "Shed before compute, never after."
+        live = []
+        for request in batch:
+            if request.deadline_expired(start):
+                self.resilience.on_deadline_shed("pre-compute")
+                metrics.on_shed(at_admission=False)
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        "pre-compute",
+                        f"budget spent after {request.age(start):.4f}s "
+                        f"waiting on {model_name}@node{key[1]}",
+                    )
+                )
+            else:
+                live.append(request)
+        batch = live
+        if not batch:
+            return
+        handler_delay = chaos.latency("engine.slow_handler")
+        if handler_delay > 0.0:
+            self.clock.advance(handler_delay)
         for request in batch:
             metrics.wait.record(request.age(start))
         metrics.batch_sizes.observe(len(batch))

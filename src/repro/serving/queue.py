@@ -22,6 +22,11 @@ class QueuedRequest:
     ``kind`` is ``"predict"`` (payload: ``item``) or ``"top_k"``
     (payload: ``items``/``k``/``policy``/``item_filter``). The future is
     completed by the worker that serves (or sheds) the request.
+
+    ``deadline`` is the *absolute* clock time after which serving this
+    request is pointless (the caller has given up); the engine sheds it
+    at admission, on queue scan, or just before compute — never after
+    compute has started.
     """
 
     kind: str
@@ -33,11 +38,16 @@ class QueuedRequest:
     k: int = 1
     policy: object = None
     item_filter: object = None
+    deadline: float | None = None
     future: Future = field(default_factory=Future)
 
     def age(self, now: float) -> float:
         """Seconds this request has been waiting."""
         return max(0.0, now - self.enqueue_time)
+
+    def deadline_expired(self, now: float) -> bool:
+        """Whether the absolute deadline (if any) has passed."""
+        return self.deadline is not None and now >= self.deadline
 
 
 class RequestQueue:
@@ -87,6 +97,24 @@ class RequestQueue:
             expired = []
             while self._items and self._items[0].age(now) > max_age:
                 expired.append(self._items.popleft())
+            return expired
+
+    def pop_deadline_expired(self, now: float) -> list[QueuedRequest]:
+        """Remove every request whose absolute deadline has passed.
+
+        Unlike :meth:`pop_expired`, deadlines are per-request budgets,
+        not a shared age bound, so the whole (depth-bounded) deque is
+        scanned, not just the head.
+        """
+        with self._lock:
+            if not any(r.deadline is not None for r in self._items):
+                return []
+            expired = [r for r in self._items if r.deadline_expired(now)]
+            if expired:
+                dead = set(map(id, expired))
+                self._items = deque(
+                    r for r in self._items if id(r) not in dead
+                )
             return expired
 
     def oldest_age(self, now: float) -> float | None:

@@ -69,3 +69,87 @@ class TestFailureReports:
         clock.advance(2.0)
         detector.check()
         assert detector.report_failure(0) is False
+
+
+class TestEdgeCases:
+    """The corners the chaos ablation leans on: boundary timing, late
+    heartbeats against standing verdicts, and concurrent reporters."""
+
+    def test_check_at_exact_timeout_boundary_is_alive(self, clock, detector):
+        """Staleness is strict: a heartbeat aged *exactly* ``timeout``
+        seconds has not yet expired; one tick past it has."""
+        detector.heartbeat(0, now=clock.now())
+        assert detector.check(now=clock.now() + 1.0) == []
+        assert detector.check(now=clock.now() + 1.0 + 1e-9) == [0, 1, 2]
+
+    def test_heartbeat_after_verdict_clears_it_without_a_new_death(
+        self, clock, detector
+    ):
+        """A heartbeat that arrives *after* the one-shot death verdict
+        revives the node: it leaves ``dead_nodes`` immediately and does
+        not re-enter a newly-dead list until a full new timeout lapses."""
+        clock.advance(2.0)
+        assert detector.check() == [0, 1, 2]
+        detector.heartbeat(0)  # late heartbeat against a standing verdict
+        assert not detector.is_dead(0)
+        assert detector.dead_nodes() == [1, 2]
+        # No new verdict within the fresh grace period...
+        clock.advance(0.9)
+        assert detector.check() == []
+        # ...and a second one-shot verdict only after it lapses.
+        clock.advance(0.2)
+        assert detector.check() == [0]
+
+    def test_heartbeat_after_verdict_then_report_is_new_evidence(
+        self, clock, detector
+    ):
+        """Revival resets the report path too: after a late heartbeat,
+        a read failure is *new* evidence again, not old news."""
+        clock.advance(2.0)
+        detector.check()
+        assert detector.report_failure(1) is False  # already dead
+        detector.heartbeat(1)
+        assert detector.report_failure(1) is True  # revived: fresh evidence
+        assert detector.check() == [1]
+
+    def test_concurrent_reporters_yield_one_verdict(self, detector):
+        """Many threads reporting the same node race harmlessly: the
+        next check declares the node dead exactly once, and the death
+        never appears in two newly-dead lists."""
+        import threading
+
+        barrier = threading.Barrier(8)
+        results: list[bool] = []
+        lock = threading.Lock()
+
+        def reporter() -> None:
+            barrier.wait()
+            outcome = detector.report_failure(2)
+            with lock:
+                results.append(outcome)
+
+        threads = [threading.Thread(target=reporter) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Before any check the node was never in ``_dead``, so every
+        # pre-verdict report counts as evidence...
+        assert all(results)
+        # ...but the verdict itself is still one-shot.
+        assert detector.check() == [2]
+        assert detector.check() == []
+        # Post-verdict reporters see old news.
+        assert detector.report_failure(2) is False
+
+    def test_reports_interleaved_with_checks_stay_idempotent(
+        self, clock, detector
+    ):
+        """report -> check -> report -> check settles: one verdict, no
+        flapping, regardless of how many reports land in between."""
+        assert detector.report_failure(0) is True
+        assert detector.check() == [0]
+        for _ in range(5):
+            assert detector.report_failure(0) is False
+        assert detector.check() == []
+        assert detector.dead_nodes() == [0]
